@@ -1,0 +1,397 @@
+//! The three architecture configurations and their variation knobs.
+
+use diskmodel::DiskSpec;
+use simcore::Bandwidth;
+
+use crate::cpu::ProcessorSpec;
+
+/// The Active Disk serial interconnect family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterconnectKind {
+    /// The paper's baseline: a dual Fibre Channel Arbitrated Loop whose
+    /// bisection bandwidth is fixed at the aggregate loop rate.
+    DualLoop,
+    /// The paper's recommendation beyond 64 disks: multiple FC loop
+    /// segments joined by a FibreSwitch, with bisection that grows with
+    /// the segment count.
+    FibreSwitch,
+}
+
+/// The configuration sizes evaluated in the paper: 16, 32, 64, 128 disks
+/// (and as many processors).
+pub const PAPER_SIZES: [usize; 4] = [16, 32, 64, 128];
+
+/// An Active Disk farm configuration (Section 2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveDiskConfig {
+    /// Number of Active Disks.
+    pub disks: usize,
+    /// The drive model in every unit.
+    pub disk_spec: DiskSpec,
+    /// The processor embedded in each unit.
+    pub embedded_cpu: ProcessorSpec,
+    /// SDRAM per disk unit (32 MB baseline; 64/128 MB in Figure 4).
+    pub disk_memory_bytes: u64,
+    /// Aggregate serial-interconnect bandwidth (200 MB/s baseline,
+    /// 400 MB/s in Figure 2). For a FibreSwitch this is the per-segment
+    /// rate.
+    pub interconnect: Bandwidth,
+    /// Interconnect family (dual loop baseline; FibreSwitch extension).
+    pub interconnect_kind: InterconnectKind,
+    /// Whether disks may address each other directly (true baseline;
+    /// false forces all traffic through the front-end, Figure 5).
+    pub direct_disk_to_disk: bool,
+    /// The front-end host processor (450 MHz PII baseline; 1 GHz ablation).
+    pub front_end_cpu: ProcessorSpec,
+    /// Front-end RAM (1 GB).
+    pub front_end_memory_bytes: u64,
+}
+
+/// A commodity-cluster configuration (Section 2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of hosts (one disk each).
+    pub nodes: usize,
+    /// The drive model on every host.
+    pub disk_spec: DiskSpec,
+    /// The host processor.
+    pub node_cpu: ProcessorSpec,
+    /// Host RAM (128 MB; 104 MB usable under Solaris).
+    pub node_memory_bytes: u64,
+    /// PCI bus bandwidth (133 MB/s).
+    pub pci: Bandwidth,
+}
+
+/// An SMP configuration (Section 2.1; SGI Origin 2000-like).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmpConfig {
+    /// Number of processors (= number of disks).
+    pub processors: usize,
+    /// The drive model of every disk in the farm.
+    pub disk_spec: DiskSpec,
+    /// The board processor.
+    pub cpu: ProcessorSpec,
+    /// Memory per processor (128 MB per two-processor board / 2; the
+    /// paper scales total memory with processors: 4 GB at 64, 8 GB at 128).
+    pub memory_per_processor_bytes: u64,
+    /// The disk I/O interconnect bandwidth (dual FC loop; 200 MB/s
+    /// baseline, 400 MB/s in Figure 2).
+    pub io_interconnect: Bandwidth,
+}
+
+/// One of the three architectures, fully configured.
+///
+/// # Example
+///
+/// ```
+/// use arch::Architecture;
+///
+/// // The paper's Figure 2/4/5 variations, combined:
+/// let farm = Architecture::active_disks(64)
+///     .with_interconnect_mb(400.0)
+///     .with_disk_memory(64 << 20)
+///     .with_direct_disk_to_disk(false);
+/// assert_eq!(farm.disks(), 64);
+/// assert_eq!(farm.short_name(), "Active");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Architecture {
+    /// An Active Disk farm.
+    ActiveDisks(ActiveDiskConfig),
+    /// A commodity cluster of PCs.
+    Cluster(ClusterConfig),
+    /// A shared-memory multiprocessor with a conventional disk farm.
+    Smp(SmpConfig),
+}
+
+impl Architecture {
+    /// The paper's baseline Active Disk configuration with `disks` disks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disks` is zero.
+    pub fn active_disks(disks: usize) -> Self {
+        assert!(disks > 0, "need at least one disk");
+        Architecture::ActiveDisks(ActiveDiskConfig {
+            disks,
+            disk_spec: DiskSpec::cheetah_9lp(),
+            embedded_cpu: ProcessorSpec::cyrix_6x86_200(),
+            disk_memory_bytes: 32 << 20,
+            interconnect: Bandwidth::from_mb_per_sec(200.0),
+            interconnect_kind: InterconnectKind::DualLoop,
+            direct_disk_to_disk: true,
+            front_end_cpu: ProcessorSpec::pentium_ii_450(),
+            front_end_memory_bytes: 1 << 30,
+        })
+    }
+
+    /// The paper's baseline cluster configuration with `nodes` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn cluster(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Architecture::Cluster(ClusterConfig {
+            nodes,
+            disk_spec: DiskSpec::cheetah_9lp(),
+            node_cpu: ProcessorSpec::pentium_ii_300(),
+            node_memory_bytes: 128 << 20,
+            pci: Bandwidth::from_mb_per_sec(133.0),
+        })
+    }
+
+    /// The paper's baseline SMP configuration with `processors` processors
+    /// (and as many disks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors` is zero.
+    pub fn smp(processors: usize) -> Self {
+        assert!(processors > 0, "need at least one processor");
+        Architecture::Smp(SmpConfig {
+            processors,
+            disk_spec: DiskSpec::cheetah_9lp(),
+            cpu: ProcessorSpec::r10000_250(),
+            memory_per_processor_bytes: 64 << 20,
+            io_interconnect: Bandwidth::from_mb_per_sec(200.0),
+        })
+    }
+
+    /// Number of disks in the configuration (equal to processors on every
+    /// architecture, by the paper's experimental design).
+    pub fn disks(&self) -> usize {
+        match self {
+            Architecture::ActiveDisks(c) => c.disks,
+            Architecture::Cluster(c) => c.nodes,
+            Architecture::Smp(c) => c.processors,
+        }
+    }
+
+    /// A short display name ("Active", "Cluster", "SMP" as in Figure 1).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Architecture::ActiveDisks(_) => "Active",
+            Architecture::Cluster(_) => "Cluster",
+            Architecture::Smp(_) => "SMP",
+        }
+    }
+
+    /// Returns a copy with the serial I/O interconnect set to
+    /// `mb_per_sec` (Figure 2 varies 200 → 400 MB/s for Active Disks and
+    /// SMPs; the cluster has no serial I/O interconnect, so this is a
+    /// no-op there).
+    #[must_use]
+    pub fn with_interconnect_mb(mut self, mb_per_sec: f64) -> Self {
+        let bw = Bandwidth::from_mb_per_sec(mb_per_sec);
+        match &mut self {
+            Architecture::ActiveDisks(c) => c.interconnect = bw,
+            Architecture::Smp(c) => c.io_interconnect = bw,
+            Architecture::Cluster(_) => {}
+        }
+        self
+    }
+
+    /// Returns a copy with the per-disk memory set to `bytes` (Figure 4;
+    /// Active Disks only — other architectures ignore it).
+    #[must_use]
+    pub fn with_disk_memory(mut self, bytes: u64) -> Self {
+        if let Architecture::ActiveDisks(c) = &mut self {
+            c.disk_memory_bytes = bytes;
+        }
+        self
+    }
+
+    /// Returns a copy with direct disk-to-disk communication enabled or
+    /// disabled (Figure 5; Active Disks only).
+    #[must_use]
+    pub fn with_direct_disk_to_disk(mut self, enabled: bool) -> Self {
+        if let Architecture::ActiveDisks(c) = &mut self {
+            c.direct_disk_to_disk = enabled;
+        }
+        self
+    }
+
+    /// Returns a copy with a different drive model everywhere (the
+    /// "Fast Disk" bars of Figure 3).
+    #[must_use]
+    pub fn with_disk_spec(mut self, spec: DiskSpec) -> Self {
+        match &mut self {
+            Architecture::ActiveDisks(c) => c.disk_spec = spec,
+            Architecture::Cluster(c) => c.disk_spec = spec,
+            Architecture::Smp(c) => c.disk_spec = spec,
+        }
+        self
+    }
+
+    /// Returns a copy with a different embedded processor in every disk
+    /// unit (the evolution ablation: embedded processors track drive
+    /// generations). Active Disks only.
+    #[must_use]
+    pub fn with_embedded_cpu(mut self, cpu: ProcessorSpec) -> Self {
+        if let Architecture::ActiveDisks(c) = &mut self {
+            c.embedded_cpu = cpu;
+        }
+        self
+    }
+
+    /// Returns a copy using a switched Fibre Channel fabric (multiple
+    /// loops joined by a FibreSwitch) instead of the single dual loop —
+    /// the paper's recommended interconnect beyond 64 disks. Active Disks
+    /// only.
+    #[must_use]
+    pub fn with_fibre_switch(mut self) -> Self {
+        if let Architecture::ActiveDisks(c) = &mut self {
+            c.interconnect_kind = InterconnectKind::FibreSwitch;
+        }
+        self
+    }
+
+    /// Returns a copy with a different front-end processor (the paper's
+    /// front-end scaling ablation; Active Disks only).
+    #[must_use]
+    pub fn with_front_end(mut self, cpu: ProcessorSpec) -> Self {
+        if let Architecture::ActiveDisks(c) = &mut self {
+            c.front_end_cpu = cpu;
+        }
+        self
+    }
+
+    /// Aggregate memory available to the workload across the
+    /// configuration, in bytes (used by memory-dependent task planning).
+    pub fn aggregate_memory_bytes(&self) -> u64 {
+        match self {
+            Architecture::ActiveDisks(c) => c.disks as u64 * c.disk_memory_bytes,
+            Architecture::Cluster(c) => {
+                c.nodes as u64 * hostos::MemoryBudget::full_function_host(c.node_memory_bytes).usable()
+            }
+            Architecture::Smp(c) => {
+                let total = c.processors as u64 * c.memory_per_processor_bytes;
+                hostos::MemoryBudget::full_function_host(total).usable()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(PAPER_SIZES, [16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn baselines_match_section_2_1() {
+        let Architecture::ActiveDisks(ad) = Architecture::active_disks(64) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(ad.disks, 64);
+        assert_eq!(ad.disk_memory_bytes, 32 << 20);
+        assert!((ad.interconnect.mb_per_sec() - 200.0).abs() < 1e-9);
+        assert!(ad.direct_disk_to_disk);
+        assert_eq!(ad.embedded_cpu.mhz, 200);
+        assert_eq!(ad.front_end_cpu.mhz, 450);
+
+        let Architecture::Cluster(cl) = Architecture::cluster(64) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(cl.node_cpu.mhz, 300);
+        assert_eq!(cl.node_memory_bytes, 128 << 20);
+        assert!((cl.pci.mb_per_sec() - 133.0).abs() < 1e-9);
+
+        let Architecture::Smp(smp) = Architecture::smp(64) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(smp.cpu.mhz, 250);
+        // 64-processor configuration has 4 GB.
+        assert_eq!(smp.processors as u64 * smp.memory_per_processor_bytes, 4 << 30);
+    }
+
+    #[test]
+    fn smp_memory_scales_with_processors() {
+        let Architecture::Smp(s128) = Architecture::smp(128) else {
+            panic!();
+        };
+        assert_eq!(
+            s128.processors as u64 * s128.memory_per_processor_bytes,
+            8 << 30,
+            "128-processor configuration has 8 GB"
+        );
+    }
+
+    #[test]
+    fn knobs_apply_to_the_right_architectures() {
+        let ad = Architecture::active_disks(16)
+            .with_interconnect_mb(400.0)
+            .with_disk_memory(64 << 20)
+            .with_direct_disk_to_disk(false);
+        let Architecture::ActiveDisks(c) = &ad else { panic!() };
+        assert!((c.interconnect.mb_per_sec() - 400.0).abs() < 1e-9);
+        assert_eq!(c.disk_memory_bytes, 64 << 20);
+        assert!(!c.direct_disk_to_disk);
+
+        let smp = Architecture::smp(16).with_interconnect_mb(400.0);
+        let Architecture::Smp(c) = &smp else { panic!() };
+        assert!((c.io_interconnect.mb_per_sec() - 400.0).abs() < 1e-9);
+
+        // No-ops on the cluster.
+        let cl = Architecture::cluster(16)
+            .with_interconnect_mb(400.0)
+            .with_disk_memory(1)
+            .with_direct_disk_to_disk(false);
+        assert_eq!(cl, Architecture::cluster(16));
+    }
+
+    #[test]
+    fn embedded_cpu_swap() {
+        let ad = Architecture::active_disks(8)
+            .with_embedded_cpu(ProcessorSpec::embedded_next_gen());
+        let Architecture::ActiveDisks(c) = &ad else { panic!() };
+        assert_eq!(c.embedded_cpu.mhz, 400);
+        // No-op on other architectures.
+        let cl = Architecture::cluster(8).with_embedded_cpu(ProcessorSpec::embedded_next_gen());
+        assert_eq!(cl, Architecture::cluster(8));
+    }
+
+    #[test]
+    fn fast_disk_swap() {
+        let ad = Architecture::active_disks(16).with_disk_spec(DiskSpec::hitachi_dk3e1t_91());
+        let Architecture::ActiveDisks(c) = &ad else { panic!() };
+        assert_eq!(c.disk_spec.name, "Hitachi DK3E1T-91");
+    }
+
+    #[test]
+    fn aggregate_memory() {
+        // 16 Active Disks × 32 MB = 512 MB.
+        assert_eq!(
+            Architecture::active_disks(16).aggregate_memory_bytes(),
+            512 << 20
+        );
+        // Cluster: 16 × 104 MB usable.
+        assert_eq!(
+            Architecture::cluster(16).aggregate_memory_bytes(),
+            16 * (104 << 20)
+        );
+        // SMP at 64 procs: 4 GB minus one kernel footprint.
+        let smp = Architecture::smp(64).aggregate_memory_bytes();
+        assert_eq!(smp, (4 << 30) - (24 << 20));
+    }
+
+    #[test]
+    fn disks_and_names() {
+        assert_eq!(Architecture::active_disks(32).disks(), 32);
+        assert_eq!(Architecture::cluster(32).disks(), 32);
+        assert_eq!(Architecture::smp(32).disks(), 32);
+        assert_eq!(Architecture::active_disks(1).short_name(), "Active");
+        assert_eq!(Architecture::cluster(1).short_name(), "Cluster");
+        assert_eq!(Architecture::smp(1).short_name(), "SMP");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_disks_rejected() {
+        Architecture::active_disks(0);
+    }
+}

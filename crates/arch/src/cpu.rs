@@ -1,0 +1,152 @@
+//! Processor catalog and speed scaling.
+//!
+//! Howsim "models variation in processor speed by scaling \[trace\]
+//! processing times". We do the same: every CPU cost in the task models is
+//! expressed for a reference processor (the cluster's 300 MHz Pentium II,
+//! factor 1.0) and scaled by the target processor's relative performance
+//! (clock ratio × an IPC factor for the microarchitecture).
+
+use simcore::Duration;
+
+/// A processor model with its performance relative to the 300 MHz
+/// Pentium II reference.
+///
+/// # Example
+///
+/// ```
+/// use arch::ProcessorSpec;
+/// use simcore::Duration;
+///
+/// let cyrix = ProcessorSpec::cyrix_6x86_200();
+/// let pii = ProcessorSpec::pentium_ii_300();
+/// // The embedded Cyrix takes longer for the same work.
+/// let work = Duration::from_micros(100);
+/// assert!(cyrix.scale(work) > pii.scale(work));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Clock in MHz.
+    pub mhz: u32,
+    /// Throughput relative to the 300 MHz Pentium II (higher is faster).
+    pub relative_perf: f64,
+}
+
+impl ProcessorSpec {
+    /// The Cyrix 6x86 200MX embedded in each Active Disk: 200 MHz with a
+    /// modest integer core (IPC factor 0.85 vs the Pentium II).
+    pub fn cyrix_6x86_200() -> Self {
+        ProcessorSpec {
+            name: "Cyrix 6x86 200MX",
+            mhz: 200,
+            relative_perf: 200.0 / 300.0 * 0.85,
+        }
+    }
+
+    /// The cluster node processor and the cost-model reference:
+    /// 300 MHz Pentium II.
+    pub fn pentium_ii_300() -> Self {
+        ProcessorSpec {
+            name: "Pentium II 300",
+            mhz: 300,
+            relative_perf: 1.0,
+        }
+    }
+
+    /// The Active Disk front-end host: 450 MHz Pentium II.
+    pub fn pentium_ii_450() -> Self {
+        ProcessorSpec {
+            name: "Pentium II 450",
+            mhz: 450,
+            relative_perf: 1.5,
+        }
+    }
+
+    /// The SMP processor: 250 MHz MIPS R10000 (wide out-of-order core,
+    /// IPC factor 1.3 vs the Pentium II).
+    pub fn r10000_250() -> Self {
+        ProcessorSpec {
+            name: "MIPS R10000 250",
+            mhz: 250,
+            relative_perf: 250.0 / 300.0 * 1.3,
+        }
+    }
+
+    /// A next-generation embedded processor (the paper's evolution
+    /// argument: "since the processing components are integrated with the
+    /// drives, the processing power will evolve as the disk drives
+    /// evolve" — one process generation later, roughly 2× the 6x86).
+    pub fn embedded_next_gen() -> Self {
+        ProcessorSpec {
+            name: "embedded next-gen (2x Cyrix)",
+            mhz: 400,
+            relative_perf: 2.0 * (200.0 / 300.0 * 0.85),
+        }
+    }
+
+    /// The 1 GHz front-end of the paper's front-end-scaling ablation.
+    pub fn front_end_1ghz() -> Self {
+        ProcessorSpec {
+            name: "1 GHz front-end",
+            mhz: 1_000,
+            relative_perf: 1_000.0 / 300.0,
+        }
+    }
+
+    /// Scales work costed for the reference processor onto this one.
+    pub fn scale(&self, reference_cost: Duration) -> Duration {
+        reference_cost.scale(1.0 / self.relative_perf)
+    }
+
+    /// Time for `n` work units of `ns_per_unit` nanoseconds (reference
+    /// processor) on this processor.
+    pub fn work(&self, n: u64, ns_per_unit: f64) -> Duration {
+        Duration::from_secs_f64(n as f64 * ns_per_unit / 1e9 / self.relative_perf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_identity() {
+        let pii = ProcessorSpec::pentium_ii_300();
+        let d = Duration::from_micros(123);
+        assert_eq!(pii.scale(d), d);
+    }
+
+    #[test]
+    fn relative_ordering_matches_the_era() {
+        let cyrix = ProcessorSpec::cyrix_6x86_200().relative_perf;
+        let pii300 = ProcessorSpec::pentium_ii_300().relative_perf;
+        let r10k = ProcessorSpec::r10000_250().relative_perf;
+        let pii450 = ProcessorSpec::pentium_ii_450().relative_perf;
+        let ghz = ProcessorSpec::front_end_1ghz().relative_perf;
+        assert!(cyrix < pii300);
+        assert!((ProcessorSpec::embedded_next_gen().relative_perf - 2.0 * cyrix).abs() < 1e-9);
+        assert!(pii300 < r10k, "the R10k outruns the PII-300");
+        assert!(r10k < pii450);
+        assert!(pii450 < ghz);
+    }
+
+    #[test]
+    fn work_scales_inversely_with_performance() {
+        let cyrix = ProcessorSpec::cyrix_6x86_200();
+        let fast = ProcessorSpec::front_end_1ghz();
+        let slow_t = cyrix.work(1_000_000, 100.0);
+        let fast_t = fast.work(1_000_000, 100.0);
+        let ratio = slow_t.as_secs_f64() / fast_t.as_secs_f64();
+        let expect = fast.relative_perf / cyrix.relative_perf;
+        assert!((ratio - expect).abs() < 0.01, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn work_of_zero_units_is_zero() {
+        assert_eq!(
+            ProcessorSpec::pentium_ii_300().work(0, 500.0),
+            Duration::ZERO
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Architecture configurations for the Howsim simulator.
+//!
+//! The paper compares three scalable server architectures on identical
+//! disks (Seagate Cheetah 9LP) and identical processor/disk counts:
+//!
+//! * **Active Disks** — a Cyrix 6x86 200 MHz and 32 MB SDRAM in every
+//!   disk unit, all disks on a dual-loop Fibre Channel (200 MB/s
+//!   aggregate), direct disk-to-disk communication, and a Pentium II
+//!   450 MHz front-end with 1 GB RAM.
+//! * **Commodity cluster** — 300 MHz Pentium II hosts with 128 MB SDRAM,
+//!   one disk each, 100BaseT NICs into a two-level switched Ethernet.
+//! * **SMP** — SGI Origin 2000-like: 250 MHz two-processor boards with
+//!   128 MB per board, a block-transfer engine, XIO-class I/O nodes, and a
+//!   dual FC loop (200 MB/s) in front of all disks.
+//!
+//! [`Architecture`] carries every knob the paper varies: I/O interconnect
+//! bandwidth (Figure 2), disk memory (Figure 4), communication routing
+//! (Figure 5), disk model and front-end speed (Figure 3 / ablations).
+//! [`pricing`] reproduces Table 1.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cpu;
+pub mod pricing;
+
+pub use config::{ActiveDiskConfig, Architecture, ClusterConfig, InterconnectKind, SmpConfig, PAPER_SIZES};
+pub use cpu::ProcessorSpec;
+pub use pricing::{PriceDate, PriceTable};

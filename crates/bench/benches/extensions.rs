@@ -1,0 +1,64 @@
+//! Benchmarks for the repository's extension experiments: the FibreSwitch
+//! fabric, skewed repartitioning, and dataset growth.
+
+use arch::Architecture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::zipf::Zipf;
+use howsim::Simulation;
+use std::hint::black_box;
+use tasks::planner::apply_shuffle_skew;
+use tasks::{plan_task, plan_task_on, TaskKind};
+
+fn fibre_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/fibre_switch");
+    g.sample_size(10);
+    for (label, switched) in [("sort_dual_loop_128", false), ("sort_fibre_switch_128", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut arch = Architecture::active_disks(black_box(128));
+                if switched {
+                    arch = arch.with_fibre_switch();
+                }
+                black_box(Simulation::new(arch).run(TaskKind::Sort).elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn zipf_skew(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/skew");
+    g.sample_size(10);
+    for (label, theta) in [("join_uniform_32", 0.0), ("join_zipf1_32", 1.0)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let arch = Architecture::active_disks(black_box(32));
+                let mut plan = plan_task(TaskKind::Join, &arch);
+                if theta > 0.0 {
+                    apply_shuffle_skew(&mut plan, Zipf::new(100_000, theta).partition_weights(32));
+                }
+                black_box(Simulation::new(arch).run_plan(&plan).elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/growth");
+    g.sample_size(10);
+    for scale in [1u64, 4] {
+        g.bench_function(format!("dmine_x{scale}_16_disks"), |b| {
+            b.iter(|| {
+                let arch = Architecture::active_disks(black_box(16));
+                let dataset = TaskKind::DataMine.dataset().scaled_up(scale);
+                let plan = plan_task_on(TaskKind::DataMine, &arch, &dataset);
+                black_box(Simulation::new(arch).run_plan(&plan).elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fibre_switch, zipf_skew, growth);
+criterion_main!(benches);

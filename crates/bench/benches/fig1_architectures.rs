@@ -1,0 +1,39 @@
+//! Figure 1 regeneration benchmark: one simulation per architecture for a
+//! light task (select) and a heavy repartitioning task (sort) at a
+//! representative configuration size. The full 16–128-disk sweep is
+//! produced by `cargo run -p experiments -- --fig1`.
+
+use arch::Architecture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use howsim::Simulation;
+use std::hint::black_box;
+use tasks::TaskKind;
+
+fn bench_cell(c: &mut Criterion, group: &str, arch_of: fn(usize) -> Architecture) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for task in [TaskKind::Select, TaskKind::Sort] {
+        g.bench_function(task.name(), |b| {
+            b.iter(|| {
+                let report = Simulation::new(arch_of(black_box(32))).run(task);
+                black_box(report.elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig1_active(c: &mut Criterion) {
+    bench_cell(c, "fig1/active_32_disks", Architecture::active_disks);
+}
+
+fn fig1_cluster(c: &mut Criterion) {
+    bench_cell(c, "fig1/cluster_32_disks", Architecture::cluster);
+}
+
+fn fig1_smp(c: &mut Criterion) {
+    bench_cell(c, "fig1/smp_32_disks", Architecture::smp);
+}
+
+criterion_group!(benches, fig1_active, fig1_cluster, fig1_smp);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 2 regeneration benchmark: the interconnect-bandwidth variation
+//! (200 vs 400 MB/s) for Active Disks and SMPs on the most
+//! communication-intensive task (sort). The full task sweep is produced by
+//! `cargo run -p experiments -- --fig2`.
+
+use arch::Architecture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use howsim::Simulation;
+use std::hint::black_box;
+use tasks::TaskKind;
+
+fn fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    for (label, mb, active) in [
+        ("sort_active_200", 200.0, true),
+        ("sort_active_400", 400.0, true),
+        ("sort_smp_200", 200.0, false),
+        ("sort_smp_400", 400.0, false),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let arch = if active {
+                    Architecture::active_disks(black_box(32))
+                } else {
+                    Architecture::smp(black_box(32))
+                }
+                .with_interconnect_mb(mb);
+                black_box(Simulation::new(arch).run(TaskKind::Sort).elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 3 regeneration benchmark: the sort execution breakdown across
+//! the base, Fast Disk, and Fast I/O Active Disk variants. The full
+//! breakdown table is produced by `cargo run -p experiments -- --fig3`.
+
+use arch::Architecture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use diskmodel::DiskSpec;
+use howsim::Simulation;
+use std::hint::black_box;
+use tasks::TaskKind;
+
+type ArchBuilder = fn() -> Architecture;
+
+fn fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    let variants: [(&str, ArchBuilder); 3] = [
+        ("sort_base", || Architecture::active_disks(32)),
+        ("sort_fast_disk", || {
+            Architecture::active_disks(32).with_disk_spec(DiskSpec::hitachi_dk3e1t_91())
+        }),
+        ("sort_fast_io", || {
+            Architecture::active_disks(32).with_interconnect_mb(400.0)
+        }),
+    ];
+    for (label, arch) in variants {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let report = Simulation::new(black_box(arch())).run(TaskKind::Sort);
+                // The breakdown itself is the Figure 3 artifact.
+                let p1 = report.phase("sort").expect("sort phase");
+                black_box((p1.idle_fraction(), report.elapsed()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

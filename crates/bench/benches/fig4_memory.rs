@@ -1,0 +1,32 @@
+//! Figure 4 regeneration benchmark: the disk-memory variation for the
+//! memory-sensitive task (dcube) and a memory-flat control (groupby).
+//! The full sweep is produced by `cargo run -p experiments -- --fig4`.
+
+use arch::Architecture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use howsim::Simulation;
+use std::hint::black_box;
+use tasks::TaskKind;
+
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for (label, task, mem_mb) in [
+        ("dcube_32mb", TaskKind::DataCube, 32u64),
+        ("dcube_64mb", TaskKind::DataCube, 64),
+        ("groupby_32mb", TaskKind::GroupBy, 32),
+        ("groupby_64mb", TaskKind::GroupBy, 64),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let arch =
+                    Architecture::active_disks(black_box(16)).with_disk_memory(mem_mb << 20);
+                black_box(Simulation::new(arch).run(task).elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

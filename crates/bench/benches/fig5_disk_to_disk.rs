@@ -1,0 +1,33 @@
+//! Figure 5 regeneration benchmark: direct disk-to-disk communication vs
+//! the restricted (front-end-routed) architecture for a repartitioning
+//! task (sort) and a reduction task (groupby). The full sweep is produced
+//! by `cargo run -p experiments -- --fig5`.
+
+use arch::Architecture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use howsim::Simulation;
+use std::hint::black_box;
+use tasks::TaskKind;
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for (label, task, direct) in [
+        ("sort_direct", TaskKind::Sort, true),
+        ("sort_restricted", TaskKind::Sort, false),
+        ("groupby_direct", TaskKind::GroupBy, true),
+        ("groupby_restricted", TaskKind::GroupBy, false),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let arch = Architecture::active_disks(black_box(32))
+                    .with_direct_disk_to_disk(direct);
+                black_box(Simulation::new(arch).run(task).elapsed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

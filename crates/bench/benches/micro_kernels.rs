@@ -1,0 +1,109 @@
+//! Microbenchmarks of the executable decision-support kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::gen;
+use kernels::{aggregate, apriori, cube, groupby, join, select, sort};
+use std::hint::black_box;
+
+fn kernel_select(c: &mut Criterion) {
+    let data = gen::tuples(100_000, 10_000, 1);
+    c.bench_function("kernels/select_100k", |b| {
+        b.iter(|| black_box(select::filter(&data, 100)))
+    });
+}
+
+fn kernel_aggregate(c: &mut Criterion) {
+    let data = gen::tuples(100_000, 10_000, 2);
+    c.bench_function("kernels/aggregate_100k", |b| {
+        b.iter(|| black_box(aggregate::sum(&data)))
+    });
+}
+
+fn kernel_groupby(c: &mut Criterion) {
+    let data = gen::tuples(100_000, 5_000, 3);
+    c.bench_function("kernels/groupby_100k", |b| {
+        b.iter(|| black_box(groupby::hash_groupby(&data)))
+    });
+}
+
+fn kernel_external_sort(c: &mut Criterion) {
+    let data = gen::sort_records(100_000, 4);
+    c.bench_function("kernels/external_sort_100k", |b| {
+        b.iter(|| black_box(sort::external_sort(data.clone(), 10_000)))
+    });
+}
+
+fn kernel_hash_join(c: &mut Criterion) {
+    let r = gen::join_tuples(50_000, 20_000, 5);
+    let s = gen::join_tuples(50_000, 20_000, 6);
+    c.bench_function("kernels/partitioned_join_50k_x_50k", |b| {
+        b.iter(|| black_box(join::partitioned_join(&r, &s, 16)))
+    });
+}
+
+fn kernel_apriori(c: &mut Criterion) {
+    let txns = gen::transactions(5_000, 2_000, 4.0, 7);
+    c.bench_function("kernels/apriori_5k_txns", |b| {
+        b.iter(|| black_box(apriori::frequent_itemsets(&txns, 0.02, 3)))
+    });
+}
+
+fn kernel_cube(c: &mut Criterion) {
+    let facts = gen::cube_facts(50_000, [500, 50, 10, 5], 8);
+    let masks = cube::lattice(4);
+    c.bench_function("kernels/cube_50k_facts_15_groupbys", |b| {
+        b.iter(|| black_box(cube::compute_cube(&facts, &masks)))
+    });
+}
+
+fn kernel_bucket_sort(c: &mut Criterion) {
+    let data = gen::sort_records(100_000, 9);
+    c.bench_function("kernels/bucket_sort_100k", |b| {
+        b.iter(|| black_box(kernels::bucketsort::bucket_sort(data.clone())))
+    });
+}
+
+fn kernel_rule_generation(c: &mut Criterion) {
+    let txns = gen::transactions(3_000, 500, 4.0, 10);
+    let frequent = kernels::apriori::frequent_itemsets(&txns, 0.02, 3);
+    c.bench_function("kernels/rule_generation", |b| {
+        b.iter(|| black_box(kernels::rules::generate_rules(&frequent, 0.3)))
+    });
+}
+
+fn zipf_sampling(c: &mut Criterion) {
+    let zipf = datagen::zipf::Zipf::new(100_000, 1.0);
+    c.bench_function("datagen/zipf_sample_100k", |b| {
+        b.iter(|| {
+            let mut rng = simcore::SplitMix64::new(1);
+            let mut acc = 0usize;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(zipf.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn kernel_pipehash_planner(c: &mut Criterion) {
+    let sizes: Vec<u64> = (1..=60).map(|i| i * 37 * 1_048_576).collect();
+    c.bench_function("kernels/pipehash_plan_60_groupbys", |b| {
+        b.iter(|| black_box(cube::plan_passes(&sizes, 1 << 31)))
+    });
+}
+
+criterion_group!(
+    benches,
+    kernel_select,
+    kernel_aggregate,
+    kernel_groupby,
+    kernel_external_sort,
+    kernel_bucket_sort,
+    kernel_hash_join,
+    kernel_apriori,
+    kernel_rule_generation,
+    kernel_cube,
+    kernel_pipehash_planner,
+    zipf_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Microbenchmarks of the simulator substrate: event queue, disk model,
+//! and interconnect models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diskmodel::{Disk, DiskSpec, Request};
+use netmodel::{ClusterFabric, FcLoop};
+use simcore::{Bandwidth, Duration, EventQueue, FifoServer, SimTime, SplitMix64};
+use std::hint::black_box;
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("simcore/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut rng = SplitMix64::new(1);
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(rng.next_below(1 << 30)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn fifo_server(c: &mut Criterion) {
+    c.bench_function("simcore/fifo_server_offer_10k", |b| {
+        b.iter(|| {
+            let mut s = FifoServer::new();
+            for i in 0..10_000u64 {
+                s.offer(SimTime::from_nanos(i * 10), Duration::from_nanos(7), "x");
+            }
+            black_box(s.busy_total())
+        })
+    });
+}
+
+fn disk_sequential_scan(c: &mut Criterion) {
+    c.bench_function("diskmodel/sequential_scan_1k_requests", |b| {
+        b.iter(|| {
+            let mut disk = Disk::new(DiskSpec::cheetah_9lp());
+            let mut t = SimTime::ZERO;
+            for i in 0..1_000u64 {
+                let done = disk.submit(t, Request::read(i * 256 * 1024, 256 * 1024));
+                t = done.end;
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn disk_random_reads(c: &mut Criterion) {
+    c.bench_function("diskmodel/random_reads_1k_requests", |b| {
+        b.iter(|| {
+            let mut disk = Disk::new(DiskSpec::cheetah_9lp());
+            let mut rng = SplitMix64::new(9);
+            let span = disk.geometry().total_sectors() - 128;
+            let mut t = SimTime::ZERO;
+            for _ in 0..1_000 {
+                let lba = rng.next_below(span);
+                let done = disk.submit(t, Request::read(lba * 512, 64 * 1024));
+                t = done.end;
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn fc_loop_transfers(c: &mut Criterion) {
+    c.bench_function("netmodel/fc_loop_10k_transfers", |b| {
+        b.iter(|| {
+            let mut fc = FcLoop::dual(Bandwidth::from_mb_per_sec(200.0));
+            let mut last = SimTime::ZERO;
+            for i in 0..10_000usize {
+                last = fc.transfer(SimTime::ZERO, i % 64, 256 * 1024, "x");
+            }
+            black_box(last)
+        })
+    });
+}
+
+fn cluster_fabric_shuffle(c: &mut Criterion) {
+    c.bench_function("netmodel/cluster_fabric_all_to_all_64", |b| {
+        b.iter(|| {
+            let mut net = ClusterFabric::new(64);
+            let mut last = SimTime::ZERO;
+            for s in 0..64 {
+                for d in 0..64 {
+                    if s != d {
+                        last = last.max(net.send(SimTime::ZERO, s, d, 64 * 1024, "x"));
+                    }
+                }
+            }
+            black_box(last)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    event_queue,
+    fifo_server,
+    disk_sequential_scan,
+    disk_random_reads,
+    fc_loop_transfers,
+    cluster_fabric_shuffle
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks regenerating Table 1 (cost model) and Table 2 (dataset
+//! definitions). These are cheap computations; the benchmark guards
+//! against regressions and demonstrates the regeneration path.
+
+use arch::{PriceDate, PriceTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::DatasetSpec;
+use std::hint::black_box;
+
+fn table1_costs(c: &mut Criterion) {
+    c.bench_function("table1/cost_evolution_64_nodes", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for date in PriceDate::ALL {
+                let t = PriceTable::at(date);
+                total += t.active_disk_total(black_box(64));
+                total += t.cluster_total(black_box(64));
+                total += t.smp_total(black_box(64));
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn table2_datasets(c: &mut Criterion) {
+    c.bench_function("table2/dataset_definitions", |b| {
+        b.iter(|| {
+            let all = DatasetSpec::all();
+            let bytes: u64 = all.iter().map(|d| d.total_bytes).sum();
+            black_box((all, bytes))
+        })
+    });
+}
+
+criterion_group!(benches, table1_costs, table2_datasets);
+criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Synthetic record generators (reduced-scale, deterministic).
+//!
+//! The paper acquired application traces by running each algorithm on a
+//! real workstation over the Table 2 datasets. This reproduction instead
+//! runs the real algorithms (crate `kernels`) over *reduced-scale*
+//! synthetic data with the same statistical shape, generated here. All
+//! generators are deterministic in their seed.
+
+use simcore::SplitMix64;
+
+/// A relational tuple for select/aggregate/group-by (the interesting
+/// fields of the paper's 64-byte tuple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuple {
+    /// Grouping / predicate key.
+    pub key: u64,
+    /// Measure being aggregated.
+    pub value: i64,
+}
+
+/// A 100-byte sort record: 10-byte key plus payload (payload elided; the
+/// record index stands in for it so permutation checks are possible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortRecord {
+    /// The 10-byte sort key.
+    pub key: [u8; 10],
+    /// Original position (stands in for the 90-byte payload).
+    pub origin: u64,
+}
+
+/// A fact-table row for the datacube task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubeFact {
+    /// The four dimension attributes.
+    pub dims: [u32; 4],
+    /// The measure.
+    pub measure: i64,
+}
+
+/// Generates `n` tuples with keys uniform in `[0, distinct)`.
+///
+/// # Panics
+///
+/// Panics if `distinct` is zero.
+pub fn tuples(n: usize, distinct: u64, seed: u64) -> Vec<Tuple> {
+    assert!(distinct > 0, "distinct must be positive");
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Tuple {
+            key: rng.next_below(distinct),
+            value: (rng.next_below(1_000)) as i64,
+        })
+        .collect()
+}
+
+/// Generates `n` sort records with uniform 10-byte keys.
+pub fn sort_records(n: usize, seed: u64) -> Vec<SortRecord> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n as u64)
+        .map(|i| {
+            let mut key = [0u8; 10];
+            let hi = rng.next_u64().to_be_bytes();
+            let lo = rng.next_u64().to_be_bytes();
+            key[..8].copy_from_slice(&hi);
+            key[8..].copy_from_slice(&lo[..2]);
+            SortRecord { key, origin: i }
+        })
+        .collect()
+}
+
+/// Generates `n` fact rows whose dimension `d` takes `cardinalities[d]`
+/// distinct values uniformly.
+///
+/// # Panics
+///
+/// Panics if any cardinality is zero.
+pub fn cube_facts(n: usize, cardinalities: [u64; 4], seed: u64) -> Vec<CubeFact> {
+    assert!(
+        cardinalities.iter().all(|&c| c > 0),
+        "cardinalities must be positive"
+    );
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| CubeFact {
+            dims: [
+                rng.next_below(cardinalities[0]) as u32,
+                rng.next_below(cardinalities[1]) as u32,
+                rng.next_below(cardinalities[2]) as u32,
+                rng.next_below(cardinalities[3]) as u32,
+            ],
+            measure: rng.next_below(100) as i64,
+        })
+        .collect()
+}
+
+/// Generates `n` join tuples with uniform keys in `[0, distinct)`; used
+/// for both relations of the project-join.
+pub fn join_tuples(n: usize, distinct: u64, seed: u64) -> Vec<Tuple> {
+    tuples(n, distinct, seed)
+}
+
+/// Generates retail market-basket transactions.
+///
+/// Transaction lengths are geometric with the given mean (minimum one
+/// item). Items mix a small "hot" set (popular products) with a uniform
+/// tail over the full catalog, so that frequent itemsets exist at
+/// realistic supports — the shape Apriori-style mining is sensitive to.
+///
+/// # Panics
+///
+/// Panics if `items` is zero or `avg_items < 1.0`.
+pub fn transactions(n: usize, items: u64, avg_items: f64, seed: u64) -> Vec<Vec<u32>> {
+    assert!(items > 0, "catalog must be non-empty");
+    assert!(avg_items >= 1.0, "mean basket size must be >= 1");
+    let mut rng = SplitMix64::new(seed);
+    let hot = (items / 100).clamp(1, 50);
+    // Geometric with mean m: success probability 1/m, support {1, 2, ...}.
+    let p = 1.0 / avg_items;
+    (0..n)
+        .map(|_| {
+            let mut len = 1usize;
+            while rng.next_f64() > p && len < 32 {
+                len += 1;
+            }
+            let mut txn: Vec<u32> = (0..len)
+                .map(|_| {
+                    if rng.next_f64() < 0.5 {
+                        rng.next_below(hot) as u32
+                    } else {
+                        rng.next_below(items) as u32
+                    }
+                })
+                .collect();
+            txn.sort_unstable();
+            txn.dedup();
+            txn
+        })
+        .collect()
+}
+
+/// Generates a delta stream for materialized-view maintenance: updates to
+/// `distinct` view keys.
+///
+/// # Panics
+///
+/// Panics if `distinct` is zero.
+pub fn deltas(n: usize, distinct: u64, seed: u64) -> Vec<Tuple> {
+    tuples(n, distinct, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(tuples(100, 10, 7), tuples(100, 10, 7));
+        assert_eq!(sort_records(100, 7), sort_records(100, 7));
+        assert_eq!(transactions(100, 1_000, 4.0, 7), transactions(100, 1_000, 4.0, 7));
+        assert_eq!(
+            cube_facts(100, [10, 10, 10, 10], 7),
+            cube_facts(100, [10, 10, 10, 10], 7)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(tuples(100, 1_000, 1), tuples(100, 1_000, 2));
+    }
+
+    #[test]
+    fn tuple_keys_respect_cardinality() {
+        let ts = tuples(10_000, 13, 42);
+        assert!(ts.iter().all(|t| t.key < 13));
+        // All 13 keys should appear in 10 k draws.
+        let mut seen = [false; 13];
+        for t in &ts {
+            seen[t.key as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sort_keys_are_roughly_uniform() {
+        let rs = sort_records(10_000, 3);
+        let high: usize = rs.iter().filter(|r| r.key[0] >= 128).count();
+        assert!((4_000..6_000).contains(&high), "first byte balanced: {high}");
+        // Origins form the identity permutation.
+        assert!(rs.iter().enumerate().all(|(i, r)| r.origin == i as u64));
+    }
+
+    #[test]
+    fn basket_sizes_average_out() {
+        let txns = transactions(20_000, 100_000, 4.0, 9);
+        let total: usize = txns.iter().map(Vec::len).sum();
+        let mean = total as f64 / txns.len() as f64;
+        // Dedup trims a little below the geometric mean of 4.
+        assert!((3.0..4.5).contains(&mean), "mean basket {mean}");
+        assert!(txns.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn baskets_are_sorted_and_unique() {
+        for txn in transactions(1_000, 10_000, 4.0, 11) {
+            assert!(txn.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn hot_items_are_frequent() {
+        let txns = transactions(10_000, 100_000, 4.0, 13);
+        let hot_hits = txns.iter().filter(|t| t.iter().any(|&i| i < 1_000)).count();
+        // At least a quarter of baskets touch the hot set, so frequent
+        // itemsets exist at 1% support.
+        assert!(hot_hits > 2_500, "hot hits {hot_hits}");
+    }
+
+    #[test]
+    fn cube_dims_respect_cardinalities() {
+        let card = [50, 5, 2, 100];
+        let facts = cube_facts(5_000, card, 21);
+        for f in &facts {
+            for (dim, &cap) in f.dims.iter().zip(&card) {
+                assert!(u64::from(*dim) < cap);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_distinct_rejected() {
+        tuples(1, 0, 0);
+    }
+}

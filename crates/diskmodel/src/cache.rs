@@ -1,0 +1,300 @@
+//! Segmented drive cache with sequential read-ahead.
+//!
+//! Drives of the Cheetah era used a cache split into segments, each tracking
+//! one sequential stream. After serving a read the drive keeps reading
+//! ("prefetch") into the stream's segment, so the *next* sequential request
+//! is served from buffer — at media rate rather than seek+rotation cost.
+//! This is the mechanism that lets decision-support table scans run at the
+//! zone media rate, which the paper's results depend on.
+//!
+//! The model tracks, per segment, the media read-ahead position as a
+//! function of time: a segment installed at time `t0` with the head at LBA
+//! `p0` has prefetched up to `p0 + rate·(t − t0)` by time `t`, capped by the
+//! segment capacity ahead of the last consumed LBA.
+
+use simcore::{Duration, SimTime};
+
+use crate::geometry::{Geometry, SECTOR_BYTES};
+
+/// Outcome of a cache lookup for a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The request continues a tracked sequential stream; the final byte is
+    /// (or will be) in the buffer at `data_ready`.
+    Hit {
+        /// When the last sector of the request has arrived in the buffer.
+        data_ready: SimTime,
+    },
+    /// Mechanical access required.
+    Miss,
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    /// Next LBA the host will consume (stream position).
+    next_lba: u64,
+    /// Media read-ahead position at `as_of`.
+    media_pos: u64,
+    /// Time at which `media_pos` was observed.
+    as_of: SimTime,
+    /// LRU stamp.
+    last_use: u64,
+}
+
+/// A segmented read cache with sequential prefetch.
+///
+/// # Example
+///
+/// ```
+/// use diskmodel::cache::{SegmentedCache, Lookup};
+/// use diskmodel::{DiskSpec, Geometry};
+/// use simcore::SimTime;
+///
+/// let spec = DiskSpec::cheetah_9lp();
+/// let geo = Geometry::from_spec(&spec);
+/// let mut cache = SegmentedCache::new(&spec);
+/// // Nothing cached yet: miss.
+/// assert_eq!(cache.lookup(SimTime::ZERO, 0, 64, &geo), Lookup::Miss);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentedCache {
+    segments: Vec<Segment>,
+    max_segments: usize,
+    capacity_sectors: u64,
+    clock: u64,
+}
+
+impl SegmentedCache {
+    /// Creates a cache sized from a drive spec.
+    pub fn new(spec: &crate::spec::DiskSpec) -> Self {
+        let total_sectors = spec.cache_bytes / SECTOR_BYTES;
+        let max_segments = spec.cache_segments.max(1) as usize;
+        SegmentedCache {
+            segments: Vec::with_capacity(max_segments),
+            max_segments,
+            capacity_sectors: (total_sectors / max_segments as u64).max(1),
+            clock: 0,
+        }
+    }
+
+    /// Sectors of read-ahead one segment can hold.
+    pub fn segment_capacity_sectors(&self) -> u64 {
+        self.capacity_sectors
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Media read-ahead position of `seg` at time `now`, capped by segment
+    /// capacity ahead of the stream position.
+    fn media_pos_at(seg: &Segment, now: SimTime, geo: &Geometry, cap: u64) -> u64 {
+        let elapsed = now.saturating_since(seg.as_of);
+        if seg.media_pos >= geo.total_sectors() {
+            return geo.total_sectors();
+        }
+        let rate = geo.media_rate_at(seg.media_pos.min(geo.total_sectors() - 1));
+        let sector_time = SECTOR_BYTES as f64 / rate.bytes_per_sec();
+        let advanced = (elapsed.as_secs_f64() / sector_time) as u64;
+        (seg.media_pos + advanced)
+            .min(seg.next_lba + cap)
+            .min(geo.total_sectors())
+    }
+
+    /// Looks up a read of `sectors` at `lba`. On a hit, returns when the
+    /// data is fully buffered; the caller adds bus transfer.
+    pub fn lookup(&mut self, now: SimTime, lba: u64, sectors: u64, geo: &Geometry) -> Lookup {
+        let cap = self.capacity_sectors;
+        let stamp = self.tick();
+        let Some(seg) = self
+            .segments
+            .iter_mut()
+            .find(|s| lba == s.next_lba || (lba >= s.next_lba && lba < s.next_lba + cap))
+        else {
+            return Lookup::Miss;
+        };
+        let end = lba + sectors;
+        let pos_now = Self::media_pos_at(seg, now, geo, cap);
+        if lba > pos_now {
+            // Skipped ahead of the read-ahead head: treat as a miss.
+            return Lookup::Miss;
+        }
+        let data_ready = if end <= pos_now {
+            now
+        } else {
+            let remaining = end - pos_now;
+            if end > geo.total_sectors() {
+                return Lookup::Miss;
+            }
+            let rate = geo.media_rate_at(pos_now.min(geo.total_sectors() - 1));
+            let t = Duration::from_secs_f64(
+                remaining as f64 * SECTOR_BYTES as f64 / rate.bytes_per_sec(),
+            );
+            now + t
+        };
+        // Advance the stream: prefetch continues from max(end, pos at ready).
+        seg.next_lba = end;
+        seg.media_pos = end.max(Self::media_pos_at(seg, data_ready, geo, cap));
+        seg.as_of = data_ready;
+        seg.last_use = stamp;
+        Lookup::Hit { data_ready }
+    }
+
+    /// Installs (or refreshes) a segment after a mechanical read of
+    /// `sectors` at `lba` completing at `done`: read-ahead continues from
+    /// the end of the transfer.
+    pub fn install(&mut self, done: SimTime, lba: u64, sectors: u64) {
+        let stamp = self.tick();
+        let end = lba + sectors;
+        // Reuse a segment for the same stream if one exists.
+        if let Some(seg) = self
+            .segments
+            .iter_mut()
+            .find(|s| s.next_lba == lba || s.next_lba == end)
+        {
+            seg.next_lba = end;
+            seg.media_pos = end;
+            seg.as_of = done;
+            seg.last_use = stamp;
+            return;
+        }
+        let seg = Segment {
+            next_lba: end,
+            media_pos: end,
+            as_of: done,
+            last_use: stamp,
+        };
+        if self.segments.len() < self.max_segments {
+            self.segments.push(seg);
+        } else {
+            let victim = self
+                .segments
+                .iter_mut()
+                .min_by_key(|s| s.last_use)
+                .expect("max_segments >= 1");
+            *victim = seg;
+        }
+    }
+
+    /// Invalidates any segment overlapping a written extent (write-through,
+    /// no write caching — the paper's tasks use raw-disk writes).
+    pub fn invalidate(&mut self, lba: u64, sectors: u64) {
+        let end = lba + sectors;
+        self.segments
+            .retain(|s| s.next_lba + self.capacity_sectors <= lba || s.next_lba.saturating_sub(self.capacity_sectors) >= end);
+    }
+
+    /// Number of active segments.
+    pub fn active_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Pauses read-ahead across an arm excursion `[from, until]`: each
+    /// segment's prefetch position is frozen at its `from` value, since
+    /// the head is elsewhere and cannot feed the buffers.
+    pub fn pause(&mut self, from: SimTime, until: SimTime, geo: &Geometry) {
+        let cap = self.capacity_sectors;
+        for seg in &mut self.segments {
+            let pos = Self::media_pos_at(seg, from, geo, cap);
+            seg.media_pos = pos;
+            seg.as_of = seg.as_of.max(until);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DiskSpec;
+
+    fn setup() -> (SegmentedCache, Geometry) {
+        let spec = DiskSpec::cheetah_9lp();
+        (SegmentedCache::new(&spec), Geometry::from_spec(&spec))
+    }
+
+    #[test]
+    fn cold_cache_misses() {
+        let (mut c, geo) = setup();
+        assert_eq!(c.lookup(SimTime::ZERO, 0, 8, &geo), Lookup::Miss);
+        assert_eq!(c.active_segments(), 0);
+    }
+
+    #[test]
+    fn sequential_read_hits_after_install() {
+        let (mut c, geo) = setup();
+        let t0 = SimTime::from_nanos(1_000_000);
+        c.install(t0, 0, 512);
+        match c.lookup(t0, 512, 64, &geo) {
+            Lookup::Hit { data_ready } => {
+                // Data arrives after t0 (media still reading ahead).
+                assert!(data_ready >= t0);
+            }
+            Lookup::Miss => panic!("sequential continuation should hit"),
+        }
+    }
+
+    #[test]
+    fn hit_after_long_idle_is_fully_buffered() {
+        let (mut c, geo) = setup();
+        let t0 = SimTime::ZERO;
+        c.install(t0, 0, 64);
+        // Wait long enough for the prefetch to fill the segment.
+        let later = t0 + Duration::from_millis(100);
+        match c.lookup(later, 64, 64, &geo) {
+            Lookup::Hit { data_ready } => assert_eq!(data_ready, later),
+            Lookup::Miss => panic!("should hit"),
+        }
+    }
+
+    #[test]
+    fn far_random_read_misses() {
+        let (mut c, geo) = setup();
+        c.install(SimTime::ZERO, 0, 512);
+        assert_eq!(
+            c.lookup(SimTime::ZERO, 5_000_000, 64, &geo),
+            Lookup::Miss,
+            "a distant LBA is not covered by the stream segment"
+        );
+    }
+
+    #[test]
+    fn prefetch_is_capped_by_segment_capacity() {
+        let (mut c, geo) = setup();
+        c.install(SimTime::ZERO, 0, 64);
+        let cap = c.segment_capacity_sectors();
+        // Even after a very long idle, read-ahead cannot exceed capacity.
+        let much_later = SimTime::ZERO + Duration::from_secs(10);
+        let beyond = 64 + cap + 1;
+        assert_eq!(c.lookup(much_later, beyond, 8, &geo), Lookup::Miss);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_segments() {
+        let (mut c, _geo) = setup();
+        for i in 0..100 {
+            c.install(SimTime::ZERO, i * 1_000_000, 64);
+        }
+        assert!(c.active_segments() <= 16);
+    }
+
+    #[test]
+    fn write_invalidates_overlapping_stream() {
+        let (mut c, geo) = setup();
+        c.install(SimTime::ZERO, 0, 512);
+        c.invalidate(256, 512);
+        assert_eq!(c.lookup(SimTime::ZERO, 512, 64, &geo), Lookup::Miss);
+    }
+
+    #[test]
+    fn two_interleaved_streams_both_hit() {
+        let (mut c, geo) = setup();
+        let a = 0u64;
+        let b = 8_000_000u64;
+        c.install(SimTime::ZERO, a, 512);
+        c.install(SimTime::ZERO, b, 512);
+        let later = SimTime::ZERO + Duration::from_millis(50);
+        assert!(matches!(c.lookup(later, a + 512, 64, &geo), Lookup::Hit { .. }));
+        assert!(matches!(c.lookup(later, b + 512, 64, &geo), Lookup::Hit { .. }));
+    }
+}

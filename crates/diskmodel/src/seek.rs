@@ -1,0 +1,196 @@
+//! Seek-time model.
+//!
+//! Drive manuals publish three seek numbers: single-track, average, and
+//! full-stroke. Following the classic Ruemmler & Wilkes / DiskSim approach,
+//! we fit a curve that is square-root-shaped for short seeks (arm
+//! acceleration-limited) and linear for long seeks (coast-limited):
+//!
+//! * `t(0) = 0` (no movement),
+//! * `t(d) = track + b·(√d − 1)` for `1 ≤ d ≤ knee`,
+//! * linear from `t(knee) = avg` to `t(full) = max`,
+//!
+//! with the knee at one-third of the stroke, the distance whose seek time
+//! approximates the published "average seek" (the mean seek distance over
+//! uniformly random request pairs is ~C/3).
+
+use simcore::Duration;
+
+use crate::spec::DiskSpec;
+
+/// A fitted seek-time curve for one access direction (read or write).
+///
+/// # Example
+///
+/// ```
+/// use diskmodel::{DiskSpec, SeekCurve};
+/// let spec = DiskSpec::cheetah_9lp();
+/// let curve = SeekCurve::reads(&spec);
+/// assert!(curve.time(1) >= spec.seek_track_read);
+/// assert_eq!(curve.time(0).as_nanos(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeekCurve {
+    track: Duration,
+    avg: Duration,
+    max: Duration,
+    knee: u32,
+    full: u32,
+    sqrt_coeff: f64, // nanoseconds per sqrt(cylinder)
+    lin_coeff: f64,  // nanoseconds per cylinder beyond the knee
+}
+
+impl SeekCurve {
+    /// Fits a curve to three anchor seek times over a `cylinders`-wide stroke.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the anchors are not ordered `track ≤ avg ≤ max` or if
+    /// `cylinders < 4`.
+    pub fn fit(track: Duration, avg: Duration, max: Duration, cylinders: u32) -> Self {
+        assert!(track <= avg && avg <= max, "seek anchors must be ordered");
+        assert!(cylinders >= 4, "need at least 4 cylinders to fit");
+        let full = cylinders - 1;
+        let knee = (full / 3).max(2);
+        let sqrt_coeff = (avg.as_nanos() as f64 - track.as_nanos() as f64)
+            / ((knee as f64).sqrt() - 1.0);
+        let lin_coeff =
+            (max.as_nanos() as f64 - avg.as_nanos() as f64) / (full - knee) as f64;
+        SeekCurve {
+            track,
+            avg,
+            max,
+            knee,
+            full,
+            sqrt_coeff,
+            lin_coeff,
+        }
+    }
+
+    /// The read-seek curve for a drive spec.
+    pub fn reads(spec: &DiskSpec) -> Self {
+        Self::fit(
+            spec.seek_track_read,
+            spec.seek_avg_read,
+            spec.seek_max_read,
+            spec.cylinders,
+        )
+    }
+
+    /// The write-seek curve for a drive spec.
+    pub fn writes(spec: &DiskSpec) -> Self {
+        Self::fit(
+            spec.seek_track_write,
+            spec.seek_avg_write,
+            spec.seek_max_write,
+            spec.cylinders,
+        )
+    }
+
+    /// Seek time for a move of `distance` cylinders.
+    ///
+    /// Distances beyond the fitted stroke are clamped to the full-stroke
+    /// time (they cannot occur on a well-formed geometry).
+    pub fn time(&self, distance: u32) -> Duration {
+        if distance == 0 {
+            return Duration::ZERO;
+        }
+        if distance >= self.full {
+            return self.max;
+        }
+        if distance <= self.knee {
+            let ns = self.track.as_nanos() as f64
+                + self.sqrt_coeff * ((distance as f64).sqrt() - 1.0);
+            Duration::from_nanos(ns.round() as u64)
+        } else {
+            let ns =
+                self.avg.as_nanos() as f64 + self.lin_coeff * (distance - self.knee) as f64;
+            Duration::from_nanos(ns.round() as u64)
+        }
+    }
+
+    /// The published average seek this curve was fitted to.
+    pub fn average(&self) -> Duration {
+        self.avg
+    }
+
+    /// The published full-stroke seek this curve was fitted to.
+    pub fn full_stroke(&self) -> Duration {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn curve() -> SeekCurve {
+        SeekCurve::reads(&DiskSpec::cheetah_9lp())
+    }
+
+    #[test]
+    fn anchors_are_reproduced() {
+        let spec = DiskSpec::cheetah_9lp();
+        let c = SeekCurve::reads(&spec);
+        assert_eq!(c.time(0), Duration::ZERO);
+        assert_eq!(c.time(1), spec.seek_track_read);
+        assert_eq!(c.time(spec.cylinders / 3), spec.seek_avg_read);
+        assert_eq!(c.time(spec.cylinders - 1), spec.seek_max_read);
+        assert_eq!(c.average(), spec.seek_avg_read);
+        assert_eq!(c.full_stroke(), spec.seek_max_read);
+    }
+
+    #[test]
+    fn write_curve_is_slower() {
+        let spec = DiskSpec::cheetah_9lp();
+        let r = SeekCurve::reads(&spec);
+        let w = SeekCurve::writes(&spec);
+        for d in [1, 10, 100, 1_000, 6_000] {
+            assert!(w.time(d) >= r.time(d), "write seek slower at d={d}");
+        }
+    }
+
+    #[test]
+    fn clamped_beyond_full_stroke() {
+        let spec = DiskSpec::cheetah_9lp();
+        let c = SeekCurve::reads(&spec);
+        assert_eq!(c.time(u32::MAX), spec.seek_max_read);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn rejects_unordered_anchors() {
+        SeekCurve::fit(
+            Duration::from_micros(10_000),
+            Duration::from_micros(5_000),
+            Duration::from_micros(12_000),
+            100,
+        );
+    }
+
+    #[test]
+    fn short_seeks_are_sublinear() {
+        let c = curve();
+        // sqrt regime: doubling distance less than doubles time.
+        let t100 = c.time(100).as_nanos() as f64;
+        let t400 = c.time(400).as_nanos() as f64;
+        assert!(t400 < 2.0 * t100, "t(400)={t400} vs 2*t(100)={}", 2.0 * t100);
+    }
+
+    proptest! {
+        /// Seek time is monotone non-decreasing in distance.
+        #[test]
+        fn prop_monotone(d1 in 0u32..7_000, d2 in 0u32..7_000) {
+            let c = curve();
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(c.time(lo) <= c.time(hi));
+        }
+
+        /// Seek time is bounded by [0, full-stroke].
+        #[test]
+        fn prop_bounded(d in 0u32..100_000) {
+            let c = curve();
+            prop_assert!(c.time(d) <= c.full_stroke());
+        }
+    }
+}

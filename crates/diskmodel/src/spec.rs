@@ -1,0 +1,237 @@
+//! Disk drive specifications.
+//!
+//! Parameters come from the published product manuals the paper cites:
+//! the Seagate Cheetah 9LP family (ST39102) used in *every* configuration,
+//! and the Hitachi DK3E1T-91 used for the "Fast Disk" variant in Figure 3.
+
+use simcore::{Bandwidth, Duration};
+
+/// Published parameters of a disk drive model.
+///
+/// # Example
+///
+/// ```
+/// use diskmodel::DiskSpec;
+/// let spec = DiskSpec::cheetah_9lp();
+/// assert_eq!(spec.rpm, 10_025.0);
+/// assert!(spec.media_rate_min.mb_per_sec() < spec.media_rate_max.mb_per_sec());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskSpec {
+    /// Marketing name, e.g. `"Seagate ST39102 (Cheetah 9LP)"`.
+    pub name: &'static str,
+    /// Formatted capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: f64,
+    /// Media transfer rate of the innermost zone.
+    pub media_rate_min: Bandwidth,
+    /// Media transfer rate of the outermost zone.
+    pub media_rate_max: Bandwidth,
+    /// Single-track (track-to-track) seek time, reads.
+    pub seek_track_read: Duration,
+    /// Average seek time, reads.
+    pub seek_avg_read: Duration,
+    /// Full-stroke seek time, reads.
+    pub seek_max_read: Duration,
+    /// Single-track seek time, writes.
+    pub seek_track_write: Duration,
+    /// Average seek time, writes.
+    pub seek_avg_write: Duration,
+    /// Full-stroke seek time, writes.
+    pub seek_max_write: Duration,
+    /// Number of recording surfaces (heads).
+    pub heads: u32,
+    /// Number of cylinders.
+    pub cylinders: u32,
+    /// Number of recording zones.
+    pub zones: u32,
+    /// On-drive cache size in bytes.
+    pub cache_bytes: u64,
+    /// Number of cache segments.
+    pub cache_segments: u32,
+    /// Per-command controller overhead.
+    pub controller_overhead: Duration,
+    /// Interface (bus) bandwidth: Ultra2 SCSI / dual-loop FC per-port rate.
+    pub bus_rate: Bandwidth,
+    /// Head-switch time (same cylinder, next surface).
+    pub head_switch: Duration,
+    /// Cylinder-switch time during sequential transfer.
+    pub cylinder_switch: Duration,
+}
+
+impl DiskSpec {
+    /// The Seagate ST39102 (Cheetah 9LP family): the drive assumed for all
+    /// configurations in the paper (Section 2.1).
+    ///
+    /// 10,025 RPM; 14.5–21.3 MB/s formatted media rate; 5.4 ms / 6.2 ms
+    /// average seek (read/write); 12.2 ms / 13.2 ms maximum seek; Ultra2
+    /// SCSI and dual-loop Fibre Channel interfaces.
+    pub fn cheetah_9lp() -> Self {
+        DiskSpec {
+            name: "Seagate ST39102 (Cheetah 9LP)",
+            capacity_bytes: 9_100_000_000,
+            rpm: 10_025.0,
+            media_rate_min: Bandwidth::from_mb_per_sec(14.5),
+            media_rate_max: Bandwidth::from_mb_per_sec(21.3),
+            seek_track_read: Duration::from_micros(980),
+            seek_avg_read: Duration::from_micros(5_400),
+            seek_max_read: Duration::from_micros(12_200),
+            seek_track_write: Duration::from_micros(1_240),
+            seek_avg_write: Duration::from_micros(6_200),
+            seek_max_write: Duration::from_micros(13_200),
+            heads: 12,
+            cylinders: 6_962,
+            zones: 8,
+            cache_bytes: 1_024 * 1_024,
+            cache_segments: 16,
+            controller_overhead: Duration::from_micros(300),
+            bus_rate: Bandwidth::from_mb_per_sec(80.0),
+            head_switch: Duration::from_micros(800),
+            cylinder_switch: Duration::from_micros(1_100),
+        }
+    }
+
+    /// The Hitachi DK3E1T-91: the upgraded drive for the "Fast Disk" bars
+    /// of Figure 3.
+    ///
+    /// 12,030 RPM; 18.3–27.3 MB/s media rate; 5 ms / 6 ms average seek;
+    /// 10.5 ms / 11.5 ms maximum seek.
+    pub fn hitachi_dk3e1t_91() -> Self {
+        DiskSpec {
+            name: "Hitachi DK3E1T-91",
+            capacity_bytes: 9_200_000_000,
+            rpm: 12_030.0,
+            media_rate_min: Bandwidth::from_mb_per_sec(18.3),
+            media_rate_max: Bandwidth::from_mb_per_sec(27.3),
+            seek_track_read: Duration::from_micros(900),
+            seek_avg_read: Duration::from_micros(5_000),
+            seek_max_read: Duration::from_micros(10_500),
+            seek_track_write: Duration::from_micros(1_100),
+            seek_avg_write: Duration::from_micros(6_000),
+            seek_max_write: Duration::from_micros(11_500),
+            heads: 12,
+            cylinders: 6_720,
+            zones: 8,
+            cache_bytes: 1_024 * 1_024,
+            cache_segments: 16,
+            controller_overhead: Duration::from_micros(300),
+            bus_rate: Bandwidth::from_mb_per_sec(80.0),
+            head_switch: Duration::from_micros(750),
+            cylinder_switch: Duration::from_micros(1_000),
+        }
+    }
+
+    /// Duration of one platter revolution.
+    pub fn revolution(&self) -> Duration {
+        Duration::from_secs_f64(60.0 / self.rpm)
+    }
+
+    /// Average rotational latency (half a revolution).
+    pub fn avg_rotational_latency(&self) -> Duration {
+        self.revolution() / 2
+    }
+
+    /// Mean of the innermost and outermost media rates — a convenient
+    /// summary for capacity planning (not used for service times, which are
+    /// zone-accurate).
+    pub fn media_rate_mean(&self) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(
+            (self.media_rate_min.bytes_per_sec() + self.media_rate_max.bytes_per_sec()) / 2.0,
+        )
+    }
+
+    /// Validates internal consistency (rates ordered, seeks ordered).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.media_rate_min > self.media_rate_max {
+            return Err(format!("{}: media rate min > max", self.name));
+        }
+        if !(self.seek_track_read <= self.seek_avg_read
+            && self.seek_avg_read <= self.seek_max_read)
+        {
+            return Err(format!("{}: read seek times not ordered", self.name));
+        }
+        if !(self.seek_track_write <= self.seek_avg_write
+            && self.seek_avg_write <= self.seek_max_write)
+        {
+            return Err(format!("{}: write seek times not ordered", self.name));
+        }
+        if self.heads == 0 || self.cylinders == 0 || self.zones == 0 {
+            return Err(format!("{}: zero geometry component", self.name));
+        }
+        if self.zones > self.cylinders {
+            return Err(format!("{}: more zones than cylinders", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheetah_matches_paper_figures() {
+        let s = DiskSpec::cheetah_9lp();
+        assert_eq!(s.rpm, 10_025.0);
+        assert!((s.media_rate_min.mb_per_sec() - 14.5).abs() < 1e-9);
+        assert!((s.media_rate_max.mb_per_sec() - 21.3).abs() < 1e-9);
+        assert_eq!(s.seek_avg_read, Duration::from_micros(5_400));
+        assert_eq!(s.seek_avg_write, Duration::from_micros(6_200));
+        assert_eq!(s.seek_max_read, Duration::from_micros(12_200));
+        s.validate().expect("cheetah spec is internally consistent");
+    }
+
+    #[test]
+    fn hitachi_matches_paper_figures() {
+        let s = DiskSpec::hitachi_dk3e1t_91();
+        assert_eq!(s.rpm, 12_030.0);
+        assert!((s.media_rate_min.mb_per_sec() - 18.3).abs() < 1e-9);
+        assert!((s.media_rate_max.mb_per_sec() - 27.3).abs() < 1e-9);
+        assert_eq!(s.seek_max_read, Duration::from_micros(10_500));
+        s.validate().expect("hitachi spec is internally consistent");
+    }
+
+    #[test]
+    fn hitachi_is_strictly_faster() {
+        let c = DiskSpec::cheetah_9lp();
+        let h = DiskSpec::hitachi_dk3e1t_91();
+        assert!(h.rpm > c.rpm);
+        assert!(h.media_rate_max > c.media_rate_max);
+        assert!(h.seek_avg_read < c.seek_avg_read);
+    }
+
+    #[test]
+    fn revolution_time_from_rpm() {
+        let s = DiskSpec::cheetah_9lp();
+        // 10,025 RPM → 5.985 ms per revolution.
+        let rev_ms = s.revolution().as_secs_f64() * 1e3;
+        assert!((rev_ms - 5.985).abs() < 0.01, "rev = {rev_ms} ms");
+        assert_eq!(s.avg_rotational_latency(), s.revolution() / 2);
+    }
+
+    #[test]
+    fn mean_media_rate_is_between_extremes() {
+        let s = DiskSpec::cheetah_9lp();
+        let mean = s.media_rate_mean();
+        assert!(mean > s.media_rate_min && mean < s.media_rate_max);
+    }
+
+    #[test]
+    fn validate_detects_bad_ordering() {
+        let mut s = DiskSpec::cheetah_9lp();
+        s.seek_avg_read = Duration::from_micros(20_000);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_detects_zero_geometry() {
+        let mut s = DiskSpec::cheetah_9lp();
+        s.heads = 0;
+        assert!(s.validate().is_err());
+    }
+}

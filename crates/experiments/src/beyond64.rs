@@ -1,0 +1,119 @@
+//! Extension experiment: scaling beyond the paper's configurations.
+//!
+//! The paper's first conclusion ends with a recommendation it does not
+//! evaluate: "To scale to larger configurations, a more aggressive
+//! interconnect (e.g., multiple fibre channel loops connected by a
+//! FibreSwitch) would be needed." This experiment evaluates it: sort (the
+//! loop-saturating task) on Active Disk farms of 64–512 disks with the
+//! baseline dual loop versus the switched multi-loop fabric.
+
+use arch::Architecture;
+use howsim::Simulation;
+use tasks::TaskKind;
+
+use crate::render_table;
+
+/// One row of the extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Configuration size (disks).
+    pub disks: usize,
+    /// Sort time on the baseline dual loop (seconds).
+    pub dual_loop_secs: f64,
+    /// Sort time on the FibreSwitch fabric (seconds).
+    pub fibre_switch_secs: f64,
+    /// Dual-loop time normalized to the FibreSwitch time.
+    pub speedup: f64,
+}
+
+/// Runs the extension experiment for the given sizes.
+pub fn run_sizes(sizes: &[usize]) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&disks| {
+            let dual = Simulation::new(Architecture::active_disks(disks))
+                .run(TaskKind::Sort)
+                .elapsed()
+                .as_secs_f64();
+            let switched = Simulation::new(Architecture::active_disks(disks).with_fibre_switch())
+                .run(TaskKind::Sort)
+                .elapsed()
+                .as_secs_f64();
+            Row {
+                disks,
+                dual_loop_secs: dual,
+                fibre_switch_secs: switched,
+                speedup: dual / switched,
+            }
+        })
+        .collect()
+}
+
+/// Runs the default sweep (64–512 disks).
+pub fn run() -> Vec<Row> {
+    run_sizes(&[64, 128, 256, 512])
+}
+
+/// Renders the extension experiment.
+pub fn render(rows: &[Row]) -> String {
+    let header: Vec<String> = ["disks", "dual loop (s)", "FibreSwitch (s)", "speedup"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.disks.to_string(),
+                format!("{:.1}", r.dual_loop_secs),
+                format!("{:.1}", r.fibre_switch_secs),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    render_table(
+        "Extension: sort beyond 64 disks — dual FC-AL vs FibreSwitch \
+         (the paper's scaling recommendation, evaluated)",
+        &header,
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_matters_only_past_the_loop_knee() {
+        let rows = run_sizes(&[16, 128]);
+        let r16 = &rows[0];
+        let r128 = &rows[1];
+        assert!(
+            r16.speedup < 1.1,
+            "at 16 disks the dual loop is not a bottleneck: {:.2}",
+            r16.speedup
+        );
+        assert!(
+            r128.speedup > 1.3,
+            "at 128 disks the switch should pay off: {:.2}",
+            r128.speedup
+        );
+    }
+
+    #[test]
+    fn switched_fabric_restores_scaling() {
+        let rows = run_sizes(&[64, 256]);
+        // With the switch, 4x the disks keeps cutting sort time.
+        let scaled = rows[0].fibre_switch_secs / rows[1].fibre_switch_secs;
+        assert!(
+            scaled > 1.5,
+            "sort should keep scaling on the switched fabric, got {scaled:.2}"
+        );
+        // Without it, the dual loop pins sort time.
+        let pinned = rows[0].dual_loop_secs / rows[1].dual_loop_secs;
+        assert!(
+            pinned < scaled,
+            "dual loop ({pinned:.2}) should scale worse than the switch ({scaled:.2})"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--table1] [--table2] [--fig1] [--fig2] [--fig3] [--fig4]
+//!             [--fig5] [--beyond64] [--skew] [--growth] [--sensitivity] [--ablations] [--quick] [--csv] [--all]
+//! ```
+//!
+//! With no arguments, everything is regenerated (`--all`). `--quick`
+//! restricts the figure sweeps to 16- and 64-disk configurations.
+
+use std::env;
+use std::fs;
+use std::path::Path;
+
+fn write_csv(enabled: bool, name: &str, contents: &str) {
+    if !enabled {
+        return;
+    }
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    fs::write(&path, contents).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let sizes: &[usize] = if quick { &[16, 64] } else { &[16, 32, 64, 128] };
+    let fig2_sizes: &[usize] = if quick { &[64] } else { &[64, 128] };
+    let fig5_sizes: &[usize] = if quick { &[64] } else { &[32, 64, 128] };
+
+    if want("--table1") {
+        println!("{}", experiments::table1::render(&experiments::table1::run()));
+    }
+    if want("--table2") {
+        println!("{}", experiments::table2::render(&experiments::table2::run()));
+    }
+    if want("--fig1") {
+        let cells = experiments::fig1::run_sizes(sizes);
+        println!("{}", experiments::fig1::render(&cells));
+        write_csv(csv, "fig1.csv", &experiments::csv::fig1(&cells));
+    }
+    if want("--fig2") {
+        let cells = experiments::fig2::run_sizes(fig2_sizes);
+        println!("{}", experiments::fig2::render(&cells));
+        write_csv(csv, "fig2.csv", &experiments::csv::fig2(&cells));
+    }
+    if want("--fig3") {
+        let rows = experiments::fig3::run_sizes(sizes);
+        println!("{}", experiments::fig3::render(&rows));
+        write_csv(csv, "fig3.csv", &experiments::csv::fig3(&rows));
+    }
+    if want("--fig4") {
+        let cells = experiments::fig4::run_memory(sizes, 64);
+        println!("{}", experiments::fig4::render(&cells));
+        write_csv(csv, "fig4.csv", &experiments::csv::fig4(&cells));
+    }
+    if want("--fig5") {
+        let cells = experiments::fig5::run_sizes(fig5_sizes);
+        println!("{}", experiments::fig5::render(&cells));
+        write_csv(csv, "fig5.csv", &experiments::csv::fig5(&cells));
+    }
+    if want("--beyond64") {
+        let rows = if quick {
+            experiments::beyond64::run_sizes(&[64, 128])
+        } else {
+            experiments::beyond64::run()
+        };
+        println!("{}", experiments::beyond64::render(&rows));
+        write_csv(csv, "beyond64.csv", &experiments::csv::beyond64(&rows));
+    }
+    if want("--growth") {
+        let rows = if quick {
+            experiments::growth::run_scales(16, &[1, 4])
+        } else {
+            experiments::growth::run()
+        };
+        println!("{}", experiments::growth::render(&rows));
+    }
+    if want("--skew") {
+        let rows = if quick {
+            experiments::skew::run_thetas(16, &[0.0, 1.0])
+        } else {
+            experiments::skew::run()
+        };
+        println!("{}", experiments::skew::render(&rows));
+    }
+    if want("--sensitivity") {
+        let rows = if quick {
+            experiments::sensitivity::run_scales(16, &[0.5, 2.0])
+        } else {
+            experiments::sensitivity::run()
+        };
+        println!("{}", experiments::sensitivity::render(&rows));
+    }
+    if want("--ablations") {
+        ablations(sizes);
+    }
+}
+
+/// Extra design-space sweeps the paper describes in prose: 128 MB disk
+/// memory, the 1 GHz front-end, and Fast Disks for every task.
+fn ablations(sizes: &[usize]) {
+    use arch::Architecture;
+    use howsim::Simulation;
+    use tasks::TaskKind;
+
+    println!("Ablation: 128 MB disk memory (vs 32 MB)");
+    let cells = experiments::fig4::run_memory(sizes, 128);
+    println!("{}", experiments::fig4::render(&cells));
+
+    println!("Ablation: 1 GHz front-end (vs 450 MHz), % improvement");
+    for &disks in sizes {
+        for task in TaskKind::ALL {
+            let base = Simulation::new(Architecture::active_disks(disks))
+                .run(task)
+                .elapsed()
+                .as_secs_f64();
+            let fast = Simulation::new(
+                Architecture::active_disks(disks)
+                    .with_front_end(arch::ProcessorSpec::front_end_1ghz()),
+            )
+            .run(task)
+            .elapsed()
+            .as_secs_f64();
+            println!(
+                "  {:>10} @ {:>3} disks: {:+.1}%",
+                task.name(),
+                disks,
+                (1.0 - fast / base) * 100.0
+            );
+        }
+    }
+    println!();
+
+    println!("Ablation: next-generation embedded processor (2x Cyrix), % improvement");
+    for &disks in sizes {
+        for task in TaskKind::ALL {
+            let base = Simulation::new(Architecture::active_disks(disks))
+                .run(task)
+                .elapsed()
+                .as_secs_f64();
+            let fast = Simulation::new(
+                Architecture::active_disks(disks)
+                    .with_embedded_cpu(arch::ProcessorSpec::embedded_next_gen()),
+            )
+            .run(task)
+            .elapsed()
+            .as_secs_f64();
+            println!(
+                "  {:>10} @ {:>3} disks: {:+.1}%",
+                task.name(),
+                disks,
+                (1.0 - fast / base) * 100.0
+            );
+        }
+    }
+    println!();
+
+    println!("Ablation: Hitachi Fast Disks (vs Cheetah 9LP), % improvement");
+    for &disks in sizes {
+        for task in TaskKind::ALL {
+            let base = Simulation::new(Architecture::active_disks(disks))
+                .run(task)
+                .elapsed()
+                .as_secs_f64();
+            let fast = Simulation::new(
+                Architecture::active_disks(disks)
+                    .with_disk_spec(diskmodel::DiskSpec::hitachi_dk3e1t_91()),
+            )
+            .run(task)
+            .elapsed()
+            .as_secs_f64();
+            println!(
+                "  {:>10} @ {:>3} disks: {:+.1}%",
+                task.name(),
+                disks,
+                (1.0 - fast / base) * 100.0
+            );
+        }
+    }
+}

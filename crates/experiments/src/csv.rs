@@ -1,0 +1,118 @@
+//! CSV serialization of experiment results, for plotting.
+//!
+//! Each function mirrors a figure module's data type and produces one CSV
+//! document (header row + data rows) suitable for gnuplot/matplotlib.
+
+use crate::{beyond64, fig1, fig2, fig3, fig4, fig5};
+
+/// Figure 1 cells as CSV.
+pub fn fig1(cells: &[fig1::Cell]) -> String {
+    let mut out = String::from("task,arch,disks,seconds,normalized\n");
+    for c in cells {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.4}\n",
+            c.task, c.arch, c.disks, c.seconds, c.normalized
+        ));
+    }
+    out
+}
+
+/// Figure 2 cells as CSV.
+pub fn fig2(cells: &[fig2::Cell]) -> String {
+    let mut out = String::from("task,config,disks,seconds,normalized\n");
+    for c in cells {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.4}\n",
+            c.task, c.config, c.disks, c.seconds, c.normalized
+        ));
+    }
+    out
+}
+
+/// Figure 3 breakdowns as CSV.
+pub fn fig3(rows: &[fig3::Breakdown]) -> String {
+    let mut out = String::from(
+        "disks,variant,total_seconds,p1_share,p1_partitioner,p1_append,p1_sort,p1_idle,p2_merge,p2_idle\n",
+    );
+    for b in rows {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            b.disks,
+            b.variant,
+            b.total_seconds,
+            b.p1_share,
+            b.p1_partitioner,
+            b.p1_append,
+            b.p1_sort,
+            b.p1_idle,
+            b.p2_merge,
+            b.p2_idle
+        ));
+    }
+    out
+}
+
+/// Figure 4 cells as CSV.
+pub fn fig4(cells: &[fig4::Cell]) -> String {
+    let mut out = String::from("task,disks,memory_mb,secs_32mb,secs_big,improvement_pct\n");
+    for c in cells {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.3},{:.3}\n",
+            c.task, c.disks, c.memory_mb, c.secs_32mb, c.secs_big, c.improvement_pct
+        ));
+    }
+    out
+}
+
+/// Figure 5 cells as CSV.
+pub fn fig5(cells: &[fig5::Cell]) -> String {
+    let mut out = String::from("task,disks,secs_direct,secs_restricted,normalized\n");
+    for c in cells {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.4}\n",
+            c.task, c.disks, c.secs_direct, c.secs_restricted, c.normalized
+        ));
+    }
+    out
+}
+
+/// Extension-experiment rows as CSV.
+pub fn beyond64(rows: &[beyond64::Row]) -> String {
+    let mut out = String::from("disks,dual_loop_seconds,fibre_switch_seconds,speedup\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{:.4}\n",
+            r.disks, r.dual_loop_secs, r.fibre_switch_secs, r.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_csv_round_numbers() {
+        let cells = vec![fig1::Cell {
+            task: "select",
+            arch: "SMP",
+            disks: 64,
+            seconds: 12.5,
+            normalized: 6.25,
+        }];
+        let csv = fig1(&cells);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "task,arch,disks,seconds,normalized");
+        assert_eq!(lines[1], "select,SMP,64,12.500,6.2500");
+    }
+
+    #[test]
+    fn all_serializers_emit_headers() {
+        assert!(fig2(&[]).starts_with("task,config"));
+        assert!(fig3(&[]).starts_with("disks,variant"));
+        assert!(fig4(&[]).starts_with("task,disks,memory_mb"));
+        assert!(fig5(&[]).starts_with("task,disks,secs_direct"));
+        assert!(beyond64(&[]).starts_with("disks,dual_loop"));
+    }
+}

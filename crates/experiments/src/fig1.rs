@@ -1,0 +1,138 @@
+//! Figure 1: performance of all eight tasks on comparable configurations
+//! of Active Disks, clusters, and SMPs (16/32/64/128 disks), normalized to
+//! the Active Disk configuration of the same size.
+
+use arch::{Architecture, PAPER_SIZES};
+use howsim::Simulation;
+use tasks::TaskKind;
+
+use crate::{cell, render_table};
+
+/// One cell of Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Task name.
+    pub task: &'static str,
+    /// Architecture short name.
+    pub arch: &'static str,
+    /// Configuration size (disks).
+    pub disks: usize,
+    /// Simulated execution time in seconds.
+    pub seconds: f64,
+    /// Execution time normalized to Active Disks at the same size.
+    pub normalized: f64,
+}
+
+/// Runs the full Figure 1 sweep (96 simulations).
+pub fn run() -> Vec<Cell> {
+    run_sizes(&PAPER_SIZES)
+}
+
+/// Runs Figure 1 for a subset of sizes (used by tests and quick modes).
+pub fn run_sizes(sizes: &[usize]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &disks in sizes {
+        for task in TaskKind::ALL {
+            let archs = [
+                Architecture::active_disks(disks),
+                Architecture::cluster(disks),
+                Architecture::smp(disks),
+            ];
+            let times: Vec<(&'static str, f64)> = archs
+                .iter()
+                .map(|a| {
+                    let r = Simulation::new(a.clone()).run(task);
+                    (a.short_name(), r.elapsed().as_secs_f64())
+                })
+                .collect();
+            let active = times[0].1;
+            for (arch, secs) in times {
+                cells.push(Cell {
+                    task: task.name(),
+                    arch,
+                    disks,
+                    seconds: secs,
+                    normalized: secs / active,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Renders the four panels of Figure 1 as text tables.
+pub fn render(cells: &[Cell]) -> String {
+    let mut out = String::new();
+    let sizes: Vec<usize> = {
+        let mut s: Vec<usize> = cells.iter().map(|c| c.disks).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    for disks in sizes {
+        let header = vec![
+            "task".to_string(),
+            "Active".to_string(),
+            "Cluster".to_string(),
+            "SMP".to_string(),
+            "Active(s)".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = TaskKind::ALL
+            .iter()
+            .map(|t| {
+                let get = |arch: &str| {
+                    cells
+                        .iter()
+                        .find(|c| c.task == t.name() && c.disks == disks && c.arch == arch)
+                        .expect("cell present")
+                };
+                vec![
+                    t.name().to_string(),
+                    cell(get("Active").normalized),
+                    cell(get("Cluster").normalized),
+                    cell(get("SMP").normalized),
+                    format!("{:.1}", get("Active").seconds),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &format!(
+                "Figure 1: normalized execution time, {disks}-disk configurations \
+                 (Active Disks = 1.00)"
+            ),
+            &header,
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_disk_architectures_are_comparable() {
+        // Paper: "for the 16-disk configurations, the performance of all
+        // three architectures is comparable."
+        for c in run_sizes(&[16]) {
+            assert!(
+                (0.4..=2.2).contains(&c.normalized),
+                "{} on {} at 16 disks: {:.2}× Active",
+                c.task,
+                c.arch,
+                c.normalized
+            );
+        }
+    }
+
+    #[test]
+    fn active_normalization_is_one() {
+        for c in run_sizes(&[32]) {
+            if c.arch == "Active" {
+                assert!((c.normalized - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Figure 2: impact of varying the I/O interconnect bandwidth (200 vs
+//! 400 MB/s) for Active Disks and SMPs, 64- and 128-disk configurations,
+//! normalized to the Active Disk 200 MB/s configuration of the same size.
+
+use arch::Architecture;
+use howsim::Simulation;
+use tasks::TaskKind;
+
+use crate::{cell, render_table};
+
+/// The four configurations of Figure 2's legend.
+pub const CONFIGS: [(&str, f64, bool); 4] = [
+    ("200MB(A)", 200.0, true),
+    ("400MB(A)", 400.0, true),
+    ("200MB(S)", 200.0, false),
+    ("400MB(S)", 400.0, false),
+];
+
+/// One cell of Figure 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Task name.
+    pub task: &'static str,
+    /// Legend label (`"400MB(S)"` etc.).
+    pub config: &'static str,
+    /// Configuration size (disks).
+    pub disks: usize,
+    /// Simulated seconds.
+    pub seconds: f64,
+    /// Normalized to `200MB(A)` at the same size.
+    pub normalized: f64,
+}
+
+/// Runs Figure 2 for the paper's sizes (64 and 128 disks).
+pub fn run() -> Vec<Cell> {
+    run_sizes(&[64, 128])
+}
+
+/// Runs Figure 2 for arbitrary sizes.
+pub fn run_sizes(sizes: &[usize]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &disks in sizes {
+        for task in TaskKind::ALL {
+            let times: Vec<(&'static str, f64)> = CONFIGS
+                .iter()
+                .map(|&(label, mb, active)| {
+                    let arch = if active {
+                        Architecture::active_disks(disks)
+                    } else {
+                        Architecture::smp(disks)
+                    }
+                    .with_interconnect_mb(mb);
+                    let secs = Simulation::new(arch).run(task).elapsed().as_secs_f64();
+                    (label, secs)
+                })
+                .collect();
+            let base = times[0].1;
+            for (config, seconds) in times {
+                cells.push(Cell {
+                    task: task.name(),
+                    config,
+                    disks,
+                    seconds,
+                    normalized: seconds / base,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Renders Figure 2 panels.
+pub fn render(cells: &[Cell]) -> String {
+    let mut out = String::new();
+    let sizes: Vec<usize> = {
+        let mut s: Vec<usize> = cells.iter().map(|c| c.disks).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    for disks in sizes {
+        let mut header = vec!["task".to_string()];
+        header.extend(CONFIGS.iter().map(|&(l, _, _)| l.to_string()));
+        let rows: Vec<Vec<String>> = TaskKind::ALL
+            .iter()
+            .map(|t| {
+                let mut row = vec![t.name().to_string()];
+                for &(label, _, _) in &CONFIGS {
+                    let c = cells
+                        .iter()
+                        .find(|c| c.task == t.name() && c.disks == disks && c.config == label)
+                        .expect("cell present");
+                    row.push(cell(c.normalized));
+                }
+                row
+            })
+            .collect();
+        out.push_str(&render_table(
+            &format!(
+                "Figure 2: I/O interconnect bandwidth, {disks}-disk configurations \
+                 (200MB(A) = 1.00; A = Active Disks, S = SMP)"
+            ),
+            &header,
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_bandwidth_helps_smp_everywhere() {
+        // Paper: "doubling the I/O interconnect bandwidth has a large
+        // impact on the performance of SMP configurations for all tasks."
+        let cells = run_sizes(&[64]);
+        for t in TaskKind::ALL {
+            let s200 = cells
+                .iter()
+                .find(|c| c.task == t.name() && c.config == "200MB(S)")
+                .unwrap();
+            let s400 = cells
+                .iter()
+                .find(|c| c.task == t.name() && c.config == "400MB(S)")
+                .unwrap();
+            assert!(
+                s400.seconds < s200.seconds * 0.75,
+                "{}: SMP 400 MB/s should be much faster ({} vs {})",
+                t.name(),
+                s400.seconds,
+                s200.seconds
+            );
+        }
+    }
+
+    #[test]
+    fn active_disks_beat_smp_even_at_double_bandwidth() {
+        // Paper: Active Disks with 200 MB/s outperform SMPs with 400 MB/s
+        // (1.5–4.8× on 128-disk configurations).
+        let cells = run_sizes(&[128]);
+        for t in TaskKind::ALL {
+            let a200 = cells
+                .iter()
+                .find(|c| c.task == t.name() && c.config == "200MB(A)")
+                .unwrap();
+            let s400 = cells
+                .iter()
+                .find(|c| c.task == t.name() && c.config == "400MB(S)")
+                .unwrap();
+            let ratio = s400.seconds / a200.seconds;
+            assert!(
+                ratio > 1.2,
+                "{}: SMP-400 / Active-200 ratio {ratio} should exceed 1.2",
+                t.name()
+            );
+        }
+    }
+}

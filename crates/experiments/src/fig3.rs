@@ -1,0 +1,172 @@
+//! Figure 3: performance breakdown of sort on Active Disk configurations,
+//! including the "Fast Disk" (Hitachi DK3E1T-91) and "Fast I/O"
+//! (400 MB/s interconnect) variants.
+
+use arch::Architecture;
+use diskmodel::DiskSpec;
+use howsim::{Report, Simulation};
+use tasks::TaskKind;
+
+use crate::render_table;
+
+/// The three hardware variants of Figure 3's x-axis.
+pub const VARIANTS: [&str; 3] = ["Base", "FastDisk", "FastI/O"];
+
+/// The breakdown of one sort run (fractions of total elapsed time, as in
+/// Figure 3(a); the per-phase idle split follows 3(b)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Configuration size (disks).
+    pub disks: usize,
+    /// Hardware variant ("Base", "FastDisk", "FastI/O").
+    pub variant: &'static str,
+    /// Total simulated seconds.
+    pub total_seconds: f64,
+    /// Fraction of phase-1 node time in the partitioner disklet.
+    pub p1_partitioner: f64,
+    /// Fraction of phase-1 node time appending received tuples.
+    pub p1_append: f64,
+    /// Fraction of phase-1 node time sorting runs.
+    pub p1_sort: f64,
+    /// Fraction of phase-1 node time idle (waiting on media/network).
+    pub p1_idle: f64,
+    /// Fraction of phase-2 node time merging.
+    pub p2_merge: f64,
+    /// Fraction of phase-2 node time idle.
+    pub p2_idle: f64,
+    /// Phase 1's share of total elapsed time.
+    pub p1_share: f64,
+}
+
+fn breakdown(disks: usize, variant: &'static str, report: &Report) -> Breakdown {
+    let p1 = report.phase("sort").expect("sort phase");
+    let p2 = report.phase("merge").expect("merge phase");
+    let total = report.elapsed().as_secs_f64();
+    Breakdown {
+        disks,
+        variant,
+        total_seconds: total,
+        p1_partitioner: p1.cpu_fraction("partitioner"),
+        p1_append: p1.cpu_fraction("append"),
+        p1_sort: p1.cpu_fraction("sort"),
+        p1_idle: p1.idle_fraction(),
+        p2_merge: p2.cpu_fraction("merge"),
+        p2_idle: p2.idle_fraction(),
+        p1_share: p1.elapsed.as_secs_f64() / total,
+    }
+}
+
+/// Runs Figure 3: sort on 16/32/64/128 Active Disks, each in the base,
+/// Fast Disk, and Fast I/O variants.
+pub fn run() -> Vec<Breakdown> {
+    run_sizes(&arch::PAPER_SIZES)
+}
+
+/// Runs Figure 3 for arbitrary sizes.
+pub fn run_sizes(sizes: &[usize]) -> Vec<Breakdown> {
+    let mut out = Vec::new();
+    for &disks in sizes {
+        let variants = [
+            ("Base", Architecture::active_disks(disks)),
+            (
+                "FastDisk",
+                Architecture::active_disks(disks).with_disk_spec(DiskSpec::hitachi_dk3e1t_91()),
+            ),
+            (
+                "FastI/O",
+                Architecture::active_disks(disks).with_interconnect_mb(400.0),
+            ),
+        ];
+        for (label, arch) in variants {
+            let report = Simulation::new(arch).run(TaskKind::Sort);
+            out.push(breakdown(disks, label, &report));
+        }
+    }
+    out
+}
+
+/// Renders Figure 3 as a text table.
+pub fn render(rows: &[Breakdown]) -> String {
+    let header: Vec<String> = [
+        "disks", "variant", "total(s)", "P1share", "P1:Part", "P1:Append", "P1:Sort", "P1:Idle",
+        "P2:Merge", "P2:Idle",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|b| {
+            vec![
+                b.disks.to_string(),
+                b.variant.to_string(),
+                format!("{:.1}", b.total_seconds),
+                format!("{:.0}%", b.p1_share * 100.0),
+                format!("{:.0}%", b.p1_partitioner * 100.0),
+                format!("{:.0}%", b.p1_append * 100.0),
+                format!("{:.0}%", b.p1_sort * 100.0),
+                format!("{:.0}%", b.p1_idle * 100.0),
+                format!("{:.0}%", b.p2_merge * 100.0),
+                format!("{:.0}%", b.p2_idle * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        "Figure 3: sort execution breakdown on Active Disks \
+         (P1 = sort phase, P2 = merge phase; CPU fractions of node time)",
+        &header,
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_phase_dominates_execution() {
+        // Paper Figure 3(a): "the sort phase (which repartitions the
+        // dataset) dominates the execution time for all configurations."
+        for b in run_sizes(&[16, 128]) {
+            assert!(
+                b.p1_share > 0.5,
+                "{} disks {}: phase 1 share {:.2}",
+                b.disks,
+                b.variant,
+                b.p1_share
+            );
+        }
+    }
+
+    #[test]
+    fn idle_dominates_at_128_disks_and_fast_io_fixes_it() {
+        let rows = run_sizes(&[128]);
+        let base = rows.iter().find(|b| b.variant == "Base").unwrap();
+        let fast_io = rows.iter().find(|b| b.variant == "FastI/O").unwrap();
+        let fast_disk = rows.iter().find(|b| b.variant == "FastDisk").unwrap();
+        // Paper: "for the 128-disk configuration, idle time dominates".
+        assert!(base.p1_idle > 0.5, "P1 idle at 128 disks: {}", base.p1_idle);
+        // "upgrading the disks makes little difference whereas upgrading
+        // the I/O interconnect has a major impact".
+        let io_gain = 1.0 - fast_io.total_seconds / base.total_seconds;
+        let disk_gain = 1.0 - fast_disk.total_seconds / base.total_seconds;
+        assert!(io_gain > 0.2, "Fast I/O gain at 128 disks: {io_gain}");
+        assert!(io_gain > 2.0 * disk_gain.max(0.0), "I/O ({io_gain}) >> disk ({disk_gain})");
+    }
+
+    #[test]
+    fn disks_matter_more_than_interconnect_at_16() {
+        // Paper: "up to 64-disk configurations, neither the I/O
+        // interconnect, nor the disk media is a bottleneck. Accordingly,
+        // upgrading either ... makes only a small difference" — and what
+        // difference exists comes from the disks, not the loop.
+        let rows = run_sizes(&[16]);
+        let base = rows.iter().find(|b| b.variant == "Base").unwrap();
+        let fast_io = rows.iter().find(|b| b.variant == "FastI/O").unwrap();
+        let fast_disk = rows.iter().find(|b| b.variant == "FastDisk").unwrap();
+        let io_gain = 1.0 - fast_io.total_seconds / base.total_seconds;
+        let disk_gain = 1.0 - fast_disk.total_seconds / base.total_seconds;
+        assert!(io_gain < 0.10, "Fast I/O gain at 16 disks: {io_gain}");
+        assert!(disk_gain > io_gain, "disks ({disk_gain}) > loop ({io_gain}) at 16");
+    }
+}

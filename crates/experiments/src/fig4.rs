@@ -1,0 +1,150 @@
+//! Figure 4: impact of the memory available on Active Disks — the
+//! percentage improvement in execution time when the per-disk memory is
+//! raised from 32 MB to 64 MB (and, as an extension, 128 MB).
+//!
+//! The paper plots select/sort/join/dcube/mview; aggregate, groupby and
+//! dmine are reported in prose as memory-insensitive, so they are included
+//! here as (near-)zero rows.
+
+use arch::Architecture;
+use howsim::Simulation;
+use tasks::TaskKind;
+
+use crate::render_table;
+
+/// One bar of Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Task name.
+    pub task: &'static str,
+    /// Configuration size (disks).
+    pub disks: usize,
+    /// Seconds with 32 MB per disk.
+    pub secs_32mb: f64,
+    /// Seconds with `memory_mb` per disk.
+    pub secs_big: f64,
+    /// Per-disk memory of the improved configuration (MB).
+    pub memory_mb: u64,
+    /// Percent improvement over the 32 MB baseline.
+    pub improvement_pct: f64,
+}
+
+/// Runs Figure 4 (64 MB variant) for the paper's sizes.
+pub fn run() -> Vec<Cell> {
+    run_memory(&arch::PAPER_SIZES, 64)
+}
+
+/// Runs the memory sweep for arbitrary sizes and a per-disk memory in MB.
+pub fn run_memory(sizes: &[usize], memory_mb: u64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &disks in sizes {
+        for task in TaskKind::ALL {
+            let base = Simulation::new(
+                Architecture::active_disks(disks).with_disk_memory(32 << 20),
+            )
+            .run(task)
+            .elapsed()
+            .as_secs_f64();
+            let big = Simulation::new(
+                Architecture::active_disks(disks).with_disk_memory(memory_mb << 20),
+            )
+            .run(task)
+            .elapsed()
+            .as_secs_f64();
+            cells.push(Cell {
+                task: task.name(),
+                disks,
+                secs_32mb: base,
+                secs_big: big,
+                memory_mb,
+                improvement_pct: (1.0 - big / base) * 100.0,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders Figure 4 as a text table (tasks × sizes).
+pub fn render(cells: &[Cell]) -> String {
+    let sizes: Vec<usize> = {
+        let mut s: Vec<usize> = cells.iter().map(|c| c.disks).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let mem = cells.first().map_or(64, |c| c.memory_mb);
+    let mut header = vec!["task".to_string()];
+    header.extend(sizes.iter().map(|d| format!("{d} disks")));
+    let rows: Vec<Vec<String>> = TaskKind::ALL
+        .iter()
+        .map(|t| {
+            let mut row = vec![t.name().to_string()];
+            for &d in &sizes {
+                let c = cells
+                    .iter()
+                    .find(|c| c.task == t.name() && c.disks == d)
+                    .expect("cell present");
+                row.push(format!("{:+.1}%", c.improvement_pct));
+            }
+            row
+        })
+        .collect();
+    render_table(
+        &format!("Figure 4: % improvement with {mem} MB of disk memory (vs 32 MB)"),
+        &header,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find<'a>(cells: &'a [Cell], task: &str, disks: usize) -> &'a Cell {
+        cells
+            .iter()
+            .find(|c| c.task == task && c.disks == disks)
+            .expect("cell present")
+    }
+
+    #[test]
+    fn flat_tasks_do_not_improve() {
+        // Paper: "the performance of aggregate, groupby and dmine on
+        // Active Disks did not improve with additional memory."
+        let cells = run_memory(&[64], 64);
+        for t in ["aggregate", "groupby", "dmine"] {
+            let c = find(&cells, t, 64);
+            assert!(
+                c.improvement_pct.abs() < 2.0,
+                "{t}: improvement {:.2}%",
+                c.improvement_pct
+            );
+        }
+    }
+
+    #[test]
+    fn dcube_spikes_at_16_disks() {
+        // Paper: "the largest performance improvement is only about 35%
+        // which occurs for 16-disk configurations."
+        let cells = run_memory(&[16], 64);
+        let c = find(&cells, "dcube", 16);
+        assert!(
+            (20.0..50.0).contains(&c.improvement_pct),
+            "dcube at 16 disks improved {:.1}%",
+            c.improvement_pct
+        );
+    }
+
+    #[test]
+    fn sort_improves_only_slightly() {
+        // Paper: longer runs cut CPU ~7% and disk access ~2%; overall
+        // effect on sort is a few percent.
+        let cells = run_memory(&[16], 64);
+        let c = find(&cells, "sort", 16);
+        assert!(
+            (-1.0..10.0).contains(&c.improvement_pct),
+            "sort at 16 disks improved {:.1}%",
+            c.improvement_pct
+        );
+    }
+}

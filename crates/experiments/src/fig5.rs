@@ -1,0 +1,135 @@
+//! Figure 5: impact of a restricted communication architecture — Active
+//! Disks allowed to talk only to the front-end host (all peer traffic
+//! staged through its memory), normalized to the baseline direct
+//! disk-to-disk configuration of the same size.
+
+use arch::Architecture;
+use howsim::Simulation;
+use tasks::TaskKind;
+
+use crate::{cell, render_table};
+
+/// One bar of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Task name.
+    pub task: &'static str,
+    /// Configuration size (disks).
+    pub disks: usize,
+    /// Seconds with direct disk-to-disk communication (baseline).
+    pub secs_direct: f64,
+    /// Seconds with all communication routed through the front-end.
+    pub secs_restricted: f64,
+    /// Restricted time normalized to direct.
+    pub normalized: f64,
+}
+
+/// Runs Figure 5 for the paper's sizes (32, 64, 128 disks).
+pub fn run() -> Vec<Cell> {
+    run_sizes(&[32, 64, 128])
+}
+
+/// Runs Figure 5 for arbitrary sizes.
+pub fn run_sizes(sizes: &[usize]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &disks in sizes {
+        for task in TaskKind::ALL {
+            let direct = Simulation::new(Architecture::active_disks(disks))
+                .run(task)
+                .elapsed()
+                .as_secs_f64();
+            let restricted = Simulation::new(
+                Architecture::active_disks(disks).with_direct_disk_to_disk(false),
+            )
+            .run(task)
+            .elapsed()
+            .as_secs_f64();
+            cells.push(Cell {
+                task: task.name(),
+                disks,
+                secs_direct: direct,
+                secs_restricted: restricted,
+                normalized: restricted / direct,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders Figure 5 as a text table.
+pub fn render(cells: &[Cell]) -> String {
+    let sizes: Vec<usize> = {
+        let mut s: Vec<usize> = cells.iter().map(|c| c.disks).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let mut header = vec!["task".to_string()];
+    header.extend(sizes.iter().map(|d| format!("{d} disks")));
+    let rows: Vec<Vec<String>> = TaskKind::ALL
+        .iter()
+        .map(|t| {
+            let mut row = vec![t.name().to_string()];
+            for &d in &sizes {
+                let c = cells
+                    .iter()
+                    .find(|c| c.task == t.name() && c.disks == d)
+                    .expect("cell present");
+                row.push(cell(c.normalized));
+            }
+            row
+        })
+        .collect();
+    render_table(
+        "Figure 5: restricted communication (via front-end only), normalized \
+         to direct disk-to-disk",
+        &header,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repartitioning_tasks_suffer_badly() {
+        // Paper: "this restriction has a large impact (up to a five-fold
+        // slowdown) for the three communication-intensive tasks".
+        let cells = run_sizes(&[64]);
+        for t in TaskKind::ALL {
+            let c = cells
+                .iter()
+                .find(|c| c.task == t.name() && c.disks == 64)
+                .unwrap();
+            if t.repartitions() {
+                assert!(
+                    c.normalized > 1.5,
+                    "{}: restricted/direct {:.2} should be a big slowdown",
+                    t.name(),
+                    c.normalized
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn other_tasks_are_unaffected() {
+        // Paper: "virtually no impact on the remaining five tasks."
+        let cells = run_sizes(&[64]);
+        for t in TaskKind::ALL {
+            if !t.repartitions() {
+                let c = cells
+                    .iter()
+                    .find(|c| c.task == t.name() && c.disks == 64)
+                    .unwrap();
+                assert!(
+                    c.normalized < 1.25,
+                    "{}: restricted/direct {:.2} should be near 1",
+                    t.name(),
+                    c.normalized
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Extension experiment: robustness of Figure 1 to the CPU calibration.
+//!
+//! The simulator's per-tuple CPU costs are calibrated constants
+//! (`tasks::costs`), standing in for the paper's DEC Alpha traces. A fair
+//! question is how much the architecture comparison depends on them. This
+//! experiment rescales *every* CPU cost by ½× to 2× and re-runs the
+//! comparison: the paper's conclusions are structural (interconnect
+//! topology × data movement), so the orderings should — and do — survive.
+
+use arch::Architecture;
+use howsim::Simulation;
+use tasks::{plan_task, TaskKind};
+
+use crate::{cell, render_table};
+
+/// One row: a task under one CPU-cost scaling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Task name.
+    pub task: &'static str,
+    /// Factor applied to every calibrated CPU cost.
+    pub cpu_scale: f64,
+    /// SMP time / Active Disk time.
+    pub smp_over_active: f64,
+    /// Cluster time / Active Disk time.
+    pub cluster_over_active: f64,
+}
+
+/// Runs the sensitivity sweep at `disks` for the given scale factors.
+pub fn run_scales(disks: usize, scales: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for task in [TaskKind::Select, TaskKind::Sort, TaskKind::DataMine] {
+        for &factor in scales {
+            let time = |arch: Architecture| {
+                let mut plan = plan_task(task, &arch);
+                plan.scale_cpu(factor);
+                Simulation::new(arch).run_plan(&plan).elapsed().as_secs_f64()
+            };
+            let active = time(Architecture::active_disks(disks));
+            let smp = time(Architecture::smp(disks));
+            let cluster = time(Architecture::cluster(disks));
+            rows.push(Row {
+                task: task.name(),
+                cpu_scale: factor,
+                smp_over_active: smp / active,
+                cluster_over_active: cluster / active,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the default sweep: 64 disks, CPU costs ×0.5, ×1, ×2.
+pub fn run() -> Vec<Row> {
+    run_scales(64, &[0.5, 1.0, 2.0])
+}
+
+/// Renders the sensitivity table.
+pub fn render(rows: &[Row]) -> String {
+    let header: Vec<String> = ["task", "cpu scale", "SMP/Active", "Cluster/Active"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.task.to_string(),
+                format!("x{:.1}", r.cpu_scale),
+                cell(r.smp_over_active),
+                cell(r.cluster_over_active),
+            ]
+        })
+        .collect();
+    render_table(
+        "Extension: robustness of the architecture comparison to the CPU \
+         calibration (64 disks)",
+        &header,
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conclusions_survive_calibration_error() {
+        // Halving or doubling every calibrated CPU constant must not flip
+        // the paper's core result: the SMP loses at scale.
+        for r in run_scales(64, &[0.5, 2.0]) {
+            assert!(
+                r.smp_over_active > 1.5,
+                "{} at cpu x{}: SMP/Active {:.2}",
+                r.task,
+                r.cpu_scale,
+                r.smp_over_active
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_scaling_moves_compute_bound_tasks_most() {
+        // dmine is CPU-bound on the Cyrix: doubling costs narrows the
+        // SMP gap (everyone slows, the slow embedded cores slow most).
+        let rows = run_scales(64, &[0.5, 2.0]);
+        let gap = |scale: f64| {
+            rows.iter()
+                .find(|r| r.task == "dmine" && r.cpu_scale == scale)
+                .unwrap()
+                .smp_over_active
+        };
+        assert!(
+            gap(2.0) < gap(0.5),
+            "heavier CPU should narrow dmine's SMP gap: {:.2} vs {:.2}",
+            gap(2.0),
+            gap(0.5)
+        );
+    }
+}

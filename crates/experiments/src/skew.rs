@@ -1,0 +1,130 @@
+//! Extension experiment: sensitivity to key skew.
+//!
+//! The paper's datasets use uniformly distributed keys (Table 2), which
+//! makes every repartition perfectly balanced. Real decision-support keys
+//! are heavy-tailed; hash-partitioning Zipf(θ) keys sends a
+//! disproportionate share of the shuffle to the partitions owning the hot
+//! ranks, and the hottest node becomes the straggler that sets the phase
+//! time. This experiment quantifies that effect for the repartitioning
+//! tasks on Active Disks.
+
+use arch::Architecture;
+use datagen::zipf::Zipf;
+use howsim::Simulation;
+use tasks::planner::apply_shuffle_skew;
+use tasks::{plan_task, TaskKind};
+
+use crate::render_table;
+
+/// One row of the skew experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Task name.
+    pub task: &'static str,
+    /// Zipf exponent of the key distribution (0 = uniform).
+    pub theta: f64,
+    /// Simulated seconds.
+    pub seconds: f64,
+    /// Normalized to the uniform (θ = 0) run.
+    pub slowdown: f64,
+    /// The hottest partition's share of the shuffle.
+    pub hottest_share: f64,
+}
+
+/// Runs the skew sweep for `disks` Active Disks over the given exponents.
+pub fn run_thetas(disks: usize, thetas: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for task in [TaskKind::Sort, TaskKind::Join] {
+        let mut uniform_secs = None;
+        for &theta in thetas {
+            let arch = Architecture::active_disks(disks);
+            let mut plan = plan_task(task, &arch);
+            let hottest = if theta > 0.0 {
+                // 100k distinct keys hashed rank-major over the nodes.
+                let weights = Zipf::new(100_000, theta).partition_weights(disks);
+                let hottest = weights.iter().cloned().fold(0.0, f64::max);
+                apply_shuffle_skew(&mut plan, weights);
+                hottest
+            } else {
+                1.0 / disks as f64
+            };
+            let secs = Simulation::new(arch)
+                .run_plan(&plan)
+                .elapsed()
+                .as_secs_f64();
+            let base = *uniform_secs.get_or_insert(secs);
+            rows.push(Row {
+                task: task.name(),
+                theta,
+                seconds: secs,
+                slowdown: secs / base,
+                hottest_share: hottest,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the default sweep (64 disks, θ ∈ {0, 0.5, 1.0}).
+pub fn run() -> Vec<Row> {
+    run_thetas(64, &[0.0, 0.5, 1.0])
+}
+
+/// Renders the skew experiment.
+pub fn render(rows: &[Row]) -> String {
+    let header: Vec<String> = ["task", "theta", "seconds", "slowdown", "hottest node share"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.task.to_string(),
+                format!("{:.1}", r.theta),
+                format!("{:.1}", r.seconds),
+                format!("{:.2}x", r.slowdown),
+                format!("{:.1}%", r.hottest_share * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        "Extension: repartitioning under Zipf key skew (Active Disks; θ = 0 \
+         is the paper's uniform case)",
+        &header,
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_slows_repartitioning_monotonically() {
+        let rows = run_thetas(16, &[0.0, 0.5, 1.0]);
+        for task in ["sort", "join"] {
+            let series: Vec<&Row> = rows.iter().filter(|r| r.task == task).collect();
+            assert!((series[0].slowdown - 1.0).abs() < 1e-9);
+            assert!(
+                series[2].slowdown > series[1].slowdown,
+                "{task}: θ=1 ({}) should be worse than θ=0.5 ({})",
+                series[2].slowdown,
+                series[1].slowdown
+            );
+            assert!(
+                series[2].slowdown > 1.2,
+                "{task}: classic Zipf should hurt, got {:.2}",
+                series[2].slowdown
+            );
+        }
+    }
+
+    #[test]
+    fn hottest_share_tracks_theta() {
+        let rows = run_thetas(16, &[0.0, 1.0]);
+        let uniform = rows.iter().find(|r| r.theta == 0.0).unwrap();
+        let zipf = rows.iter().find(|r| r.theta == 1.0).unwrap();
+        assert!(zipf.hottest_share > 2.0 * uniform.hottest_share);
+    }
+}

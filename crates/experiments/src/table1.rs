@@ -1,0 +1,108 @@
+//! Table 1: cost evolution for 64-node Active Disk and commodity cluster
+//! configurations over a one-year period, plus the SMP estimate.
+
+use arch::{PriceDate, PriceTable};
+
+use crate::render_table;
+
+/// One snapshot column of Table 1, with computed totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Snapshot label ("8/98", "11/98", "7/99").
+    pub date: &'static str,
+    /// The component prices.
+    pub prices: PriceTable,
+    /// Computed 64-node Active Disk total.
+    pub active_total: u64,
+    /// Computed 64-node cluster total.
+    pub cluster_total: u64,
+    /// Estimated 64-processor SMP price.
+    pub smp_total: u64,
+}
+
+/// Computes Table 1 for 64-node configurations.
+pub fn run() -> Vec<Column> {
+    PriceDate::ALL
+        .iter()
+        .map(|&d| {
+            let prices = PriceTable::at(d);
+            Column {
+                date: d.label(),
+                active_total: prices.active_disk_total(64),
+                cluster_total: prices.cluster_total(64),
+                smp_total: prices.smp_total(64),
+                prices,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 as text.
+pub fn render(cols: &[Column]) -> String {
+    let mut header = vec!["Component".to_string()];
+    header.extend(cols.iter().map(|c| c.date.to_string()));
+    let dollar = |x: u64| format!("${x}");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let push_row = |rows: &mut Vec<Vec<String>>, label: &str, f: &dyn Fn(&Column) -> u64| {
+        let mut row = vec![label.to_string()];
+        row.extend(cols.iter().map(|c| dollar(f(c))));
+        rows.push(row);
+    };
+    push_row(&mut rows, "Seagate 39102", &|c| c.prices.disk);
+    push_row(&mut rows, "Cyrix 6x86 200MHz", &|c| c.prices.embedded_cpu);
+    push_row(&mut rows, "32 MB SDRAM", &|c| c.prices.sdram_32mb);
+    push_row(&mut rows, "Interconnect (per port)", &|c| {
+        c.prices.interconnect_port
+    });
+    push_row(&mut rows, "Premium", &|c| c.prices.premium);
+    push_row(&mut rows, "FC host adaptor", &|c| c.prices.fc_adaptor);
+    push_row(&mut rows, "Front-end", &|c| c.prices.front_end);
+    push_row(&mut rows, "Active Disk total (computed)", &|c| c.active_total);
+    push_row(&mut rows, "Active Disk total (published)", &|c| {
+        c.prices.published_active_total_64
+    });
+    push_row(&mut rows, "Cluster node", &|c| c.prices.cluster_node);
+    push_row(&mut rows, "Network (per port)", &|c| c.prices.cluster_net_port);
+    push_row(&mut rows, "Cluster total (computed)", &|c| c.cluster_total);
+    push_row(&mut rows, "Cluster total (published)", &|c| {
+        c.prices.published_cluster_total_64
+    });
+    push_row(&mut rows, "SMP estimate", &|c| c.smp_total);
+    render_table(
+        "Table 1: cost evolution for 64-node configurations",
+        &header,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_columns_in_order() {
+        let cols = run();
+        let dates: Vec<_> = cols.iter().map(|c| c.date).collect();
+        assert_eq!(dates, vec!["8/98", "11/98", "7/99"]);
+    }
+
+    #[test]
+    fn headline_price_claims_hold() {
+        for c in run() {
+            // "the price of Active Disk configurations is consistently
+            // about half that of commodity cluster configurations".
+            let ratio = c.cluster_total as f64 / c.active_total as f64;
+            assert!((1.8..3.0).contains(&ratio), "{}: {ratio}", c.date);
+            // SMP "more than an order of magnitude" above Active Disks.
+            assert!(c.smp_total > 10 * c.active_total);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = render(&run());
+        for label in ["Seagate 39102", "Cyrix", "Premium", "Cluster total", "SMP estimate"] {
+            assert!(text.contains(label), "missing {label}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Table 2: the datasets for the tasks in the workload.
+
+use datagen::{DatasetSpec, TaskParams};
+
+use crate::render_table;
+
+/// Computes Table 2 rows (one per task, paper order).
+pub fn run() -> Vec<DatasetSpec> {
+    DatasetSpec::all()
+}
+
+fn describe(d: &DatasetSpec) -> String {
+    match &d.params {
+        TaskParams::Select { selectivity } => format!(
+            "{} million, {}-byte tuples, {}% selectivity",
+            d.tuples / 1_000_000,
+            d.tuple_bytes,
+            selectivity * 100.0
+        ),
+        TaskParams::Aggregate => format!(
+            "{} million, {}-byte tuples, SUM function",
+            d.tuples / 1_000_000,
+            d.tuple_bytes
+        ),
+        TaskParams::GroupBy {
+            distinct_groups, ..
+        } => format!(
+            "{} million, {}-byte tuples, {:.1} million distinct",
+            d.tuples / 1_000_000,
+            d.tuple_bytes,
+            *distinct_groups as f64 / 1e6
+        ),
+        TaskParams::DataCube {
+            dim_distinct_fractions,
+            ..
+        } => format!(
+            "{} million, {}-byte tuples, 4-dimensions, {} distinct values",
+            d.tuples / 1_000_000,
+            d.tuple_bytes,
+            dim_distinct_fractions
+                .iter()
+                .map(|f| format!("{}%", f * 100.0))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        TaskParams::Sort { key_bytes } => format!(
+            "{}-byte tuples, {}-byte uniformly distributed keys",
+            d.tuple_bytes, key_bytes
+        ),
+        TaskParams::Join {
+            projected_tuple_bytes,
+            key_bytes,
+        } => format!(
+            "{}-byte tuples, {}-byte keys (uniformly distributed), {}-byte tuples after projection",
+            d.tuple_bytes, key_bytes, projected_tuple_bytes
+        ),
+        TaskParams::DataMine {
+            transactions,
+            items,
+            avg_items_per_txn,
+            min_support,
+            ..
+        } => format!(
+            "{} million transactions, {} million items, avg {} items per transaction, {}% minsup",
+            transactions / 1_000_000,
+            items / 1_000_000,
+            avg_items_per_txn,
+            min_support * 100.0
+        ),
+        TaskParams::MaterializedView {
+            derived_bytes,
+            delta_bytes,
+        } => format!(
+            "{}-byte tuples, {} GB derived relations, {} GB deltas",
+            d.tuple_bytes,
+            derived_bytes / datagen::GB,
+            delta_bytes / datagen::GB
+        ),
+    }
+}
+
+/// Renders Table 2 as text.
+pub fn render(rows: &[DatasetSpec]) -> String {
+    let header = vec![
+        "Task".to_string(),
+        "GB".to_string(),
+        "Characteristics of Dataset".to_string(),
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                format!("{:.0}", d.total_bytes as f64 / datagen::GB as f64),
+                describe(d),
+            ]
+        })
+        .collect();
+    render_table("Table 2: datasets for the tasks in the workload", &header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_eight_rows_in_paper_order() {
+        let rows = run();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].name, "select");
+        assert_eq!(rows[7].name, "mview");
+    }
+
+    #[test]
+    fn render_mentions_paper_parameters() {
+        let text = render(&run());
+        assert!(text.contains("1% selectivity"));
+        assert!(text.contains("13.5 million distinct"));
+        assert!(text.contains("300 million transactions"));
+        assert!(text.contains("4 GB derived relations"));
+    }
+}

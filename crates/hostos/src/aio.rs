@@ -1,0 +1,136 @@
+//! Bounded asynchronous I/O request queues (`lio_listio`-like).
+//!
+//! The paper's tasks "use large (256 KB) I/O requests and deep request
+//! queues (up to four asynchronous requests) to take full advantage of the
+//! aggressive I/O subsystem and to overlap the computation with the I/O".
+//! This type is the bookkeeping for that bound: how many requests may be
+//! outstanding before the issuing thread must block.
+
+/// A bounded outstanding-request counter for asynchronous I/O.
+///
+/// # Example
+///
+/// ```
+/// use hostos::AsyncIoQueue;
+/// let mut q = AsyncIoQueue::new(4);
+/// assert!(q.try_issue());
+/// q.complete();
+/// assert_eq!(q.outstanding(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncIoQueue {
+    depth: usize,
+    outstanding: usize,
+    issued: u64,
+}
+
+impl AsyncIoQueue {
+    /// The paper's standard depth: four asynchronous requests.
+    pub const PAPER_DEPTH: usize = 4;
+
+    /// Creates a queue allowing `depth` outstanding requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be positive");
+        AsyncIoQueue {
+            depth,
+            outstanding: 0,
+            issued: 0,
+        }
+    }
+
+    /// Attempts to issue a request; returns `false` when the queue is full.
+    pub fn try_issue(&mut self) -> bool {
+        if self.outstanding < self.depth {
+            self.outstanding += 1;
+            self.issued += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request is outstanding.
+    pub fn complete(&mut self) {
+        assert!(self.outstanding > 0, "completion without outstanding I/O");
+        self.outstanding -= 1;
+    }
+
+    /// Requests currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total requests ever issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// True if another request may be issued.
+    pub fn has_capacity(&self) -> bool {
+        self.outstanding < self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_bounds_outstanding() {
+        let mut q = AsyncIoQueue::new(4);
+        for _ in 0..4 {
+            assert!(q.try_issue());
+        }
+        assert!(!q.try_issue(), "fifth issue must fail");
+        assert_eq!(q.outstanding(), 4);
+        q.complete();
+        assert!(q.has_capacity());
+        assert!(q.try_issue());
+        assert_eq!(q.issued(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "without outstanding")]
+    fn completion_underflow_panics() {
+        AsyncIoQueue::new(1).complete();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_rejected() {
+        AsyncIoQueue::new(0);
+    }
+
+    #[test]
+    fn paper_depth_is_four() {
+        assert_eq!(AsyncIoQueue::PAPER_DEPTH, 4);
+    }
+
+    #[test]
+    fn steady_state_pipelining() {
+        // The paper's discipline: refill the queue on each completion.
+        let mut q = AsyncIoQueue::new(AsyncIoQueue::PAPER_DEPTH);
+        for _ in 0..q.depth() {
+            assert!(q.try_issue());
+        }
+        for _ in 0..1_000 {
+            q.complete();
+            assert!(q.try_issue(), "one completion frees exactly one slot");
+        }
+        assert_eq!(q.outstanding(), q.depth());
+        assert_eq!(q.issued(), 1_004);
+    }
+}

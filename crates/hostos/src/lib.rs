@@ -1,0 +1,31 @@
+//! Host operating-system model for the Howsim simulator.
+//!
+//! "For modeling operating system behavior on hosts, Howsim uses parameters
+//! that represent the time taken for individual operations of interest:
+//! read/write system calls, context switch time, the time to queue an I/O
+//! request in the device-driver and the time to service an I/O interrupt."
+//! The constants here are the paper's own: 10 µs read/write calls and
+//! 103 µs context switches (lmbench on a 300 MHz Pentium II running Linux),
+//! and a fixed 16 µs to queue an I/O request in the device driver.
+//!
+//! The crate also provides:
+//!
+//! * [`MemoryBudget`] — usable memory after the resident kernel footprint
+//!   (the paper assumes 24 MB of a 128 MB Solaris host is kernel-resident,
+//!   leaving 104 MB for user processes).
+//! * [`AsyncIoQueue`] — `lio_listio`-style bounded asynchronous request
+//!   queues (the tasks keep up to four 256 KB requests in flight).
+//! * [`StripingLayout`] — the user-controllable striping library assumed
+//!   for SMPs (64 KB chunk per disk).
+
+#![warn(missing_docs)]
+
+pub mod aio;
+pub mod memory;
+pub mod params;
+pub mod striping;
+
+pub use aio::AsyncIoQueue;
+pub use memory::MemoryBudget;
+pub use params::OsCosts;
+pub use striping::StripingLayout;

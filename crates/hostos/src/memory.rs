@@ -1,0 +1,98 @@
+//! Host memory budgets.
+
+/// Memory available to the workload after the OS takes its share.
+///
+/// The paper: "the kernel on a 128 MB Solaris machine has a memory
+/// footprint of 24 MB... we assumed that only 104 MB on these hosts is
+/// available to user processes." DiskOS, by contrast, is built for a small
+/// footprint; we budget 4 MB of a 32 MB Active Disk for it (stream buffers
+/// are accounted separately by `diskos`).
+///
+/// # Example
+///
+/// ```
+/// use hostos::MemoryBudget;
+/// let cluster_node = MemoryBudget::full_function_host(128 << 20);
+/// assert_eq!(cluster_node.usable() >> 20, 104);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    total: u64,
+    kernel: u64,
+}
+
+impl MemoryBudget {
+    /// Kernel-resident footprint of a full-function OS (Solaris class).
+    pub const FULL_FUNCTION_KERNEL_BYTES: u64 = 24 << 20;
+
+    /// Resident footprint of the DiskOS executive.
+    pub const DISK_OS_KERNEL_BYTES: u64 = 4 << 20;
+
+    /// A host running a full-function OS with `total` bytes of RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` does not exceed the kernel footprint.
+    pub fn full_function_host(total: u64) -> Self {
+        Self::new(total, Self::FULL_FUNCTION_KERNEL_BYTES)
+    }
+
+    /// An Active Disk running DiskOS with `total` bytes of RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` does not exceed the DiskOS footprint.
+    pub fn active_disk(total: u64) -> Self {
+        Self::new(total, Self::DISK_OS_KERNEL_BYTES)
+    }
+
+    /// A budget with an explicit kernel share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel >= total`.
+    pub fn new(total: u64, kernel: u64) -> Self {
+        assert!(
+            kernel < total,
+            "kernel footprint {kernel} must be below total {total}"
+        );
+        MemoryBudget { total, kernel }
+    }
+
+    /// Physical memory installed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Memory usable by the workload.
+    pub fn usable(&self) -> u64 {
+        self.total - self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_budget() {
+        let b = MemoryBudget::full_function_host(128 << 20);
+        assert_eq!(b.total(), 128 << 20);
+        assert_eq!(b.usable(), 104 << 20);
+    }
+
+    #[test]
+    fn active_disk_budget() {
+        let b = MemoryBudget::active_disk(32 << 20);
+        assert_eq!(b.usable(), 28 << 20);
+        // Doubling the DRAM doubles what the disklet can stage, and more.
+        let b64 = MemoryBudget::active_disk(64 << 20);
+        assert!(b64.usable() > 2 * b.usable() - (8 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "below total")]
+    fn rejects_kernel_bigger_than_ram() {
+        MemoryBudget::new(16 << 20, 24 << 20);
+    }
+}

@@ -1,0 +1,96 @@
+//! Operating-system cost parameters.
+
+use simcore::Duration;
+
+/// Per-operation host OS costs, as measured for the paper with lmbench on
+/// a 300 MHz Pentium II running Linux.
+///
+/// # Example
+///
+/// ```
+/// use hostos::OsCosts;
+/// let os = OsCosts::full_function();
+/// // Issuing one asynchronous I/O: syscall + driver queueing.
+/// assert_eq!(os.io_issue().as_micros(), 26);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsCosts {
+    /// A read/write system call (10 µs in the paper).
+    pub syscall: Duration,
+    /// A context switch (103 µs in the paper).
+    pub context_switch: Duration,
+    /// Queueing an I/O request in the device driver (16 µs in the paper).
+    pub driver_queue: Duration,
+    /// Servicing an I/O completion interrupt (not stated in the paper;
+    /// 10 µs is representative for the hardware).
+    pub interrupt: Duration,
+}
+
+impl OsCosts {
+    /// A standard full-function OS (Solaris/IRIX/Linux class), using the
+    /// paper's measured constants.
+    pub fn full_function() -> Self {
+        OsCosts {
+            syscall: Duration::from_micros(10),
+            context_switch: Duration::from_micros(103),
+            driver_queue: Duration::from_micros(16),
+            interrupt: Duration::from_micros(10),
+        }
+    }
+
+    /// The DiskOS executive on an Active Disk: no protection-domain
+    /// crossing for I/O (disklets cannot issue I/O at all; the DiskOS
+    /// stream layer drives the media directly), so per-operation costs are
+    /// far smaller.
+    pub fn disk_os() -> Self {
+        OsCosts {
+            syscall: Duration::from_micros(2),
+            context_switch: Duration::from_micros(8),
+            driver_queue: Duration::from_micros(4),
+            interrupt: Duration::from_micros(4),
+        }
+    }
+
+    /// CPU cost to issue one asynchronous I/O request
+    /// (syscall + driver queueing).
+    pub fn io_issue(&self) -> Duration {
+        self.syscall + self.driver_queue
+    }
+
+    /// CPU cost to reap one I/O completion (interrupt + completion
+    /// delivery via a context switch to the waiting thread).
+    pub fn io_complete(&self) -> Duration {
+        self.interrupt + self.context_switch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let os = OsCosts::full_function();
+        assert_eq!(os.syscall, Duration::from_micros(10));
+        assert_eq!(os.context_switch, Duration::from_micros(103));
+        assert_eq!(os.driver_queue, Duration::from_micros(16));
+    }
+
+    #[test]
+    fn diskos_is_leaner_everywhere() {
+        let full = OsCosts::full_function();
+        let dos = OsCosts::disk_os();
+        assert!(dos.syscall < full.syscall);
+        assert!(dos.context_switch < full.context_switch);
+        assert!(dos.driver_queue < full.driver_queue);
+        assert!(dos.io_issue() < full.io_issue());
+        assert!(dos.io_complete() < full.io_complete());
+    }
+
+    #[test]
+    fn composite_costs_are_sums() {
+        let os = OsCosts::full_function();
+        assert_eq!(os.io_issue(), os.syscall + os.driver_queue);
+        assert_eq!(os.io_complete(), os.interrupt + os.context_switch);
+    }
+}

@@ -1,0 +1,154 @@
+//! User-controllable disk striping (the SMP I/O library).
+//!
+//! "We striped each file over all disks using a 64 KB chunk per disk. To
+//! take advantage of the aggressive I/O subsystem, each processor issues up
+//! to four 256 KB asynchronous requests (each request transferring a 64 KB
+//! chunk from each of four disks)."
+
+/// A round-robin striping layout over `disks` disks with a fixed chunk.
+///
+/// # Example
+///
+/// ```
+/// use hostos::StripingLayout;
+/// let stripe = StripingLayout::paper_smp(16);
+/// // A 256 KB request at offset 0 touches disks 0..4, one chunk each.
+/// let parts = stripe.map(0, 256 * 1024);
+/// assert_eq!(parts.len(), 4);
+/// assert_eq!(parts[0], (0, 0, 64 * 1024));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripingLayout {
+    disks: usize,
+    chunk: u64,
+}
+
+impl StripingLayout {
+    /// The paper's SMP layout: 64 KB chunk per disk over all disks.
+    pub fn paper_smp(disks: usize) -> Self {
+        Self::new(disks, 64 * 1024)
+    }
+
+    /// Creates a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disks` or `chunk` is zero.
+    pub fn new(disks: usize, chunk: u64) -> Self {
+        assert!(disks > 0, "need at least one disk");
+        assert!(chunk > 0, "chunk must be positive");
+        StripingLayout { disks, chunk }
+    }
+
+    /// Chunk size in bytes.
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+
+    /// Number of disks in the stripe set.
+    pub fn disks(&self) -> usize {
+        self.disks
+    }
+
+    /// Maps a logical extent to `(disk, disk_offset, len)` pieces in
+    /// logical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn map(&self, offset: u64, bytes: u64) -> Vec<(usize, u64, u64)> {
+        assert!(bytes > 0, "empty extent");
+        let mut parts = Vec::new();
+        let mut at = offset;
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let stripe_index = at / self.chunk;
+            let within = at % self.chunk;
+            let disk = (stripe_index % self.disks as u64) as usize;
+            let row = stripe_index / self.disks as u64;
+            let disk_offset = row * self.chunk + within;
+            let len = (self.chunk - within).min(remaining);
+            parts.push((disk, disk_offset, len));
+            at += len;
+            remaining -= len;
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const KB: u64 = 1024;
+
+    #[test]
+    fn paper_request_spans_four_disks() {
+        let s = StripingLayout::paper_smp(16);
+        let parts = s.map(0, 256 * KB);
+        assert_eq!(parts.len(), 4);
+        for (i, &(disk, off, len)) in parts.iter().enumerate() {
+            assert_eq!(disk, i);
+            assert_eq!(off, 0);
+            assert_eq!(len, 64 * KB);
+        }
+    }
+
+    #[test]
+    fn wraps_around_the_stripe_set() {
+        let s = StripingLayout::new(4, 64 * KB);
+        let parts = s.map(0, 512 * KB); // 8 chunks over 4 disks
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts[4], (0, 64 * KB, 64 * KB), "second row on disk 0");
+    }
+
+    #[test]
+    fn unaligned_extents_split_correctly() {
+        let s = StripingLayout::new(4, 64 * KB);
+        let parts = s.map(10 * KB, 100 * KB);
+        assert_eq!(parts[0], (0, 10 * KB, 54 * KB));
+        assert_eq!(parts[1], (1, 0, 46 * KB));
+        let total: u64 = parts.iter().map(|&(_, _, l)| l).sum();
+        assert_eq!(total, 100 * KB);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_extent() {
+        StripingLayout::paper_smp(4).map(0, 0);
+    }
+
+    proptest! {
+        /// Coverage: pieces tile the logical extent exactly and land on
+        /// valid disks.
+        #[test]
+        fn prop_map_tiles_extent(offset in 0u64..10_000_000, bytes in 1u64..2_000_000, disks in 1usize..64) {
+            let s = StripingLayout::new(disks, 64 * KB);
+            let parts = s.map(offset, bytes);
+            let total: u64 = parts.iter().map(|&(_, _, l)| l).sum();
+            prop_assert_eq!(total, bytes);
+            for &(d, _, l) in &parts {
+                prop_assert!(d < disks);
+                prop_assert!(l > 0 && l <= 64 * KB);
+            }
+        }
+
+        /// Distinct logical extents map to non-overlapping physical
+        /// extents on every disk.
+        #[test]
+        fn prop_no_overlap(a in 0u64..1_000_000, len in 1u64..300_000) {
+            let s = StripingLayout::new(8, 64 * KB);
+            let first = s.map(a, len);
+            let second = s.map(a + len, len);
+            for &(d1, o1, l1) in &first {
+                for &(d2, o2, l2) in &second {
+                    if d1 == d2 {
+                        let disjoint = o1 + l1 <= o2 || o2 + l2 <= o1;
+                        prop_assert!(disjoint, "overlap on disk {d1}");
+                    }
+                }
+            }
+        }
+    }
+}

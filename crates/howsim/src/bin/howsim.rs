@@ -1,0 +1,241 @@
+//! The `howsim` command-line simulator.
+//!
+//! ```text
+//! howsim --arch active --disks 64 --task sort
+//! howsim --arch smp --disks 128 --task select --interconnect 400
+//! howsim --arch active --disks 32 --task join --memory 64 --no-direct
+//! howsim --arch active --disks 256 --task sort --fibre-switch --trace trace.csv
+//! ```
+//!
+//! Prints the report (total and per-phase breakdown); `--trace FILE`
+//! additionally writes the event trace as CSV.
+
+use std::process::ExitCode;
+
+use arch::Architecture;
+use howsim::Simulation;
+use tasks::TaskKind;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    arch: String,
+    disks: usize,
+    task: TaskKind,
+    memory_mb: Option<u64>,
+    interconnect_mb: Option<f64>,
+    direct: bool,
+    fibre_switch: bool,
+    fast_disk: bool,
+    trace_path: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: howsim --arch <active|cluster|smp> --disks <n> --task <name>\n\
+     \x20      [--memory <MB>] [--interconnect <MB/s>] [--no-direct]\n\
+     \x20      [--fibre-switch] [--fast-disk] [--trace <file.csv>]\n\
+     tasks: select aggregate groupby dcube sort join dmine mview"
+        .to_string()
+}
+
+fn parse_task(name: &str) -> Result<TaskKind, String> {
+    TaskKind::ALL
+        .into_iter()
+        .find(|t| t.name() == name)
+        .ok_or_else(|| format!("unknown task `{name}`"))
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        arch: "active".to_string(),
+        disks: 64,
+        task: TaskKind::Select,
+        memory_mb: None,
+        interconnect_mb: None,
+        direct: true,
+        fibre_switch: false,
+        fast_disk: false,
+        trace_path: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--arch" => opts.arch = value("--arch")?,
+            "--disks" => {
+                opts.disks = value("--disks")?
+                    .parse()
+                    .map_err(|e| format!("--disks: {e}"))?
+            }
+            "--task" => opts.task = parse_task(&value("--task")?)?,
+            "--memory" => {
+                opts.memory_mb = Some(
+                    value("--memory")?
+                        .parse()
+                        .map_err(|e| format!("--memory: {e}"))?,
+                )
+            }
+            "--interconnect" => {
+                opts.interconnect_mb = Some(
+                    value("--interconnect")?
+                        .parse()
+                        .map_err(|e| format!("--interconnect: {e}"))?,
+                )
+            }
+            "--no-direct" => opts.direct = false,
+            "--fibre-switch" => opts.fibre_switch = true,
+            "--fast-disk" => opts.fast_disk = true,
+            "--trace" => opts.trace_path = Some(value("--trace")?),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if opts.disks == 0 {
+        return Err("--disks must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn build_architecture(opts: &Options) -> Result<Architecture, String> {
+    let mut arch = match opts.arch.as_str() {
+        "active" => Architecture::active_disks(opts.disks),
+        "cluster" => Architecture::cluster(opts.disks),
+        "smp" => Architecture::smp(opts.disks),
+        other => return Err(format!("unknown architecture `{other}`")),
+    };
+    if let Some(mb) = opts.memory_mb {
+        arch = arch.with_disk_memory(mb << 20);
+    }
+    if let Some(mb) = opts.interconnect_mb {
+        arch = arch.with_interconnect_mb(mb);
+    }
+    if !opts.direct {
+        arch = arch.with_direct_disk_to_disk(false);
+    }
+    if opts.fibre_switch {
+        arch = arch.with_fibre_switch();
+    }
+    if opts.fast_disk {
+        arch = arch.with_disk_spec(diskmodel::DiskSpec::hitachi_dk3e1t_91());
+    }
+    Ok(arch)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let arch = match build_architecture(&opts) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sim = Simulation::new(arch);
+    let (report, trace) = sim.run_traced(opts.task);
+    println!("{report}");
+    for p in &report.phases {
+        println!(
+            "  {:<16} {:>9.3} s   CPU idle {:>5.1}%   net {:>8} MB   front-end {:>8} MB",
+            p.name,
+            p.elapsed.as_secs_f64(),
+            p.idle_fraction() * 100.0,
+            p.interconnect_bytes / 1_000_000,
+            p.frontend_bytes / 1_000_000,
+        );
+        for (tag, busy) in &p.cpu_busy_by_tag {
+            println!(
+                "    {:<14} {:>9.3} node-seconds ({:>4.1}%)",
+                tag,
+                busy.as_secs_f64(),
+                p.cpu_fraction(tag) * 100.0
+            );
+        }
+    }
+    println!("  disk service times: {}", report.disk_service);
+    if let Some(path) = &opts.trace_path {
+        if let Err(e) = std::fs::write(path, trace.to_csv()) {
+            eprintln!("failed to write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} events ({} dropped) to {path}",
+            trace.events().len(),
+            trace.dropped()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.arch, "active");
+        assert_eq!(o.disks, 64);
+        assert_eq!(o.task, TaskKind::Select);
+        assert!(o.direct);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let o = parse(&argv(
+            "--arch smp --disks 128 --task sort --memory 64 --interconnect 400 \
+             --no-direct --fibre-switch --fast-disk --trace t.csv",
+        ))
+        .unwrap();
+        assert_eq!(o.arch, "smp");
+        assert_eq!(o.disks, 128);
+        assert_eq!(o.task, TaskKind::Sort);
+        assert_eq!(o.memory_mb, Some(64));
+        assert_eq!(o.interconnect_mb, Some(400.0));
+        assert!(!o.direct);
+        assert!(o.fibre_switch);
+        assert!(o.fast_disk);
+        assert_eq!(o.trace_path.as_deref(), Some("t.csv"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&argv("--task nonsense")).is_err());
+        assert!(parse(&argv("--disks 0")).is_err());
+        assert!(parse(&argv("--bogus")).is_err());
+        assert!(parse(&argv("--disks")).is_err());
+        assert!(parse(&argv("--help")).is_err());
+    }
+
+    #[test]
+    fn architecture_construction() {
+        let o = parse(&argv("--arch active --disks 32 --memory 128 --no-direct")).unwrap();
+        let a = build_architecture(&o).unwrap();
+        let Architecture::ActiveDisks(c) = &a else {
+            panic!()
+        };
+        assert_eq!(c.disks, 32);
+        assert_eq!(c.disk_memory_bytes, 128 << 20);
+        assert!(!c.direct_disk_to_disk);
+
+        let bad = Options {
+            arch: "mainframe".to_string(),
+            ..o
+        };
+        assert!(build_architecture(&bad).is_err());
+    }
+}

@@ -1,0 +1,696 @@
+//! The discrete-event executor: runs a task's phase plans on a machine.
+
+use std::collections::BTreeMap;
+
+use arch::Architecture;
+use simcore::{Duration, EventQueue, SimTime};
+use tasks::plan::{CpuWork, PhasePlan, TaskPlan};
+use tasks::{plan_task, TaskKind};
+
+use crate::machine::Machine;
+use crate::report::{PhaseReport, Report};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::BATCH_BYTES;
+
+/// A configured simulation: one architecture, ready to run tasks.
+///
+/// # Example
+///
+/// ```
+/// use arch::Architecture;
+/// use howsim::Simulation;
+/// use tasks::TaskKind;
+///
+/// let sim = Simulation::new(Architecture::cluster(16));
+/// let report = sim.run(TaskKind::Aggregate);
+/// assert_eq!(report.architecture, "Cluster");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    arch: Architecture,
+    degraded: Vec<(usize, u64)>,
+}
+
+/// Events of the phase executor.
+#[derive(Debug)]
+enum Ev {
+    /// A batch finished reading from disk at a node.
+    BatchRead { node: usize, bytes: u64 },
+    /// A node's CPU finished processing a scanned batch.
+    BatchProcessed { node: usize, bytes: u64 },
+    /// A repartitioned batch arrived at a peer.
+    PeerArrive { dst: usize, bytes: u64 },
+    /// A peer finished its receive-side CPU work on a batch.
+    RecvProcessed { node: usize, bytes: u64 },
+    /// Data arrived at the front-end.
+    FeArrive { bytes: u64 },
+}
+
+/// Per-node executor state within one phase.
+#[derive(Debug, Clone)]
+struct NodeState {
+    batches_total: u64,
+    issued: u64,
+    processed: u64,
+    last_batch_bytes: u64,
+    next_dst: usize,
+    /// Weighted-fair destination credits when the phase shuffles with
+    /// skewed weights (None = uniform round robin).
+    dst_credits: Option<Vec<f64>>,
+    write_credit: f64,
+    shuffle_credit: f64,
+    frontend_credit: f64,
+}
+
+impl NodeState {
+    /// Picks the next shuffle destination: uniform round robin, or the
+    /// most-credited destination under weighted-fair dispatch.
+    fn pick_dst(&mut self, weights: Option<&[f64]>, n: usize) -> usize {
+        match (&mut self.dst_credits, weights) {
+            (Some(credits), Some(w)) => {
+                let total: f64 = w.iter().sum();
+                for (c, wi) in credits.iter_mut().zip(w) {
+                    *c += wi / total;
+                }
+                let dst = credits
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite credits"))
+                    .map(|(i, _)| i)
+                    .expect("at least one destination");
+                credits[dst] -= 1.0;
+                dst
+            }
+            _ => {
+                let dst = self.next_dst;
+                self.next_dst = (self.next_dst + 1) % n;
+                dst
+            }
+        }
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation of `arch`.
+    pub fn new(arch: Architecture) -> Self {
+        Simulation {
+            arch,
+            degraded: Vec::new(),
+        }
+    }
+
+    /// Injects `grown_defects` remapped sectors into `node`'s drive before
+    /// each run (straggler studies: one sick drive in a healthy farm).
+    #[must_use]
+    pub fn with_degraded_disk(mut self, node: usize, grown_defects: u64) -> Self {
+        self.degraded.push((node, grown_defects));
+        self
+    }
+
+    /// The architecture being simulated.
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// Plans and runs one of the eight workload tasks.
+    pub fn run(&self, task: TaskKind) -> Report {
+        let plan = plan_task(task, &self.arch);
+        self.run_plan(&plan)
+    }
+
+    /// Runs an explicit phase plan (for custom workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails validation.
+    pub fn run_plan(&self, plan: &TaskPlan) -> Report {
+        self.run_plan_inner(plan, None)
+    }
+
+    /// Plans and runs a task with event tracing enabled.
+    pub fn run_traced(&self, task: TaskKind) -> (Report, Trace) {
+        let plan = plan_task(task, &self.arch);
+        self.run_plan_traced(&plan)
+    }
+
+    /// Runs an explicit phase plan with event tracing enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails validation.
+    pub fn run_plan_traced(&self, plan: &TaskPlan) -> (Report, Trace) {
+        let mut trace = Trace::new();
+        let report = self.run_plan_inner(plan, Some(&mut trace));
+        (report, trace)
+    }
+
+    fn run_plan_inner(&self, plan: &TaskPlan, mut trace: Option<&mut Trace>) -> Report {
+        plan.validate().expect("invalid task plan");
+        let mut machine = Machine::new(&self.arch);
+        for &(node, count) in &self.degraded {
+            machine.degrade_disk(node, count);
+        }
+        let mut phases = Vec::with_capacity(plan.phases.len());
+        let mut clock = SimTime::ZERO;
+        for (phase_ix, phase) in plan.phases.iter().enumerate() {
+            let region = usize::from(phase.reads_intermediate);
+            machine.begin_phase(region);
+            let before = PhaseSnapshot::take(&machine);
+            let end = run_phase(
+                &mut machine,
+                phase,
+                clock,
+                region,
+                phase_ix,
+                trace.as_deref_mut(),
+            );
+            let after = PhaseSnapshot::take(&machine);
+            // Every phase boundary is a global barrier (no node starts
+            // the next phase before all have finished this one).
+            let end = end + machine.barrier_costs().barrier(machine.nodes());
+            phases.push(before.delta(&after, phase.name, end.since(clock), machine.nodes()));
+            clock = end;
+        }
+        Report {
+            task: plan.task,
+            architecture: self.arch.short_name(),
+            disks: machine.nodes(),
+            phases,
+            disk_service: machine.disk_service_histogram(),
+        }
+    }
+}
+
+/// Records a trace event if tracing is enabled.
+fn record(
+    trace: &mut Option<&mut Trace>,
+    time: SimTime,
+    phase: usize,
+    node: usize,
+    kind: TraceKind,
+    bytes: u64,
+) {
+    if let Some(t) = trace {
+        t.record(TraceEvent {
+            time,
+            phase,
+            node,
+            kind,
+            bytes,
+        });
+    }
+}
+
+/// Snapshot of cumulative machine counters, for per-phase deltas.
+struct PhaseSnapshot {
+    cpu_by_tag: BTreeMap<&'static str, Duration>,
+    cpu_total: Duration,
+    disk_total: Duration,
+    interconnect: u64,
+    frontend: u64,
+}
+
+impl PhaseSnapshot {
+    fn take(m: &Machine) -> Self {
+        PhaseSnapshot {
+            cpu_by_tag: m.cpu_busy_by_tag(),
+            cpu_total: m.cpu_busy_total(),
+            disk_total: m.disk_busy_total(),
+            interconnect: m.interconnect_bytes(),
+            frontend: m.frontend_bytes(),
+        }
+    }
+
+    fn delta(
+        &self,
+        after: &PhaseSnapshot,
+        name: &'static str,
+        elapsed: Duration,
+        nodes: usize,
+    ) -> PhaseReport {
+        let mut tags = BTreeMap::new();
+        for (&tag, &busy) in &after.cpu_by_tag {
+            let before = self.cpu_by_tag.get(tag).copied().unwrap_or(Duration::ZERO);
+            let d = busy.saturating_sub(before);
+            if !d.is_zero() {
+                tags.insert(tag, d);
+            }
+        }
+        PhaseReport {
+            name,
+            elapsed,
+            cpu_busy_by_tag: tags,
+            cpu_busy_total: after.cpu_total.saturating_sub(self.cpu_total),
+            disk_busy_total: after.disk_total.saturating_sub(self.disk_total),
+            interconnect_bytes: after.interconnect - self.interconnect,
+            frontend_bytes: after.frontend - self.frontend,
+            nodes,
+        }
+    }
+}
+
+/// Charges a list of tagged CPU work items for `bytes` to a node's CPU;
+/// returns the completion time of the last item.
+fn charge_cpu(
+    m: &mut Machine,
+    node: usize,
+    now: SimTime,
+    bytes: u64,
+    work: &[CpuWork],
+    perf: f64,
+) -> SimTime {
+    let mut end = now;
+    for w in work {
+        let cost = Duration::from_secs_f64(w.ns_per_byte * bytes as f64 / 1e9 / perf);
+        end = m.node_cpu_work(node, now, cost, w.tag);
+    }
+    end
+}
+
+/// Runs one phase; returns its completion time.
+fn run_phase(
+    m: &mut Machine,
+    phase: &PhasePlan,
+    start: SimTime,
+    region: usize,
+    phase_ix: usize,
+    mut trace: Option<&mut Trace>,
+) -> SimTime {
+    let n = m.nodes();
+    let per_node = phase.read_bytes_total / n as u64;
+    // Disk-group separation (SMP, NOW-sort style) only pays off when the
+    // write stream is substantial.
+    let phase_writes = phase.local_write_factor >= 0.25 || phase.write_received;
+    let perf = m.node_cpu().relative_perf;
+    let fe_perf = m.fe_cpu_spec().relative_perf;
+    let os_per_batch = m.os().io_issue() + m.os().io_complete() + diskos::DISPATCH_OVERHEAD;
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut horizon = start;
+    let mut nodes: Vec<NodeState> = (0..n)
+        .map(|i| {
+            let batches = per_node.div_ceil(BATCH_BYTES).max(1);
+            let last = per_node - (batches - 1) * BATCH_BYTES.min(per_node);
+            NodeState {
+                batches_total: batches,
+                issued: 0,
+                processed: 0,
+                last_batch_bytes: if per_node == 0 { 0 } else { last.max(1) },
+                next_dst: (i + 1) % n,
+                dst_credits: phase.shuffle_weights.as_ref().map(|w| {
+                    assert_eq!(w.len(), n, "shuffle weights must cover every node");
+                    vec![0.0; n]
+                }),
+                write_credit: 0.0,
+                shuffle_credit: 0.0,
+                frontend_credit: 0.0,
+            }
+        })
+        .collect();
+
+    // Prime each node's pipeline.
+    let window = m.window() as u64;
+    for node in 0..n {
+        let to_issue = window.min(nodes[node].batches_total);
+        for _ in 0..to_issue {
+            issue_read(m, &mut q, &mut nodes, node, start, per_node, region, phase_writes);
+        }
+    }
+
+    while let Some((now, ev)) = q.pop() {
+        horizon = horizon.max(now);
+        match ev {
+            Ev::BatchRead { node, bytes } => {
+                record(&mut trace, now, phase_ix, node, TraceKind::ReadDone, bytes);
+                let t = m.node_cpu_work(node, now, os_per_batch.scale(1.0 / perf), "os");
+                let done = charge_cpu(m, node, t, bytes, &phase.read_cpu, perf);
+                q.push(done.max(now), Ev::BatchProcessed { node, bytes });
+            }
+            Ev::BatchProcessed { node, bytes } => {
+                record(&mut trace, now, phase_ix, node, TraceKind::BatchProcessed, bytes);
+                nodes[node].processed += 1;
+                horizon = horizon.max(now);
+                // Keep the pipeline full.
+                if nodes[node].issued < nodes[node].batches_total {
+                    issue_read(m, &mut q, &mut nodes, node, now, per_node, region, phase_writes);
+                }
+                // Route the outputs.
+                nodes[node].shuffle_credit += bytes as f64 * phase.shuffle_factor;
+                nodes[node].frontend_credit += bytes as f64 * phase.frontend_factor;
+                nodes[node].write_credit += bytes as f64 * phase.local_write_factor;
+                let finished = nodes[node].processed == nodes[node].batches_total;
+                drain_outputs(
+                    m,
+                    &mut q,
+                    &mut nodes,
+                    node,
+                    now,
+                    finished,
+                    &mut horizon,
+                    region,
+                    phase_writes,
+                    phase.shuffle_weights.as_deref(),
+                );
+                if finished && phase.frontend_bytes_per_node > 0 {
+                    if phase.frontend_combinable && node != 0 && !m.restricted_peer_routing() {
+                        // Combinable partials flow up a reduction tree
+                        // (the messaging library's global reduce) instead
+                        // of funnelling every node's copy into the
+                        // front-end link.
+                        let parent = (node - 1) / 2;
+                        send_peer(m, &mut q, node, parent, now, phase.frontend_bytes_per_node);
+                    } else {
+                        send_frontend(m, &mut q, node, now, phase.frontend_bytes_per_node);
+                    }
+                }
+            }
+            Ev::PeerArrive { dst, bytes } => {
+                record(&mut trace, now, phase_ix, dst, TraceKind::PeerArrive, bytes);
+                let msg_cost = m.msg_cost(bytes).scale(1.0 / perf);
+                let t = m.node_cpu_work(dst, now, msg_cost, "net-recv");
+                let done = charge_cpu(m, dst, t, bytes, &phase.recv_cpu, perf);
+                q.push(done.max(now), Ev::RecvProcessed { node: dst, bytes });
+            }
+            Ev::RecvProcessed { node, bytes } => {
+                record(&mut trace, now, phase_ix, node, TraceKind::RecvProcessed, bytes);
+                horizon = horizon.max(now);
+                if phase.write_received {
+                    let aligned = align_sectors(bytes);
+                    let done = m.write(node, now, aligned, region, phase_writes);
+                    record(&mut trace, done, phase_ix, node, TraceKind::WriteDone, aligned);
+                    horizon = horizon.max(done);
+                }
+            }
+            Ev::FeArrive { bytes } => {
+                record(&mut trace, now, phase_ix, usize::MAX, TraceKind::FeArrive, bytes);
+                let cost = Duration::from_secs_f64(
+                    phase.frontend_cpu_ns_per_byte * bytes as f64 / 1e9 / fe_perf,
+                );
+                let done = m.fe_cpu_work(now, cost, "frontend");
+                horizon = horizon.max(done);
+            }
+        }
+    }
+
+    // Out-of-band disk positioning penalty (e.g. merge run switches):
+    // per-node and overlapped across nodes, so it extends the phase once.
+    horizon + phase.extra_disk_busy_per_node
+}
+
+#[allow(clippy::too_many_arguments)]
+fn issue_read(
+    m: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    nodes: &mut [NodeState],
+    node: usize,
+    now: SimTime,
+    per_node: u64,
+    region: usize,
+    phase_writes: bool,
+) {
+    let st = &mut nodes[node];
+    if per_node == 0 || st.issued >= st.batches_total {
+        return;
+    }
+    let is_last = st.issued == st.batches_total - 1;
+    let bytes = if is_last {
+        st.last_batch_bytes
+    } else {
+        BATCH_BYTES
+    };
+    st.issued += 1;
+    let aligned = align_sectors(bytes);
+    let ready = m.read(node, now, aligned, region, phase_writes);
+    q.push(ready.max(now), Ev::BatchRead { node, bytes });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drain_outputs(
+    m: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    nodes: &mut [NodeState],
+    node: usize,
+    now: SimTime,
+    flush: bool,
+    horizon: &mut SimTime,
+    region: usize,
+    phase_writes: bool,
+    phase_weights: Option<&[f64]>,
+) {
+    let n = nodes.len();
+    // Shuffle: emit batch-sized messages round-robin over peers.
+    loop {
+        let st = &mut nodes[node];
+        let emit = if st.shuffle_credit >= BATCH_BYTES as f64 {
+            BATCH_BYTES
+        } else if flush && st.shuffle_credit >= 1.0 {
+            st.shuffle_credit as u64
+        } else {
+            break;
+        };
+        st.shuffle_credit -= emit as f64;
+        let dst = st.pick_dst(phase_weights, n);
+        send_peer(m, q, node, dst, now, emit);
+    }
+    // Front-end stream.
+    loop {
+        let st = &mut nodes[node];
+        let emit = if st.frontend_credit >= BATCH_BYTES as f64 {
+            BATCH_BYTES
+        } else if flush && st.frontend_credit >= 1.0 {
+            st.frontend_credit as u64
+        } else {
+            break;
+        };
+        st.frontend_credit -= emit as f64;
+        send_frontend(m, q, node, now, emit);
+    }
+    // Local writes.
+    loop {
+        let st = &mut nodes[node];
+        let emit = if st.write_credit >= BATCH_BYTES as f64 {
+            BATCH_BYTES
+        } else if flush && st.write_credit >= 1.0 {
+            st.write_credit as u64
+        } else {
+            break;
+        };
+        st.write_credit -= emit as f64;
+        let done = m.write(node, now, align_sectors(emit), region, phase_writes);
+        *horizon = (*horizon).max(done);
+    }
+}
+
+fn send_peer(
+    m: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    src: usize,
+    dst: usize,
+    now: SimTime,
+    bytes: u64,
+) {
+    let perf = m.node_cpu().relative_perf;
+    let send_done = m.node_cpu_work(src, now, m.msg_cost(bytes).scale(1.0 / perf), "net-send");
+    let arrival = m.peer_transfer(send_done, src, dst, bytes);
+    q.push(arrival.max(now), Ev::PeerArrive { dst, bytes });
+}
+
+fn send_frontend(m: &mut Machine, q: &mut EventQueue<Ev>, src: usize, now: SimTime, bytes: u64) {
+    let perf = m.node_cpu().relative_perf;
+    let send_done = m.node_cpu_work(src, now, m.msg_cost(bytes).scale(1.0 / perf), "net-send");
+    let arrival = m.fe_transfer(send_done, src, bytes);
+    q.push(arrival.max(now), Ev::FeArrive { bytes });
+}
+
+/// Rounds a byte count up to whole sectors (disk requests must be
+/// sector-aligned).
+fn align_sectors(bytes: u64) -> u64 {
+    bytes.div_ceil(512).max(1) * 512
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any well-formed random plan executes on every architecture with
+        /// the core invariants intact: positive elapsed time, CPU busy
+        /// bounded by capacity, and bit-for-bit determinism.
+        #[test]
+        fn prop_random_plans_hold_invariants(
+            read_mb in 1u64..256,
+            shuffle_pct in 0u32..=100,
+            fe_pct in 0u32..=20,
+            write_pct in 0u32..=100,
+            cpu_ns in 0.0f64..40.0,
+            nodes in 1usize..10,
+            arch_ix in 0usize..3,
+        ) {
+            let mut phase = PhasePlan::new("random", read_mb << 20);
+            phase.read_cpu = vec![CpuWork { tag: "work", ns_per_byte: cpu_ns }];
+            phase.shuffle_factor = shuffle_pct as f64 / 100.0;
+            phase.frontend_factor = fe_pct as f64 / 100.0;
+            phase.local_write_factor = write_pct as f64 / 100.0;
+            if phase.shuffle_factor > 0.0 {
+                phase.recv_cpu = vec![CpuWork { tag: "recv", ns_per_byte: cpu_ns / 2.0 }];
+                phase.write_received = write_pct % 2 == 0;
+            }
+            let plan = TaskPlan { task: "random", phases: vec![phase] };
+            let arch = match arch_ix {
+                0 => Architecture::active_disks(nodes),
+                1 => Architecture::cluster(nodes),
+                _ => Architecture::smp(nodes),
+            };
+            let sim = Simulation::new(arch);
+            let a = sim.run_plan(&plan);
+            let b = sim.run_plan(&plan);
+            prop_assert_eq!(&a, &b, "determinism");
+            prop_assert!(a.elapsed().as_nanos() > 0);
+            for p in &a.phases {
+                let capacity = p.elapsed * p.nodes as u64;
+                prop_assert!(p.cpu_busy_total <= capacity);
+            }
+        }
+
+        /// Doubling the dataset at fixed hardware never speeds a plan up.
+        #[test]
+        fn prop_more_data_is_never_faster(read_mb in 1u64..128, nodes in 1usize..8) {
+            let build = |mb: u64| {
+                let mut phase = PhasePlan::new("scan", mb << 20);
+                phase.read_cpu = vec![CpuWork { tag: "w", ns_per_byte: 5.0 }];
+                TaskPlan { task: "scan", phases: vec![phase] }
+            };
+            let sim = Simulation::new(Architecture::active_disks(nodes));
+            let small = sim.run_plan(&build(read_mb)).elapsed();
+            let large = sim.run_plan(&build(read_mb * 2)).elapsed();
+            prop_assert!(large >= small);
+        }
+    }
+
+    #[test]
+    fn align_rounds_up() {
+        assert_eq!(align_sectors(1), 512);
+        assert_eq!(align_sectors(512), 512);
+        assert_eq!(align_sectors(513), 1024);
+    }
+
+    #[test]
+    fn aggregate_runs_and_is_deterministic() {
+        let sim = Simulation::new(Architecture::active_disks(4));
+        let a = sim.run(TaskKind::Aggregate);
+        let b = sim.run(TaskKind::Aggregate);
+        assert_eq!(a.elapsed(), b.elapsed(), "simulation is deterministic");
+        assert!(a.elapsed().as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn select_scales_with_disks() {
+        let t16 = Simulation::new(Architecture::active_disks(16))
+            .run(TaskKind::Select)
+            .elapsed();
+        let t64 = Simulation::new(Architecture::active_disks(64))
+            .run(TaskKind::Select)
+            .elapsed();
+        let speedup = t16.as_secs_f64() / t64.as_secs_f64();
+        assert!(
+            (2.5..4.5).contains(&speedup),
+            "4× disks give near-linear speedup, got {speedup}"
+        );
+    }
+
+    #[test]
+    fn sort_has_two_phases_with_breakdown() {
+        let r = Simulation::new(Architecture::active_disks(16)).run(TaskKind::Sort);
+        assert_eq!(r.phases.len(), 2);
+        let p1 = &r.phases[0];
+        assert!(p1.cpu_busy_by_tag.contains_key("partitioner"));
+        assert!(p1.cpu_busy_by_tag.contains_key("sort"));
+        let p2 = &r.phases[1];
+        assert!(p2.cpu_busy_by_tag.contains_key("merge"));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let sim = Simulation::new(Architecture::active_disks(8));
+        let plain = sim.run(TaskKind::GroupBy);
+        let (traced, trace) = sim.run_traced(TaskKind::GroupBy);
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        assert!(trace.total() > 0);
+        // Every read produced a processed event.
+        assert_eq!(
+            trace.count(crate::trace::TraceKind::ReadDone),
+            trace.count(crate::trace::TraceKind::BatchProcessed)
+        );
+        // Events fire in nondecreasing time order per the event loop.
+        let evs = trace.events();
+        assert!(evs
+            .windows(2)
+            .all(|w| w[0].phase < w[1].phase || w[0].time <= w[1].time
+                 || w[1].kind == crate::trace::TraceKind::WriteDone));
+    }
+
+    #[test]
+    fn trace_counts_shuffle_arrivals() {
+        let sim = Simulation::new(Architecture::active_disks(8));
+        let (_, trace) = sim.run_traced(TaskKind::Sort);
+        // Sort repartitions everything: arrivals ~= 16 GB / 256 KB.
+        let arrivals = trace.count(crate::trace::TraceKind::PeerArrive);
+        let expected = 16_000_000_000 / super::BATCH_BYTES;
+        let err = (arrivals as f64 - expected as f64).abs() / expected as f64;
+        assert!(err < 0.05, "arrivals {arrivals} vs expected ~{expected}");
+        assert!(trace.count(crate::trace::TraceKind::WriteDone) > 0);
+    }
+
+    #[test]
+    fn degraded_disk_creates_a_straggler() {
+        let healthy = Simulation::new(Architecture::active_disks(8)).run(TaskKind::Select);
+        let degraded = Simulation::new(Architecture::active_disks(8))
+            .with_degraded_disk(0, 1_000)
+            .run(TaskKind::Select);
+        // The whole phase waits for the sick drive.
+        assert!(
+            degraded.elapsed().as_secs_f64() > healthy.elapsed().as_secs_f64() * 1.03,
+            "healthy {}, degraded {}",
+            healthy.elapsed(),
+            degraded.elapsed()
+        );
+        // The tail shows in the service-time distribution.
+        assert!(degraded.disk_service.max() >= healthy.disk_service.max());
+    }
+
+    #[test]
+    fn skewed_shuffle_slows_the_task() {
+        use tasks::planner::apply_shuffle_skew;
+        let arch = Architecture::active_disks(8);
+        let uniform = Simulation::new(arch.clone()).run(TaskKind::Sort);
+        let mut skewed_plan = tasks::plan_task(TaskKind::Sort, &arch);
+        // One node receives half of everything.
+        let mut w = vec![0.5 / 7.0; 8];
+        w[0] = 0.5;
+        apply_shuffle_skew(&mut skewed_plan, w);
+        let skewed = Simulation::new(arch).run_plan(&skewed_plan);
+        assert!(
+            skewed.elapsed().as_secs_f64() > uniform.elapsed().as_secs_f64() * 1.3,
+            "hot receiver must slow the sort: uniform {}, skewed {}",
+            uniform.elapsed(),
+            skewed.elapsed()
+        );
+    }
+
+    #[test]
+    fn smp_moves_everything_over_the_loop() {
+        let r = Simulation::new(Architecture::smp(16)).run(TaskKind::Select);
+        // Reads cross the I/O interconnect on an SMP.
+        assert!(
+            r.phases[0].interconnect_bytes >= TaskKind::Select.dataset().total_bytes,
+            "got {}",
+            r.phases[0].interconnect_bytes
+        );
+        // Active Disks filter at the disk: only results move.
+        let a = Simulation::new(Architecture::active_disks(16)).run(TaskKind::Select);
+        assert!(a.frontend_bytes() < r.phases[0].interconnect_bytes / 10);
+    }
+}

@@ -1,0 +1,680 @@
+//! The machine model: architecture-specific resources and data paths.
+//!
+//! A [`Machine`] owns every contended resource of one configuration —
+//! disks, node CPUs, the interconnect fabric(s), the front-end — and
+//! exposes the four data-path operations the executor needs: local read,
+//! local write, peer transfer, and front-end transfer. All resources are
+//! FIFO queueing servers, so contention and overlap emerge from the
+//! event-driven executor rather than from closed-form formulas.
+
+use arch::{ActiveDiskConfig, Architecture, ClusterConfig, InterconnectKind, ProcessorSpec, SmpConfig};
+use diskmodel::{Disk, Request};
+use diskos::Sandbox;
+use hostos::OsCosts;
+use netmodel::{BarrierCosts, ClusterFabric, FcLoop, FcSwitchFabric, MsgCosts, SmpFabric, SmpIoSubsystem};
+use simcore::{Bandwidth, Duration, FifoServer, SimTime};
+
+/// The Active Disk serial fabric: the baseline shared dual loop, or the
+/// switched multi-loop extension the paper recommends beyond 64 disks.
+enum ActiveWire {
+    Loop(FcLoop),
+    Switch(FcSwitchFabric),
+}
+
+impl ActiveWire {
+    fn transfer(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        tag: &'static str,
+    ) -> SimTime {
+        match self {
+            ActiveWire::Loop(fc) => fc.transfer(now, src, bytes, tag),
+            ActiveWire::Switch(sw) => sw.transfer(now, src, dst, bytes, tag),
+        }
+    }
+
+    fn front_end_leg(&mut self, now: SimTime, src: usize, bytes: u64, tag: &'static str) -> SimTime {
+        match self {
+            ActiveWire::Loop(fc) => fc.transfer(now, src, bytes, tag),
+            ActiveWire::Switch(sw) => sw.transfer_to_front_end(now, src, bytes, tag),
+        }
+    }
+}
+
+/// Two extent regions: region 0 holds base datasets on the inner quarter
+/// of each drive (datasets of this era filled drives from the inside of
+/// partitions; this also reproduces the paper's sustained scan rates),
+/// region 1 holds intermediates (run files, partitions) on the outer
+/// three quarters. Multi-phase tasks read one region while writing the
+/// other, keeping arm movement realistic without a full allocator.
+const REGIONS: u64 = 2;
+
+/// Chunk size of the SMP striping library (64 KB per disk).
+const SMP_CHUNK: u64 = 64 * 1024;
+
+/// Architecture-specific state behind the common machine interface.
+enum Fabric {
+    Active {
+        fc: ActiveWire,
+        /// The front-end's single FC attachment: all traffic to/through
+        /// the front-end serializes here (one loop pair's port rate).
+        fe_port: FifoServer,
+        fe_port_rate: Bandwidth,
+        direct: bool,
+        msg: MsgCosts,
+    },
+    Cluster {
+        net: ClusterFabric,
+        msg: MsgCosts,
+    },
+    Smp {
+        mem: SmpFabric,
+        io: SmpIoSubsystem,
+        msg: MsgCosts,
+    },
+}
+
+/// One configured machine, ready to execute phases.
+pub struct Machine {
+    nodes: usize,
+    disks: Vec<Disk>,
+    cpus: Vec<FifoServer>,
+    fe_cpu: FifoServer,
+    node_cpu: ProcessorSpec,
+    fe_cpu_spec: ProcessorSpec,
+    os: OsCosts,
+    fabric: Fabric,
+    /// Per-disk, per-region next sequential offset.
+    cursors: Vec<[u64; REGIONS as usize]>,
+    /// SMP global stripe cursors (read, write).
+    stripe_cursor: [usize; 2],
+    /// Pipeline window: batches in flight between disk and CPU per node.
+    window: usize,
+    region_size: u64,
+    interconnect_bytes: u64,
+    frontend_bytes: u64,
+}
+
+impl Machine {
+    /// Builds the machine for an architecture configuration.
+    pub fn new(arch: &Architecture) -> Self {
+        match arch {
+            Architecture::ActiveDisks(c) => Self::active(c),
+            Architecture::Cluster(c) => Self::cluster(c),
+            Architecture::Smp(c) => Self::smp(c),
+        }
+    }
+
+    fn active(c: &ActiveDiskConfig) -> Self {
+        let disks: Vec<Disk> = (0..c.disks).map(|_| Disk::new(c.disk_spec.clone())).collect();
+        let region_size = disks[0].capacity_bytes() / REGIONS;
+        let sandbox = Sandbox::for_disk_memory(c.disk_memory_bytes);
+        Machine {
+            nodes: c.disks,
+            cpus: vec![FifoServer::new(); c.disks],
+            fe_cpu: FifoServer::new(),
+            node_cpu: c.embedded_cpu,
+            fe_cpu_spec: c.front_end_cpu,
+            os: OsCosts::disk_os(),
+            fabric: Fabric::Active {
+                fc: match c.interconnect_kind {
+                    InterconnectKind::DualLoop => ActiveWire::Loop(FcLoop::dual(c.interconnect)),
+                    InterconnectKind::FibreSwitch => {
+                        ActiveWire::Switch(FcSwitchFabric::for_devices(c.disks))
+                    }
+                },
+                fe_port: FifoServer::new(),
+                fe_port_rate: Bandwidth::from_bytes_per_sec(
+                    c.interconnect.bytes_per_sec() / 2.0,
+                ),
+                direct: c.direct_disk_to_disk,
+                msg: MsgCosts::disk_stream(),
+            },
+            cursors: vec![[0; 2]; c.disks],
+            stripe_cursor: [0; 2],
+            window: sandbox.comm_buffers(),
+            region_size,
+            disks,
+            interconnect_bytes: 0,
+            frontend_bytes: 0,
+        }
+    }
+
+    fn cluster(c: &ClusterConfig) -> Self {
+        let disks: Vec<Disk> = (0..c.nodes).map(|_| Disk::new(c.disk_spec.clone())).collect();
+        let region_size = disks[0].capacity_bytes() / REGIONS;
+        Machine {
+            nodes: c.nodes,
+            cpus: vec![FifoServer::new(); c.nodes],
+            fe_cpu: FifoServer::new(),
+            node_cpu: c.node_cpu,
+            fe_cpu_spec: c.node_cpu,
+            os: OsCosts::full_function(),
+            fabric: Fabric::Cluster {
+                net: ClusterFabric::new(c.nodes),
+                msg: MsgCosts::user_space_ethernet(),
+            },
+            cursors: vec![[0; 2]; c.nodes],
+            stripe_cursor: [0; 2],
+            window: 2 * hostos::AsyncIoQueue::PAPER_DEPTH,
+            region_size,
+            disks,
+            interconnect_bytes: 0,
+            frontend_bytes: 0,
+        }
+    }
+
+    fn smp(c: &SmpConfig) -> Self {
+        let disks: Vec<Disk> = (0..c.processors)
+            .map(|_| Disk::new(c.disk_spec.clone()))
+            .collect();
+        let region_size = disks[0].capacity_bytes() / REGIONS;
+        let boards = c.processors.div_ceil(2);
+        Machine {
+            nodes: c.processors,
+            cpus: vec![FifoServer::new(); c.processors],
+            fe_cpu: FifoServer::new(),
+            node_cpu: c.cpu,
+            fe_cpu_spec: c.cpu,
+            os: OsCosts::full_function(),
+            fabric: Fabric::Smp {
+                mem: SmpFabric::new(boards),
+                io: SmpIoSubsystem::new(c.io_interconnect),
+                msg: MsgCosts::smp_block_transfer(),
+            },
+            cursors: vec![[0; 2]; c.processors],
+            stripe_cursor: [0; 2],
+            window: 2 * hostos::AsyncIoQueue::PAPER_DEPTH,
+            region_size,
+            disks,
+            interconnect_bytes: 0,
+            frontend_bytes: 0,
+        }
+    }
+
+    /// Number of worker nodes (processors / disks).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The pipeline window (in-flight batches) per node.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The worker-node processor.
+    pub fn node_cpu(&self) -> ProcessorSpec {
+        self.node_cpu
+    }
+
+    /// The front-end processor.
+    pub fn fe_cpu_spec(&self) -> ProcessorSpec {
+        self.fe_cpu_spec
+    }
+
+    /// Host OS costs on the worker nodes.
+    pub fn os(&self) -> OsCosts {
+        self.os
+    }
+
+    /// Offers tagged work to a node's CPU; returns completion time.
+    pub fn node_cpu_work(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        work: Duration,
+        tag: &'static str,
+    ) -> SimTime {
+        self.cpus[node].offer(now, work, tag).end
+    }
+
+    /// Offers tagged work to the front-end CPU.
+    pub fn fe_cpu_work(&mut self, now: SimTime, work: Duration, tag: &'static str) -> SimTime {
+        self.fe_cpu.offer(now, work, tag).end
+    }
+
+    /// Resets per-phase extent cursors: reads come from `read_region`,
+    /// writes go to the other region.
+    pub fn begin_phase(&mut self, read_region: usize) {
+        for c in &mut self.cursors {
+            c[read_region] = 0;
+            c[1 - read_region] = 0;
+        }
+        self.stripe_cursor = [0, 0];
+    }
+
+    /// On SMP repartition phases, disks are split into read and write
+    /// groups (NOW-sort style); returns the groups (same set when the
+    /// phase does not write or the machine is not an SMP).
+    fn smp_groups(&self, phase_writes: bool) -> (usize, usize, usize) {
+        // (read_start, read_len, write_start)
+        if matches!(self.fabric, Fabric::Smp { .. }) && phase_writes && self.nodes >= 2 {
+            (0, self.nodes / 2, self.nodes / 2)
+        } else {
+            (0, self.nodes, 0)
+        }
+    }
+
+    /// Issues a sequential read of `bytes` for `node` at `now`; returns
+    /// when the data is in the node's memory.
+    pub fn read(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        bytes: u64,
+        region: usize,
+        phase_writes: bool,
+    ) -> SimTime {
+        let rbase = self.region_base(region);
+        let rcap = self.region_capacity(region);
+        match &mut self.fabric {
+            Fabric::Active { .. } | Fabric::Cluster { .. } => {
+                let offset = self.alloc(node, region, bytes);
+                self.disks[node]
+                    .submit(now, Request::read(offset, bytes))
+                    .end
+            }
+            Fabric::Smp { io, .. } => {
+                // Striped read: 64 KB chunks over the read group, each
+                // crossing the FC loop + XIO into memory.
+                let (start, len, _) = {
+                    
+                    if phase_writes && self.nodes >= 2 {
+                        (0usize, self.nodes / 2, self.nodes / 2)
+                    } else {
+                        (0, self.nodes, 0)
+                    }
+                };
+                let mut remaining = bytes;
+                let mut ready = now;
+                while remaining > 0 {
+                    let chunk = remaining.min(SMP_CHUNK);
+                    let disk_ix = start + (self.stripe_cursor[0] % len);
+                    self.stripe_cursor[0] += 1;
+                    let offset = {
+                        let cur = &mut self.cursors[disk_ix][region];
+                        if *cur + chunk > rcap {
+                            *cur = 0;
+                        }
+                        let off = rbase + *cur;
+                        *cur += chunk;
+                        off
+                    };
+                    let media_done = self.disks[disk_ix]
+                        .submit(now, Request::read(offset, chunk))
+                        .end;
+                    let arrived = io.disk_transfer(media_done, disk_ix, chunk, "io-read");
+                    self.interconnect_bytes += chunk;
+                    ready = ready.max(arrived);
+                    remaining -= chunk;
+                }
+                ready
+            }
+        }
+    }
+
+    /// Issues a sequential write of `bytes` from `node` at `now`; returns
+    /// when the write is on media.
+    pub fn write(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        bytes: u64,
+        read_region: usize,
+        phase_writes: bool,
+    ) -> SimTime {
+        let region = 1 - read_region;
+        let rbase = self.region_base(region);
+        let rcap = self.region_capacity(region);
+        match &mut self.fabric {
+            Fabric::Active { .. } | Fabric::Cluster { .. } => {
+                let offset = self.alloc(node, region, bytes);
+                self.disks[node]
+                    .submit(now, Request::write(offset, bytes))
+                    .end
+            }
+            Fabric::Smp { io, .. } => {
+                let (_, len, wstart) = {
+                    if phase_writes && self.nodes >= 2 {
+                        (0usize, self.nodes / 2, self.nodes / 2)
+                    } else {
+                        (0, self.nodes, 0)
+                    }
+                };
+                let mut remaining = bytes;
+                let mut done = now;
+                while remaining > 0 {
+                    let chunk = remaining.min(SMP_CHUNK);
+                    let disk_ix = wstart + (self.stripe_cursor[1] % len.max(1));
+                    self.stripe_cursor[1] += 1;
+                    let offset = {
+                        let cur = &mut self.cursors[disk_ix][region];
+                        if *cur + chunk > rcap {
+                            *cur = 0;
+                        }
+                        let off = rbase + *cur;
+                        *cur += chunk;
+                        off
+                    };
+                    // Data crosses the loop to the disk, then hits media.
+                    let at_disk = io.disk_transfer(now, disk_ix, chunk, "io-write");
+                    self.interconnect_bytes += chunk;
+                    let media = self.disks[disk_ix]
+                        .submit(at_disk, Request::write(offset, chunk))
+                        .end;
+                    done = done.max(media);
+                    remaining -= chunk;
+                }
+                done
+            }
+        }
+    }
+
+    /// Region 0 (datasets) lives on the inner half of each drive, region 1
+    /// (intermediates) on the outer half; base offsets reflect that.
+    fn region_base(&self, region: usize) -> u64 {
+        if region == 0 {
+            // Base datasets: inner quarter.
+            3 * self.region_size / 2
+        } else {
+            0
+        }
+    }
+
+    fn region_capacity(&self, region: usize) -> u64 {
+        if region == 0 {
+            self.region_size / 2
+        } else {
+            3 * self.region_size / 2
+        }
+    }
+
+    fn alloc(&mut self, node: usize, region: usize, bytes: u64) -> u64 {
+        let base = self.region_base(region);
+        let cap = self.region_capacity(region);
+        assert!(bytes <= cap, "request of {bytes} B exceeds region capacity {cap}");
+        let cur = &mut self.cursors[node][region];
+        // Streams larger than the region wrap around (placement is
+        // synthetic; a wrap costs one re-positioning in the disk model).
+        if *cur + bytes > cap {
+            *cur = 0;
+        }
+        let offset = base + *cur;
+        *cur += bytes;
+        offset
+    }
+
+    /// CPU cost charged to a sender/receiver per message.
+    pub fn msg_cost(&self, bytes: u64) -> Duration {
+        match &self.fabric {
+            Fabric::Active { msg, .. }
+            | Fabric::Cluster { msg, .. }
+            | Fabric::Smp { msg, .. } => msg.send_cost(bytes),
+        }
+    }
+
+    /// Transfers `bytes` from `src` to peer `dst`; returns arrival time.
+    /// `src == dst` is a local hand-off (no wire).
+    pub fn peer_transfer(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        if src == dst {
+            return now;
+        }
+        self.interconnect_bytes += bytes;
+        match &mut self.fabric {
+            Fabric::Active {
+                fc,
+                fe_port,
+                fe_port_rate,
+                direct,
+                ..
+            } => {
+                if *direct {
+                    fc.transfer(now, src, dst, bytes, "shuffle")
+                } else {
+                    // Restricted architecture: through the front-end's
+                    // memory. Inbound loop leg, front-end port (in), then
+                    // outbound loop leg and the port again (out).
+                    let in_loop = fc.front_end_leg(now, src, bytes, "shuffle-in");
+                    let in_port = fe_port
+                        .offer(in_loop, fe_port_rate.transfer_time(bytes), "fe-in")
+                        .end;
+                    let out_port = fe_port
+                        .offer(in_port, fe_port_rate.transfer_time(bytes), "fe-out")
+                        .end;
+                    fc.transfer(out_port, dst, dst, bytes, "shuffle-out")
+                }
+            }
+            Fabric::Cluster { net, .. } => net.send(now, src, dst, bytes, "shuffle"),
+            Fabric::Smp { mem, .. } => {
+                mem.block_transfer(now, src / 2, dst / 2, bytes, "shuffle")
+            }
+        }
+    }
+
+    /// Transfers `bytes` from `src` to the front-end; returns arrival.
+    pub fn fe_transfer(&mut self, now: SimTime, src: usize, bytes: u64) -> SimTime {
+        self.frontend_bytes += bytes;
+        match &mut self.fabric {
+            Fabric::Active {
+                fc,
+                fe_port,
+                fe_port_rate,
+                ..
+            } => {
+                let on_loop = fc.front_end_leg(now, src, bytes, "to-frontend");
+                fe_port
+                    .offer(on_loop, fe_port_rate.transfer_time(bytes), "fe-in")
+                    .end
+            }
+            Fabric::Cluster { net, .. } => {
+                let fe = net.front_end();
+                net.send(now, src, fe, bytes, "to-frontend")
+            }
+            Fabric::Smp { mem, .. } => mem.block_transfer(now, src / 2, 0, bytes, "to-frontend"),
+        }
+    }
+    /// Snapshot of all worker-CPU busy time by tag since construction.
+    pub fn cpu_busy_by_tag(&self) -> std::collections::BTreeMap<&'static str, Duration> {
+        let mut map = std::collections::BTreeMap::new();
+        for cpu in &self.cpus {
+            for (tag, busy) in cpu.busy_breakdown() {
+                *map.entry(tag).or_insert(Duration::ZERO) += busy;
+            }
+        }
+        map
+    }
+
+    /// Total worker-CPU busy time since construction.
+    pub fn cpu_busy_total(&self) -> Duration {
+        self.cpus.iter().map(FifoServer::busy_total).sum()
+    }
+
+    /// Total disk busy time since construction.
+    pub fn disk_busy_total(&self) -> Duration {
+        self.disks.iter().map(Disk::busy_total).sum()
+    }
+
+    /// Injects `count` grown defects into `node`'s drive, spread across
+    /// the dataset region (straggler / failure-injection studies). Stops
+    /// silently when the drive's spare region is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degrade_disk(&mut self, node: usize, count: u64) {
+        assert!(node < self.disks.len(), "node out of range");
+        let total = self.disks[node].geometry().total_sectors();
+        // Dataset region: inner quarter (see region_base).
+        let base = 3 * total / 4;
+        let span = total / 4 - 2_048;
+        let stride = (span / count.max(1)).max(1);
+        for i in 0..count {
+            if self.disks[node].grow_defect(base + i * stride).is_err() {
+                break;
+            }
+        }
+    }
+
+    /// The merged per-request disk service-time distribution across all
+    /// drives.
+    pub fn disk_service_histogram(&self) -> simcore::Histogram {
+        let mut merged = simcore::Histogram::new();
+        for d in &self.disks {
+            merged.merge(d.service_histogram());
+        }
+        merged
+    }
+
+    /// Bytes moved over the peer interconnect so far.
+    pub fn interconnect_bytes(&self) -> u64 {
+        self.interconnect_bytes
+    }
+
+    /// Bytes delivered to the front-end so far.
+    pub fn frontend_bytes(&self) -> u64 {
+        self.frontend_bytes
+    }
+
+    /// The global-barrier cost model for this architecture's fabric.
+    pub fn barrier_costs(&self) -> BarrierCosts {
+        match &self.fabric {
+            Fabric::Active { .. } => BarrierCosts::fibre_channel(),
+            Fabric::Cluster { .. } => BarrierCosts::ethernet(),
+            Fabric::Smp { .. } => BarrierCosts::smp(),
+        }
+    }
+
+    /// True when peers cannot address each other directly (the Figure 5
+    /// restricted Active Disk architecture): combinable reductions then
+    /// happen at the front-end rather than along a peer tree.
+    pub fn restricted_peer_routing(&self) -> bool {
+        matches!(self.fabric, Fabric::Active { direct: false, .. })
+    }
+
+    /// Whether the phase's writes force SMP read/write disk groups.
+    pub fn uses_disk_groups(&self, phase_writes: bool) -> bool {
+        let (_, len, _) = self.smp_groups(phase_writes);
+        len != self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch::Architecture;
+
+    fn active(n: usize) -> Machine {
+        Machine::new(&Architecture::active_disks(n))
+    }
+
+    #[test]
+    fn construction_matches_architecture() {
+        assert_eq!(active(16).nodes(), 16);
+        assert_eq!(Machine::new(&Architecture::cluster(32)).nodes(), 32);
+        assert_eq!(Machine::new(&Architecture::smp(64)).nodes(), 64);
+    }
+
+    #[test]
+    fn window_scales_with_disk_memory() {
+        let base = Machine::new(&Architecture::active_disks(8));
+        let big = Machine::new(&Architecture::active_disks(8).with_disk_memory(64 << 20));
+        assert_eq!(big.window(), 2 * base.window(), "64 MB doubles OS buffers");
+    }
+
+    #[test]
+    fn sequential_reads_stream() {
+        let mut m = active(4);
+        m.begin_phase(0);
+        let t1 = m.read(0, SimTime::ZERO, 256 * 1024, 0, false);
+        let t2 = m.read(0, t1, 256 * 1024, 0, false);
+        // The second read continues the stream: cheaper than the first.
+        assert!(t2.since(t1) < t1.since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn begin_phase_resets_cursors() {
+        let mut m = active(2);
+        m.begin_phase(0);
+        let a = m.read(0, SimTime::ZERO, 512, 0, false);
+        m.begin_phase(0);
+        // Same extent again: the disk serves from its stream state, but the
+        // allocator restarted at the region base (no overflow after many
+        // phases).
+        let b = m.read(0, a, 512, 0, false);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn peer_transfer_local_is_free() {
+        let mut m = active(4);
+        let now = SimTime::from_nanos(500);
+        assert_eq!(m.peer_transfer(now, 2, 2, 1 << 20, ), now);
+        assert_eq!(m.interconnect_bytes(), 0, "local hand-off is not wire traffic");
+    }
+
+    #[test]
+    fn peer_transfer_counts_bytes() {
+        let mut m = active(4);
+        let t = m.peer_transfer(SimTime::ZERO, 0, 1, 1 << 20);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(m.interconnect_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn restricted_routing_is_slower_and_flagged() {
+        let mut direct = Machine::new(&Architecture::active_disks(8));
+        let mut restricted =
+            Machine::new(&Architecture::active_disks(8).with_direct_disk_to_disk(false));
+        assert!(!direct.restricted_peer_routing());
+        assert!(restricted.restricted_peer_routing());
+        let td = direct.peer_transfer(SimTime::ZERO, 0, 5, 1 << 20);
+        let tr = restricted.peer_transfer(SimTime::ZERO, 0, 5, 1 << 20);
+        assert!(tr > td, "front-end staging must cost more");
+    }
+
+    #[test]
+    fn fibre_switch_machine_transfers() {
+        let mut m = Machine::new(&Architecture::active_disks(32).with_fibre_switch());
+        let t = m.peer_transfer(SimTime::ZERO, 0, 31, 1 << 20);
+        assert!(t > SimTime::ZERO);
+        let fe = m.fe_transfer(t, 3, 4_096);
+        assert!(fe > t);
+    }
+
+    #[test]
+    fn smp_reads_cross_the_loop() {
+        let mut m = Machine::new(&Architecture::smp(8));
+        m.begin_phase(0);
+        let t = m.read(0, SimTime::ZERO, 256 * 1024, 0, false);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(m.interconnect_bytes(), 256 * 1024, "striped chunks cross the FC loop");
+    }
+
+    #[test]
+    fn cpu_work_is_tag_accounted() {
+        let mut m = active(2);
+        m.node_cpu_work(0, SimTime::ZERO, Duration::from_micros(5), "alpha");
+        m.node_cpu_work(1, SimTime::ZERO, Duration::from_micros(7), "beta");
+        let tags = m.cpu_busy_by_tag();
+        assert_eq!(tags["alpha"], Duration::from_micros(5));
+        assert_eq!(tags["beta"], Duration::from_micros(7));
+        assert_eq!(m.cpu_busy_total(), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn barrier_costs_differ_by_fabric() {
+        let a = active(64).barrier_costs().barrier(64);
+        let s = Machine::new(&Architecture::smp(64)).barrier_costs().barrier(64);
+        assert!(s < a, "SMP barriers are hardware-assisted");
+    }
+
+    #[test]
+    fn msg_costs_differ_by_fabric() {
+        let a = active(4).msg_cost(1 << 20);
+        let c = Machine::new(&Architecture::cluster(4)).msg_cost(1 << 20);
+        assert!(c > a, "ethernet staging copies cost more than disk streams");
+    }
+}

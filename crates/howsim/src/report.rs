@@ -1,0 +1,203 @@
+//! Simulation reports: elapsed time, per-phase execution breakdowns, and
+//! resource traffic — the raw material for every figure in the paper.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use simcore::{Duration, Histogram};
+
+/// Measurements for one executed phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Phase label (e.g. `"sort"`, `"merge"`).
+    pub name: &'static str,
+    /// Wall-clock (simulated) time of the phase.
+    pub elapsed: Duration,
+    /// Worker-CPU busy time per operator tag, summed over nodes.
+    pub cpu_busy_by_tag: BTreeMap<&'static str, Duration>,
+    /// Total worker-CPU busy time, summed over nodes.
+    pub cpu_busy_total: Duration,
+    /// Total disk busy time, summed over drives.
+    pub disk_busy_total: Duration,
+    /// Bytes that crossed the peer interconnect during this phase.
+    pub interconnect_bytes: u64,
+    /// Bytes delivered to the front-end during this phase.
+    pub frontend_bytes: u64,
+    /// Number of worker nodes.
+    pub nodes: usize,
+}
+
+impl PhaseReport {
+    /// Aggregate CPU idle time: node-seconds not spent computing.
+    pub fn cpu_idle(&self) -> Duration {
+        (self.elapsed * self.nodes as u64).saturating_sub(self.cpu_busy_total)
+    }
+
+    /// Fraction of aggregate node time spent on `tag` (0..1).
+    pub fn cpu_fraction(&self, tag: &str) -> f64 {
+        let total = self.elapsed.as_secs_f64() * self.nodes as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.cpu_busy_by_tag
+            .get(tag)
+            .map_or(0.0, |d| d.as_secs_f64())
+            / total
+    }
+
+    /// Fraction of aggregate node time the CPUs sat idle (0..1) — the
+    /// "Idle" band of the paper's Figure 3.
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.elapsed.as_secs_f64() * self.nodes as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.cpu_idle().as_secs_f64() / total
+    }
+}
+
+/// The result of simulating one task on one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Task name (paper spelling).
+    pub task: &'static str,
+    /// Architecture short name ("Active" / "Cluster" / "SMP").
+    pub architecture: &'static str,
+    /// Number of disks (= processors).
+    pub disks: usize,
+    /// Per-phase measurements, in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// The merged per-request disk service-time distribution for the
+    /// whole run.
+    pub disk_service: Histogram,
+}
+
+impl Report {
+    /// Total simulated execution time across all phases.
+    pub fn elapsed(&self) -> Duration {
+        self.phases.iter().map(|p| p.elapsed).sum()
+    }
+
+    /// Looks up a phase by name (first match).
+    pub fn phase(&self, name: &str) -> Option<&PhaseReport> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Total bytes moved over the peer interconnect.
+    pub fn interconnect_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.interconnect_bytes).sum()
+    }
+
+    /// Total bytes delivered to the front-end.
+    pub fn frontend_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.frontend_bytes).sum()
+    }
+
+    /// Serializes the per-phase measurements as CSV
+    /// (`task,arch,disks,phase,elapsed_s,cpu_busy_s,disk_busy_s,idle_frac,net_bytes,fe_bytes`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "task,arch,disks,phase,elapsed_s,cpu_busy_s,disk_busy_s,idle_frac,net_bytes,fe_bytes\n",
+        );
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{},{},{},{},{:.6},{:.6},{:.6},{:.4},{},{}\n",
+                self.task,
+                self.architecture,
+                self.disks,
+                p.name,
+                p.elapsed.as_secs_f64(),
+                p.cpu_busy_total.as_secs_f64(),
+                p.disk_busy_total.as_secs_f64(),
+                p.idle_fraction(),
+                p.interconnect_bytes,
+                p.frontend_bytes
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} × {} disks: {:.2} s ({} phases)",
+            self.task,
+            self.architecture,
+            self.disks,
+            self.elapsed().as_secs_f64(),
+            self.phases.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_phase() -> PhaseReport {
+        let mut tags = BTreeMap::new();
+        tags.insert("sort", Duration::from_secs(10));
+        tags.insert("merge", Duration::from_secs(5));
+        PhaseReport {
+            name: "p1",
+            elapsed: Duration::from_secs(10),
+            cpu_busy_by_tag: tags,
+            cpu_busy_total: Duration::from_secs(15),
+            disk_busy_total: Duration::from_secs(12),
+            interconnect_bytes: 1_000,
+            frontend_bytes: 10,
+            nodes: 2,
+        }
+    }
+
+    #[test]
+    fn idle_is_capacity_minus_busy() {
+        let p = sample_phase();
+        // 2 nodes × 10 s = 20 s capacity, 15 s busy → 5 s idle.
+        assert_eq!(p.cpu_idle(), Duration::from_secs(5));
+        assert!((p.idle_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_with_idle() {
+        let p = sample_phase();
+        let total = p.cpu_fraction("sort") + p.cpu_fraction("merge") + p.idle_fraction();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(p.cpu_fraction("absent"), 0.0);
+    }
+
+    #[test]
+    fn report_sums_phases() {
+        let r = Report {
+            task: "sort",
+            architecture: "Active",
+            disks: 2,
+            phases: vec![sample_phase(), sample_phase()],
+            disk_service: Histogram::new(),
+        };
+        assert_eq!(r.elapsed(), Duration::from_secs(20));
+        assert_eq!(r.interconnect_bytes(), 2_000);
+        assert_eq!(r.frontend_bytes(), 20);
+        assert!(r.phase("p1").is_some());
+        assert!(r.phase("nope").is_none());
+        assert!(format!("{r}").contains("sort on Active"));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_phase() {
+        let r = Report {
+            task: "sort",
+            architecture: "Active",
+            disks: 2,
+            phases: vec![sample_phase(), sample_phase()],
+            disk_service: Histogram::new(),
+        };
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("task,arch,disks,phase"));
+        assert!(lines[1].starts_with("sort,Active,2,p1,"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Event tracing: a per-event record of a simulation run.
+//!
+//! The original Howsim consumed traces; this reproduction *produces* them
+//! too, so that runs can be inspected, diffed, and post-processed (e.g.
+//! building time-series of loop occupancy or per-node progress). Tracing
+//! is off by default — it costs memory, not accuracy — and is bounded so
+//! a 128-disk join cannot exhaust memory.
+
+use simcore::SimTime;
+
+/// The kind of a traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A batch finished reading from disk.
+    ReadDone,
+    /// A node's CPU finished processing a scanned batch.
+    BatchProcessed,
+    /// A repartitioned batch arrived at a peer.
+    PeerArrive,
+    /// A peer finished receive-side work.
+    RecvProcessed,
+    /// Data arrived at the front-end.
+    FeArrive,
+    /// A local write reached media.
+    WriteDone,
+}
+
+impl TraceKind {
+    /// All kinds, for summary iteration.
+    pub const ALL: [TraceKind; 6] = [
+        TraceKind::ReadDone,
+        TraceKind::BatchProcessed,
+        TraceKind::PeerArrive,
+        TraceKind::RecvProcessed,
+        TraceKind::FeArrive,
+        TraceKind::WriteDone,
+    ];
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// Phase index within the task.
+    pub phase: usize,
+    /// Node involved (front-end events use `usize::MAX`).
+    pub node: usize,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Bytes involved.
+    pub bytes: u64,
+}
+
+/// A bounded event trace with total counts.
+///
+/// # Example
+///
+/// ```
+/// use arch::Architecture;
+/// use howsim::{Simulation, TraceKind};
+/// use tasks::TaskKind;
+///
+/// let (report, trace) = Simulation::new(Architecture::active_disks(4))
+///     .run_traced(TaskKind::Aggregate);
+/// assert!(trace.count(TraceKind::ReadDone) > 0);
+/// assert!(report.elapsed().as_secs_f64() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    counts: [u64; 6],
+    capacity: usize,
+}
+
+impl Trace {
+    /// Default event capacity (enough for a 16-disk task end to end).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a trace with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a trace retaining at most `capacity` events (counts keep
+    /// accumulating past the cap; the event list stops growing).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            dropped: 0,
+            counts: [0; 6],
+            capacity,
+        }
+    }
+
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        self.counts[ev.kind as usize] += 1;
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, in the order they fired.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events counted but not retained (capacity overflow).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events of `kind`, including dropped ones.
+    pub fn count(&self, kind: TraceKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Total events observed, including dropped ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Serializes the retained events as CSV
+    /// (`time_ns,phase,node,kind,bytes` with a header row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_ns,phase,node,kind,bytes\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{:?},{}\n",
+                e.time.as_nanos(),
+                e.phase,
+                e.node,
+                e.kind,
+                e.bytes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(t),
+            phase: 0,
+            node: 1,
+            kind,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut tr = Trace::new();
+        tr.record(ev(1, TraceKind::ReadDone));
+        tr.record(ev(2, TraceKind::ReadDone));
+        tr.record(ev(3, TraceKind::FeArrive));
+        assert_eq!(tr.count(TraceKind::ReadDone), 2);
+        assert_eq!(tr.count(TraceKind::FeArrive), 1);
+        assert_eq!(tr.count(TraceKind::WriteDone), 0);
+        assert_eq!(tr.total(), 3);
+        assert_eq!(tr.events().len(), 3);
+        assert_eq!(tr.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_retention_not_counts() {
+        let mut tr = Trace::with_capacity(2);
+        for i in 0..5 {
+            tr.record(ev(i, TraceKind::PeerArrive));
+        }
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        assert_eq!(tr.count(TraceKind::PeerArrive), 5);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = Trace::new();
+        tr.record(ev(42, TraceKind::WriteDone));
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_ns,phase,node,kind,bytes");
+        assert!(lines[1].starts_with("42,0,1,WriteDone,64"));
+    }
+}

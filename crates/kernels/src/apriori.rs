@@ -1,0 +1,254 @@
+//! Apriori frequent-itemset mining (Agrawal et al.), the algorithm behind
+//! the paper's `dmine` task.
+//!
+//! Each pass `k` scans every transaction once, counting candidate k-itemset
+//! occurrences; candidates for pass `k+1` are joined from the frequent
+//! k-itemsets and pruned by the downward-closure property. The per-disk
+//! counter footprint (5.4 MB for the paper's dataset) is the memory the
+//! `dmine` task needs — which is why the paper finds it insensitive to
+//! disk-memory size.
+
+use std::collections::{HashMap, HashSet};
+
+/// A frequent itemset with its absolute support count.
+pub type Frequent = (Vec<u32>, u64);
+
+/// Mines frequent itemsets with relative support >= `min_support`, up to
+/// `max_k` items per set. Transactions must be sorted and deduplicated
+/// (as `datagen::gen::transactions` produces).
+///
+/// # Panics
+///
+/// Panics if `min_support` is not in `(0, 1]` or `max_k` is zero.
+///
+/// # Example
+///
+/// ```
+/// use kernels::apriori::frequent_itemsets;
+/// let txns = vec![vec![1, 2, 3], vec![1, 2], vec![1, 3], vec![1, 2, 3]];
+/// let freq = frequent_itemsets(&txns, 0.5, 3);
+/// // {1} appears in all four transactions.
+/// assert!(freq.iter().any(|(set, n)| set == &vec![1] && *n == 4));
+/// // {1,2} appears in three of four.
+/// assert!(freq.iter().any(|(set, n)| set == &vec![1, 2] && *n == 3));
+/// ```
+pub fn frequent_itemsets(txns: &[Vec<u32>], min_support: f64, max_k: usize) -> Vec<Frequent> {
+    assert!(
+        min_support > 0.0 && min_support <= 1.0,
+        "min_support must be in (0, 1]"
+    );
+    assert!(max_k > 0, "max_k must be positive");
+    let threshold = (min_support * txns.len() as f64).ceil() as u64;
+    let mut result = Vec::new();
+
+    // Pass 1: item counts.
+    let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+    for txn in txns {
+        for &item in txn {
+            *counts.entry(vec![item]).or_insert(0) += 1;
+        }
+    }
+    let mut frequent: Vec<Vec<u32>> = counts
+        .iter()
+        .filter(|&(_, &c)| c >= threshold)
+        .map(|(s, _)| s.clone())
+        .collect();
+    frequent.sort();
+    result.extend(
+        frequent
+            .iter()
+            .map(|s| (s.clone(), counts[s])),
+    );
+
+    // Passes 2..=max_k.
+    for _k in 2..=max_k {
+        let candidates = generate_candidates(&frequent);
+        if candidates.is_empty() {
+            break;
+        }
+        let cand_set: HashSet<&Vec<u32>> = candidates.iter().collect();
+        let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+        for txn in txns {
+            for cand in &candidates {
+                if is_subset(cand, txn) {
+                    *counts.entry(cand.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        debug_assert!(counts.keys().all(|c| cand_set.contains(c)));
+        frequent = counts
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(s, _)| s.clone())
+            .collect();
+        frequent.sort();
+        if frequent.is_empty() {
+            break;
+        }
+        result.extend(frequent.iter().map(|s| (s.clone(), counts[s])));
+    }
+    result
+}
+
+/// Apriori candidate generation: joins frequent (k-1)-itemsets sharing a
+/// (k-2)-prefix, pruning candidates with an infrequent subset.
+pub fn generate_candidates(frequent: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let freq_set: HashSet<&Vec<u32>> = frequent.iter().collect();
+    let mut out = Vec::new();
+    for (i, a) in frequent.iter().enumerate() {
+        for b in &frequent[i + 1..] {
+            let k = a.len();
+            if a[..k - 1] != b[..k - 1] {
+                continue;
+            }
+            let mut cand = a.clone();
+            cand.push(b[k - 1]);
+            cand.sort_unstable();
+            // Downward closure: every (k)-subset must be frequent.
+            let all_frequent = (0..cand.len()).all(|skip| {
+                let mut sub = cand.clone();
+                sub.remove(skip);
+                freq_set.contains(&sub)
+            });
+            if all_frequent {
+                out.push(cand);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// True if sorted `needle` is a subset of sorted `haystack`.
+pub fn is_subset(needle: &[u32], haystack: &[u32]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+/// Number of scan passes Apriori makes for the returned itemsets (the
+/// longest frequent itemset's length — each length is one pass).
+pub fn pass_count(frequent: &[Frequent]) -> usize {
+    frequent.iter().map(|(s, _)| s.len()).max().unwrap_or(1)
+}
+
+/// Brute-force miner for validation (exponential; tiny inputs only).
+pub fn brute_force(txns: &[Vec<u32>], min_support: f64, max_k: usize) -> Vec<Frequent> {
+    let threshold = (min_support * txns.len() as f64).ceil() as u64;
+    let items: Vec<u32> = {
+        let mut v: Vec<u32> = txns.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut out = Vec::new();
+    let mut stack: Vec<(Vec<u32>, usize)> = vec![(Vec::new(), 0)];
+    while let Some((set, from)) = stack.pop() {
+        for (ix, &item) in items.iter().enumerate().skip(from) {
+            let mut next = set.clone();
+            next.push(item);
+            if next.len() > max_k {
+                continue;
+            }
+            let support = txns.iter().filter(|t| is_subset(&next, t)).count() as u64;
+            if support >= threshold {
+                out.push((next.clone(), support));
+                stack.push((next, ix + 1));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::gen::transactions;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_brute_force_on_small_data() {
+        let txns = transactions(200, 30, 4.0, 3);
+        let mut fast = frequent_itemsets(&txns, 0.05, 4);
+        fast.sort();
+        let slow = brute_force(&txns, 0.05, 4);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn subset_predicate() {
+        assert!(is_subset(&[2, 5], &[1, 2, 3, 5]));
+        assert!(!is_subset(&[2, 6], &[1, 2, 3, 5]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn support_threshold_is_respected() {
+        let txns = transactions(1_000, 100, 4.0, 5);
+        let freq = frequent_itemsets(&txns, 0.02, 3);
+        let floor = (0.02 * txns.len() as f64).ceil() as u64;
+        assert!(freq.iter().all(|&(_, c)| c >= floor));
+        assert!(!freq.is_empty(), "hot items exist at 2% support");
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        let txns = transactions(500, 50, 4.0, 7);
+        let freq = frequent_itemsets(&txns, 0.03, 4);
+        let sets: std::collections::HashSet<Vec<u32>> =
+            freq.iter().map(|(s, _)| s.clone()).collect();
+        for (set, _) in &freq {
+            if set.len() > 1 {
+                for skip in 0..set.len() {
+                    let mut sub = set.clone();
+                    sub.remove(skip);
+                    assert!(sets.contains(&sub), "subset {sub:?} of {set:?} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_generation_joins_prefixes() {
+        let frequent = vec![vec![1, 2], vec![1, 3], vec![2, 3]];
+        let cands = generate_candidates(&frequent);
+        assert_eq!(cands, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn candidate_pruning_removes_unsupported() {
+        // {1,2} and {1,3} join to {1,2,3}, but {2,3} is not frequent.
+        let frequent = vec![vec![1, 2], vec![1, 3]];
+        assert!(generate_candidates(&frequent).is_empty());
+    }
+
+    #[test]
+    fn pass_count_tracks_longest_itemset() {
+        let txns = vec![vec![1, 2, 3]; 10];
+        let freq = frequent_itemsets(&txns, 0.5, 5);
+        assert_eq!(pass_count(&freq), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn rejects_zero_support() {
+        frequent_itemsets(&[], 0.0, 2);
+    }
+
+    proptest! {
+        /// Monotonicity: raising min support never adds itemsets.
+        #[test]
+        fn prop_support_monotone(seed in 0u64..50) {
+            let txns = transactions(150, 40, 3.0, seed);
+            let low = frequent_itemsets(&txns, 0.05, 3);
+            let high = frequent_itemsets(&txns, 0.15, 3);
+            let low_sets: std::collections::HashSet<_> =
+                low.iter().map(|(s, _)| s.clone()).collect();
+            for (s, _) in &high {
+                prop_assert!(low_sets.contains(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Partial-key bucket sort: NOW-sort's O(n) run-formation kernel.
+//!
+//! NOW-sort (Arpaci-Dusseau et al., cited by the paper as the template for
+//! its sort implementations) forms runs with a *partial-key* bucket sort:
+//! records are scattered into buckets by their leading key bytes, then
+//! each small bucket is finished with a comparison sort. Because bucket
+//! scatter is O(n) and the per-bucket cleanup touches O(n/k · log(n/k))
+//! with k ≈ n, the total is linear in practice — which is why the paper
+//! measured *less* CPU with longer runs (the merge gets cheaper and run
+//! formation does not get more expensive; see `tasks::costs`).
+
+use datagen::gen::SortRecord;
+
+/// Sorts records by key using a partial-key bucket sort over the leading
+/// two key bytes (65,536 buckets), finishing each bucket with a
+/// comparison sort on the full key.
+///
+/// # Example
+///
+/// ```
+/// use datagen::gen::sort_records;
+/// use kernels::bucketsort::bucket_sort;
+/// let sorted = bucket_sort(sort_records(10_000, 1));
+/// assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+/// ```
+pub fn bucket_sort(records: Vec<SortRecord>) -> Vec<SortRecord> {
+    if records.len() < 2 {
+        return records;
+    }
+    // Scatter by the first two key bytes.
+    const BUCKETS: usize = 1 << 16;
+    let mut counts = vec![0u32; BUCKETS + 1];
+    for r in &records {
+        counts[bucket_of(r) + 1] += 1;
+    }
+    for i in 1..=BUCKETS {
+        counts[i] += counts[i - 1];
+    }
+    let mut out = vec![
+        SortRecord {
+            key: [0; 10],
+            origin: 0
+        };
+        records.len()
+    ];
+    let mut cursors = counts.clone();
+    for r in records {
+        let b = bucket_of(&r);
+        out[cursors[b] as usize] = r;
+        cursors[b] += 1;
+    }
+    // Finish each bucket on the full key.
+    for b in 0..BUCKETS {
+        let (lo, hi) = (counts[b] as usize, counts[b + 1] as usize);
+        if hi - lo > 1 {
+            out[lo..hi].sort_unstable_by(|a, b| a.key.cmp(&b.key).then(a.origin.cmp(&b.origin)));
+        }
+    }
+    out
+}
+
+fn bucket_of(r: &SortRecord) -> usize {
+    ((r.key[0] as usize) << 8) | r.key[1] as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::gen::sort_records;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_uniform_keys() {
+        let sorted = bucket_sort(sort_records(50_000, 7));
+        assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+        assert_eq!(sorted.len(), 50_000);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        assert!(bucket_sort(Vec::new()).is_empty());
+        let one = sort_records(1, 3);
+        assert_eq!(bucket_sort(one.clone()), one);
+    }
+
+    #[test]
+    fn handles_skewed_keys() {
+        // All records in one bucket: degenerates to a comparison sort.
+        let mut records = sort_records(1_000, 5);
+        for r in &mut records {
+            r.key[0] = 0;
+            r.key[1] = 0;
+        }
+        let sorted = bucket_sort(records);
+        assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    proptest! {
+        /// Agrees with the comparison sort used elsewhere in the suite.
+        #[test]
+        fn prop_matches_std_sort(n in 0usize..3_000, seed in 0u64..200) {
+            let records = sort_records(n, seed);
+            let ours = bucket_sort(records.clone());
+            let mut expect = records;
+            expect.sort_by(|a, b| a.key.cmp(&b.key).then(a.origin.cmp(&b.origin)));
+            prop_assert_eq!(ours, expect);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! SQL group-by: hash aggregation.
+
+use std::collections::HashMap;
+
+use datagen::gen::Tuple;
+
+/// Hash group-by: sums `value` per `key`.
+///
+/// # Example
+///
+/// ```
+/// use datagen::gen::Tuple;
+/// use kernels::groupby::hash_groupby;
+/// let data = vec![
+///     Tuple { key: 1, value: 2 },
+///     Tuple { key: 1, value: 3 },
+///     Tuple { key: 2, value: 9 },
+/// ];
+/// let groups = hash_groupby(&data);
+/// assert_eq!(groups[&1], 5);
+/// assert_eq!(groups.len(), 2);
+/// ```
+pub fn hash_groupby(input: &[Tuple]) -> HashMap<u64, i64> {
+    let mut groups = HashMap::new();
+    for t in input {
+        *groups.entry(t.key).or_insert(0) += t.value;
+    }
+    groups
+}
+
+/// Merges per-partition group tables (the combine step at the front-end or
+/// between peers).
+pub fn merge_groups(tables: Vec<HashMap<u64, i64>>) -> HashMap<u64, i64> {
+    let mut out = HashMap::new();
+    for table in tables {
+        for (k, v) in table {
+            *out.entry(k).or_insert(0) += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::gen::tuples;
+    use proptest::prelude::*;
+
+    #[test]
+    fn groups_cover_all_keys() {
+        let data = tuples(10_000, 37, 5);
+        let g = hash_groupby(&data);
+        assert_eq!(g.len(), 37, "all 37 keys appear in 10 k tuples");
+    }
+
+    #[test]
+    fn group_sums_match_total() {
+        let data = tuples(5_000, 100, 6);
+        let g = hash_groupby(&data);
+        let total: i64 = g.values().sum();
+        let direct: i64 = data.iter().map(|t| t.value).sum();
+        assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_global() {
+        let data = tuples(8_000, 64, 7);
+        let global = hash_groupby(&data);
+        let partials: Vec<_> = data.chunks(1_000).map(hash_groupby).collect();
+        assert_eq!(merge_groups(partials), global);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(hash_groupby(&[]).is_empty());
+        assert!(merge_groups(vec![]).is_empty());
+    }
+
+    proptest! {
+        /// Partition-then-merge always equals the single-pass result.
+        #[test]
+        fn prop_merge_invariance(n in 1usize..2_000, parts in 1usize..16) {
+            let data = tuples(n, 50, 13);
+            let chunk = n.div_ceil(parts);
+            let partials: Vec<_> = data.chunks(chunk).map(hash_groupby).collect();
+            prop_assert_eq!(merge_groups(partials), hash_groupby(&data));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Project-join: Grace-style partitioned hash join with early projection.
+//!
+//! The paper's join projects 64-byte tuples down to 32 bytes before the
+//! shuffle (halving communication), range/hash-partitions both relations
+//! across nodes, and hash-joins each partition locally.
+
+use std::collections::HashMap;
+
+use datagen::gen::Tuple;
+
+/// Projects a tuple (drops payload columns, keeps the join key and one
+/// carried column). Models the paper's 64 B → 32 B projection.
+pub fn project(t: &Tuple) -> Tuple {
+    Tuple {
+        key: t.key,
+        value: t.value,
+    }
+}
+
+/// Hash-partitions tuples into `parts` buckets by join key.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+pub fn partition(input: &[Tuple], parts: usize) -> Vec<Vec<Tuple>> {
+    assert!(parts > 0, "need at least one partition");
+    let mut out = vec![Vec::new(); parts];
+    for t in input {
+        // Multiplicative hash on the key.
+        let h = (t.key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as u128;
+        out[((h * parts as u128) >> 64) as usize].push(project(t));
+    }
+    out
+}
+
+/// Hash join of one co-partition: build on `r`, probe with `s`; returns
+/// `(key, r_value, s_value)` rows.
+pub fn hash_join(r: &[Tuple], s: &[Tuple]) -> Vec<(u64, i64, i64)> {
+    let mut table: HashMap<u64, Vec<i64>> = HashMap::new();
+    for t in r {
+        table.entry(t.key).or_default().push(t.value);
+    }
+    let mut out = Vec::new();
+    for t in s {
+        if let Some(vals) = table.get(&t.key) {
+            for &v in vals {
+                out.push((t.key, v, t.value));
+            }
+        }
+    }
+    out
+}
+
+/// Full partitioned join: partition both sides, join co-partitions.
+pub fn partitioned_join(r: &[Tuple], s: &[Tuple], parts: usize) -> Vec<(u64, i64, i64)> {
+    let rp = partition(r, parts);
+    let sp = partition(s, parts);
+    let mut out = Vec::new();
+    for (rpart, spart) in rp.iter().zip(&sp) {
+        out.extend(hash_join(rpart, spart));
+    }
+    out
+}
+
+/// Reference nested-loop join for validation.
+pub fn nested_loop_join(r: &[Tuple], s: &[Tuple]) -> Vec<(u64, i64, i64)> {
+    let mut out = Vec::new();
+    for a in r {
+        for b in s {
+            if a.key == b.key {
+                out.push((a.key, a.value, b.value));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::gen::join_tuples;
+    use proptest::prelude::*;
+
+    fn canon(mut v: Vec<(u64, i64, i64)>) -> Vec<(u64, i64, i64)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn partitioned_equals_nested_loop() {
+        let r = join_tuples(300, 100, 1);
+        let s = join_tuples(300, 100, 2);
+        assert_eq!(
+            canon(partitioned_join(&r, &s, 8)),
+            canon(nested_loop_join(&r, &s))
+        );
+    }
+
+    #[test]
+    fn partition_count_is_irrelevant_to_result() {
+        let r = join_tuples(200, 50, 3);
+        let s = join_tuples(200, 50, 4);
+        let base = canon(partitioned_join(&r, &s, 1));
+        for parts in [2, 3, 7, 16] {
+            assert_eq!(canon(partitioned_join(&r, &s, parts)), base);
+        }
+    }
+
+    #[test]
+    fn disjoint_keys_join_empty() {
+        let r = vec![Tuple { key: 1, value: 1 }];
+        let s = vec![Tuple { key: 2, value: 2 }];
+        assert!(partitioned_join(&r, &s, 4).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_produce_cross_products() {
+        let r = vec![Tuple { key: 5, value: 1 }, Tuple { key: 5, value: 2 }];
+        let s = vec![Tuple { key: 5, value: 3 }, Tuple { key: 5, value: 4 }];
+        assert_eq!(hash_join(&r, &s).len(), 4);
+    }
+
+    #[test]
+    fn partitions_are_key_disjoint() {
+        let r = join_tuples(5_000, 200, 5);
+        let parts = partition(&r, 8);
+        for (i, p1) in parts.iter().enumerate() {
+            for p2 in parts.iter().skip(i + 1) {
+                for a in p1 {
+                    assert!(p2.iter().all(|b| b.key != a.key));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_are_balanced() {
+        let r = join_tuples(40_000, 100_000, 6);
+        let parts = partition(&r, 16);
+        let expect = r.len() / 16;
+        for p in &parts {
+            let dev = (p.len() as f64 - expect as f64).abs() / expect as f64;
+            assert!(dev < 0.25, "partition size {} vs {expect}", p.len());
+        }
+    }
+
+    proptest! {
+        /// Conservation: every input tuple lands in exactly one partition.
+        #[test]
+        fn prop_partition_conserves(n in 0usize..2_000, parts in 1usize..32) {
+            let r = join_tuples(n, 97, 7);
+            let ps = partition(&r, parts);
+            let total: usize = ps.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, n);
+        }
+
+        /// Join output size equals the sum over keys of |R_k| × |S_k|.
+        #[test]
+        fn prop_join_cardinality(n in 0usize..400, distinct in 1u64..60) {
+            let r = join_tuples(n, distinct, 8);
+            let s = join_tuples(n, distinct, 9);
+            let mut rc = std::collections::HashMap::new();
+            let mut sc = std::collections::HashMap::new();
+            for t in &r { *rc.entry(t.key).or_insert(0u64) += 1; }
+            for t in &s { *sc.entry(t.key).or_insert(0u64) += 1; }
+            let expect: u64 = rc.iter().map(|(k, c)| c * sc.get(k).copied().unwrap_or(0)).sum();
+            prop_assert_eq!(partitioned_join(&r, &s, 4).len() as u64, expect);
+        }
+    }
+}

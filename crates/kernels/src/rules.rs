@@ -1,0 +1,192 @@
+//! Association-rule generation from frequent itemsets.
+//!
+//! Mining "association rules from retail transaction data" (the paper's
+//! dmine task, after Agrawal et al.) has two stages: finding frequent
+//! itemsets (module [`crate::apriori`]) and deriving rules `X ⇒ Y` whose
+//! *confidence* `support(X ∪ Y) / support(X)` clears a threshold. This
+//! module implements the second stage.
+
+use std::collections::HashMap;
+
+use crate::apriori::Frequent;
+
+/// An association rule `antecedent ⇒ consequent` with its measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Left-hand side (sorted, non-empty).
+    pub antecedent: Vec<u32>,
+    /// Right-hand side (sorted, non-empty, disjoint from the antecedent).
+    pub consequent: Vec<u32>,
+    /// Absolute support of antecedent ∪ consequent.
+    pub support: u64,
+    /// `support(X ∪ Y) / support(X)` in (0, 1].
+    pub confidence: f64,
+}
+
+/// Generates all rules from `frequent` itemsets meeting `min_confidence`.
+///
+/// # Example
+///
+/// ```
+/// use kernels::apriori::frequent_itemsets;
+/// use kernels::rules::generate_rules;
+///
+/// let txns = vec![vec![1, 2], vec![1, 2], vec![1, 3], vec![1]];
+/// let frequent = frequent_itemsets(&txns, 0.25, 2);
+/// let rules = generate_rules(&frequent, 0.5);
+/// // {2} => {1} holds with confidence 1.0 (2 always appears with 1).
+/// assert!(rules
+///     .iter()
+///     .any(|r| r.antecedent == vec![2] && r.consequent == vec![1] && r.confidence == 1.0));
+/// ```
+///
+/// Every frequent itemset of size ≥ 2 is split into every non-empty
+/// antecedent/consequent pair; the antecedent's support is looked up in
+/// `frequent` (guaranteed present by downward closure).
+///
+/// # Panics
+///
+/// Panics if `min_confidence` is not in `(0, 1]`, or if `frequent`
+/// violates downward closure (a subset of a frequent itemset is missing).
+pub fn generate_rules(frequent: &[Frequent], min_confidence: f64) -> Vec<Rule> {
+    assert!(
+        min_confidence > 0.0 && min_confidence <= 1.0,
+        "min_confidence must be in (0, 1]"
+    );
+    let support: HashMap<&[u32], u64> = frequent
+        .iter()
+        .map(|(set, count)| (set.as_slice(), *count))
+        .collect();
+    let mut rules = Vec::new();
+    for (set, &whole) in frequent
+        .iter()
+        .map(|(s, c)| (s, c))
+        .filter(|(s, _)| s.len() >= 2)
+    {
+        // Enumerate non-trivial subsets as antecedents.
+        let n = set.len();
+        for mask in 1..((1u32 << n) - 1) {
+            let antecedent: Vec<u32> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| set[i])
+                .collect();
+            let consequent: Vec<u32> = (0..n)
+                .filter(|i| mask & (1 << i) == 0)
+                .map(|i| set[i])
+                .collect();
+            let ante_support = *support
+                .get(antecedent.as_slice())
+                .unwrap_or_else(|| panic!("downward closure violated for {antecedent:?}"));
+            let confidence = whole as f64 / ante_support as f64;
+            if confidence >= min_confidence {
+                rules.push(Rule {
+                    antecedent,
+                    consequent,
+                    support: whole,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("confidence is finite")
+            .then_with(|| b.support.cmp(&a.support))
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{brute_force, frequent_itemsets, is_subset};
+    use datagen::gen::transactions;
+
+    fn mine(txns: &[Vec<u32>]) -> Vec<Frequent> {
+        frequent_itemsets(txns, 0.05, 3)
+    }
+
+    #[test]
+    fn rules_have_valid_confidence() {
+        let txns = transactions(500, 50, 4.0, 3);
+        let rules = generate_rules(&mine(&txns), 0.3);
+        for r in &rules {
+            assert!((0.3..=1.0).contains(&r.confidence));
+            assert!(!r.antecedent.is_empty() && !r.consequent.is_empty());
+            assert!(r.antecedent.iter().all(|i| !r.consequent.contains(i)));
+        }
+    }
+
+    #[test]
+    fn confidence_matches_direct_count() {
+        let txns = transactions(400, 30, 4.0, 5);
+        let rules = generate_rules(&mine(&txns), 0.2);
+        for r in rules.iter().take(20) {
+            let mut whole: Vec<u32> = r
+                .antecedent
+                .iter()
+                .chain(&r.consequent)
+                .copied()
+                .collect();
+            whole.sort_unstable();
+            let count_whole = txns.iter().filter(|t| is_subset(&whole, t)).count() as f64;
+            let count_ante =
+                txns.iter().filter(|t| is_subset(&r.antecedent, t)).count() as f64;
+            let direct = count_whole / count_ante;
+            assert!(
+                (direct - r.confidence).abs() < 1e-9,
+                "rule {:?}=>{:?}: {} vs {}",
+                r.antecedent,
+                r.consequent,
+                direct,
+                r.confidence
+            );
+        }
+    }
+
+    #[test]
+    fn higher_threshold_yields_fewer_rules() {
+        let txns = transactions(600, 40, 4.0, 7);
+        let frequent = mine(&txns);
+        let low = generate_rules(&frequent, 0.2);
+        let high = generate_rules(&frequent, 0.8);
+        assert!(high.len() <= low.len());
+        // The high-confidence rules are a subset of the low-confidence set.
+        for r in &high {
+            assert!(low.iter().any(|l| l.antecedent == r.antecedent
+                && l.consequent == r.consequent));
+        }
+    }
+
+    #[test]
+    fn rules_sorted_by_confidence() {
+        let txns = transactions(500, 30, 4.0, 9);
+        let rules = generate_rules(&mine(&txns), 0.1);
+        assert!(rules.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn works_on_brute_force_itemsets_too() {
+        let txns = transactions(150, 20, 3.0, 11);
+        let frequent = brute_force(&txns, 0.08, 3);
+        let rules = generate_rules(&frequent, 0.5);
+        for r in &rules {
+            assert!(r.confidence >= 0.5);
+        }
+    }
+
+    #[test]
+    fn no_frequent_pairs_no_rules() {
+        // Singleton-only itemsets cannot form rules.
+        let frequent: Vec<Frequent> = vec![(vec![1], 10), (vec![2], 8)];
+        assert!(generate_rules(&frequent, 0.1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_confidence")]
+    fn rejects_zero_confidence() {
+        generate_rules(&[], 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! SQL select: a predicate scan.
+
+use datagen::gen::Tuple;
+
+/// Filters tuples whose key falls below `threshold` (a range predicate —
+/// the canonical selection shape; with keys uniform in `[0, distinct)`,
+/// `threshold = distinct / 100` yields the paper's 1% selectivity).
+///
+/// # Example
+///
+/// ```
+/// use datagen::gen::tuples;
+/// use kernels::select::filter;
+///
+/// let input = tuples(10_000, 1_000, 42);
+/// let hits = filter(&input, 10); // ~1% selectivity
+/// assert!(hits.len() < 300);
+/// ```
+pub fn filter(input: &[Tuple], threshold: u64) -> Vec<Tuple> {
+    input.iter().copied().filter(|t| t.key < threshold).collect()
+}
+
+/// Counts tuples matching the predicate without materializing them (the
+/// disklet variant forwards matches straight into its output stream).
+pub fn count_matches(input: &[Tuple], threshold: u64) -> u64 {
+    input.iter().filter(|t| t.key < threshold).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::gen::tuples;
+    use proptest::prelude::*;
+
+    #[test]
+    fn selectivity_close_to_nominal() {
+        let input = tuples(100_000, 10_000, 1);
+        let hits = filter(&input, 100); // 1%
+        let sel = hits.len() as f64 / input.len() as f64;
+        assert!((0.008..0.012).contains(&sel), "selectivity {sel}");
+    }
+
+    #[test]
+    fn filter_and_count_agree() {
+        let input = tuples(10_000, 500, 2);
+        assert_eq!(filter(&input, 50).len() as u64, count_matches(&input, 50));
+    }
+
+    #[test]
+    fn all_and_none() {
+        let input = tuples(1_000, 100, 3);
+        assert_eq!(filter(&input, 100).len(), 1_000);
+        assert!(filter(&input, 0).is_empty());
+    }
+
+    #[test]
+    fn output_preserves_order_and_content() {
+        let input = tuples(5_000, 100, 4);
+        let out = filter(&input, 30);
+        assert!(out.iter().all(|t| t.key < 30));
+        // Order preservation: output is a subsequence of input.
+        let mut it = input.iter();
+        for o in &out {
+            assert!(it.any(|t| t == o), "output must be a subsequence");
+        }
+    }
+
+    proptest! {
+        /// Filtering twice is idempotent and thresholds are monotone.
+        #[test]
+        fn prop_monotone_threshold(n in 1usize..2_000, lo in 0u64..50, hi in 50u64..100) {
+            let input = tuples(n, 100, 7);
+            let a = filter(&input, lo);
+            let b = filter(&input, hi);
+            prop_assert!(a.len() <= b.len());
+            let twice = filter(&a, lo);
+            prop_assert_eq!(twice, a);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! A point-to-point, queue-based link.
+//!
+//! This is the paper's I/O-interconnect model verbatim: "a simple
+//! queue-based model that has parameters for startup latency, transfer
+//! speed and the capacity of the interconnect".
+
+use simcore::{Bandwidth, Duration, FifoServer, SimTime};
+
+/// A unidirectional link. A full-duplex channel is a pair of `Link`s.
+///
+/// # Example
+///
+/// ```
+/// use netmodel::Link;
+/// use simcore::{Bandwidth, Duration, SimTime};
+///
+/// let mut nic = Link::new(Bandwidth::from_mbit_per_sec(100.0), Duration::from_micros(50));
+/// let arrival = nic.send(SimTime::ZERO, 1_250_000, "shuffle");
+/// // 1.25 MB at 12.5 MB/s = 100 ms, plus 50 µs latency.
+/// assert_eq!(arrival.as_micros(), 100_050);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    bandwidth: Bandwidth,
+    latency: Duration,
+    server: FifoServer,
+    bytes: u64,
+}
+
+impl Link {
+    /// Creates an idle link with the given transfer rate and startup latency.
+    pub fn new(bandwidth: Bandwidth, latency: Duration) -> Self {
+        Link {
+            bandwidth,
+            latency,
+            server: FifoServer::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Enqueues a message of `bytes` at `now`; returns its arrival time at
+    /// the far end (serialization occupies the link; latency does not).
+    pub fn send(&mut self, now: SimTime, bytes: u64, tag: &'static str) -> SimTime {
+        self.transmit(now, bytes, tag).end + self.latency
+    }
+
+    /// Enqueues a message and returns the raw serialization window
+    /// (start/end of link occupancy), for callers composing pipelined
+    /// multi-hop paths.
+    pub fn transmit(&mut self, now: SimTime, bytes: u64, tag: &'static str) -> simcore::server::Grant {
+        let grant = self
+            .server
+            .offer(now, self.bandwidth.transfer_time(bytes), tag);
+        self.bytes += bytes;
+        grant
+    }
+
+    /// When the link next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.server.free_at()
+    }
+
+    /// Total bytes carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total serialization (busy) time.
+    pub fn busy_total(&self) -> Duration {
+        self.server.busy_total()
+    }
+
+    /// Link rate.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Startup latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Fraction of `elapsed` the link was serializing data.
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        self.server.utilization(elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fast_ethernet() -> Link {
+        Link::new(Bandwidth::from_mbit_per_sec(100.0), Duration::from_micros(50))
+    }
+
+    #[test]
+    fn serialization_time_dominates_large_messages() {
+        let mut l = fast_ethernet();
+        let arrival = l.send(SimTime::ZERO, 12_500_000, "x");
+        // 12.5 MB at 12.5 MB/s = 1 s + 50 µs.
+        assert_eq!(arrival.as_micros(), 1_000_050);
+    }
+
+    #[test]
+    fn back_to_back_messages_queue() {
+        let mut l = fast_ethernet();
+        let a = l.send(SimTime::ZERO, 1_250_000, "x");
+        let b = l.send(SimTime::ZERO, 1_250_000, "x");
+        assert_eq!(b.since(a), Duration::from_micros(100_000));
+    }
+
+    #[test]
+    fn latency_is_not_occupancy() {
+        let mut l = Link::new(Bandwidth::from_mb_per_sec(100.0), Duration::from_millis(10));
+        let a = l.send(SimTime::ZERO, 1_000, "x");
+        // Link frees long before the in-flight message lands.
+        assert!(l.free_at() < a);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut l = fast_ethernet();
+        l.send(SimTime::ZERO, 1_000, "x");
+        l.send(SimTime::ZERO, 2_000, "x");
+        assert_eq!(l.bytes_carried(), 3_000);
+        assert!(l.busy_total() > Duration::ZERO);
+        assert!(l.utilization(Duration::from_secs(1)) > 0.0);
+    }
+
+    proptest! {
+        /// Total occupancy equals bytes/bandwidth regardless of message mix.
+        #[test]
+        fn prop_occupancy_conserved(sizes in proptest::collection::vec(1u64..1_000_000, 1..30)) {
+            let mut l = fast_ethernet();
+            for s in &sizes {
+                l.send(SimTime::ZERO, *s, "x");
+            }
+            let expect: Duration = sizes.iter().map(|&s| l.bandwidth().transfer_time(s)).sum();
+            prop_assert_eq!(l.busy_total(), expect);
+        }
+    }
+}

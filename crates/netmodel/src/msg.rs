@@ -1,0 +1,103 @@
+//! Host CPU costs of the message-passing library.
+//!
+//! The paper assumes "an efficient user-space messaging and synchronization
+//! library similar to BSPlib that pins send/receive buffers on every host"
+//! with an MPI-like asynchronous interface. Sending is not free: the host
+//! CPU pays a per-message overhead (descriptor handling, doorbell) and a
+//! per-byte cost (one pinned-buffer copy). These costs are charged to the
+//! sending/receiving *CPU*, separately from the wire occupancy modelled by
+//! the fabric types.
+
+use simcore::Duration;
+
+/// Per-message and per-byte host costs of a messaging layer.
+///
+/// # Example
+///
+/// ```
+/// use netmodel::MsgCosts;
+/// let costs = MsgCosts::user_space_ethernet();
+/// let t = costs.send_cost(256 * 1024);
+/// assert!(t.as_micros() > costs.per_message.as_micros());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgCosts {
+    /// Fixed CPU cost per message (send or receive side).
+    pub per_message: Duration,
+    /// CPU cost per byte copied (pinned-buffer staging), in ns per KiB.
+    pub copy_ns_per_kib: u64,
+}
+
+impl MsgCosts {
+    /// A tuned user-space library over Ethernet (BSPlib-like): ~15 µs per
+    /// message, one copy at memory-subsystem speed (~180 MB/s effective on
+    /// a 100 MHz-bus Pentium II).
+    pub fn user_space_ethernet() -> Self {
+        MsgCosts {
+            per_message: Duration::from_micros(15),
+            copy_ns_per_kib: 5_600, // ≈ 180 MB/s
+        }
+    }
+
+    /// SCSI-like peer transfers between Active Disks: the DiskOS stream
+    /// layer hands buffers to the port without a staging copy; only a
+    /// small per-message cost remains.
+    pub fn disk_stream() -> Self {
+        MsgCosts {
+            per_message: Duration::from_micros(10),
+            copy_ns_per_kib: 0,
+        }
+    }
+
+    /// SMP one-way block transfers (shmemput / remote queues): descriptor
+    /// cost only; the block-transfer engine moves the data.
+    pub fn smp_block_transfer() -> Self {
+        MsgCosts {
+            per_message: Duration::from_micros(5),
+            copy_ns_per_kib: 0,
+        }
+    }
+
+    /// CPU time to send `bytes` as one message.
+    pub fn send_cost(&self, bytes: u64) -> Duration {
+        self.per_message + Duration::from_nanos(self.copy_ns_per_kib * bytes / 1024)
+    }
+
+    /// CPU time to receive `bytes` as one message (same cost structure).
+    pub fn recv_cost(&self, bytes: u64) -> Duration {
+        self.send_cost(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_costs_include_copy() {
+        let c = MsgCosts::user_space_ethernet();
+        let small = c.send_cost(1024);
+        let big = c.send_cost(1024 * 1024);
+        assert!(big > small);
+        // 1 MiB copy at ~180 MB/s ≈ 5.7 ms.
+        assert!((4_000..8_000).contains(&big.as_micros()), "{}", big.as_micros());
+    }
+
+    #[test]
+    fn disk_streams_have_no_copy_cost() {
+        let c = MsgCosts::disk_stream();
+        assert_eq!(c.send_cost(1024 * 1024), c.per_message);
+    }
+
+    #[test]
+    fn smp_descriptor_cost_is_small() {
+        let c = MsgCosts::smp_block_transfer();
+        assert!(c.send_cost(1 << 20) < Duration::from_micros(10));
+    }
+
+    #[test]
+    fn recv_equals_send() {
+        let c = MsgCosts::user_space_ethernet();
+        assert_eq!(c.send_cost(4096), c.recv_cost(4096));
+    }
+}

@@ -1,0 +1,224 @@
+//! The event queue: a priority queue over simulated time with deterministic
+//! FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event: fires at `time`, carrying `payload`.
+///
+/// Events scheduled for the same instant fire in the order they were pushed
+/// (FIFO), which makes simulations deterministic regardless of heap
+/// internals.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event queue ordered by simulated time.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(30), 'c');
+/// q.push(SimTime::from_nanos(10), 'a');
+/// q.push(SimTime::from_nanos(10), 'b'); // same time: FIFO order
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// Scheduling in the past (before the last popped event) is a
+    /// simulation logic error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the time of the last popped event.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.last_popped,
+            "event scheduled in the past: {time} < {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        self.last_popped = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[50u64, 10, 30, 20, 40] {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_nanos(7), i);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let expected: Vec<u32> = (0..100).collect();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(42), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+        let (t, ()) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(42));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn rejects_events_in_the_past() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), ());
+        q.pop();
+        q.push(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::from_nanos(1), ());
+        q.push(SimTime::from_nanos(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(SimTime::from_nanos(9), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(9));
+    }
+
+    proptest! {
+        /// Popped event times are non-decreasing for any insertion order.
+        #[test]
+        fn prop_pop_order_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.push(SimTime::from_nanos(t), t);
+            }
+            let mut last = 0u64;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t.as_nanos() >= last);
+                last = t.as_nanos();
+            }
+        }
+
+        /// Every pushed event is popped exactly once.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..1_000, 0..100)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), i);
+            }
+            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            seen.sort_unstable();
+            let expected: Vec<usize> = (0..times.len()).collect();
+            prop_assert_eq!(seen, expected);
+        }
+    }
+}

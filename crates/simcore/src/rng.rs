@@ -1,0 +1,145 @@
+//! Deterministic random number generation for simulations.
+//!
+//! The simulator must be reproducible bit-for-bit across runs and platforms,
+//! so it uses a small, fully specified generator (SplitMix64) rather than a
+//! platform-seeded one.
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// SplitMix64 passes BigCrush, has a full 2^64 period, and is trivially
+/// seedable — ideal for reproducible simulation. It is **not**
+/// cryptographically secure.
+///
+/// # Example
+///
+/// ```
+/// use simcore::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection-free mapping; the modulo bias
+    /// is at most 2^-32 for the bounds used in this repository (< 2^32),
+    /// which is negligible for workload synthesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below: bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Splits off an independent child generator (for per-node streams).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn next_below_rejects_zero() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_roughly_uniform() {
+        let mut rng = SplitMix64::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = SplitMix64::new(1234);
+        let mut child = parent.split();
+        // A split child does not replay the parent's stream.
+        let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    fn known_vector() {
+        // Reference values computed from the canonical SplitMix64 definition.
+        let mut rng = SplitMix64::new(0);
+        let first = rng.next_u64();
+        assert_eq!(first, 0xE220_A839_7B1D_CDAF);
+    }
+}

@@ -1,0 +1,288 @@
+//! Queueing servers used to model contended resources.
+//!
+//! The paper's Howsim models I/O interconnects with "a simple queue-based
+//! model that has parameters for startup latency, transfer speed and the
+//! capacity of the interconnect". [`FifoServer`] is that model: a
+//! single-capacity resource that serves jobs in arrival order. A job offered
+//! at time `t` begins service at `max(t, free_at)` and completes after its
+//! service time; the server records busy time per job *tag* so execution-time
+//! breakdowns (paper Figure 3) fall out of the accounting.
+
+use std::collections::BTreeMap;
+
+use crate::time::{Duration, SimTime};
+
+/// A single-capacity FIFO queueing server (one CPU, one disk arm, one link).
+///
+/// # Example
+///
+/// ```
+/// use simcore::{FifoServer, SimTime, Duration};
+///
+/// let mut cpu = FifoServer::new();
+/// let a = cpu.offer(SimTime::ZERO, Duration::from_micros(10), "sort");
+/// let b = cpu.offer(SimTime::ZERO, Duration::from_micros(5), "merge");
+/// assert_eq!(a.end.as_micros(), 10);
+/// // Second job queues behind the first.
+/// assert_eq!(b.start.as_micros(), 10);
+/// assert_eq!(b.end.as_micros(), 15);
+/// assert_eq!(cpu.busy_for("sort"), Duration::from_micros(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FifoServer {
+    free_at: SimTime,
+    busy_total: Duration,
+    busy_by_tag: BTreeMap<&'static str, Duration>,
+    jobs: u64,
+}
+
+/// The scheduled occupancy of a server by one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service began (>= offer time).
+    pub start: SimTime,
+    /// When service completes.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Time spent waiting plus being served, measured from `offered`.
+    #[must_use]
+    pub fn latency(self, offered: SimTime) -> Duration {
+        self.end.since(offered)
+    }
+}
+
+impl FifoServer {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a job at time `now` requiring `service` time, accounted under
+    /// `tag`. Returns when the job starts and completes.
+    pub fn offer(&mut self, now: SimTime, service: Duration, tag: &'static str) -> Grant {
+        let start = now.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.busy_total += service;
+        *self.busy_by_tag.entry(tag).or_insert(Duration::ZERO) += service;
+        self.jobs += 1;
+        Grant { start, end }
+    }
+
+    /// The earliest time a new job could begin service.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total time this server has been (or is scheduled to be) busy.
+    pub fn busy_total(&self) -> Duration {
+        self.busy_total
+    }
+
+    /// Busy time attributed to `tag`.
+    pub fn busy_for(&self, tag: &str) -> Duration {
+        self.busy_by_tag
+            .get(tag)
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Iterates over `(tag, busy time)` pairs in tag order.
+    pub fn busy_breakdown(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        self.busy_by_tag.iter().map(|(&t, &d)| (t, d))
+    }
+
+    /// Number of jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Fraction of `elapsed` this server was busy (clamped to [0, 1]).
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.busy_total.as_secs_f64() / elapsed.as_secs_f64()).min(1.0)
+    }
+}
+
+/// A bank of `k` identical FIFO servers with join-shortest-completion
+/// dispatch, modelling resources with internal parallelism (an I/O subsystem
+/// with several I/O nodes, a striped disk group's bus set, etc.).
+///
+/// # Example
+///
+/// ```
+/// use simcore::{MultiServer, SimTime, Duration};
+///
+/// let mut xio = MultiServer::new(2);
+/// let a = xio.offer(SimTime::ZERO, Duration::from_micros(10), "io");
+/// let b = xio.offer(SimTime::ZERO, Duration::from_micros(10), "io");
+/// // Two channels: both jobs run concurrently.
+/// assert_eq!(a.end, b.end);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    lanes: Vec<FifoServer>,
+}
+
+impl MultiServer {
+    /// Creates a bank of `k` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "MultiServer requires at least one lane");
+        MultiServer {
+            lanes: vec![FifoServer::new(); k],
+        }
+    }
+
+    /// Offers a job to the lane that will complete it earliest.
+    pub fn offer(&mut self, now: SimTime, service: Duration, tag: &'static str) -> Grant {
+        let lane = self
+            .lanes
+            .iter_mut()
+            .min_by_key(|l| l.free_at())
+            .expect("MultiServer has at least one lane");
+        lane.offer(now, service, tag)
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total busy time across all lanes.
+    pub fn busy_total(&self) -> Duration {
+        self.lanes.iter().map(FifoServer::busy_total).sum()
+    }
+
+    /// Aggregate utilization across lanes over `elapsed`.
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        let cap = elapsed.as_secs_f64() * self.lanes.len() as f64;
+        (self.busy_total().as_secs_f64() / cap).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = FifoServer::new();
+        let g = s.offer(SimTime::from_nanos(100), Duration::from_nanos(50), "t");
+        assert_eq!(g.start, SimTime::from_nanos(100));
+        assert_eq!(g.end, SimTime::from_nanos(150));
+    }
+
+    #[test]
+    fn busy_server_queues() {
+        let mut s = FifoServer::new();
+        s.offer(SimTime::ZERO, Duration::from_nanos(100), "a");
+        let g = s.offer(SimTime::from_nanos(10), Duration::from_nanos(5), "b");
+        assert_eq!(g.start, SimTime::from_nanos(100));
+        assert_eq!(g.end, SimTime::from_nanos(105));
+    }
+
+    #[test]
+    fn idle_gap_is_not_counted_busy() {
+        let mut s = FifoServer::new();
+        s.offer(SimTime::ZERO, Duration::from_nanos(10), "a");
+        s.offer(SimTime::from_nanos(100), Duration::from_nanos(10), "a");
+        assert_eq!(s.busy_total(), Duration::from_nanos(20));
+        assert_eq!(s.free_at(), SimTime::from_nanos(110));
+    }
+
+    #[test]
+    fn tag_accounting_separates_operators() {
+        let mut s = FifoServer::new();
+        s.offer(SimTime::ZERO, Duration::from_nanos(7), "partition");
+        s.offer(SimTime::ZERO, Duration::from_nanos(3), "sort");
+        s.offer(SimTime::ZERO, Duration::from_nanos(5), "partition");
+        assert_eq!(s.busy_for("partition"), Duration::from_nanos(12));
+        assert_eq!(s.busy_for("sort"), Duration::from_nanos(3));
+        assert_eq!(s.busy_for("absent"), Duration::ZERO);
+        let tags: Vec<_> = s.busy_breakdown().map(|(t, _)| t).collect();
+        assert_eq!(tags, vec!["partition", "sort"]);
+    }
+
+    #[test]
+    fn latency_includes_queueing() {
+        let mut s = FifoServer::new();
+        s.offer(SimTime::ZERO, Duration::from_nanos(100), "a");
+        let offered = SimTime::from_nanos(20);
+        let g = s.offer(offered, Duration::from_nanos(10), "a");
+        assert_eq!(g.latency(offered), Duration::from_nanos(90));
+    }
+
+    #[test]
+    fn utilization_is_clamped_and_sane() {
+        let mut s = FifoServer::new();
+        s.offer(SimTime::ZERO, Duration::from_nanos(50), "a");
+        assert!((s.utilization(Duration::from_nanos(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.utilization(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn multiserver_parallelism() {
+        let mut m = MultiServer::new(3);
+        let ends: Vec<_> = (0..3)
+            .map(|_| m.offer(SimTime::ZERO, Duration::from_nanos(10), "x").end)
+            .collect();
+        assert!(ends.iter().all(|&e| e == SimTime::from_nanos(10)));
+        // Fourth job must queue.
+        let g = m.offer(SimTime::ZERO, Duration::from_nanos(10), "x");
+        assert_eq!(g.end, SimTime::from_nanos(20));
+        assert_eq!(m.lanes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn multiserver_rejects_zero_lanes() {
+        let _ = MultiServer::new(0);
+    }
+
+    proptest! {
+        /// Service is conserved: total busy equals the sum of offered service
+        /// times, and completion times never precede start times.
+        #[test]
+        fn prop_fifo_conserves_service(jobs in proptest::collection::vec((0u64..1000, 1u64..100), 1..50)) {
+            let mut s = FifoServer::new();
+            let mut offered = Duration::ZERO;
+            let mut sorted = jobs.clone();
+            sorted.sort(); // offers must be in nondecreasing time order
+            for (t, d) in sorted {
+                let g = s.offer(SimTime::from_nanos(t), Duration::from_nanos(d), "j");
+                offered += Duration::from_nanos(d);
+                prop_assert!(g.end >= g.start);
+                prop_assert!(g.start >= SimTime::from_nanos(t));
+            }
+            prop_assert_eq!(s.busy_total(), offered);
+        }
+
+        /// A MultiServer with k lanes is never slower than a FifoServer and
+        /// never faster than service/k in aggregate.
+        #[test]
+        fn prop_multiserver_bounds(k in 1usize..8, n in 1u64..40, svc in 1u64..100) {
+            let mut m = MultiServer::new(k);
+            let mut last_end = SimTime::ZERO;
+            for _ in 0..n {
+                let g = m.offer(SimTime::ZERO, Duration::from_nanos(svc), "x");
+                last_end = last_end.max(g.end);
+            }
+            let total = svc * n;
+            let lower = total.div_ceil(k as u64);
+            prop_assert!(last_end.as_nanos() >= lower);
+            prop_assert!(last_end.as_nanos() <= total);
+        }
+    }
+}

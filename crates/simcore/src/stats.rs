@@ -1,0 +1,203 @@
+//! Statistics accumulators used for simulation reporting.
+
+use std::fmt;
+
+use crate::time::{Duration, SimTime};
+
+/// An online accumulator of count/mean/min/max for scalar samples.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Accumulator;
+/// let mut acc = Accumulator::new();
+/// acc.add(1.0);
+/// acc.add(3.0);
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "Accumulator::add: NaN sample");
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or +inf if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or -inf if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Tracks intervals during which a component is busy, supporting idle-time
+/// computation over an elapsed window — the quantity plotted in the paper's
+/// Figure 3 breakdown ("P1:Idle" etc.).
+///
+/// Busy intervals may be recorded out of order but must not be needed as an
+/// interval union: callers record *service* (which on a FIFO resource never
+/// overlaps), so total busy is a simple sum.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{BusyTracker, SimTime, Duration};
+/// let mut bt = BusyTracker::new();
+/// bt.record(Duration::from_micros(30));
+/// bt.record(Duration::from_micros(20));
+/// assert_eq!(bt.busy(), Duration::from_micros(50));
+/// assert_eq!(bt.idle(Duration::from_micros(80)), Duration::from_micros(30));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BusyTracker {
+    busy: Duration,
+    last_event: SimTime,
+}
+
+impl BusyTracker {
+    /// Creates a tracker with no busy time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a span of busy time.
+    pub fn record(&mut self, d: Duration) {
+        self.busy += d;
+    }
+
+    /// Notes that an event occurred at `t` (tracks the horizon).
+    pub fn touch(&mut self, t: SimTime) {
+        self.last_event = self.last_event.max(t);
+    }
+
+    /// Total busy time recorded.
+    pub fn busy(&self) -> Duration {
+        self.busy
+    }
+
+    /// Latest event time seen via [`BusyTracker::touch`].
+    pub fn horizon(&self) -> SimTime {
+        self.last_event
+    }
+
+    /// Idle time within an elapsed window: `elapsed - busy`, saturating.
+    pub fn idle(&self, elapsed: Duration) -> Duration {
+        elapsed.saturating_sub(self.busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_tracks_extrema() {
+        let mut a = Accumulator::new();
+        for x in [5.0, -1.0, 3.0] {
+            a.add(x);
+        }
+        assert_eq!(a.min(), -1.0);
+        assert_eq!(a.max(), 5.0);
+        assert_eq!(a.sum(), 7.0);
+        assert!((a.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_mean_is_zero() {
+        assert_eq!(Accumulator::new().mean(), 0.0);
+        assert_eq!(Accumulator::new().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn accumulator_rejects_nan() {
+        Accumulator::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut a = Accumulator::new();
+        a.add(1.0);
+        assert!(format!("{a}").contains("n=1"));
+    }
+
+    #[test]
+    fn busy_tracker_sums_and_idles() {
+        let mut bt = BusyTracker::new();
+        bt.record(Duration::from_nanos(10));
+        bt.record(Duration::from_nanos(15));
+        assert_eq!(bt.busy(), Duration::from_nanos(25));
+        assert_eq!(bt.idle(Duration::from_nanos(100)), Duration::from_nanos(75));
+        // Idle saturates rather than underflowing.
+        assert_eq!(bt.idle(Duration::from_nanos(10)), Duration::ZERO);
+    }
+
+    #[test]
+    fn busy_tracker_horizon() {
+        let mut bt = BusyTracker::new();
+        bt.touch(SimTime::from_nanos(50));
+        bt.touch(SimTime::from_nanos(20));
+        assert_eq!(bt.horizon(), SimTime::from_nanos(50));
+    }
+}

@@ -1,0 +1,147 @@
+//! CPU cost calibration.
+//!
+//! The paper acquired per-task processing times by running each algorithm
+//! on a DEC Alpha 2100 4/275 and scaling by processor speed. This
+//! reproduction expresses each operator's cost in **nanoseconds per tuple
+//! on the 300 MHz Pentium II reference** and scales by
+//! [`arch::ProcessorSpec::relative_perf`]. The constants below were
+//! calibrated so the simulator reproduces the paper's anchor observations:
+//!
+//! 1. At 16 disks the three architectures are comparable (Figure 1a) —
+//!    light scans are media-bound on Active Disks, and the slow embedded
+//!    Cyrix does not dominate.
+//! 2. At 128 disks SMPs are 3–9.5× slower, worst for select/aggregate
+//!    (the dual FC loop carries the whole dataset), and 4–6× for the
+//!    repartitioning tasks (Figure 1d).
+//! 3. Sort's phase breakdown is compute-balanced up to 64 disks and
+//!    idle-dominated at 128 (Figure 3).
+//!
+//! All costs include per-tuple parsing/copying, which is why they are
+//! larger than a bare comparison or hash probe.
+
+/// select: evaluate the predicate and copy matches (64 B tuples).
+pub const SELECT_NS_PER_TUPLE: f64 = 1_000.0;
+
+/// aggregate: parse and accumulate (64 B tuples).
+pub const AGGREGATE_NS_PER_TUPLE: f64 = 800.0;
+
+/// groupby: hash, probe, update (64 B tuples).
+pub const GROUPBY_NS_PER_TUPLE: f64 = 2_000.0;
+
+/// Bytes per group-by result row shipped to the front-end (packed group
+/// key + aggregate).
+pub const GROUPBY_RESULT_BYTES: u64 = 24;
+
+/// sort phase 1: range-partition a 100 B tuple (key extraction, bucket
+/// computation, and the send-side staging the traced implementation pays).
+pub const SORT_PARTITION_NS_PER_TUPLE: f64 = 1_500.0;
+
+/// sort phase 1: append a received tuple into the current run buffer
+/// (receive-side staging + copy).
+pub const SORT_APPEND_NS_PER_TUPLE: f64 = 1_500.0;
+
+/// sort phase 1: sort a tuple into its run. NOW-sort-style partial-key
+/// bucket sort is O(n), so the per-tuple cost does not grow with run
+/// length — which is why the paper measured *less* CPU with longer runs
+/// (the merge side wins, nothing is lost here).
+pub const SORT_SORT_NS_PER_TUPLE: f64 = 6_000.0;
+
+/// sort phase 2: merge cost per tuple per log2(run count), plus fixed
+/// per-tuple output handling.
+pub const SORT_MERGE_NS_PER_TUPLE_PER_LOG: f64 = 225.0;
+/// sort phase 2: fixed per-tuple output handling.
+pub const SORT_OUTPUT_NS_PER_TUPLE: f64 = 450.0;
+
+/// join phase 1: project 64 B → 32 B and hash-partition.
+pub const JOIN_PARTITION_NS_PER_TUPLE: f64 = 700.0;
+
+/// join phase 2: build/probe per 32 B projected tuple.
+pub const JOIN_BUILD_PROBE_NS_PER_TUPLE: f64 = 1_500.0;
+
+/// dmine: candidate counting per transaction, per pass (averaged over
+/// passes; pass 2's 2-itemset counting is the heaviest).
+pub const DMINE_NS_PER_TXN_PER_PASS: f64 = 2_500.0;
+
+/// dmine: number of Apriori passes over the dataset for the paper's
+/// parameters (1 M items, 0.1% support, avg 4 items: frequent itemsets
+/// up to 3 items).
+pub const DMINE_PASSES: usize = 3;
+
+/// dcube: hash-pipeline cost per 32 B input tuple per scan.
+pub const DCUBE_NS_PER_TUPLE: f64 = 1_000.0;
+
+/// mview: route a 32 B delta to its owner.
+pub const MVIEW_ROUTE_NS_PER_TUPLE: f64 = 500.0;
+
+/// mview: merge a delta into the derived relation (per derived tuple
+/// scanned).
+pub const MVIEW_MERGE_NS_PER_TUPLE: f64 = 1_000.0;
+
+/// Front-end cost per byte received when it must assemble/merge results
+/// (one staging copy at memory speed on the reference processor).
+pub const FRONTEND_NS_PER_BYTE: f64 = 5.5;
+
+/// The fraction of aggregate disk/host memory usable for task hash tables
+/// and sort buffers after OS, code, and stream pools.
+pub const MEMORY_USABLE_FRACTION: f64 = 0.78;
+
+/// The paper's measured per-disk counter residency for dmine.
+pub const DMINE_COUNTER_BYTES_PER_DISK: u64 = 5_400_000;
+
+/// The paper's measured hash-table size for the largest dcube group-by.
+pub const DCUBE_LARGEST_TABLE_BYTES: u64 = 695 << 20;
+
+/// The paper's measured total for the other 14 dcube group-bys ("14
+/// group-bys can be merged into a single scan if a total of 2.3 GB is
+/// available at the disks").
+pub const DCUBE_REMAINING_TABLES_BYTES: u64 = 2_300 << 20;
+
+/// The 15 dcube group-by hash-table sizes implied by the paper's
+/// statements: one 695 MB table plus 14 tables totalling 2.3 GB.
+///
+/// The paper's exact per-group-by sizes come from its (unavailable)
+/// dataset; the two published aggregates pin everything the pass planner
+/// needs.
+pub fn dcube_table_sizes() -> Vec<u64> {
+    let mut sizes = vec![DCUBE_LARGEST_TABLE_BYTES];
+    sizes.extend(std::iter::repeat_n(DCUBE_REMAINING_TABLES_BYTES / 14, 14));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcube_sizes_match_paper_aggregates() {
+        let sizes = dcube_table_sizes();
+        assert_eq!(sizes.len(), 15);
+        assert_eq!(sizes[0], 695 << 20);
+        let rest: u64 = sizes[1..].iter().sum();
+        let err = (rest as f64 - (2_300u64 << 20) as f64).abs() / (2_300u64 << 20) as f64;
+        assert!(err < 0.01, "14-table total within 1% of 2.3 GB");
+    }
+
+    #[test]
+    fn scan_tasks_are_media_bound_on_active_disks() {
+        // The calibration invariant behind Figure 1a: a Cyrix processes a
+        // 64 B tuple in ~1.8 µs (select), i.e. scans at ~36 MB/s — faster
+        // than the ~18 MB/s media rate, so light scans stay media-bound.
+        let cyrix = arch::ProcessorSpec::cyrix_6x86_200();
+        let scan_rate_mb =
+            64.0 / (SELECT_NS_PER_TUPLE / cyrix.relative_perf) * 1e3;
+        assert!(scan_rate_mb > 21.3, "select on Cyrix ({scan_rate_mb} MB/s) outruns the media");
+    }
+
+    #[test]
+    fn sort_is_compute_heavier_than_select() {
+        let sort_total =
+            SORT_PARTITION_NS_PER_TUPLE + SORT_APPEND_NS_PER_TUPLE + SORT_SORT_NS_PER_TUPLE;
+        assert!(sort_total > 2.0 * SELECT_NS_PER_TUPLE);
+    }
+
+    #[test]
+    fn memory_fraction_is_a_fraction() {
+        assert!((0.0..=1.0).contains(&MEMORY_USABLE_FRACTION));
+    }
+}

@@ -1,0 +1,469 @@
+//! Builds the phase plan for a task on a given architecture.
+//!
+//! The phase *structure* of each task is identical across architectures
+//! (the paper adapted the same well-known algorithm to each programming
+//! model); what differs is the memory available for planning — Active
+//! Disks bring 32 MB per disk, cluster nodes 104 MB usable, SMPs
+//! 64 MB per processor — which sets external-sort run counts and PipeHash
+//! pass counts. Placement and communication differences are applied by the
+//! simulator, which knows the architecture's fabrics.
+
+use arch::Architecture;
+use datagen::{DatasetSpec, TaskParams};
+use kernels::cube::pack_first_fit;
+use kernels::sort::run_count;
+use simcore::Duration;
+
+use crate::costs;
+use crate::plan::{CpuWork, PhasePlan, TaskPlan};
+use crate::TaskKind;
+
+/// Builds the [`TaskPlan`] for `kind` on `arch`.
+///
+/// # Example
+///
+/// ```
+/// use arch::Architecture;
+/// use tasks::{plan_task, TaskKind};
+///
+/// let plan = plan_task(TaskKind::Sort, &Architecture::active_disks(64));
+/// assert_eq!(plan.phases.len(), 2); // repartition + merge
+/// assert_eq!(plan.total_shuffle_bytes(), 16_000_000_000);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the produced plan fails validation (an internal bug, not a
+/// user error).
+pub fn plan_task(kind: TaskKind, arch: &Architecture) -> TaskPlan {
+    plan_task_on(kind, arch, &kind.dataset())
+}
+
+/// Builds the [`TaskPlan`] for `kind` on `arch` over an explicit dataset
+/// (growth studies scale Table 2's datasets up; tests scale them down).
+///
+/// # Panics
+///
+/// Panics if the produced plan fails validation.
+pub fn plan_task_on(kind: TaskKind, arch: &Architecture, dataset: &DatasetSpec) -> TaskPlan {
+    let dataset = dataset.clone();
+    let n = arch.disks() as u64;
+    let usable_mem =
+        (arch.aggregate_memory_bytes() as f64 * costs::MEMORY_USABLE_FRACTION) as u64;
+    let phases = match kind {
+        TaskKind::Select => plan_select(&dataset),
+        TaskKind::Aggregate => plan_aggregate(&dataset),
+        TaskKind::GroupBy => plan_groupby(&dataset),
+        TaskKind::DataCube => plan_dcube(&dataset, usable_mem),
+        TaskKind::Sort => plan_sort(&dataset, n, usable_mem),
+        TaskKind::Join => plan_join(&dataset),
+        TaskKind::DataMine => plan_dmine(&dataset),
+        TaskKind::MaterializedView => plan_mview(&dataset),
+    };
+    let plan = TaskPlan {
+        task: kind.name(),
+        phases,
+    };
+    plan.validate().expect("planner produced an invalid plan");
+    plan
+}
+
+fn plan_select(d: &datagen::DatasetSpec) -> Vec<PhasePlan> {
+    let TaskParams::Select { selectivity } = d.params else {
+        unreachable!("select dataset");
+    };
+    let mut p = PhasePlan::new("scan", d.total_bytes);
+    p.read_cpu = vec![CpuWork::per_tuple(
+        "filter",
+        costs::SELECT_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+    // Matching tuples are materialized as a local result relation; only a
+    // per-node match-count summary reaches the front-end.
+    p.local_write_factor = selectivity;
+    p.frontend_bytes_per_node = 64;
+    p.frontend_combinable = true;
+    vec![p]
+}
+
+fn plan_aggregate(d: &datagen::DatasetSpec) -> Vec<PhasePlan> {
+    let mut p = PhasePlan::new("scan", d.total_bytes);
+    p.read_cpu = vec![CpuWork::per_tuple(
+        "aggregate",
+        costs::AGGREGATE_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+    // Each node contributes a single accumulator, combined by a global
+    // reduction.
+    p.frontend_bytes_per_node = 64;
+    p.frontend_combinable = true;
+    vec![p]
+}
+
+fn plan_groupby(d: &datagen::DatasetSpec) -> Vec<PhasePlan> {
+    let TaskParams::GroupBy {
+        distinct_groups, ..
+    } = d.params
+    else {
+        unreachable!("groupby dataset");
+    };
+    let result_bytes = distinct_groups * costs::GROUPBY_RESULT_BYTES;
+    let mut p = PhasePlan::new("scan", d.total_bytes);
+    p.read_cpu = vec![CpuWork::per_tuple(
+        "hash-agg",
+        costs::GROUPBY_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+    p.frontend_factor = result_bytes as f64 / d.total_bytes as f64;
+    p.frontend_cpu_ns_per_byte = costs::FRONTEND_NS_PER_BYTE;
+    vec![p]
+}
+
+fn plan_dcube(d: &datagen::DatasetSpec, usable_mem: u64) -> Vec<PhasePlan> {
+    // PipeHash structure: the first pass scans the raw relation and
+    // computes the pipeline root — the *largest* group-by. Every later
+    // pass scans that root (695 MB, not 17 GB) to derive a batch of the
+    // remaining 14 group-bys whose hash tables co-reside in memory.
+    let sizes = costs::dcube_table_sizes();
+    let root_bytes = sizes[0];
+    let rest = &sizes[1..];
+    let root_fits = root_bytes <= usable_mem;
+
+    let mut phases = Vec::new();
+    let mut p1 = PhasePlan::new(
+        if root_fits { "cube-raw-scan" } else { "cube-spill-scan" },
+        d.total_bytes,
+    );
+    p1.read_cpu = vec![CpuWork::per_tuple(
+        "hash-pipeline",
+        costs::DCUBE_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+    p1.local_write_factor = root_bytes as f64 / d.total_bytes as f64;
+    if !root_fits {
+        // The root's table exceeds aggregate disk memory: each disk
+        // repeatedly fills its share and forwards partial tables to the
+        // front-end (which merges them in its 1 GB). Local aggregation
+        // deduplicates some input within each flush; ~60% of scanned
+        // bytes are forwarded (documented calibration).
+        p1.frontend_factor = 0.6;
+        p1.frontend_cpu_ns_per_byte = costs::FRONTEND_NS_PER_BYTE;
+    }
+    phases.push(p1);
+
+    // Pack the remaining group-bys into parent scans under the memory
+    // budget. Each parent pass re-reads the root plus the staged pipeline
+    // intermediates hanging off it (≈ another root's worth), at the same
+    // per-tuple pipeline cost.
+    for batch in pack_first_fit(rest, usable_mem) {
+        let out_bytes: u64 = batch.iter().map(|&g| rest[g]).sum();
+        let mut p = PhasePlan::new("cube-parent-scan", 2 * root_bytes);
+        p.reads_intermediate = true;
+        p.read_cpu = vec![CpuWork::per_tuple(
+            "hash-pipeline",
+            costs::DCUBE_NS_PER_TUPLE,
+            d.tuple_bytes,
+        )];
+        p.local_write_factor = out_bytes as f64 / (2 * root_bytes) as f64;
+        phases.push(p);
+    }
+    phases
+}
+
+fn plan_sort(d: &datagen::DatasetSpec, n: u64, usable_mem: u64) -> Vec<PhasePlan> {
+    let per_node_bytes = d.total_bytes / n;
+    let buffer = (usable_mem / n).max(d.tuple_bytes);
+    let runs = run_count(per_node_bytes, buffer);
+
+    let mut p1 = PhasePlan::new("sort", d.total_bytes);
+    p1.read_cpu = vec![CpuWork::per_tuple(
+        "partitioner",
+        costs::SORT_PARTITION_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+    p1.recv_cpu = vec![
+        CpuWork::per_tuple("append", costs::SORT_APPEND_NS_PER_TUPLE, d.tuple_bytes),
+        CpuWork::per_tuple("sort", costs::SORT_SORT_NS_PER_TUPLE, d.tuple_bytes),
+    ];
+    p1.shuffle_factor = 1.0;
+    p1.write_received = true;
+
+    let mut p2 = PhasePlan::new("merge", d.total_bytes);
+    p2.reads_intermediate = true;
+    p2.read_cpu = vec![CpuWork::per_tuple(
+        "merge",
+        costs::SORT_MERGE_NS_PER_TUPLE_PER_LOG * (runs as f64).log2().max(1.0)
+            + costs::SORT_OUTPUT_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+    p2.local_write_factor = 1.0;
+    // Run-switch seeks: the merge cycles through `runs` run files with a
+    // per-run read buffer of (buffer / runs); each refill costs a short
+    // seek + settling.
+    let switches = per_node_bytes * runs / buffer.max(1);
+    p2.extra_disk_busy_per_node = Duration::from_micros(2_500) * switches;
+    vec![p1, p2]
+}
+
+fn plan_join(d: &datagen::DatasetSpec) -> Vec<PhasePlan> {
+    let TaskParams::Join {
+        projected_tuple_bytes,
+        ..
+    } = d.params
+    else {
+        unreachable!("join dataset");
+    };
+    let projection = projected_tuple_bytes as f64 / d.tuple_bytes as f64;
+
+    let mut p1 = PhasePlan::new("partition", d.total_bytes);
+    p1.read_cpu = vec![CpuWork::per_tuple(
+        "project-partition",
+        costs::JOIN_PARTITION_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+    p1.shuffle_factor = projection;
+    p1.write_received = true;
+
+    let projected_total = (d.total_bytes as f64 * projection) as u64;
+    let mut p2 = PhasePlan::new("build-probe", projected_total);
+    p2.reads_intermediate = true;
+    p2.read_cpu = vec![CpuWork::per_tuple(
+        "build-probe",
+        costs::JOIN_BUILD_PROBE_NS_PER_TUPLE,
+        projected_tuple_bytes,
+    )];
+    // The join result (matching pairs) is written locally; the paper's
+    // projected join is selective, producing about a quarter of the
+    // projected volume.
+    p2.local_write_factor = 0.25;
+    vec![p1, p2]
+}
+
+fn plan_dmine(d: &datagen::DatasetSpec) -> Vec<PhasePlan> {
+    let TaskParams::DataMine {
+        counter_bytes_per_disk,
+        ..
+    } = d.params
+    else {
+        unreachable!("dmine dataset");
+    };
+    (0..costs::DMINE_PASSES)
+        .map(|_| {
+            let mut p = PhasePlan::new("count-pass", d.total_bytes);
+            p.read_cpu = vec![CpuWork::per_tuple(
+                "count",
+                costs::DMINE_NS_PER_TXN_PER_PASS,
+                d.tuple_bytes,
+            )];
+            // Counters are merged by a global reduction after each pass.
+            p.frontend_bytes_per_node = counter_bytes_per_disk;
+            p.frontend_combinable = true;
+            p.frontend_cpu_ns_per_byte = costs::FRONTEND_NS_PER_BYTE;
+            p
+        })
+        .collect()
+}
+
+fn plan_mview(d: &datagen::DatasetSpec) -> Vec<PhasePlan> {
+    let TaskParams::MaterializedView {
+        derived_bytes,
+        delta_bytes,
+    } = d.params
+    else {
+        unreachable!("mview dataset");
+    };
+    // Phase 1: scan the delta stream and route each delta to the node
+    // owning its view fragment.
+    let mut p1 = PhasePlan::new("route-deltas", delta_bytes);
+    p1.read_cpu = vec![CpuWork::per_tuple(
+        "route",
+        costs::MVIEW_ROUTE_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+    p1.shuffle_factor = 1.0;
+    p1.recv_cpu = vec![CpuWork::per_tuple(
+        "stage",
+        costs::SORT_APPEND_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+
+    // Phase 2: scan the derived relations, merge the staged deltas in,
+    // write the refreshed views back.
+    let mut p2 = PhasePlan::new("merge-views", derived_bytes);
+    p2.read_cpu = vec![CpuWork::per_tuple(
+        "merge",
+        costs::MVIEW_MERGE_NS_PER_TUPLE,
+        d.tuple_bytes,
+    )];
+    p2.local_write_factor = 1.0;
+    vec![p1, p2]
+}
+
+/// Applies per-destination shuffle weights to every repartitioning phase
+/// of `plan` (the skew-sensitivity extension: heavy-tailed keys hash to
+/// unequal partitions, so some nodes receive far more than others).
+///
+/// # Panics
+///
+/// Panics if the resulting plan fails validation (bad weights).
+pub fn apply_shuffle_skew(plan: &mut TaskPlan, weights: Vec<f64>) {
+    for phase in &mut plan.phases {
+        if phase.shuffle_factor > 0.0 {
+            phase.shuffle_weights = Some(weights.clone());
+        }
+    }
+    plan.validate().expect("skewed plan must stay valid");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch::Architecture;
+
+    #[test]
+    fn every_task_plans_on_every_architecture() {
+        for kind in TaskKind::ALL {
+            for arch in [
+                Architecture::active_disks(16),
+                Architecture::cluster(64),
+                Architecture::smp(128),
+            ] {
+                let plan = plan_task(kind, &arch);
+                plan.validate().expect("valid plan");
+                assert!(!plan.phases.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn select_materializes_one_percent_locally() {
+        let plan = plan_task(TaskKind::Select, &Architecture::active_disks(16));
+        assert_eq!(plan.phases.len(), 1);
+        let p = &plan.phases[0];
+        assert!((p.local_write_factor - 0.01).abs() < 1e-9);
+        // Only a combinable per-node summary reaches the front-end.
+        assert_eq!(p.frontend_bytes_per_node, 64);
+        assert!(p.frontend_combinable);
+        assert_eq!(p.frontend_factor, 0.0);
+    }
+
+    #[test]
+    fn sort_repartitions_everything_once() {
+        let plan = plan_task(TaskKind::Sort, &Architecture::active_disks(64));
+        assert_eq!(plan.phases.len(), 2);
+        assert_eq!(plan.total_shuffle_bytes(), plan.phases[0].read_bytes_total);
+        assert!(plan.phases[0].write_received);
+        assert!((plan.phases[1].local_write_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sort_merge_gets_cheaper_with_memory() {
+        // Paper Section 4.3: 64 MB disks make longer runs, reducing CPU
+        // cost ~7% and disk access ~2%.
+        let base = plan_task(
+            TaskKind::Sort,
+            &Architecture::active_disks(16).with_disk_memory(32 << 20),
+        );
+        let more = plan_task(
+            TaskKind::Sort,
+            &Architecture::active_disks(16).with_disk_memory(64 << 20),
+        );
+        let merge_cost = |p: &TaskPlan| p.phases[1].read_cpu[0].ns_per_byte;
+        assert!(
+            merge_cost(&more) < merge_cost(&base),
+            "longer runs merge cheaper"
+        );
+        let improvement = 1.0 - merge_cost(&more) / merge_cost(&base);
+        assert!(
+            (0.02..0.15).contains(&improvement),
+            "merge CPU improvement {improvement}"
+        );
+        assert!(
+            more.phases[1].extra_disk_busy_per_node < base.phases[1].extra_disk_busy_per_node,
+            "fewer run switches"
+        );
+    }
+
+    #[test]
+    fn join_projects_before_shuffling() {
+        let plan = plan_task(TaskKind::Join, &Architecture::cluster(32));
+        assert_eq!(plan.phases.len(), 2);
+        assert!((plan.phases[0].shuffle_factor - 0.5).abs() < 1e-9);
+        // Phase 2 reads the projected (halved) volume.
+        assert_eq!(
+            plan.phases[1].read_bytes_total,
+            plan.phases[0].read_bytes_total / 2
+        );
+    }
+
+    #[test]
+    fn dmine_makes_three_passes_and_ships_counters() {
+        let plan = plan_task(TaskKind::DataMine, &Architecture::smp(64));
+        assert_eq!(plan.phases.len(), 3);
+        for p in &plan.phases {
+            assert_eq!(p.frontend_bytes_per_node, 5_400_000);
+            assert_eq!(p.shuffle_factor, 0.0, "dmine does not repartition");
+        }
+    }
+
+    #[test]
+    fn dcube_pass_count_depends_on_memory() {
+        // 16 Active Disks at 32 MB spill the 695 MB table; at 64 MB they
+        // do not, and the pass count drops.
+        let small = plan_task(
+            TaskKind::DataCube,
+            &Architecture::active_disks(16).with_disk_memory(32 << 20),
+        );
+        let big = plan_task(
+            TaskKind::DataCube,
+            &Architecture::active_disks(16).with_disk_memory(64 << 20),
+        );
+        assert!(
+            small.phases.iter().any(|p| p.name == "cube-spill-scan"),
+            "32 MB @ 16 disks spills to the front-end"
+        );
+        assert!(
+            !big.phases.iter().any(|p| p.name == "cube-spill-scan"),
+            "64 MB fits the largest table"
+        );
+        assert!(big.phases.len() < small.phases.len());
+    }
+
+    #[test]
+    fn dcube_64_disks_drops_from_three_to_two_passes() {
+        let p32 = plan_task(
+            TaskKind::DataCube,
+            &Architecture::active_disks(64).with_disk_memory(32 << 20),
+        );
+        let p64 = plan_task(
+            TaskKind::DataCube,
+            &Architecture::active_disks(64).with_disk_memory(64 << 20),
+        );
+        assert_eq!(p32.phases.len(), 3, "paper: three passes at 32 MB");
+        assert_eq!(p64.phases.len(), 2, "paper: two passes at 64 MB");
+    }
+
+    #[test]
+    fn mview_routes_deltas_then_merges() {
+        let plan = plan_task(TaskKind::MaterializedView, &Architecture::active_disks(32));
+        assert_eq!(plan.phases.len(), 2);
+        assert_eq!(plan.phases[0].read_bytes_total, datagen::GB);
+        assert_eq!(plan.phases[1].read_bytes_total, 4 * datagen::GB);
+        assert!((plan.phases[0].shuffle_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_applies_to_repartition_phases_only() {
+        let mut plan = plan_task(TaskKind::Sort, &Architecture::active_disks(4));
+        apply_shuffle_skew(&mut plan, vec![0.7, 0.1, 0.1, 0.1]);
+        assert!(plan.phases[0].shuffle_weights.is_some(), "sort phase is skewed");
+        assert!(plan.phases[1].shuffle_weights.is_none(), "merge phase untouched");
+    }
+
+    #[test]
+    fn aggregate_sends_almost_nothing_to_frontend() {
+        let plan = plan_task(TaskKind::Aggregate, &Architecture::cluster(128));
+        assert_eq!(plan.phases[0].frontend_bytes_per_node, 64);
+        assert_eq!(plan.phases[0].frontend_factor, 0.0);
+    }
+}

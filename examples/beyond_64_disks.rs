@@ -1,0 +1,65 @@
+//! Evaluating the paper's scaling recommendation.
+//!
+//! The paper concludes that "for configurations up to 64 disks, a dual
+//! fibre channel arbitrated loop interconnect is sufficient even for the
+//! most communication-intensive decision support tasks. To scale to
+//! larger configurations, a more aggressive interconnect (e.g., multiple
+//! fibre channel loops connected by a FibreSwitch) would be needed."
+//!
+//! This example evaluates that recommendation, which the paper itself
+//! does not: sort and join (the loop-saturating tasks) on Active Disk
+//! farms from 32 to 512 disks, dual loop vs switched fabric.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example beyond_64_disks
+//! ```
+
+use activedisks::arch::Architecture;
+use activedisks::howsim::Simulation;
+use activedisks::tasks::TaskKind;
+
+fn main() {
+    println!("Active Disk scaling: dual FC-AL vs FibreSwitch fabric\n");
+    for task in [TaskKind::Sort, TaskKind::Join] {
+        println!("{}:", task.name());
+        println!(
+            "{:>7}  {:>12} {:>13} {:>9}",
+            "disks", "dual loop(s)", "FibreSwitch(s)", "speedup"
+        );
+        let mut prev_dual = f64::NAN;
+        let mut prev_switch = f64::NAN;
+        for disks in [32usize, 64, 128, 256, 512] {
+            let dual = Simulation::new(Architecture::active_disks(disks))
+                .run(task)
+                .elapsed()
+                .as_secs_f64();
+            let switched =
+                Simulation::new(Architecture::active_disks(disks).with_fibre_switch())
+                    .run(task)
+                    .elapsed()
+                    .as_secs_f64();
+            let note = if prev_dual.is_finite() {
+                format!(
+                    "  (2x disks: loop {:.2}x, switch {:.2}x)",
+                    prev_dual / dual,
+                    prev_switch / switched
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "{disks:>7}  {dual:>12.1} {switched:>13.1} {:>8.2}x{note}",
+                dual / switched
+            );
+            prev_dual = dual;
+            prev_switch = switched;
+        }
+        println!();
+    }
+    println!(
+        "The dual loop pins repartitioning tasks past ~64 disks; the switched\n\
+         fabric restores near-linear scaling — the paper's recommendation holds."
+    );
+}

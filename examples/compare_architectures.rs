@@ -1,0 +1,78 @@
+//! Architecture shoot-out: the paper's core experiment (Figure 1) in
+//! miniature, plus price/performance (Table 1).
+//!
+//! Runs every decision-support task on Active Disks, a commodity cluster,
+//! and an SMP with identical disks and processor counts, then folds in the
+//! cost model to report price/performance.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example compare_architectures [disks]
+//! ```
+
+use activedisks::arch::{Architecture, PriceDate, PriceTable};
+use activedisks::howsim::Simulation;
+use activedisks::tasks::TaskKind;
+
+fn main() {
+    let disks: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+
+    let archs = [
+        Architecture::active_disks(disks),
+        Architecture::cluster(disks),
+        Architecture::smp(disks),
+    ];
+
+    println!("Execution time (s), {disks} disks / processors:");
+    println!(
+        "{:>10}  {:>10} {:>10} {:>10}",
+        "task", "Active", "Cluster", "SMP"
+    );
+    let mut totals = [0.0f64; 3];
+    for task in TaskKind::ALL {
+        let mut row = Vec::new();
+        for (i, arch) in archs.iter().enumerate() {
+            let secs = Simulation::new(arch.clone())
+                .run(task)
+                .elapsed()
+                .as_secs_f64();
+            totals[i] += secs;
+            row.push(secs);
+        }
+        println!(
+            "{:>10}  {:>10.1} {:>10.1} {:>10.1}",
+            task.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    println!(
+        "{:>10}  {:>10.1} {:>10.1} {:>10.1}",
+        "suite", totals[0], totals[1], totals[2]
+    );
+
+    // Price/performance: suite throughput per dollar, normalized to the
+    // Active Disk configuration (prices from Table 1, August 1998).
+    let prices = PriceTable::at(PriceDate::Aug98);
+    let cost = [
+        prices.active_disk_total(disks) as f64,
+        prices.cluster_total(disks) as f64,
+        prices.smp_total(disks) as f64,
+    ];
+    println!("\nPrice and price/performance (8/98 prices):");
+    let base = 1.0 / (totals[0] * cost[0]);
+    for (i, name) in ["Active Disks", "Cluster", "SMP"].iter().enumerate() {
+        let perf_per_dollar = 1.0 / (totals[i] * cost[i]);
+        println!(
+            "{:>13}: ${:>9.0}   relative price/performance {:.2}",
+            name,
+            cost[i],
+            perf_per_dollar / base
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Building a custom workload on the public phase-plan API.
+//!
+//! The eight built-in tasks cover the paper's suite, but the simulator
+//! executes any coarse-grain dataflow expressed as a `TaskPlan`. This
+//! example models a workload the paper's introduction motivates but does
+//! not evaluate: an overnight "mine everything" pipeline that scans the
+//! warehouse, extracts features at the disks, repartitions a sample by
+//! customer, and clusters it — then asks the paper's core question: which
+//! architecture should you buy for it?
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use activedisks::arch::Architecture;
+use activedisks::howsim::Simulation;
+use activedisks::simcore::Duration;
+use activedisks::tasks::plan::{CpuWork, PhasePlan, TaskPlan};
+use datagen::GB;
+
+/// A three-phase feature-extraction + clustering pipeline over a 24 GB
+/// clickstream (128-byte events).
+fn overnight_mining_plan() -> TaskPlan {
+    let warehouse = 24 * GB;
+    let event_bytes = 128;
+
+    // Phase 1: scan everything, extract features at the data (cheap
+    // per-event parse + feature hash), keep a 5% sample routed by
+    // customer id to its owning node.
+    let mut extract = PhasePlan::new("extract", warehouse);
+    extract.read_cpu = vec![
+        CpuWork::per_tuple("parse", 900.0, event_bytes),
+        CpuWork::per_tuple("featurize", 1_400.0, event_bytes),
+    ];
+    extract.shuffle_factor = 0.05;
+    extract.recv_cpu = vec![CpuWork::per_tuple("stage", 300.0, event_bytes)];
+    extract.write_received = true;
+
+    // Phase 2: cluster the per-customer sample locally (CPU-heavy k-means
+    // style passes over the staged 5%).
+    let sample = warehouse / 20;
+    let mut cluster = PhasePlan::new("cluster", sample);
+    cluster.reads_intermediate = true;
+    cluster.read_cpu = vec![CpuWork::per_tuple("kmeans", 6_500.0, event_bytes)];
+    cluster.local_write_factor = 0.10;
+
+    // Phase 3: ship per-node model summaries to the front-end (combinable
+    // partial centroids).
+    let mut summarize = PhasePlan::new("summarize", sample / 10);
+    summarize.reads_intermediate = true;
+    summarize.read_cpu = vec![CpuWork::per_tuple("fold", 500.0, event_bytes)];
+    summarize.frontend_bytes_per_node = 2 << 20;
+    summarize.frontend_combinable = true;
+    summarize.frontend_cpu_ns_per_byte = 5.5;
+    summarize.extra_disk_busy_per_node = Duration::from_millis(50);
+
+    TaskPlan {
+        task: "overnight-mining",
+        phases: vec![extract, cluster, summarize],
+    }
+}
+
+fn main() {
+    let plan = overnight_mining_plan();
+    plan.validate().expect("plan is well-formed");
+    println!(
+        "workload: {} ({} phases, {:.0} GB scanned, {:.1} GB shuffled)\n",
+        plan.task,
+        plan.phases.len(),
+        plan.total_read_bytes() as f64 / GB as f64,
+        plan.total_shuffle_bytes() as f64 / GB as f64,
+    );
+
+    for disks in [32, 128] {
+        println!("{disks} disks / processors:");
+        for arch in [
+            Architecture::active_disks(disks),
+            Architecture::cluster(disks),
+            Architecture::smp(disks),
+        ] {
+            let report = Simulation::new(arch.clone()).run_plan(&plan);
+            let phases: Vec<String> = report
+                .phases
+                .iter()
+                .map(|p| format!("{} {:.1}s", p.name, p.elapsed.as_secs_f64()))
+                .collect();
+            println!(
+                "  {:>8}: {:>7.1} s   [{}]",
+                arch.short_name(),
+                report.elapsed().as_secs_f64(),
+                phases.join(", ")
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: simulate one decision-support task on an Active Disk farm.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use activedisks::arch::Architecture;
+use activedisks::howsim::Simulation;
+use activedisks::tasks::TaskKind;
+
+fn main() {
+    // A 32-disk Active Disk farm with the paper's baseline components:
+    // Seagate Cheetah 9LP drives, a Cyrix 6x86 200 MHz and 32 MB SDRAM in
+    // every unit, a dual 200 MB/s Fibre Channel loop, direct disk-to-disk
+    // communication, and a 450 MHz Pentium II front-end.
+    let farm = Architecture::active_disks(32);
+    let sim = Simulation::new(farm);
+
+    // Run the SQL select task: a 1%-selectivity scan over 268 million
+    // 64-byte tuples (Table 2 of the paper).
+    let report = sim.run(TaskKind::Select);
+
+    println!("{report}");
+    for phase in &report.phases {
+        println!(
+            "  phase {:<12} {:>8.2} s   CPU idle {:>4.1}%   {} MB to front-end",
+            phase.name,
+            phase.elapsed.as_secs_f64(),
+            phase.idle_fraction() * 100.0,
+            phase.frontend_bytes / 1_000_000,
+        );
+    }
+
+    // The same task on the two conventional architectures the paper
+    // compares against, with identical disks and processor counts.
+    for arch in [Architecture::cluster(32), Architecture::smp(32)] {
+        let r = Simulation::new(arch).run(TaskKind::Select);
+        println!("{r}");
+    }
+}

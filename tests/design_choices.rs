@@ -1,0 +1,179 @@
+//! End-to-end tests of the paper's design-choice experiments
+//! (Sections 4.2–4.4): interconnect bandwidth, disk memory, and the
+//! communication architecture.
+
+use activedisks::arch::Architecture;
+use activedisks::diskmodel::DiskSpec;
+use activedisks::howsim::Simulation;
+use activedisks::tasks::TaskKind;
+
+fn secs(arch: Architecture, task: TaskKind) -> f64 {
+    Simulation::new(arch).run(task).elapsed().as_secs_f64()
+}
+
+/// Conclusion 1: "for configurations up to 64 disks, a dual fibre channel
+/// arbitrated loop interconnect is sufficient even for the most
+/// communication-intensive decision support tasks" — i.e. doubling the
+/// loop helps little at 16–32 disks, a lot at 128.
+#[test]
+fn dual_loop_sufficient_to_64_disks() {
+    let gain = |disks: usize| {
+        let base = secs(Architecture::active_disks(disks), TaskKind::Sort);
+        let fast = secs(
+            Architecture::active_disks(disks).with_interconnect_mb(400.0),
+            TaskKind::Sort,
+        );
+        1.0 - fast / base
+    };
+    assert!(gain(16) < 0.05, "16 disks: Fast I/O gain {:.2}", gain(16));
+    assert!(gain(128) > 0.25, "128 disks: Fast I/O gain {:.2}", gain(128));
+    assert!(gain(128) > 3.0 * gain(32), "the loop saturates only at scale");
+}
+
+/// Figure 3's hardware ablation: at 16 disks the disks are the
+/// bottleneck (Fast Disk helps, Fast I/O does not); at 128 the loop is
+/// (Fast I/O helps, Fast Disk does not).
+#[test]
+fn bottleneck_migrates_from_disks_to_loop() {
+    let sort = TaskKind::Sort;
+    let base16 = secs(Architecture::active_disks(16), sort);
+    let fdisk16 = secs(
+        Architecture::active_disks(16).with_disk_spec(DiskSpec::hitachi_dk3e1t_91()),
+        sort,
+    );
+    let fio16 = secs(Architecture::active_disks(16).with_interconnect_mb(400.0), sort);
+    assert!(base16 - fdisk16 > base16 - fio16, "disks matter more at 16");
+
+    let base128 = secs(Architecture::active_disks(128), sort);
+    let fdisk128 = secs(
+        Architecture::active_disks(128).with_disk_spec(DiskSpec::hitachi_dk3e1t_91()),
+        sort,
+    );
+    let fio128 = secs(Architecture::active_disks(128).with_interconnect_mb(400.0), sort);
+    assert!(base128 - fio128 > base128 - fdisk128, "loop matters more at 128");
+}
+
+/// Conclusion 2: "most decision support tasks do not require a large
+/// amount of memory" — only dcube gains significantly, and only on small
+/// configurations.
+#[test]
+fn memory_insensitivity() {
+    for task in TaskKind::ALL {
+        let base = secs(
+            Architecture::active_disks(64).with_disk_memory(32 << 20),
+            task,
+        );
+        let big = secs(
+            Architecture::active_disks(64).with_disk_memory(64 << 20),
+            task,
+        );
+        let gain = 1.0 - big / base;
+        if task == TaskKind::DataCube {
+            assert!(gain > 0.0, "dcube should gain from memory at 64 disks");
+        } else {
+            assert!(
+                gain.abs() < 0.05,
+                "{}: memory gain {gain:.3} should be negligible",
+                task.name()
+            );
+        }
+    }
+}
+
+/// Even for dcube, "the largest performance improvement is only about 35%
+/// which occurs for 16-disk configurations".
+#[test]
+fn dcube_memory_spike_is_at_16_disks() {
+    let gain = |disks: usize| {
+        let base = secs(
+            Architecture::active_disks(disks).with_disk_memory(32 << 20),
+            TaskKind::DataCube,
+        );
+        let big = secs(
+            Architecture::active_disks(disks).with_disk_memory(64 << 20),
+            TaskKind::DataCube,
+        );
+        1.0 - big / base
+    };
+    let g16 = gain(16);
+    assert!((0.2..0.5).contains(&g16), "dcube gain at 16 disks: {g16:.2}");
+    for disks in [32, 64, 128] {
+        assert!(
+            gain(disks) < g16,
+            "dcube gain at {disks} disks should be below the 16-disk spike"
+        );
+    }
+}
+
+/// "There is no performance improvement beyond 64 MB" for dcube at 16
+/// disks (all group-bys then fit).
+#[test]
+fn dcube_memory_saturates_at_64mb() {
+    let m64 = secs(
+        Architecture::active_disks(16).with_disk_memory(64 << 20),
+        TaskKind::DataCube,
+    );
+    let m128 = secs(
+        Architecture::active_disks(16).with_disk_memory(128 << 20),
+        TaskKind::DataCube,
+    );
+    let further = 1.0 - m128 / m64;
+    assert!(
+        further < 0.10,
+        "gain beyond 64 MB should be small, got {further:.2}"
+    );
+}
+
+/// Conclusion 3: "direct disk-to-disk communication is necessary for
+/// achieving good performance on tasks that repartition all (or a large
+/// fraction of) their dataset" — and harmless to skip for the rest.
+#[test]
+fn direct_disk_to_disk_necessity() {
+    for task in TaskKind::ALL {
+        let direct = secs(Architecture::active_disks(128), task);
+        let restricted = secs(
+            Architecture::active_disks(128).with_direct_disk_to_disk(false),
+            task,
+        );
+        let slowdown = restricted / direct;
+        if task.repartitions() {
+            assert!(
+                slowdown > 2.0,
+                "{}: restricted slowdown {slowdown:.2} should be large",
+                task.name()
+            );
+            assert!(
+                slowdown < 7.0,
+                "{}: restricted slowdown {slowdown:.2} should stay near the paper's five-fold",
+                task.name()
+            );
+        } else {
+            assert!(
+                slowdown < 1.5,
+                "{}: restricted slowdown {slowdown:.2} should be small",
+                task.name()
+            );
+        }
+    }
+}
+
+/// The front-end ablation the paper mentions: a 1 GHz front-end changes
+/// little, because the front-end is rarely the bottleneck in the direct
+/// architecture.
+#[test]
+fn faster_front_end_changes_little() {
+    for task in [TaskKind::Select, TaskKind::GroupBy, TaskKind::Sort] {
+        let base = secs(Architecture::active_disks(64), task);
+        let fast = secs(
+            Architecture::active_disks(64)
+                .with_front_end(activedisks::arch::ProcessorSpec::front_end_1ghz()),
+            task,
+        );
+        let gain = 1.0 - fast / base;
+        assert!(
+            gain.abs() < 0.15,
+            "{}: 1 GHz front-end gain {gain:.2}",
+            task.name()
+        );
+    }
+}

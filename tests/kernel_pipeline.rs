@@ -1,0 +1,209 @@
+//! Executes the real algorithms (crate `kernels`) end-to-end over
+//! reduced-scale synthetic versions of the Table 2 datasets — the
+//! reproduction's stand-in for the paper's trace-acquisition runs.
+
+use activedisks::datagen::{gen, DatasetSpec, TaskParams};
+use activedisks::kernels::{aggregate, apriori, cube, groupby, join, mview, select, sort};
+
+/// Scale factor: Table 2 datasets divided by ~2^14 so the suite runs in
+/// seconds while keeping each dataset's statistical shape.
+const SCALE: u64 = 16_384;
+
+#[test]
+fn select_task_at_scale() {
+    let spec = DatasetSpec::select().scaled_down(SCALE);
+    let TaskParams::Select { selectivity } = spec.params else {
+        panic!()
+    };
+    let distinct = 10_000;
+    let data = gen::tuples(spec.tuples as usize, distinct, 42);
+    let threshold = (distinct as f64 * selectivity) as u64;
+    let hits = select::filter(&data, threshold);
+    let observed = hits.len() as f64 / data.len() as f64;
+    assert!(
+        (observed - selectivity).abs() < selectivity * 0.3,
+        "observed selectivity {observed}"
+    );
+}
+
+#[test]
+fn aggregate_task_distributed_equals_central() {
+    let spec = DatasetSpec::aggregate().scaled_down(SCALE);
+    let data = gen::tuples(spec.tuples as usize, 1_000, 7);
+    // Partition over 16 "disks", reduce partials — the Active Disk plan.
+    let partials: Vec<i64> = data.chunks(data.len() / 16 + 1).map(aggregate::sum).collect();
+    assert_eq!(aggregate::combine(&partials), aggregate::sum(&data));
+}
+
+#[test]
+fn groupby_task_merges_to_expected_cardinality() {
+    let spec = DatasetSpec::groupby().scaled_down(SCALE);
+    let TaskParams::GroupBy {
+        distinct_groups, ..
+    } = spec.params
+    else {
+        panic!()
+    };
+    let scaled_groups = (distinct_groups / SCALE).max(1);
+    let data = gen::tuples(spec.tuples as usize, scaled_groups, 11);
+    let partials: Vec<_> = data
+        .chunks(data.len() / 8 + 1)
+        .map(groupby::hash_groupby)
+        .collect();
+    let merged = groupby::merge_groups(partials);
+    // With ~20 tuples per group, nearly all groups are hit.
+    assert!(
+        merged.len() as u64 > scaled_groups * 9 / 10,
+        "saw {} of {scaled_groups} groups",
+        merged.len()
+    );
+}
+
+#[test]
+fn sort_task_two_phase_distributed() {
+    let spec = DatasetSpec::sort().scaled_down(SCALE);
+    let records = gen::sort_records(spec.tuples as usize, 3);
+    let nodes = 16;
+    // Phase 1: range-partition to owners (the shuffle), form runs.
+    let mut per_node: Vec<Vec<_>> = vec![Vec::new(); nodes];
+    for r in &records {
+        per_node[sort::partition_of(r, nodes)].push(*r);
+    }
+    // Phase 2: each node externally sorts its partition; global order is
+    // partition-major.
+    let mut global = Vec::new();
+    for part in per_node {
+        let sorted = sort::external_sort(part, 250);
+        global.extend(sorted);
+    }
+    assert_eq!(global.len(), records.len());
+    assert!(
+        global.windows(2).all(|w| w[0].key <= w[1].key),
+        "distributed sort must produce a globally sorted sequence"
+    );
+}
+
+#[test]
+fn join_task_projected_partitioned() {
+    let spec = DatasetSpec::join().scaled_down(SCALE * 4);
+    let n = spec.tuples as usize / 2;
+    let r = gen::join_tuples(n, 50_000, 17);
+    let s = gen::join_tuples(n, 50_000, 18);
+    let fast = join::partitioned_join(&r, &s, 16);
+    let slow = join::nested_loop_join(&r, &s);
+    let canon = |mut v: Vec<(u64, i64, i64)>| {
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(canon(fast), canon(slow));
+}
+
+#[test]
+fn dmine_task_finds_frequent_itemsets() {
+    let spec = DatasetSpec::dmine().scaled_down(SCALE * 8);
+    let TaskParams::DataMine {
+        items,
+        avg_items_per_txn,
+        ..
+    } = spec.params
+    else {
+        panic!()
+    };
+    let scaled_items = (items / SCALE).max(100);
+    let txns = gen::transactions(
+        spec.tuples as usize,
+        scaled_items,
+        avg_items_per_txn,
+        23,
+    );
+    // The paper's 0.1% support is too selective at this scale; 2% keeps
+    // the pass structure identical.
+    let frequent = apriori::frequent_itemsets(&txns, 0.02, 4);
+    assert!(!frequent.is_empty(), "hot items must surface");
+    assert!(
+        apriori::pass_count(&frequent) >= 2,
+        "multi-item sets exist, forcing multiple passes"
+    );
+    // Cross-check against brute force on a subsample.
+    let sample = &txns[..txns.len().min(300)];
+    let mut fast = apriori::frequent_itemsets(sample, 0.05, 3);
+    fast.sort();
+    assert_eq!(fast, apriori::brute_force(sample, 0.05, 3));
+}
+
+#[test]
+fn dcube_task_lattice_and_planning() {
+    let spec = DatasetSpec::dcube().scaled_down(SCALE * 16);
+    let TaskParams::DataCube {
+        dim_distinct_fractions,
+        ..
+    } = spec.params
+    else {
+        panic!()
+    };
+    let n = spec.tuples;
+    let cards: Vec<u64> = dim_distinct_fractions
+        .iter()
+        .map(|f| ((n as f64 * f) as u64).max(2))
+        .collect();
+    let facts = gen::cube_facts(n as usize, [cards[0], cards[1], cards[2], cards[3]], 31);
+    let masks = cube::lattice(4);
+    let computed = cube::compute_cube(&facts, &masks);
+    assert_eq!(computed.len(), 15);
+    // Invariant: every group-by's grand total equals the raw measure sum.
+    let grand: i64 = facts.iter().map(|f| f.measure).sum();
+    for (mask, table) in &computed {
+        let total: i64 = table.values().sum();
+        assert_eq!(total, grand, "mask {mask:#06b} loses measure");
+    }
+    // The occupancy estimator tracks the observed cardinalities.
+    for (mask, table) in &computed {
+        let space: f64 = (0..4)
+            .filter(|d| mask & (1 << d) != 0)
+            .map(|d| cards[d] as f64)
+            .product();
+        let est = cube::expected_distinct(n, space.max(1.0));
+        let got = table.len() as f64;
+        assert!(
+            got <= est * 1.3 + 8.0 && got >= est * 0.7 - 8.0,
+            "mask {mask:#06b}: estimated {est:.0}, observed {got}"
+        );
+    }
+}
+
+#[test]
+fn mview_task_incremental_maintenance() {
+    let spec = DatasetSpec::mview().scaled_down(SCALE * 4);
+    let base = gen::tuples(spec.tuples as usize, 5_000, 41);
+    let TaskParams::MaterializedView { delta_bytes, .. } = spec.params else {
+        panic!()
+    };
+    let n_deltas = (delta_bytes / spec.tuple_bytes) as usize;
+    let deltas = gen::deltas(n_deltas, 5_000, 43);
+
+    // Distributed: views partitioned over 8 nodes by key owner.
+    let nodes = 8;
+    let mut views: Vec<mview::View> = vec![mview::View::new(); nodes];
+    for part in base.chunks(base.len() / nodes + 1) {
+        for owned in mview::route_deltas(part, nodes).into_iter().enumerate() {
+            let (node, tuples) = owned;
+            mview::apply_deltas(&mut views[node], &tuples);
+        }
+    }
+    for (node, part) in mview::route_deltas(&deltas, nodes).into_iter().enumerate() {
+        mview::apply_deltas(&mut views[node], &part);
+    }
+
+    // Centralized recomputation over base ∪ deltas.
+    let mut all = base.clone();
+    all.extend_from_slice(&deltas);
+    let central = mview::materialize(&all);
+
+    let mut union = mview::View::new();
+    for v in views {
+        for (k, agg) in v {
+            assert!(union.insert(k, agg).is_none(), "owner partitioning is disjoint");
+        }
+    }
+    assert_eq!(union, central);
+}

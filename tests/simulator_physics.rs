@@ -1,0 +1,158 @@
+//! Cross-crate invariants of the simulator itself: determinism,
+//! conservation of bytes, and physical lower bounds.
+
+use activedisks::arch::Architecture;
+use activedisks::howsim::{Report, Simulation};
+use activedisks::simcore::Bandwidth;
+use activedisks::tasks::{plan_task, TaskKind};
+
+fn run(arch: Architecture, task: TaskKind) -> Report {
+    Simulation::new(arch).run(task)
+}
+
+/// The simulator is fully deterministic: identical configurations produce
+/// bit-identical reports.
+#[test]
+fn determinism_across_runs() {
+    for task in [TaskKind::Sort, TaskKind::GroupBy] {
+        for arch in [
+            Architecture::active_disks(16),
+            Architecture::cluster(16),
+            Architecture::smp(16),
+        ] {
+            let a = run(arch.clone(), task);
+            let b = run(arch, task);
+            assert_eq!(a, b, "{} must be deterministic", task.name());
+        }
+    }
+}
+
+/// Interconnect byte conservation: the peer fabric carries exactly the
+/// planned shuffle volume on Active Disks (local shares excluded, which
+/// makes the carried volume slightly below the plan's total).
+#[test]
+fn shuffle_volume_matches_plan() {
+    let arch = Architecture::active_disks(32);
+    let plan = plan_task(TaskKind::Sort, &arch);
+    let planned = plan.total_shuffle_bytes();
+    let report = run(arch, TaskKind::Sort);
+    let carried = report.interconnect_bytes();
+    assert!(carried <= planned, "carried {carried} <= planned {planned}");
+    // 1/32 of the shuffle is node-local; everything else crosses the loop.
+    assert!(
+        carried as f64 > planned as f64 * 0.9,
+        "carried {carried} should be within 10% of planned {planned}"
+    );
+}
+
+/// The front-end receives exactly the group-by result volume.
+#[test]
+fn groupby_frontend_volume() {
+    let report = run(Architecture::active_disks(64), TaskKind::GroupBy);
+    let expected = 13_500_000u64 * activedisks::tasks::costs::GROUPBY_RESULT_BYTES;
+    let got = report.frontend_bytes();
+    let err = (got as f64 - expected as f64).abs() / expected as f64;
+    assert!(err < 0.01, "front-end got {got}, expected ~{expected}");
+}
+
+/// Physical floor: a task can never finish faster than its planned scan
+/// volume can be pulled off the media at the outermost-zone rate.
+#[test]
+fn media_rate_lower_bound() {
+    for task in TaskKind::ALL {
+        for arch in [Architecture::active_disks(64), Architecture::cluster(64)] {
+            let plan = plan_task(task, &arch);
+            let per_disk = plan.total_read_bytes() / 64;
+            let floor = Bandwidth::from_mb_per_sec(21.3)
+                .transfer_time(per_disk)
+                .as_secs_f64();
+            let elapsed = run(arch.clone(), task).elapsed().as_secs_f64();
+            assert!(
+                elapsed >= floor * 0.99,
+                "{} on {}: {elapsed:.1}s beats the media floor {floor:.1}s",
+                task.name(),
+                arch.short_name()
+            );
+        }
+    }
+}
+
+/// SMP floor: every byte of every pass crosses the 200 MB/s loop.
+#[test]
+fn smp_loop_lower_bound() {
+    let report = run(Architecture::smp(128), TaskKind::DataMine);
+    // Three passes over ~16 GB at a nominal 200 MB/s.
+    let floor = 3.0 * 16e9 / 200e6;
+    assert!(
+        report.elapsed().as_secs_f64() >= floor,
+        "dmine on SMP: {} < loop floor {floor}",
+        report.elapsed().as_secs_f64()
+    );
+}
+
+/// Reports are structurally sound for every task × architecture pair:
+/// phases in plan order, positive elapsed, busy ≤ capacity.
+#[test]
+fn reports_are_well_formed_everywhere() {
+    for task in TaskKind::ALL {
+        for arch in [
+            Architecture::active_disks(16),
+            Architecture::cluster(16),
+            Architecture::smp(16),
+        ] {
+            let plan = plan_task(task, &arch);
+            let report = run(arch, task);
+            assert_eq!(report.phases.len(), plan.phases.len());
+            for (pr, pp) in report.phases.iter().zip(&plan.phases) {
+                assert_eq!(pr.name, pp.name);
+                assert!(pr.elapsed.as_nanos() > 0, "{}: empty phase", pr.name);
+                let capacity = pr.elapsed * pr.nodes as u64;
+                assert!(
+                    pr.cpu_busy_total <= capacity,
+                    "{} {}: busy {} > capacity {}",
+                    task.name(),
+                    pr.name,
+                    pr.cpu_busy_total,
+                    capacity
+                );
+            }
+        }
+    }
+}
+
+/// More disks never make a task slower on Active Disks (monotone scaling).
+#[test]
+fn scaling_is_monotone_on_active_disks() {
+    for task in TaskKind::ALL {
+        let mut last = f64::INFINITY;
+        for disks in [16, 32, 64, 128] {
+            let t = run(Architecture::active_disks(disks), task)
+                .elapsed()
+                .as_secs_f64();
+            assert!(
+                t <= last * 1.02,
+                "{} at {disks} disks: {t:.1}s regressed from {last:.1}s",
+                task.name()
+            );
+            last = t;
+        }
+    }
+}
+
+/// Custom plans run through the public API (the `run_plan` path).
+#[test]
+fn custom_plan_roundtrip() {
+    use activedisks::tasks::plan::{CpuWork, PhasePlan, TaskPlan};
+    let mut phase = PhasePlan::new("scan", 1 << 30);
+    phase.read_cpu = vec![CpuWork::per_tuple("work", 500.0, 128)];
+    phase.shuffle_factor = 0.25;
+    phase.recv_cpu = vec![CpuWork::per_tuple("recv", 100.0, 128)];
+    let plan = TaskPlan {
+        task: "custom",
+        phases: vec![phase],
+    };
+    let report = Simulation::new(Architecture::active_disks(8)).run_plan(&plan);
+    assert_eq!(report.task, "custom");
+    assert!(report.elapsed().as_secs_f64() > 0.0);
+    assert!(report.interconnect_bytes() > 0);
+}
