@@ -263,7 +263,8 @@ impl Architecture {
         match self {
             Architecture::ActiveDisks(c) => c.disks as u64 * c.disk_memory_bytes,
             Architecture::Cluster(c) => {
-                c.nodes as u64 * hostos::MemoryBudget::full_function_host(c.node_memory_bytes).usable()
+                c.nodes as u64
+                    * hostos::MemoryBudget::full_function_host(c.node_memory_bytes).usable()
             }
             Architecture::Smp(c) => {
                 let total = c.processors as u64 * c.memory_per_processor_bytes;
@@ -306,7 +307,10 @@ mod tests {
         };
         assert_eq!(smp.cpu.mhz, 250);
         // 64-processor configuration has 4 GB.
-        assert_eq!(smp.processors as u64 * smp.memory_per_processor_bytes, 4 << 30);
+        assert_eq!(
+            smp.processors as u64 * smp.memory_per_processor_bytes,
+            4 << 30
+        );
     }
 
     #[test]
@@ -327,7 +331,9 @@ mod tests {
             .with_interconnect_mb(400.0)
             .with_disk_memory(64 << 20)
             .with_direct_disk_to_disk(false);
-        let Architecture::ActiveDisks(c) = &ad else { panic!() };
+        let Architecture::ActiveDisks(c) = &ad else {
+            panic!()
+        };
         assert!((c.interconnect.mb_per_sec() - 400.0).abs() < 1e-9);
         assert_eq!(c.disk_memory_bytes, 64 << 20);
         assert!(!c.direct_disk_to_disk);
@@ -346,9 +352,11 @@ mod tests {
 
     #[test]
     fn embedded_cpu_swap() {
-        let ad = Architecture::active_disks(8)
-            .with_embedded_cpu(ProcessorSpec::embedded_next_gen());
-        let Architecture::ActiveDisks(c) = &ad else { panic!() };
+        let ad =
+            Architecture::active_disks(8).with_embedded_cpu(ProcessorSpec::embedded_next_gen());
+        let Architecture::ActiveDisks(c) = &ad else {
+            panic!()
+        };
         assert_eq!(c.embedded_cpu.mhz, 400);
         // No-op on other architectures.
         let cl = Architecture::cluster(8).with_embedded_cpu(ProcessorSpec::embedded_next_gen());
@@ -358,7 +366,9 @@ mod tests {
     #[test]
     fn fast_disk_swap() {
         let ad = Architecture::active_disks(16).with_disk_spec(DiskSpec::hitachi_dk3e1t_91());
-        let Architecture::ActiveDisks(c) = &ad else { panic!() };
+        let Architecture::ActiveDisks(c) = &ad else {
+            panic!()
+        };
         assert_eq!(c.disk_spec.name, "Hitachi DK3E1T-91");
     }
 

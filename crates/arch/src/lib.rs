@@ -24,6 +24,8 @@ pub mod config;
 pub mod cpu;
 pub mod pricing;
 
-pub use config::{ActiveDiskConfig, Architecture, ClusterConfig, InterconnectKind, SmpConfig, PAPER_SIZES};
+pub use config::{
+    ActiveDiskConfig, Architecture, ClusterConfig, InterconnectKind, SmpConfig, PAPER_SIZES,
+};
 pub use cpu::ProcessorSpec;
 pub use pricing::{PriceDate, PriceTable};

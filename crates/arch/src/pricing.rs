@@ -121,7 +121,11 @@ impl PriceTable {
     /// per-disk components plus the front-end and its FC adaptor.
     pub fn active_disk_total(&self, n: usize) -> u64 {
         n as u64
-            * (self.disk + self.embedded_cpu + self.sdram_32mb + self.interconnect_port + self.premium)
+            * (self.disk
+                + self.embedded_cpu
+                + self.sdram_32mb
+                + self.interconnect_port
+                + self.premium)
             + self.fc_adaptor
             + self.front_end
     }
@@ -160,8 +164,16 @@ mod tests {
                 / t.published_active_total_64 as f64;
             let cl_err = (cl as f64 - t.published_cluster_total_64 as f64).abs()
                 / t.published_cluster_total_64 as f64;
-            assert!(ad_err < 0.05, "{}: AD computed {ad} vs published", date.label());
-            assert!(cl_err < 0.20, "{}: cluster computed {cl} vs published", date.label());
+            assert!(
+                ad_err < 0.05,
+                "{}: AD computed {ad} vs published",
+                date.label()
+            );
+            assert!(
+                cl_err < 0.20,
+                "{}: cluster computed {cl} vs published",
+                date.label()
+            );
         }
     }
 

@@ -12,7 +12,10 @@ use tasks::{plan_task, plan_task_on, TaskKind};
 fn fibre_switch(c: &mut Criterion) {
     let mut g = c.benchmark_group("extensions/fibre_switch");
     g.sample_size(10);
-    for (label, switched) in [("sort_dual_loop_128", false), ("sort_fibre_switch_128", true)] {
+    for (label, switched) in [
+        ("sort_dual_loop_128", false),
+        ("sort_fibre_switch_128", true),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut arch = Architecture::active_disks(black_box(128));

@@ -19,8 +19,7 @@ fn fig4(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let arch =
-                    Architecture::active_disks(black_box(16)).with_disk_memory(mem_mb << 20);
+                let arch = Architecture::active_disks(black_box(16)).with_disk_memory(mem_mb << 20);
                 black_box(Simulation::new(arch).run(task).elapsed())
             })
         });

@@ -20,8 +20,8 @@ fn fig5(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let arch = Architecture::active_disks(black_box(32))
-                    .with_direct_disk_to_disk(direct);
+                let arch =
+                    Architecture::active_disks(black_box(32)).with_direct_disk_to_disk(direct);
                 black_box(Simulation::new(arch).run(task).elapsed())
             })
         });

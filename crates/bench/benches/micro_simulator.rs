@@ -24,12 +24,52 @@ fn event_queue(c: &mut Criterion) {
     });
 }
 
+fn event_queue_steady_state(c: &mut Criterion) {
+    // The executor's working regime: a pre-sized heap held at the sweep's
+    // steady-state depth (64 nodes × in-flight window) while events churn
+    // through it.
+    c.bench_function("simcore/event_queue_steady_churn_depth_512", |b| {
+        b.iter(|| {
+            let mut rng = SplitMix64::new(2);
+            let mut q = EventQueue::with_capacity(512);
+            let mut t = 0u64;
+            for i in 0..512u64 {
+                q.push(SimTime::from_nanos(t + rng.next_below(1000)), i);
+            }
+            let mut sum = 0u64;
+            for i in 0..20_000u64 {
+                let (now, e) = q.pop().expect("queue stays full");
+                t = now.as_nanos();
+                sum = sum.wrapping_add(e);
+                q.push(SimTime::from_nanos(t + 1 + rng.next_below(1000)), i);
+            }
+            black_box(sum)
+        })
+    });
+}
+
 fn fifo_server(c: &mut Criterion) {
     c.bench_function("simcore/fifo_server_offer_10k", |b| {
         b.iter(|| {
             let mut s = FifoServer::new();
             for i in 0..10_000u64 {
                 s.offer(SimTime::from_nanos(i * 10), Duration::from_nanos(7), "x");
+            }
+            black_box(s.busy_total())
+        })
+    });
+}
+
+fn fifo_server_tag_mix(c: &mut Criterion) {
+    // The executor charges a handful of distinct tags per server, mostly
+    // in runs of the same tag — the per-tag accounting hot path.
+    c.bench_function("simcore/fifo_server_offer_10k_5_tags", |b| {
+        const TAGS: [&str; 5] = ["os", "scan", "net-send", "net-recv", "sort"];
+        b.iter(|| {
+            let mut s = FifoServer::new();
+            for i in 0..10_000u64 {
+                let tag = TAGS[(i / 64) as usize % TAGS.len()];
+                s.offer(SimTime::from_nanos(i * 10), Duration::from_nanos(7), tag);
             }
             black_box(s.busy_total())
         })
@@ -100,7 +140,9 @@ fn cluster_fabric_shuffle(c: &mut Criterion) {
 criterion_group!(
     benches,
     event_queue,
+    event_queue_steady_state,
     fifo_server,
+    fifo_server_tag_mix,
     disk_sequential_scan,
     disk_random_reads,
     fc_loop_transfers,

@@ -1,0 +1,104 @@
+//! Wall-clock benchmark of the parallel sweep engine.
+//!
+//! Runs the `--quick` figure sweeps serially (`--jobs 1`) and with a
+//! worker pool, verifies both produce identical results, and writes the
+//! timings to `BENCH_PR1.json` in the current directory.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sweep_bench [workers]
+//! ```
+//!
+//! `workers` defaults to 8. On a single-core host the parallel run cannot
+//! beat the serial one; the report records the machine's available
+//! parallelism so the numbers can be read in context.
+
+use std::time::Instant;
+
+use howsim::sweep;
+
+/// The `--quick` figure sweeps (the experiments binary's quick sizes).
+fn quick_sweeps() -> (usize, f64) {
+    let mut sims = 0usize;
+    let mut checksum = 0.0f64;
+    let fig1 = experiments::fig1::run_sizes(&[16, 64]);
+    sims += fig1.len();
+    checksum += fig1.iter().map(|c| c.seconds).sum::<f64>();
+    let fig2 = experiments::fig2::run_sizes(&[64]);
+    sims += fig2.len();
+    checksum += fig2.iter().map(|c| c.seconds).sum::<f64>();
+    let fig3 = experiments::fig3::run_sizes(&[16, 64]);
+    sims += fig3.len();
+    checksum += fig3.iter().map(|b| b.total_seconds).sum::<f64>();
+    let fig4 = experiments::fig4::run_memory(&[16, 64], 64);
+    sims += fig4.len();
+    checksum += fig4.iter().map(|c| c.secs_big).sum::<f64>();
+    let fig5 = experiments::fig5::run_sizes(&[64]);
+    sims += fig5.len();
+    checksum += fig5.iter().map(|c| c.secs_restricted).sum::<f64>();
+    (sims, checksum)
+}
+
+fn timed(jobs: usize) -> (f64, usize, f64) {
+    sweep::set_default_jobs(jobs);
+    let start = Instant::now();
+    let (sims, checksum) = quick_sweeps();
+    (start.elapsed().as_secs_f64(), sims, checksum)
+}
+
+/// Single-thread microbenchmark of the executor's per-offer accounting
+/// hot path (the same routine as `micro_simulator`'s
+/// `fifo_server_offer_10k_5_tags`): microseconds per 10k offers, best of
+/// 50 runs.
+fn fifo_micro_us() -> f64 {
+    use simcore::{Duration, FifoServer, SimTime};
+    const TAGS: [&str; 5] = ["os", "scan", "net-send", "net-recv", "sort"];
+    let mut best = f64::INFINITY;
+    for _ in 0..50 {
+        let start = Instant::now();
+        let mut s = FifoServer::new();
+        for i in 0..10_000u64 {
+            let tag = TAGS[(i / 64) as usize % TAGS.len()];
+            s.offer(SimTime::from_nanos(i * 10), Duration::from_nanos(7), tag);
+        }
+        std::hint::black_box(s.busy_total());
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("workers must be a positive integer"))
+        .unwrap_or(8);
+    assert!(workers > 0, "workers must be positive");
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    eprintln!("warm-up...");
+    let _ = timed(1);
+    eprintln!("serial (--jobs 1)...");
+    let (serial, sims, serial_sum) = timed(1);
+    eprintln!("parallel (--jobs {workers})...");
+    let (parallel, _, parallel_sum) = timed(workers);
+    assert_eq!(
+        serial_sum.to_bits(),
+        parallel_sum.to_bits(),
+        "parallel sweep must be bit-identical to serial"
+    );
+
+    let speedup = serial / parallel;
+    let micro = fifo_micro_us();
+    let json = format!(
+        "{{\n  \"benchmark\": \"experiments --quick figure sweeps\",\n  \
+         \"simulated_runs\": {sims},\n  \
+         \"available_parallelism\": {cores},\n  \
+         \"workers\": {workers},\n  \
+         \"serial_seconds\": {serial:.3},\n  \
+         \"parallel_seconds\": {parallel:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"fifo_offer_10k_5_tags_us\": {micro:.1},\n  \
+         \"outputs_identical\": true\n}}\n"
+    );
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    print!("{json}");
+}

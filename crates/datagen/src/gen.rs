@@ -156,7 +156,10 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(tuples(100, 10, 7), tuples(100, 10, 7));
         assert_eq!(sort_records(100, 7), sort_records(100, 7));
-        assert_eq!(transactions(100, 1_000, 4.0, 7), transactions(100, 1_000, 4.0, 7));
+        assert_eq!(
+            transactions(100, 1_000, 4.0, 7),
+            transactions(100, 1_000, 4.0, 7)
+        );
         assert_eq!(
             cube_facts(100, [10, 10, 10, 10], 7),
             cube_facts(100, [10, 10, 10, 10], 7)
@@ -184,7 +187,10 @@ mod tests {
     fn sort_keys_are_roughly_uniform() {
         let rs = sort_records(10_000, 3);
         let high: usize = rs.iter().filter(|r| r.key[0] >= 128).count();
-        assert!((4_000..6_000).contains(&high), "first byte balanced: {high}");
+        assert!(
+            (4_000..6_000).contains(&high),
+            "first byte balanced: {high}"
+        );
         // Origins form the identity permutation.
         assert!(rs.iter().enumerate().all(|(i, r)| r.origin == i as u64));
     }

@@ -301,7 +301,16 @@ mod tests {
         let names: Vec<_> = DatasetSpec::all().iter().map(|d| d.name).collect();
         assert_eq!(
             names,
-            vec!["select", "aggregate", "groupby", "dcube", "sort", "join", "dmine", "mview"]
+            vec![
+                "select",
+                "aggregate",
+                "groupby",
+                "dcube",
+                "sort",
+                "join",
+                "dmine",
+                "mview"
+            ]
         );
     }
 

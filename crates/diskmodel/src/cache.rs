@@ -181,8 +181,10 @@ impl SegmentedCache {
     /// no write caching — the paper's tasks use raw-disk writes).
     pub fn invalidate(&mut self, lba: u64, sectors: u64) {
         let end = lba + sectors;
-        self.segments
-            .retain(|s| s.next_lba + self.capacity_sectors <= lba || s.next_lba.saturating_sub(self.capacity_sectors) >= end);
+        self.segments.retain(|s| {
+            s.next_lba + self.capacity_sectors <= lba
+                || s.next_lba.saturating_sub(self.capacity_sectors) >= end
+        });
     }
 
     /// Number of active segments.
@@ -294,7 +296,13 @@ mod tests {
         c.install(SimTime::ZERO, a, 512);
         c.install(SimTime::ZERO, b, 512);
         let later = SimTime::ZERO + Duration::from_millis(50);
-        assert!(matches!(c.lookup(later, a + 512, 64, &geo), Lookup::Hit { .. }));
-        assert!(matches!(c.lookup(later, b + 512, 64, &geo), Lookup::Hit { .. }));
+        assert!(matches!(
+            c.lookup(later, a + 512, 64, &geo),
+            Lookup::Hit { .. }
+        ));
+        assert!(matches!(
+            c.lookup(later, b + 512, 64, &geo),
+            Lookup::Hit { .. }
+        ));
     }
 }

@@ -191,8 +191,12 @@ impl Disk {
             let mut mechanical = false;
             for (plba, psec) in self.defects.translate(lba, sectors) {
                 if plba >= spare_start {
-                    let end =
-                        self.mechanical_access(at + self.spec.controller_overhead, plba, psec, req.kind);
+                    let end = self.mechanical_access(
+                        at + self.spec.controller_overhead,
+                        plba,
+                        psec,
+                        req.kind,
+                    );
                     self.cache.pause(at, end, &self.geometry);
                     mechanical = true;
                     at = end;
@@ -229,7 +233,10 @@ impl Disk {
 
     fn serve_read(&mut self, start: SimTime, lba: u64, sectors: u64) -> Completion {
         let overhead = self.spec.controller_overhead;
-        match self.cache.lookup(start + overhead, lba, sectors, &self.geometry) {
+        match self
+            .cache
+            .lookup(start + overhead, lba, sectors, &self.geometry)
+        {
             Lookup::Hit { data_ready } => {
                 self.cache_hits += 1;
                 // Bus transfer streams behind the data; completion is
@@ -308,10 +315,7 @@ impl Disk {
         sectors: u64,
         kind: RequestKind,
     ) -> SimTime {
-        let loc = self
-            .geometry
-            .locate(lba)
-            .expect("bounds checked in submit");
+        let loc = self.geometry.locate(lba).expect("bounds checked in submit");
         let distance = self.cylinder.abs_diff(loc.cylinder);
         let curve = match kind {
             RequestKind::Read => &self.read_seek,
@@ -414,7 +418,10 @@ mod tests {
     #[test]
     fn cold_read_pays_mechanical_costs() {
         let mut d = disk();
-        let c = d.submit(SimTime::ZERO, Request::read(1_000_000 * SECTOR_BYTES, 256 * KB));
+        let c = d.submit(
+            SimTime::ZERO,
+            Request::read(1_000_000 * SECTOR_BYTES, 256 * KB),
+        );
         assert!(c.mechanical);
         // Must include at least the media transfer time at max rate.
         let min_media = d.spec().media_rate_max.transfer_time(256 * KB);
@@ -490,7 +497,10 @@ mod tests {
     fn fifo_queueing_orders_requests() {
         let mut d = disk();
         let a = d.submit(SimTime::ZERO, Request::read(0, 64 * KB));
-        let b = d.submit(SimTime::ZERO, Request::read(1_000_000 * SECTOR_BYTES, 64 * KB));
+        let b = d.submit(
+            SimTime::ZERO,
+            Request::read(1_000_000 * SECTOR_BYTES, 64 * KB),
+        );
         assert_eq!(b.start, a.end, "second request waits for the first");
     }
 

@@ -78,7 +78,11 @@ impl Geometry {
         let mut first_lba = 0u64;
         for i in 0..z {
             // Zone 0 (outermost) gets media_rate_max; the innermost gets min.
-            let frac = if z == 1 { 0.0 } else { i as f64 / (z - 1) as f64 };
+            let frac = if z == 1 {
+                0.0
+            } else {
+                i as f64 / (z - 1) as f64
+            };
             let rate = spec.media_rate_max.bytes_per_sec()
                 - frac
                     * (spec.media_rate_max.bytes_per_sec() - spec.media_rate_min.bytes_per_sec());
@@ -131,10 +135,7 @@ impl Geometry {
         if lba >= self.total_sectors {
             return None;
         }
-        let zi = match self
-            .zones
-            .binary_search_by(|zn| zn.first_lba.cmp(&lba))
-        {
+        let zi = match self.zones.binary_search_by(|zn| zn.first_lba.cmp(&lba)) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
@@ -354,7 +355,10 @@ mod tests {
         let t = g.media_transfer(0, sectors, spec.head_switch, spec.cylinder_switch);
         let rate = 1_048_576.0 / t.as_secs_f64() / 1e6;
         // Sustained rate is below instantaneous (switch overheads) but close.
-        assert!(rate < 21.3 && rate > 17.0, "sustained outer rate {rate} MB/s");
+        assert!(
+            rate < 21.3 && rate > 17.0,
+            "sustained outer rate {rate} MB/s"
+        );
     }
 
     proptest! {

@@ -42,10 +42,10 @@ pub mod seek;
 pub mod spec;
 pub mod validation;
 
-pub use disk::{Completion, Disk, Request, RequestKind};
 pub use defects::DefectMap;
-pub use queue::{Discipline, RequestQueue};
+pub use disk::{Completion, Disk, Request, RequestKind};
 pub use geometry::{Geometry, Location};
+pub use queue::{Discipline, RequestQueue};
 pub use seek::SeekCurve;
 pub use spec::DiskSpec;
 pub use validation::{validate, ValidationReport};

@@ -51,10 +51,9 @@ impl SeekCurve {
         assert!(cylinders >= 4, "need at least 4 cylinders to fit");
         let full = cylinders - 1;
         let knee = (full / 3).max(2);
-        let sqrt_coeff = (avg.as_nanos() as f64 - track.as_nanos() as f64)
-            / ((knee as f64).sqrt() - 1.0);
-        let lin_coeff =
-            (max.as_nanos() as f64 - avg.as_nanos() as f64) / (full - knee) as f64;
+        let sqrt_coeff =
+            (avg.as_nanos() as f64 - track.as_nanos() as f64) / ((knee as f64).sqrt() - 1.0);
+        let lin_coeff = (max.as_nanos() as f64 - avg.as_nanos() as f64) / (full - knee) as f64;
         SeekCurve {
             track,
             avg,
@@ -98,12 +97,11 @@ impl SeekCurve {
             return self.max;
         }
         if distance <= self.knee {
-            let ns = self.track.as_nanos() as f64
-                + self.sqrt_coeff * ((distance as f64).sqrt() - 1.0);
+            let ns =
+                self.track.as_nanos() as f64 + self.sqrt_coeff * ((distance as f64).sqrt() - 1.0);
             Duration::from_nanos(ns.round() as u64)
         } else {
-            let ns =
-                self.avg.as_nanos() as f64 + self.lin_coeff * (distance - self.knee) as f64;
+            let ns = self.avg.as_nanos() as f64 + self.lin_coeff * (distance - self.knee) as f64;
             Duration::from_nanos(ns.round() as u64)
         }
     }
@@ -174,7 +172,11 @@ mod tests {
         // sqrt regime: doubling distance less than doubles time.
         let t100 = c.time(100).as_nanos() as f64;
         let t400 = c.time(400).as_nanos() as f64;
-        assert!(t400 < 2.0 * t100, "t(400)={t400} vs 2*t(100)={}", 2.0 * t100);
+        assert!(
+            t400 < 2.0 * t100,
+            "t(400)={t400} vs 2*t(100)={}",
+            2.0 * t100
+        );
     }
 
     proptest! {

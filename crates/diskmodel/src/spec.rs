@@ -150,8 +150,7 @@ impl DiskSpec {
         if self.media_rate_min > self.media_rate_max {
             return Err(format!("{}: media rate min > max", self.name));
         }
-        if !(self.seek_track_read <= self.seek_avg_read
-            && self.seek_avg_read <= self.seek_max_read)
+        if !(self.seek_track_read <= self.seek_avg_read && self.seek_avg_read <= self.seek_max_read)
         {
             return Err(format!("{}: read seek times not ordered", self.name));
         }

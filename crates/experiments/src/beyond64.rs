@@ -27,26 +27,25 @@ pub struct Row {
 }
 
 /// Runs the extension experiment for the given sizes.
+///
+/// Swept in parallel over sizes; see [`howsim::sweep`].
 pub fn run_sizes(sizes: &[usize]) -> Vec<Row> {
-    sizes
-        .iter()
-        .map(|&disks| {
-            let dual = Simulation::new(Architecture::active_disks(disks))
-                .run(TaskKind::Sort)
-                .elapsed()
-                .as_secs_f64();
-            let switched = Simulation::new(Architecture::active_disks(disks).with_fibre_switch())
-                .run(TaskKind::Sort)
-                .elapsed()
-                .as_secs_f64();
-            Row {
-                disks,
-                dual_loop_secs: dual,
-                fibre_switch_secs: switched,
-                speedup: dual / switched,
-            }
-        })
-        .collect()
+    howsim::sweep::map(sizes, |&disks| {
+        let dual = Simulation::new(Architecture::active_disks(disks))
+            .run(TaskKind::Sort)
+            .elapsed()
+            .as_secs_f64();
+        let switched = Simulation::new(Architecture::active_disks(disks).with_fibre_switch())
+            .run(TaskKind::Sort)
+            .elapsed()
+            .as_secs_f64();
+        Row {
+            disks,
+            dual_loop_secs: dual,
+            fibre_switch_secs: switched,
+            speedup: dual / switched,
+        }
+    })
 }
 
 /// Runs the default sweep (64–512 disks).

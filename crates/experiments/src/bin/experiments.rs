@@ -5,10 +5,13 @@
 //! ```text
 //! experiments [--table1] [--table2] [--fig1] [--fig2] [--fig3] [--fig4]
 //!             [--fig5] [--beyond64] [--skew] [--growth] [--sensitivity] [--ablations] [--quick] [--csv] [--all]
+//!             [--jobs N]
 //! ```
 //!
 //! With no arguments, everything is regenerated (`--all`). `--quick`
 //! restricts the figure sweeps to 16- and 64-disk configurations.
+//! `--jobs N` sets the sweep worker count (default: all cores); the
+//! output is byte-identical for any worker count.
 
 use std::env;
 use std::fs;
@@ -26,7 +29,19 @@ fn write_csv(enabled: bool, name: &str, contents: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    // `--jobs N` configures the sweep engine and is not a section flag.
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let n: usize = match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: --jobs needs a positive integer");
+                std::process::exit(2);
+            }
+        };
+        howsim::sweep::set_default_jobs(n);
+        args.drain(i..=i + 1);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
@@ -36,10 +51,16 @@ fn main() {
     let fig5_sizes: &[usize] = if quick { &[64] } else { &[32, 64, 128] };
 
     if want("--table1") {
-        println!("{}", experiments::table1::render(&experiments::table1::run()));
+        println!(
+            "{}",
+            experiments::table1::render(&experiments::table1::run())
+        );
     }
     if want("--table2") {
-        println!("{}", experiments::table2::render(&experiments::table2::run()));
+        println!(
+            "{}",
+            experiments::table2::render(&experiments::table2::run())
+        );
     }
     if want("--fig1") {
         let cells = experiments::fig1::run_sizes(sizes);

@@ -29,35 +29,43 @@ pub fn run() -> Vec<Cell> {
 }
 
 /// Runs Figure 1 for a subset of sizes (used by tests and quick modes).
+///
+/// The (size, task) points are independent simulations, swept in parallel
+/// by [`howsim::sweep`]; the cells come back in sweep order, so the output
+/// is identical to the serial loop.
 pub fn run_sizes(sizes: &[usize]) -> Vec<Cell> {
-    let mut cells = Vec::new();
-    for &disks in sizes {
-        for task in TaskKind::ALL {
-            let archs = [
-                Architecture::active_disks(disks),
-                Architecture::cluster(disks),
-                Architecture::smp(disks),
-            ];
-            let times: Vec<(&'static str, f64)> = archs
-                .iter()
-                .map(|a| {
-                    let r = Simulation::new(a.clone()).run(task);
-                    (a.short_name(), r.elapsed().as_secs_f64())
-                })
-                .collect();
-            let active = times[0].1;
-            for (arch, secs) in times {
-                cells.push(Cell {
-                    task: task.name(),
-                    arch,
-                    disks,
-                    seconds: secs,
-                    normalized: secs / active,
-                });
-            }
-        }
-    }
-    cells
+    let points: Vec<(usize, TaskKind)> = sizes
+        .iter()
+        .flat_map(|&disks| TaskKind::ALL.into_iter().map(move |task| (disks, task)))
+        .collect();
+    howsim::sweep::map(&points, |&(disks, task)| {
+        let archs = [
+            Architecture::active_disks(disks),
+            Architecture::cluster(disks),
+            Architecture::smp(disks),
+        ];
+        let times: Vec<(&'static str, f64)> = archs
+            .iter()
+            .map(|a| {
+                let r = Simulation::new(a.clone()).run(task);
+                (a.short_name(), r.elapsed().as_secs_f64())
+            })
+            .collect();
+        let active = times[0].1;
+        times
+            .into_iter()
+            .map(|(arch, secs)| Cell {
+                task: task.name(),
+                arch,
+                disks,
+                seconds: secs,
+                normalized: secs / active,
+            })
+            .collect::<Vec<Cell>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Renders the four panels of Figure 1 as text tables.

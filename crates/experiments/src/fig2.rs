@@ -37,36 +37,42 @@ pub fn run() -> Vec<Cell> {
 }
 
 /// Runs Figure 2 for arbitrary sizes.
+///
+/// Swept in parallel over (size, task) points; see [`howsim::sweep`].
 pub fn run_sizes(sizes: &[usize]) -> Vec<Cell> {
-    let mut cells = Vec::new();
-    for &disks in sizes {
-        for task in TaskKind::ALL {
-            let times: Vec<(&'static str, f64)> = CONFIGS
-                .iter()
-                .map(|&(label, mb, active)| {
-                    let arch = if active {
-                        Architecture::active_disks(disks)
-                    } else {
-                        Architecture::smp(disks)
-                    }
-                    .with_interconnect_mb(mb);
-                    let secs = Simulation::new(arch).run(task).elapsed().as_secs_f64();
-                    (label, secs)
-                })
-                .collect();
-            let base = times[0].1;
-            for (config, seconds) in times {
-                cells.push(Cell {
-                    task: task.name(),
-                    config,
-                    disks,
-                    seconds,
-                    normalized: seconds / base,
-                });
-            }
-        }
-    }
-    cells
+    let points: Vec<(usize, TaskKind)> = sizes
+        .iter()
+        .flat_map(|&disks| TaskKind::ALL.into_iter().map(move |task| (disks, task)))
+        .collect();
+    howsim::sweep::map(&points, |&(disks, task)| {
+        let times: Vec<(&'static str, f64)> = CONFIGS
+            .iter()
+            .map(|&(label, mb, active)| {
+                let arch = if active {
+                    Architecture::active_disks(disks)
+                } else {
+                    Architecture::smp(disks)
+                }
+                .with_interconnect_mb(mb);
+                let secs = Simulation::new(arch).run(task).elapsed().as_secs_f64();
+                (label, secs)
+            })
+            .collect();
+        let base = times[0].1;
+        times
+            .into_iter()
+            .map(|(config, seconds)| Cell {
+                task: task.name(),
+                config,
+                disks,
+                seconds,
+                normalized: seconds / base,
+            })
+            .collect::<Vec<Cell>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Renders Figure 2 panels.

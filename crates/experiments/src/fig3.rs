@@ -63,33 +63,39 @@ pub fn run() -> Vec<Breakdown> {
 }
 
 /// Runs Figure 3 for arbitrary sizes.
+///
+/// Swept in parallel over (size, variant) points; see [`howsim::sweep`].
 pub fn run_sizes(sizes: &[usize]) -> Vec<Breakdown> {
-    let mut out = Vec::new();
-    for &disks in sizes {
-        let variants = [
-            ("Base", Architecture::active_disks(disks)),
-            (
-                "FastDisk",
-                Architecture::active_disks(disks).with_disk_spec(DiskSpec::hitachi_dk3e1t_91()),
-            ),
-            (
-                "FastI/O",
-                Architecture::active_disks(disks).with_interconnect_mb(400.0),
-            ),
-        ];
-        for (label, arch) in variants {
-            let report = Simulation::new(arch).run(TaskKind::Sort);
-            out.push(breakdown(disks, label, &report));
-        }
-    }
-    out
+    let points: Vec<(usize, &'static str)> = sizes
+        .iter()
+        .flat_map(|&disks| VARIANTS.into_iter().map(move |v| (disks, v)))
+        .collect();
+    howsim::sweep::map(&points, |&(disks, variant)| {
+        let arch = match variant {
+            "Base" => Architecture::active_disks(disks),
+            "FastDisk" => {
+                Architecture::active_disks(disks).with_disk_spec(DiskSpec::hitachi_dk3e1t_91())
+            }
+            _ => Architecture::active_disks(disks).with_interconnect_mb(400.0),
+        };
+        let report = Simulation::new(arch).run(TaskKind::Sort);
+        breakdown(disks, variant, &report)
+    })
 }
 
 /// Renders Figure 3 as a text table.
 pub fn render(rows: &[Breakdown]) -> String {
     let header: Vec<String> = [
-        "disks", "variant", "total(s)", "P1share", "P1:Part", "P1:Append", "P1:Sort", "P1:Idle",
-        "P2:Merge", "P2:Idle",
+        "disks",
+        "variant",
+        "total(s)",
+        "P1share",
+        "P1:Part",
+        "P1:Append",
+        "P1:Sort",
+        "P1:Idle",
+        "P2:Merge",
+        "P2:Idle",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -151,7 +157,10 @@ mod tests {
         let io_gain = 1.0 - fast_io.total_seconds / base.total_seconds;
         let disk_gain = 1.0 - fast_disk.total_seconds / base.total_seconds;
         assert!(io_gain > 0.2, "Fast I/O gain at 128 disks: {io_gain}");
-        assert!(io_gain > 2.0 * disk_gain.max(0.0), "I/O ({io_gain}) >> disk ({disk_gain})");
+        assert!(
+            io_gain > 2.0 * disk_gain.max(0.0),
+            "I/O ({io_gain}) >> disk ({disk_gain})"
+        );
     }
 
     #[test]
@@ -167,6 +176,9 @@ mod tests {
         let io_gain = 1.0 - fast_io.total_seconds / base.total_seconds;
         let disk_gain = 1.0 - fast_disk.total_seconds / base.total_seconds;
         assert!(io_gain < 0.10, "Fast I/O gain at 16 disks: {io_gain}");
-        assert!(disk_gain > io_gain, "disks ({disk_gain}) > loop ({io_gain}) at 16");
+        assert!(
+            disk_gain > io_gain,
+            "disks ({disk_gain}) > loop ({io_gain}) at 16"
+        );
     }
 }

@@ -35,33 +35,32 @@ pub fn run() -> Vec<Cell> {
 }
 
 /// Runs the memory sweep for arbitrary sizes and a per-disk memory in MB.
+///
+/// Swept in parallel over (size, task) points; see [`howsim::sweep`].
 pub fn run_memory(sizes: &[usize], memory_mb: u64) -> Vec<Cell> {
-    let mut cells = Vec::new();
-    for &disks in sizes {
-        for task in TaskKind::ALL {
-            let base = Simulation::new(
-                Architecture::active_disks(disks).with_disk_memory(32 << 20),
-            )
+    let points: Vec<(usize, TaskKind)> = sizes
+        .iter()
+        .flat_map(|&disks| TaskKind::ALL.into_iter().map(move |task| (disks, task)))
+        .collect();
+    howsim::sweep::map(&points, |&(disks, task)| {
+        let base = Simulation::new(Architecture::active_disks(disks).with_disk_memory(32 << 20))
             .run(task)
             .elapsed()
             .as_secs_f64();
-            let big = Simulation::new(
-                Architecture::active_disks(disks).with_disk_memory(memory_mb << 20),
-            )
-            .run(task)
-            .elapsed()
-            .as_secs_f64();
-            cells.push(Cell {
-                task: task.name(),
-                disks,
-                secs_32mb: base,
-                secs_big: big,
-                memory_mb,
-                improvement_pct: (1.0 - big / base) * 100.0,
-            });
+        let big =
+            Simulation::new(Architecture::active_disks(disks).with_disk_memory(memory_mb << 20))
+                .run(task)
+                .elapsed()
+                .as_secs_f64();
+        Cell {
+            task: task.name(),
+            disks,
+            secs_32mb: base,
+            secs_big: big,
+            memory_mb,
+            improvement_pct: (1.0 - big / base) * 100.0,
         }
-    }
-    cells
+    })
 }
 
 /// Renders Figure 4 as a text table (tasks × sizes).

@@ -30,30 +30,31 @@ pub fn run() -> Vec<Cell> {
 }
 
 /// Runs Figure 5 for arbitrary sizes.
+///
+/// Swept in parallel over (size, task) points; see [`howsim::sweep`].
 pub fn run_sizes(sizes: &[usize]) -> Vec<Cell> {
-    let mut cells = Vec::new();
-    for &disks in sizes {
-        for task in TaskKind::ALL {
-            let direct = Simulation::new(Architecture::active_disks(disks))
-                .run(task)
-                .elapsed()
-                .as_secs_f64();
-            let restricted = Simulation::new(
-                Architecture::active_disks(disks).with_direct_disk_to_disk(false),
-            )
+    let points: Vec<(usize, TaskKind)> = sizes
+        .iter()
+        .flat_map(|&disks| TaskKind::ALL.into_iter().map(move |task| (disks, task)))
+        .collect();
+    howsim::sweep::map(&points, |&(disks, task)| {
+        let direct = Simulation::new(Architecture::active_disks(disks))
             .run(task)
             .elapsed()
             .as_secs_f64();
-            cells.push(Cell {
-                task: task.name(),
-                disks,
-                secs_direct: direct,
-                secs_restricted: restricted,
-                normalized: restricted / direct,
-            });
+        let restricted =
+            Simulation::new(Architecture::active_disks(disks).with_direct_disk_to_disk(false))
+                .run(task)
+                .elapsed()
+                .as_secs_f64();
+        Cell {
+            task: task.name(),
+            disks,
+            secs_direct: direct,
+            secs_restricted: restricted,
+            normalized: restricted / direct,
         }
-    }
-    cells
+    })
 }
 
 /// Renders Figure 5 as a text table.

@@ -31,30 +31,33 @@ pub struct Row {
 }
 
 /// Runs the growth sweep on `disks`-node installations.
+///
+/// Swept in parallel over (architecture, scale) points; see
+/// [`howsim::sweep`].
 pub fn run_scales(disks: usize, scales: &[u64]) -> Vec<Row> {
     let base = TaskKind::DataMine.dataset();
-    let mut rows = Vec::new();
-    for arch in [
+    let points: Vec<(Architecture, u64)> = [
         Architecture::active_disks(disks),
         Architecture::cluster(disks),
         Architecture::smp(disks),
-    ] {
-        for &scale in scales {
-            let dataset = base.scaled_up(scale);
-            let plan = plan_task_on(TaskKind::DataMine, &arch, &dataset);
-            let secs = Simulation::new(arch.clone())
-                .run_plan(&plan)
-                .elapsed()
-                .as_secs_f64();
-            rows.push(Row {
-                arch: arch.short_name(),
-                scale,
-                dataset_gb: dataset.total_bytes as f64 / 1e9,
-                hours: secs / 3_600.0,
-            });
+    ]
+    .into_iter()
+    .flat_map(|arch| scales.iter().map(move |&scale| (arch.clone(), scale)))
+    .collect();
+    howsim::sweep::map(&points, |(arch, scale)| {
+        let dataset = base.scaled_up(*scale);
+        let plan = plan_task_on(TaskKind::DataMine, arch, &dataset);
+        let secs = Simulation::new(arch.clone())
+            .run_plan(&plan)
+            .elapsed()
+            .as_secs_f64();
+        Row {
+            arch: arch.short_name(),
+            scale: *scale,
+            dataset_gb: dataset.total_bytes as f64 / 1e9,
+            hours: secs / 3_600.0,
         }
-    }
-    rows
+    })
 }
 
 /// Runs the default sweep: 64 disks, ×1 to ×8.

@@ -85,7 +85,10 @@ mod tests {
         let t = render_table(
             "T",
             &["a".into(), "bb".into()],
-            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "200".into()],
+            ],
         );
         assert!(t.contains("T\n"));
         let lines: Vec<&str> = t.lines().collect();

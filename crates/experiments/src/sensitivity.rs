@@ -27,27 +27,32 @@ pub struct Row {
 }
 
 /// Runs the sensitivity sweep at `disks` for the given scale factors.
+///
+/// Swept in parallel over (task, factor) points; see [`howsim::sweep`].
 pub fn run_scales(disks: usize, scales: &[f64]) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for task in [TaskKind::Select, TaskKind::Sort, TaskKind::DataMine] {
-        for &factor in scales {
-            let time = |arch: Architecture| {
-                let mut plan = plan_task(task, &arch);
-                plan.scale_cpu(factor);
-                Simulation::new(arch).run_plan(&plan).elapsed().as_secs_f64()
-            };
-            let active = time(Architecture::active_disks(disks));
-            let smp = time(Architecture::smp(disks));
-            let cluster = time(Architecture::cluster(disks));
-            rows.push(Row {
-                task: task.name(),
-                cpu_scale: factor,
-                smp_over_active: smp / active,
-                cluster_over_active: cluster / active,
-            });
+    let points: Vec<(TaskKind, f64)> = [TaskKind::Select, TaskKind::Sort, TaskKind::DataMine]
+        .into_iter()
+        .flat_map(|task| scales.iter().map(move |&factor| (task, factor)))
+        .collect();
+    howsim::sweep::map(&points, |&(task, factor)| {
+        let time = |arch: Architecture| {
+            let mut plan = plan_task(task, &arch);
+            plan.scale_cpu(factor);
+            Simulation::new(arch)
+                .run_plan(&plan)
+                .elapsed()
+                .as_secs_f64()
+        };
+        let active = time(Architecture::active_disks(disks));
+        let smp = time(Architecture::smp(disks));
+        let cluster = time(Architecture::cluster(disks));
+        Row {
+            task: task.name(),
+            cpu_scale: factor,
+            smp_over_active: smp / active,
+            cluster_over_active: cluster / active,
         }
-    }
-    rows
+    })
 }
 
 /// Runs the default sweep: 64 disks, CPU costs ×0.5, ×1, ×2.

@@ -32,34 +32,43 @@ pub struct Row {
 }
 
 /// Runs the skew sweep for `disks` Active Disks over the given exponents.
+///
+/// Swept in parallel over (task, θ) points; each task's first exponent is
+/// the normalization base, applied after the sweep so the parallel order
+/// cannot affect it.
 pub fn run_thetas(disks: usize, thetas: &[f64]) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for task in [TaskKind::Sort, TaskKind::Join] {
-        let mut uniform_secs = None;
-        for &theta in thetas {
-            let arch = Architecture::active_disks(disks);
-            let mut plan = plan_task(task, &arch);
-            let hottest = if theta > 0.0 {
-                // 100k distinct keys hashed rank-major over the nodes.
-                let weights = Zipf::new(100_000, theta).partition_weights(disks);
-                let hottest = weights.iter().cloned().fold(0.0, f64::max);
-                apply_shuffle_skew(&mut plan, weights);
-                hottest
-            } else {
-                1.0 / disks as f64
-            };
-            let secs = Simulation::new(arch)
-                .run_plan(&plan)
-                .elapsed()
-                .as_secs_f64();
-            let base = *uniform_secs.get_or_insert(secs);
-            rows.push(Row {
-                task: task.name(),
-                theta,
-                seconds: secs,
-                slowdown: secs / base,
-                hottest_share: hottest,
-            });
+    let points: Vec<(TaskKind, f64)> = [TaskKind::Sort, TaskKind::Join]
+        .into_iter()
+        .flat_map(|task| thetas.iter().map(move |&theta| (task, theta)))
+        .collect();
+    let mut rows = howsim::sweep::map(&points, |&(task, theta)| {
+        let arch = Architecture::active_disks(disks);
+        let mut plan = plan_task(task, &arch);
+        let hottest = if theta > 0.0 {
+            // 100k distinct keys hashed rank-major over the nodes.
+            let weights = Zipf::new(100_000, theta).partition_weights(disks);
+            let hottest = weights.iter().cloned().fold(0.0, f64::max);
+            apply_shuffle_skew(&mut plan, weights);
+            hottest
+        } else {
+            1.0 / disks as f64
+        };
+        let secs = Simulation::new(arch)
+            .run_plan(&plan)
+            .elapsed()
+            .as_secs_f64();
+        Row {
+            task: task.name(),
+            theta,
+            seconds: secs,
+            slowdown: 1.0,
+            hottest_share: hottest,
+        }
+    });
+    for series in rows.chunks_mut(thetas.len()) {
+        let base = series[0].seconds;
+        for r in series {
+            r.slowdown = r.seconds / base;
         }
     }
     rows

@@ -57,12 +57,16 @@ pub fn render(cols: &[Column]) -> String {
     push_row(&mut rows, "Premium", &|c| c.prices.premium);
     push_row(&mut rows, "FC host adaptor", &|c| c.prices.fc_adaptor);
     push_row(&mut rows, "Front-end", &|c| c.prices.front_end);
-    push_row(&mut rows, "Active Disk total (computed)", &|c| c.active_total);
+    push_row(&mut rows, "Active Disk total (computed)", &|c| {
+        c.active_total
+    });
     push_row(&mut rows, "Active Disk total (published)", &|c| {
         c.prices.published_active_total_64
     });
     push_row(&mut rows, "Cluster node", &|c| c.prices.cluster_node);
-    push_row(&mut rows, "Network (per port)", &|c| c.prices.cluster_net_port);
+    push_row(&mut rows, "Network (per port)", &|c| {
+        c.prices.cluster_net_port
+    });
     push_row(&mut rows, "Cluster total (computed)", &|c| c.cluster_total);
     push_row(&mut rows, "Cluster total (published)", &|c| {
         c.prices.published_cluster_total_64
@@ -101,7 +105,13 @@ mod tests {
     #[test]
     fn render_contains_all_rows() {
         let text = render(&run());
-        for label in ["Seagate 39102", "Cyrix", "Premium", "Cluster total", "SMP estimate"] {
+        for label in [
+            "Seagate 39102",
+            "Cyrix",
+            "Premium",
+            "Cluster total",
+            "SMP estimate",
+        ] {
             assert!(text.contains(label), "missing {label}");
         }
     }

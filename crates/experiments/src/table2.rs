@@ -96,7 +96,11 @@ pub fn render(rows: &[DatasetSpec]) -> String {
             ]
         })
         .collect();
-    render_table("Table 2: datasets for the tasks in the workload", &header, &body)
+    render_table(
+        "Table 2: datasets for the tasks in the workload",
+        &header,
+        &body,
+    )
 }
 
 #[cfg(test)]

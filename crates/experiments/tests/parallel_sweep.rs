@@ -1,0 +1,58 @@
+//! Regression test for the parallel sweep engine: sweeping with one
+//! worker and with many workers must produce byte-identical experiment
+//! outputs (data, rendered tables, and CSV files).
+
+use howsim::sweep;
+
+/// Runs `f` at 1 worker and at 8 workers and asserts identical results.
+///
+/// One test drives every comparison sequentially: the worker count is a
+/// process-wide setting, so concurrent tests flipping it would race.
+fn assert_jobs_invariant<R: PartialEq + std::fmt::Debug>(name: &str, f: impl Fn() -> R) {
+    sweep::set_default_jobs(1);
+    let serial = f();
+    sweep::set_default_jobs(8);
+    let parallel = f();
+    sweep::set_default_jobs(0);
+    assert_eq!(
+        serial, parallel,
+        "{name}: parallel sweep diverged from serial"
+    );
+}
+
+#[test]
+fn sweeps_are_identical_for_any_worker_count() {
+    assert_jobs_invariant("fig1", || {
+        let cells = experiments::fig1::run_sizes(&[16]);
+        (
+            experiments::fig1::render(&cells),
+            experiments::csv::fig1(&cells),
+        )
+    });
+    assert_jobs_invariant("fig3", || {
+        let rows = experiments::fig3::run_sizes(&[16]);
+        (
+            experiments::fig3::render(&rows),
+            experiments::csv::fig3(&rows),
+        )
+    });
+    assert_jobs_invariant("fig5", || {
+        let cells = experiments::fig5::run_sizes(&[16]);
+        (
+            experiments::fig5::render(&cells),
+            experiments::csv::fig5(&cells),
+        )
+    });
+    assert_jobs_invariant("skew", || {
+        experiments::skew::run_thetas(16, &[0.0, 1.0])
+            .iter()
+            .map(|r| (r.task, r.seconds.to_bits(), r.slowdown.to_bits()))
+            .collect::<Vec<_>>()
+    });
+    assert_jobs_invariant("growth", || {
+        experiments::growth::run_scales(16, &[1, 2])
+            .iter()
+            .map(|r| (r.arch, r.scale, r.hours.to_bits()))
+            .collect::<Vec<_>>()
+    });
+}

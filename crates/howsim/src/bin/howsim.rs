@@ -28,12 +28,13 @@ struct Options {
     fibre_switch: bool,
     fast_disk: bool,
     trace_path: Option<String>,
+    jobs: Option<usize>,
 }
 
 fn usage() -> String {
     "usage: howsim --arch <active|cluster|smp> --disks <n> --task <name>\n\
      \x20      [--memory <MB>] [--interconnect <MB/s>] [--no-direct]\n\
-     \x20      [--fibre-switch] [--fast-disk] [--trace <file.csv>]\n\
+     \x20      [--fibre-switch] [--fast-disk] [--trace <file.csv>] [--jobs <n>]\n\
      tasks: select aggregate groupby dcube sort join dmine mview"
         .to_string()
 }
@@ -56,6 +57,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         fibre_switch: false,
         fast_disk: false,
         trace_path: None,
+        jobs: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -90,6 +92,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--fibre-switch" => opts.fibre_switch = true,
             "--fast-disk" => opts.fast_disk = true,
             "--trace" => opts.trace_path = Some(value("--trace")?),
+            "--jobs" => {
+                let n: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be positive".to_string());
+                }
+                opts.jobs = Some(n);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -141,6 +152,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(jobs) = opts.jobs {
+        howsim::sweep::set_default_jobs(jobs);
+    }
     let sim = Simulation::new(arch);
     let (report, trace) = sim.run_traced(opts.task);
     println!("{report}");
@@ -198,7 +212,7 @@ mod tests {
     fn full_flag_set_parses() {
         let o = parse(&argv(
             "--arch smp --disks 128 --task sort --memory 64 --interconnect 400 \
-             --no-direct --fibre-switch --fast-disk --trace t.csv",
+             --no-direct --fibre-switch --fast-disk --trace t.csv --jobs 4",
         ))
         .unwrap();
         assert_eq!(o.arch, "smp");
@@ -210,6 +224,7 @@ mod tests {
         assert!(o.fibre_switch);
         assert!(o.fast_disk);
         assert_eq!(o.trace_path.as_deref(), Some("t.csv"));
+        assert_eq!(o.jobs, Some(4));
     }
 
     #[test]
@@ -218,6 +233,7 @@ mod tests {
         assert!(parse(&argv("--disks 0")).is_err());
         assert!(parse(&argv("--bogus")).is_err());
         assert!(parse(&argv("--disks")).is_err());
+        assert!(parse(&argv("--jobs 0")).is_err());
         assert!(parse(&argv("--help")).is_err());
     }
 

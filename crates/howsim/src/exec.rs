@@ -46,11 +46,76 @@ enum Ev {
     FeArrive { bytes: u64 },
 }
 
+/// Costs that are identical for every full-sized batch of a phase,
+/// computed once at phase start instead of per event. Almost every batch
+/// the executor handles is exactly [`BATCH_BYTES`], so the hot loop reads
+/// these precomputed durations and only falls back to the float math for
+/// odd-sized tail batches. The cached values are produced by the *same*
+/// expressions as the fallback path, so results are bit-identical.
+struct PhaseCosts {
+    /// OS issue+complete+dispatch per batch, already scaled by CPU perf.
+    os_batch: Duration,
+    /// Per-work-item CPU cost of scanning one full batch (`read_cpu`).
+    read_batch: Vec<Duration>,
+    /// Per-work-item CPU cost of receiving one full batch (`recv_cpu`).
+    recv_batch: Vec<Duration>,
+    /// Messaging-library CPU cost of sending one full batch.
+    msg_batch: Duration,
+    /// Front-end CPU cost of absorbing one full batch.
+    fe_batch: Duration,
+    /// Node CPU relative performance.
+    perf: f64,
+    /// Front-end CPU relative performance.
+    fe_perf: f64,
+}
+
+impl PhaseCosts {
+    fn new(m: &Machine, phase: &PhasePlan) -> Self {
+        let perf = m.node_cpu().relative_perf;
+        let fe_perf = m.fe_cpu_spec().relative_perf;
+        let os_per_batch = m.os().io_issue() + m.os().io_complete() + diskos::DISPATCH_OVERHEAD;
+        let batch_cost = |work: &[CpuWork]| -> Vec<Duration> {
+            work.iter()
+                .map(|w| cpu_cost(w.ns_per_byte, BATCH_BYTES, perf))
+                .collect()
+        };
+        PhaseCosts {
+            os_batch: os_per_batch.scale(1.0 / perf),
+            read_batch: batch_cost(&phase.read_cpu),
+            recv_batch: batch_cost(&phase.recv_cpu),
+            msg_batch: m.msg_cost(BATCH_BYTES).scale(1.0 / perf),
+            fe_batch: cpu_cost(phase.frontend_cpu_ns_per_byte, BATCH_BYTES, fe_perf),
+            perf,
+            fe_perf,
+        }
+    }
+
+    /// Messaging CPU cost for `bytes`, cached for full batches.
+    fn msg_cost(&self, m: &Machine, bytes: u64) -> Duration {
+        if bytes == BATCH_BYTES {
+            self.msg_batch
+        } else {
+            m.msg_cost(bytes).scale(1.0 / self.perf)
+        }
+    }
+}
+
+/// CPU time to process `bytes` at `ns_per_byte` on a CPU of relative
+/// performance `perf`. The single source of the executor's cost formula:
+/// cached batch costs and the odd-size fallback both call this.
+fn cpu_cost(ns_per_byte: f64, bytes: u64, perf: f64) -> Duration {
+    Duration::from_secs_f64(ns_per_byte * bytes as f64 / 1e9 / perf)
+}
+
 /// Per-node executor state within one phase.
 #[derive(Debug, Clone)]
 struct NodeState {
+    /// Bytes this node reads in the phase (the plan total split across
+    /// nodes, remainder distributed so no byte is dropped).
+    bytes_total: u64,
     batches_total: u64,
     issued: u64,
+    issued_bytes: u64,
     processed: u64,
     last_batch_bytes: u64,
     next_dst: usize,
@@ -250,19 +315,26 @@ impl PhaseSnapshot {
 }
 
 /// Charges a list of tagged CPU work items for `bytes` to a node's CPU;
-/// returns the completion time of the last item.
+/// returns the completion time of the last item. Full batches use the
+/// phase's precomputed costs; tail batches pay the float math.
 fn charge_cpu(
     m: &mut Machine,
     node: usize,
     now: SimTime,
     bytes: u64,
     work: &[CpuWork],
+    batch_cost: &[Duration],
     perf: f64,
 ) -> SimTime {
     let mut end = now;
-    for w in work {
-        let cost = Duration::from_secs_f64(w.ns_per_byte * bytes as f64 / 1e9 / perf);
-        end = m.node_cpu_work(node, now, cost, w.tag);
+    if bytes == BATCH_BYTES {
+        for (w, &cost) in work.iter().zip(batch_cost) {
+            end = m.node_cpu_work(node, now, cost, w.tag);
+        }
+    } else {
+        for w in work {
+            end = m.node_cpu_work(node, now, cpu_cost(w.ns_per_byte, bytes, perf), w.tag);
+        }
     }
     end
 }
@@ -277,25 +349,32 @@ fn run_phase(
     mut trace: Option<&mut Trace>,
 ) -> SimTime {
     let n = m.nodes();
-    let per_node = phase.read_bytes_total / n as u64;
+    // Split the plan's read bytes across nodes without dropping the
+    // division remainder: the first `remainder` nodes read one extra byte.
+    let base_per_node = phase.read_bytes_total / n as u64;
+    let remainder = (phase.read_bytes_total % n as u64) as usize;
     // Disk-group separation (SMP, NOW-sort style) only pays off when the
     // write stream is substantial.
     let phase_writes = phase.local_write_factor >= 0.25 || phase.write_received;
-    let perf = m.node_cpu().relative_perf;
-    let fe_perf = m.fe_cpu_spec().relative_perf;
-    let os_per_batch = m.os().io_issue() + m.os().io_complete() + diskos::DISPATCH_OVERHEAD;
+    let costs = PhaseCosts::new(m, phase);
 
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    let window = m.window() as u64;
+    // Steady state holds `window` in-flight reads per node plus the
+    // messages they fan out into; pre-size the heap to that depth.
+    let mut q: EventQueue<Ev> = EventQueue::with_capacity(n * (window as usize + 4));
     let mut horizon = start;
     let mut nodes: Vec<NodeState> = (0..n)
         .map(|i| {
-            let batches = per_node.div_ceil(BATCH_BYTES).max(1);
-            let last = per_node - (batches - 1) * BATCH_BYTES.min(per_node);
+            let bytes_total = base_per_node + u64::from(i < remainder);
+            let batches = bytes_total.div_ceil(BATCH_BYTES).max(1);
+            let last = bytes_total - (batches - 1) * BATCH_BYTES.min(bytes_total);
             NodeState {
+                bytes_total,
                 batches_total: batches,
                 issued: 0,
+                issued_bytes: 0,
                 processed: 0,
-                last_batch_bytes: if per_node == 0 { 0 } else { last.max(1) },
+                last_batch_bytes: last,
                 next_dst: (i + 1) % n,
                 dst_credits: phase.shuffle_weights.as_ref().map(|w| {
                     assert_eq!(w.len(), n, "shuffle weights must cover every node");
@@ -309,11 +388,10 @@ fn run_phase(
         .collect();
 
     // Prime each node's pipeline.
-    let window = m.window() as u64;
     for node in 0..n {
         let to_issue = window.min(nodes[node].batches_total);
         for _ in 0..to_issue {
-            issue_read(m, &mut q, &mut nodes, node, start, per_node, region, phase_writes);
+            issue_read(m, &mut q, &mut nodes, node, start, region, phase_writes);
         }
     }
 
@@ -322,17 +400,32 @@ fn run_phase(
         match ev {
             Ev::BatchRead { node, bytes } => {
                 record(&mut trace, now, phase_ix, node, TraceKind::ReadDone, bytes);
-                let t = m.node_cpu_work(node, now, os_per_batch.scale(1.0 / perf), "os");
-                let done = charge_cpu(m, node, t, bytes, &phase.read_cpu, perf);
+                let t = m.node_cpu_work(node, now, costs.os_batch, "os");
+                let done = charge_cpu(
+                    m,
+                    node,
+                    t,
+                    bytes,
+                    &phase.read_cpu,
+                    &costs.read_batch,
+                    costs.perf,
+                );
                 q.push(done.max(now), Ev::BatchProcessed { node, bytes });
             }
             Ev::BatchProcessed { node, bytes } => {
-                record(&mut trace, now, phase_ix, node, TraceKind::BatchProcessed, bytes);
+                record(
+                    &mut trace,
+                    now,
+                    phase_ix,
+                    node,
+                    TraceKind::BatchProcessed,
+                    bytes,
+                );
                 nodes[node].processed += 1;
                 horizon = horizon.max(now);
                 // Keep the pipeline full.
                 if nodes[node].issued < nodes[node].batches_total {
-                    issue_read(m, &mut q, &mut nodes, node, now, per_node, region, phase_writes);
+                    issue_read(m, &mut q, &mut nodes, node, now, region, phase_writes);
                 }
                 // Route the outputs.
                 nodes[node].shuffle_credit += bytes as f64 * phase.shuffle_factor;
@@ -343,6 +436,7 @@ fn run_phase(
                     m,
                     &mut q,
                     &mut nodes,
+                    &costs,
                     node,
                     now,
                     finished,
@@ -358,58 +452,104 @@ fn run_phase(
                         // of funnelling every node's copy into the
                         // front-end link.
                         let parent = (node - 1) / 2;
-                        send_peer(m, &mut q, node, parent, now, phase.frontend_bytes_per_node);
+                        send_peer(
+                            m,
+                            &mut q,
+                            &costs,
+                            node,
+                            parent,
+                            now,
+                            phase.frontend_bytes_per_node,
+                        );
                     } else {
-                        send_frontend(m, &mut q, node, now, phase.frontend_bytes_per_node);
+                        send_frontend(m, &mut q, &costs, node, now, phase.frontend_bytes_per_node);
                     }
                 }
             }
             Ev::PeerArrive { dst, bytes } => {
                 record(&mut trace, now, phase_ix, dst, TraceKind::PeerArrive, bytes);
-                let msg_cost = m.msg_cost(bytes).scale(1.0 / perf);
+                let msg_cost = costs.msg_cost(m, bytes);
                 let t = m.node_cpu_work(dst, now, msg_cost, "net-recv");
-                let done = charge_cpu(m, dst, t, bytes, &phase.recv_cpu, perf);
+                let done = charge_cpu(
+                    m,
+                    dst,
+                    t,
+                    bytes,
+                    &phase.recv_cpu,
+                    &costs.recv_batch,
+                    costs.perf,
+                );
                 q.push(done.max(now), Ev::RecvProcessed { node: dst, bytes });
             }
             Ev::RecvProcessed { node, bytes } => {
-                record(&mut trace, now, phase_ix, node, TraceKind::RecvProcessed, bytes);
+                record(
+                    &mut trace,
+                    now,
+                    phase_ix,
+                    node,
+                    TraceKind::RecvProcessed,
+                    bytes,
+                );
                 horizon = horizon.max(now);
                 if phase.write_received {
                     let aligned = align_sectors(bytes);
                     let done = m.write(node, now, aligned, region, phase_writes);
-                    record(&mut trace, done, phase_ix, node, TraceKind::WriteDone, aligned);
+                    record(
+                        &mut trace,
+                        done,
+                        phase_ix,
+                        node,
+                        TraceKind::WriteDone,
+                        aligned,
+                    );
                     horizon = horizon.max(done);
                 }
             }
             Ev::FeArrive { bytes } => {
-                record(&mut trace, now, phase_ix, usize::MAX, TraceKind::FeArrive, bytes);
-                let cost = Duration::from_secs_f64(
-                    phase.frontend_cpu_ns_per_byte * bytes as f64 / 1e9 / fe_perf,
+                record(
+                    &mut trace,
+                    now,
+                    phase_ix,
+                    usize::MAX,
+                    TraceKind::FeArrive,
+                    bytes,
                 );
+                let cost = if bytes == BATCH_BYTES {
+                    costs.fe_batch
+                } else {
+                    cpu_cost(phase.frontend_cpu_ns_per_byte, bytes, costs.fe_perf)
+                };
                 let done = m.fe_cpu_work(now, cost, "frontend");
                 horizon = horizon.max(done);
             }
         }
     }
 
+    // Byte conservation: the nodes together must have issued exactly the
+    // plan's read bytes — the per-node split drops nothing.
+    let issued: u64 = nodes.iter().map(|s| s.issued_bytes).sum();
+    assert_eq!(
+        issued, phase.read_bytes_total,
+        "phase '{}' issued {issued} B of {} B planned",
+        phase.name, phase.read_bytes_total
+    );
+
     // Out-of-band disk positioning penalty (e.g. merge run switches):
     // per-node and overlapped across nodes, so it extends the phase once.
     horizon + phase.extra_disk_busy_per_node
 }
 
-#[allow(clippy::too_many_arguments)]
 fn issue_read(
     m: &mut Machine,
     q: &mut EventQueue<Ev>,
     nodes: &mut [NodeState],
     node: usize,
     now: SimTime,
-    per_node: u64,
     region: usize,
     phase_writes: bool,
 ) {
     let st = &mut nodes[node];
-    if per_node == 0 || st.issued >= st.batches_total {
+    if st.bytes_total == 0 || st.issued >= st.batches_total {
         return;
     }
     let is_last = st.issued == st.batches_total - 1;
@@ -419,6 +559,7 @@ fn issue_read(
         BATCH_BYTES
     };
     st.issued += 1;
+    st.issued_bytes += bytes;
     let aligned = align_sectors(bytes);
     let ready = m.read(node, now, aligned, region, phase_writes);
     q.push(ready.max(now), Ev::BatchRead { node, bytes });
@@ -429,6 +570,7 @@ fn drain_outputs(
     m: &mut Machine,
     q: &mut EventQueue<Ev>,
     nodes: &mut [NodeState],
+    costs: &PhaseCosts,
     node: usize,
     now: SimTime,
     flush: bool,
@@ -450,7 +592,7 @@ fn drain_outputs(
         };
         st.shuffle_credit -= emit as f64;
         let dst = st.pick_dst(phase_weights, n);
-        send_peer(m, q, node, dst, now, emit);
+        send_peer(m, q, costs, node, dst, now, emit);
     }
     // Front-end stream.
     loop {
@@ -463,7 +605,7 @@ fn drain_outputs(
             break;
         };
         st.frontend_credit -= emit as f64;
-        send_frontend(m, q, node, now, emit);
+        send_frontend(m, q, costs, node, now, emit);
     }
     // Local writes.
     loop {
@@ -484,20 +626,28 @@ fn drain_outputs(
 fn send_peer(
     m: &mut Machine,
     q: &mut EventQueue<Ev>,
+    costs: &PhaseCosts,
     src: usize,
     dst: usize,
     now: SimTime,
     bytes: u64,
 ) {
-    let perf = m.node_cpu().relative_perf;
-    let send_done = m.node_cpu_work(src, now, m.msg_cost(bytes).scale(1.0 / perf), "net-send");
+    let msg_cost = costs.msg_cost(m, bytes);
+    let send_done = m.node_cpu_work(src, now, msg_cost, "net-send");
     let arrival = m.peer_transfer(send_done, src, dst, bytes);
     q.push(arrival.max(now), Ev::PeerArrive { dst, bytes });
 }
 
-fn send_frontend(m: &mut Machine, q: &mut EventQueue<Ev>, src: usize, now: SimTime, bytes: u64) {
-    let perf = m.node_cpu().relative_perf;
-    let send_done = m.node_cpu_work(src, now, m.msg_cost(bytes).scale(1.0 / perf), "net-send");
+fn send_frontend(
+    m: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    costs: &PhaseCosts,
+    src: usize,
+    now: SimTime,
+    bytes: u64,
+) {
+    let msg_cost = costs.msg_cost(m, bytes);
+    let send_done = m.node_cpu_work(src, now, msg_cost, "net-send");
     let arrival = m.fe_transfer(send_done, src, bytes);
     q.push(arrival.max(now), Ev::FeArrive { bytes });
 }
@@ -536,7 +686,7 @@ mod tests {
             phase.local_write_factor = write_pct as f64 / 100.0;
             if phase.shuffle_factor > 0.0 {
                 phase.recv_cpu = vec![CpuWork { tag: "recv", ns_per_byte: cpu_ns / 2.0 }];
-                phase.write_received = write_pct % 2 == 0;
+                phase.write_received = write_pct.is_multiple_of(2);
             }
             let plan = TaskPlan { task: "random", phases: vec![phase] };
             let arch = match arch_ix {
@@ -626,10 +776,9 @@ mod tests {
         );
         // Events fire in nondecreasing time order per the event loop.
         let evs = trace.events();
-        assert!(evs
-            .windows(2)
-            .all(|w| w[0].phase < w[1].phase || w[0].time <= w[1].time
-                 || w[1].kind == crate::trace::TraceKind::WriteDone));
+        assert!(evs.windows(2).all(|w| w[0].phase < w[1].phase
+            || w[0].time <= w[1].time
+            || w[1].kind == crate::trace::TraceKind::WriteDone));
     }
 
     #[test]

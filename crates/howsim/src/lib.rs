@@ -26,6 +26,7 @@
 pub mod exec;
 pub mod machine;
 pub mod report;
+pub mod sweep;
 pub mod trace;
 
 pub use exec::Simulation;

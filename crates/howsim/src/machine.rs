@@ -7,11 +7,15 @@
 //! FIFO queueing servers, so contention and overlap emerge from the
 //! event-driven executor rather than from closed-form formulas.
 
-use arch::{ActiveDiskConfig, Architecture, ClusterConfig, InterconnectKind, ProcessorSpec, SmpConfig};
+use arch::{
+    ActiveDiskConfig, Architecture, ClusterConfig, InterconnectKind, ProcessorSpec, SmpConfig,
+};
 use diskmodel::{Disk, Request};
 use diskos::Sandbox;
 use hostos::OsCosts;
-use netmodel::{BarrierCosts, ClusterFabric, FcLoop, FcSwitchFabric, MsgCosts, SmpFabric, SmpIoSubsystem};
+use netmodel::{
+    BarrierCosts, ClusterFabric, FcLoop, FcSwitchFabric, MsgCosts, SmpFabric, SmpIoSubsystem,
+};
 use simcore::{Bandwidth, Duration, FifoServer, SimTime};
 
 /// The Active Disk serial fabric: the baseline shared dual loop, or the
@@ -36,7 +40,13 @@ impl ActiveWire {
         }
     }
 
-    fn front_end_leg(&mut self, now: SimTime, src: usize, bytes: u64, tag: &'static str) -> SimTime {
+    fn front_end_leg(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        bytes: u64,
+        tag: &'static str,
+    ) -> SimTime {
         match self {
             ActiveWire::Loop(fc) => fc.transfer(now, src, bytes, tag),
             ActiveWire::Switch(sw) => sw.transfer_to_front_end(now, src, bytes, tag),
@@ -109,7 +119,9 @@ impl Machine {
     }
 
     fn active(c: &ActiveDiskConfig) -> Self {
-        let disks: Vec<Disk> = (0..c.disks).map(|_| Disk::new(c.disk_spec.clone())).collect();
+        let disks: Vec<Disk> = (0..c.disks)
+            .map(|_| Disk::new(c.disk_spec.clone()))
+            .collect();
         let region_size = disks[0].capacity_bytes() / REGIONS;
         let sandbox = Sandbox::for_disk_memory(c.disk_memory_bytes);
         Machine {
@@ -127,9 +139,7 @@ impl Machine {
                     }
                 },
                 fe_port: FifoServer::new(),
-                fe_port_rate: Bandwidth::from_bytes_per_sec(
-                    c.interconnect.bytes_per_sec() / 2.0,
-                ),
+                fe_port_rate: Bandwidth::from_bytes_per_sec(c.interconnect.bytes_per_sec() / 2.0),
                 direct: c.direct_disk_to_disk,
                 msg: MsgCosts::disk_stream(),
             },
@@ -144,7 +154,9 @@ impl Machine {
     }
 
     fn cluster(c: &ClusterConfig) -> Self {
-        let disks: Vec<Disk> = (0..c.nodes).map(|_| Disk::new(c.disk_spec.clone())).collect();
+        let disks: Vec<Disk> = (0..c.nodes)
+            .map(|_| Disk::new(c.disk_spec.clone()))
+            .collect();
         let region_size = disks[0].capacity_bytes() / REGIONS;
         Machine {
             nodes: c.nodes,
@@ -281,7 +293,6 @@ impl Machine {
                 // Striped read: 64 KB chunks over the read group, each
                 // crossing the FC loop + XIO into memory.
                 let (start, len, _) = {
-                    
                     if phase_writes && self.nodes >= 2 {
                         (0usize, self.nodes / 2, self.nodes / 2)
                     } else {
@@ -395,7 +406,10 @@ impl Machine {
     fn alloc(&mut self, node: usize, region: usize, bytes: u64) -> u64 {
         let base = self.region_base(region);
         let cap = self.region_capacity(region);
-        assert!(bytes <= cap, "request of {bytes} B exceeds region capacity {cap}");
+        assert!(
+            bytes <= cap,
+            "request of {bytes} B exceeds region capacity {cap}"
+        );
         let cur = &mut self.cursors[node][region];
         // Streams larger than the region wrap around (placement is
         // synthetic; a wrap costs one re-positioning in the disk model).
@@ -410,9 +424,9 @@ impl Machine {
     /// CPU cost charged to a sender/receiver per message.
     pub fn msg_cost(&self, bytes: u64) -> Duration {
         match &self.fabric {
-            Fabric::Active { msg, .. }
-            | Fabric::Cluster { msg, .. }
-            | Fabric::Smp { msg, .. } => msg.send_cost(bytes),
+            Fabric::Active { msg, .. } | Fabric::Cluster { msg, .. } | Fabric::Smp { msg, .. } => {
+                msg.send_cost(bytes)
+            }
         }
     }
 
@@ -448,9 +462,7 @@ impl Machine {
                 }
             }
             Fabric::Cluster { net, .. } => net.send(now, src, dst, bytes, "shuffle"),
-            Fabric::Smp { mem, .. } => {
-                mem.block_transfer(now, src / 2, dst / 2, bytes, "shuffle")
-            }
+            Fabric::Smp { mem, .. } => mem.block_transfer(now, src / 2, dst / 2, bytes, "shuffle"),
         }
     }
 
@@ -611,8 +623,12 @@ mod tests {
     fn peer_transfer_local_is_free() {
         let mut m = active(4);
         let now = SimTime::from_nanos(500);
-        assert_eq!(m.peer_transfer(now, 2, 2, 1 << 20, ), now);
-        assert_eq!(m.interconnect_bytes(), 0, "local hand-off is not wire traffic");
+        assert_eq!(m.peer_transfer(now, 2, 2, 1 << 20,), now);
+        assert_eq!(
+            m.interconnect_bytes(),
+            0,
+            "local hand-off is not wire traffic"
+        );
     }
 
     #[test]
@@ -650,7 +666,11 @@ mod tests {
         m.begin_phase(0);
         let t = m.read(0, SimTime::ZERO, 256 * 1024, 0, false);
         assert!(t > SimTime::ZERO);
-        assert_eq!(m.interconnect_bytes(), 256 * 1024, "striped chunks cross the FC loop");
+        assert_eq!(
+            m.interconnect_bytes(),
+            256 * 1024,
+            "striped chunks cross the FC loop"
+        );
     }
 
     #[test]
@@ -667,7 +687,9 @@ mod tests {
     #[test]
     fn barrier_costs_differ_by_fabric() {
         let a = active(64).barrier_costs().barrier(64);
-        let s = Machine::new(&Architecture::smp(64)).barrier_costs().barrier(64);
+        let s = Machine::new(&Architecture::smp(64))
+            .barrier_costs()
+            .barrier(64);
         assert!(s < a, "SMP barriers are hardware-assisted");
     }
 

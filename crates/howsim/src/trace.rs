@@ -87,7 +87,10 @@ impl Trace {
     /// accumulating past the cap; the event list stops growing).
     pub fn with_capacity(capacity: usize) -> Self {
         Trace {
-            events: Vec::new(),
+            // Traced runs almost always fill the buffer, so allocate it up
+            // front (capped so a huge requested capacity doesn't reserve
+            // gigabytes before the first event).
+            events: Vec::with_capacity(capacity.min(Self::DEFAULT_CAPACITY)),
             dropped: 0,
             counts: [0; 6],
             capacity,

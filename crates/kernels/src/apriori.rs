@@ -54,11 +54,7 @@ pub fn frequent_itemsets(txns: &[Vec<u32>], min_support: f64, max_k: usize) -> V
         .map(|(s, _)| s.clone())
         .collect();
     frequent.sort();
-    result.extend(
-        frequent
-            .iter()
-            .map(|s| (s.clone(), counts[s])),
-    );
+    result.extend(frequent.iter().map(|s| (s.clone(), counts[s])));
 
     // Passes 2..=max_k.
     for _k in 2..=max_k {

@@ -118,7 +118,10 @@ pub fn plan_passes(table_bytes: &[u64], memory_bytes: u64) -> CubePlan {
             passes.push((memory_bytes, vec![i]));
             continue;
         }
-        match passes.iter_mut().find(|(used, _)| used + size <= memory_bytes) {
+        match passes
+            .iter_mut()
+            .find(|(used, _)| used + size <= memory_bytes)
+        {
             Some((used, members)) => {
                 *used += size;
                 members.push(i);
@@ -340,7 +343,10 @@ mod tests {
         }
         // The dimension with cardinality 2 should be the favourite add-on.
         let (_, parent_of_empty) = tree.iter().find(|&&(c, _)| c == 0).unwrap();
-        assert_eq!(*parent_of_empty, 0b1000, "cheapest single dim is D (card 2)");
+        assert_eq!(
+            *parent_of_empty, 0b1000,
+            "cheapest single dim is D (card 2)"
+        );
     }
 
     #[test]
@@ -354,8 +360,7 @@ mod tests {
             let direct = compute_groupby(&facts, child);
             let parent_table = compute_groupby(&facts, parent);
             // Re-aggregate the parent onto the child's dimensions.
-            let parent_dims: Vec<usize> =
-                (0..4).filter(|d| parent & (1 << d) != 0).collect();
+            let parent_dims: Vec<usize> = (0..4).filter(|d| parent & (1 << d) != 0).collect();
             let mut from_parent: HashMap<Vec<u32>, i64> = HashMap::new();
             for (key, v) in parent_table {
                 let child_key: Vec<u32> = parent_dims

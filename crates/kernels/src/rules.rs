@@ -124,16 +124,10 @@ mod tests {
         let txns = transactions(400, 30, 4.0, 5);
         let rules = generate_rules(&mine(&txns), 0.2);
         for r in rules.iter().take(20) {
-            let mut whole: Vec<u32> = r
-                .antecedent
-                .iter()
-                .chain(&r.consequent)
-                .copied()
-                .collect();
+            let mut whole: Vec<u32> = r.antecedent.iter().chain(&r.consequent).copied().collect();
             whole.sort_unstable();
             let count_whole = txns.iter().filter(|t| is_subset(&whole, t)).count() as f64;
-            let count_ante =
-                txns.iter().filter(|t| is_subset(&r.antecedent, t)).count() as f64;
+            let count_ante = txns.iter().filter(|t| is_subset(&r.antecedent, t)).count() as f64;
             let direct = count_whole / count_ante;
             assert!(
                 (direct - r.confidence).abs() < 1e-9,
@@ -155,8 +149,9 @@ mod tests {
         assert!(high.len() <= low.len());
         // The high-confidence rules are a subset of the low-confidence set.
         for r in &high {
-            assert!(low.iter().any(|l| l.antecedent == r.antecedent
-                && l.consequent == r.consequent));
+            assert!(low
+                .iter()
+                .any(|l| l.antecedent == r.antecedent && l.consequent == r.consequent));
         }
     }
 

@@ -17,7 +17,11 @@ use datagen::gen::Tuple;
 /// assert!(hits.len() < 300);
 /// ```
 pub fn filter(input: &[Tuple], threshold: u64) -> Vec<Tuple> {
-    input.iter().copied().filter(|t| t.key < threshold).collect()
+    input
+        .iter()
+        .copied()
+        .filter(|t| t.key < threshold)
+        .collect()
 }
 
 /// Counts tuples matching the predicate without materializing them (the

@@ -81,10 +81,7 @@ impl FcLoop {
     /// dual-loop assignment for drives with two ports.
     pub fn transfer(&mut self, now: SimTime, src: usize, bytes: u64, tag: &'static str) -> SimTime {
         let loop_ix = src % self.loops.len();
-        let wire_time = self
-            .per_loop
-            .scale(self.efficiency)
-            .transfer_time(bytes);
+        let wire_time = self.per_loop.scale(self.efficiency).transfer_time(bytes);
         let grant = self.loops[loop_ix].offer(now, self.arbitration + wire_time, tag);
         self.bytes += bytes;
         grant.end

@@ -100,9 +100,7 @@ impl FcSwitchFabric {
 
     /// Aggregate bisection bandwidth (all segment ports concurrently).
     pub fn bisection_bandwidth(&self) -> Bandwidth {
-        Bandwidth::from_bytes_per_sec(
-            self.port_rate.bytes_per_sec() * self.segments() as f64,
-        )
+        Bandwidth::from_bytes_per_sec(self.port_rate.bytes_per_sec() * self.segments() as f64)
     }
 
     fn segment_of(&self, device: usize) -> usize {
@@ -138,7 +136,11 @@ impl FcSwitchFabric {
                 .offer(out, self.port_rate.transfer_time(bytes), tag)
                 .end;
             self.ports_out[dseg]
-                .offer(up + self.switch_latency, self.port_rate.transfer_time(bytes), tag)
+                .offer(
+                    up + self.switch_latency,
+                    self.port_rate.transfer_time(bytes),
+                    tag,
+                )
                 .end
         };
         self.rx[dseg]

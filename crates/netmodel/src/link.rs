@@ -47,7 +47,12 @@ impl Link {
     /// Enqueues a message and returns the raw serialization window
     /// (start/end of link occupancy), for callers composing pipelined
     /// multi-hop paths.
-    pub fn transmit(&mut self, now: SimTime, bytes: u64, tag: &'static str) -> simcore::server::Grant {
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        tag: &'static str,
+    ) -> simcore::server::Grant {
         let grant = self
             .server
             .offer(now, self.bandwidth.transfer_time(bytes), tag);
@@ -92,7 +97,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn fast_ethernet() -> Link {
-        Link::new(Bandwidth::from_mbit_per_sec(100.0), Duration::from_micros(50))
+        Link::new(
+            Bandwidth::from_mbit_per_sec(100.0),
+            Duration::from_micros(50),
+        )
     }
 
     #[test]

@@ -80,7 +80,11 @@ mod tests {
         let big = c.send_cost(1024 * 1024);
         assert!(big > small);
         // 1 MiB copy at ~180 MB/s ≈ 5.7 ms.
-        assert!((4_000..8_000).contains(&big.as_micros()), "{}", big.as_micros());
+        assert!(
+            (4_000..8_000).contains(&big.as_micros()),
+            "{}",
+            big.as_micros()
+        );
     }
 
     #[test]

@@ -77,6 +77,24 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events.
+    ///
+    /// Event-loop hot paths (one simulation pushes millions of events)
+    /// pre-size the heap to its steady-state depth so the backing buffer
+    /// never reallocates mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `payload` to fire at `time`.
     ///
     /// Scheduling in the past (before the last popped event) is a
@@ -182,6 +200,22 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_presizes_and_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        let before = q.capacity();
+        for i in 0..64u64 {
+            q.push(SimTime::from_nanos(64 - i), i);
+        }
+        assert_eq!(q.capacity(), before, "pre-sized heap must not reallocate");
+        let mut last = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t.as_nanos() >= last);
+            last = t.as_nanos();
+        }
     }
 
     #[test]

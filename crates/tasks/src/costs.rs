@@ -128,9 +128,11 @@ mod tests {
         // 64 B tuple in ~1.8 µs (select), i.e. scans at ~36 MB/s — faster
         // than the ~18 MB/s media rate, so light scans stay media-bound.
         let cyrix = arch::ProcessorSpec::cyrix_6x86_200();
-        let scan_rate_mb =
-            64.0 / (SELECT_NS_PER_TUPLE / cyrix.relative_perf) * 1e3;
-        assert!(scan_rate_mb > 21.3, "select on Cyrix ({scan_rate_mb} MB/s) outruns the media");
+        let scan_rate_mb = 64.0 / (SELECT_NS_PER_TUPLE / cyrix.relative_perf) * 1e3;
+        assert!(
+            scan_rate_mb > 21.3,
+            "select on Cyrix ({scan_rate_mb} MB/s) outruns the media"
+        );
     }
 
     #[test]

@@ -121,7 +121,16 @@ mod tests {
         let names: Vec<_> = TaskKind::ALL.iter().map(|t| t.name()).collect();
         assert_eq!(
             names,
-            vec!["select", "aggregate", "groupby", "dcube", "sort", "join", "dmine", "mview"]
+            vec![
+                "select",
+                "aggregate",
+                "groupby",
+                "dcube",
+                "sort",
+                "join",
+                "dmine",
+                "mview"
+            ]
         );
     }
 

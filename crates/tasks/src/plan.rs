@@ -272,10 +272,19 @@ mod tests {
     #[test]
     fn cpu_scaling_multiplies_all_costs() {
         let mut p = PhasePlan::new("a", 100);
-        p.read_cpu = vec![CpuWork { tag: "x", ns_per_byte: 4.0 }];
-        p.recv_cpu = vec![CpuWork { tag: "y", ns_per_byte: 2.0 }];
+        p.read_cpu = vec![CpuWork {
+            tag: "x",
+            ns_per_byte: 4.0,
+        }];
+        p.recv_cpu = vec![CpuWork {
+            tag: "y",
+            ns_per_byte: 2.0,
+        }];
         p.frontend_cpu_ns_per_byte = 1.0;
-        let mut plan = TaskPlan { task: "t", phases: vec![p] };
+        let mut plan = TaskPlan {
+            task: "t",
+            phases: vec![p],
+        };
         plan.scale_cpu(2.5);
         assert_eq!(plan.phases[0].read_cpu[0].ns_per_byte, 10.0);
         assert_eq!(plan.phases[0].recv_cpu[0].ns_per_byte, 5.0);
@@ -285,7 +294,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn cpu_scaling_rejects_zero() {
-        TaskPlan { task: "t", phases: vec![] }.scale_cpu(0.0);
+        TaskPlan {
+            task: "t",
+            phases: vec![],
+        }
+        .scale_cpu(0.0);
     }
 
     #[test]

@@ -48,8 +48,7 @@ pub fn plan_task(kind: TaskKind, arch: &Architecture) -> TaskPlan {
 pub fn plan_task_on(kind: TaskKind, arch: &Architecture, dataset: &DatasetSpec) -> TaskPlan {
     let dataset = dataset.clone();
     let n = arch.disks() as u64;
-    let usable_mem =
-        (arch.aggregate_memory_bytes() as f64 * costs::MEMORY_USABLE_FRACTION) as u64;
+    let usable_mem = (arch.aggregate_memory_bytes() as f64 * costs::MEMORY_USABLE_FRACTION) as u64;
     let phases = match kind {
         TaskKind::Select => plan_select(&dataset),
         TaskKind::Aggregate => plan_aggregate(&dataset),
@@ -131,7 +130,11 @@ fn plan_dcube(d: &datagen::DatasetSpec, usable_mem: u64) -> Vec<PhasePlan> {
 
     let mut phases = Vec::new();
     let mut p1 = PhasePlan::new(
-        if root_fits { "cube-raw-scan" } else { "cube-spill-scan" },
+        if root_fits {
+            "cube-raw-scan"
+        } else {
+            "cube-spill-scan"
+        },
         d.total_bytes,
     );
     p1.read_cpu = vec![CpuWork::per_tuple(
@@ -456,8 +459,14 @@ mod tests {
     fn skew_applies_to_repartition_phases_only() {
         let mut plan = plan_task(TaskKind::Sort, &Architecture::active_disks(4));
         apply_shuffle_skew(&mut plan, vec![0.7, 0.1, 0.1, 0.1]);
-        assert!(plan.phases[0].shuffle_weights.is_some(), "sort phase is skewed");
-        assert!(plan.phases[1].shuffle_weights.is_none(), "merge phase untouched");
+        assert!(
+            plan.phases[0].shuffle_weights.is_some(),
+            "sort phase is skewed"
+        );
+        assert!(
+            plan.phases[1].shuffle_weights.is_none(),
+            "merge phase untouched"
+        );
     }
 
     #[test]

@@ -35,11 +35,10 @@ fn main() {
                 .run(task)
                 .elapsed()
                 .as_secs_f64();
-            let switched =
-                Simulation::new(Architecture::active_disks(disks).with_fibre_switch())
-                    .run(task)
-                    .elapsed()
-                    .as_secs_f64();
+            let switched = Simulation::new(Architecture::active_disks(disks).with_fibre_switch())
+                .run(task)
+                .elapsed()
+                .as_secs_f64();
             let note = if prev_dual.is_finite() {
                 format!(
                     "  (2x disks: loop {:.2}x, switch {:.2}x)",

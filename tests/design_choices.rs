@@ -26,8 +26,15 @@ fn dual_loop_sufficient_to_64_disks() {
         1.0 - fast / base
     };
     assert!(gain(16) < 0.05, "16 disks: Fast I/O gain {:.2}", gain(16));
-    assert!(gain(128) > 0.25, "128 disks: Fast I/O gain {:.2}", gain(128));
-    assert!(gain(128) > 3.0 * gain(32), "the loop saturates only at scale");
+    assert!(
+        gain(128) > 0.25,
+        "128 disks: Fast I/O gain {:.2}",
+        gain(128)
+    );
+    assert!(
+        gain(128) > 3.0 * gain(32),
+        "the loop saturates only at scale"
+    );
 }
 
 /// Figure 3's hardware ablation: at 16 disks the disks are the
@@ -41,7 +48,10 @@ fn bottleneck_migrates_from_disks_to_loop() {
         Architecture::active_disks(16).with_disk_spec(DiskSpec::hitachi_dk3e1t_91()),
         sort,
     );
-    let fio16 = secs(Architecture::active_disks(16).with_interconnect_mb(400.0), sort);
+    let fio16 = secs(
+        Architecture::active_disks(16).with_interconnect_mb(400.0),
+        sort,
+    );
     assert!(base16 - fdisk16 > base16 - fio16, "disks matter more at 16");
 
     let base128 = secs(Architecture::active_disks(128), sort);
@@ -49,8 +59,14 @@ fn bottleneck_migrates_from_disks_to_loop() {
         Architecture::active_disks(128).with_disk_spec(DiskSpec::hitachi_dk3e1t_91()),
         sort,
     );
-    let fio128 = secs(Architecture::active_disks(128).with_interconnect_mb(400.0), sort);
-    assert!(base128 - fio128 > base128 - fdisk128, "loop matters more at 128");
+    let fio128 = secs(
+        Architecture::active_disks(128).with_interconnect_mb(400.0),
+        sort,
+    );
+    assert!(
+        base128 - fio128 > base128 - fdisk128,
+        "loop matters more at 128"
+    );
 }
 
 /// Conclusion 2: "most decision support tasks do not require a large
@@ -96,7 +112,10 @@ fn dcube_memory_spike_is_at_16_disks() {
         1.0 - big / base
     };
     let g16 = gain(16);
-    assert!((0.2..0.5).contains(&g16), "dcube gain at 16 disks: {g16:.2}");
+    assert!(
+        (0.2..0.5).contains(&g16),
+        "dcube gain at 16 disks: {g16:.2}"
+    );
     for disks in [32, 64, 128] {
         assert!(
             gain(disks) < g16,

@@ -42,7 +42,10 @@ fn fibre_switch_is_irrelevant_for_scans() {
         TaskKind::Select,
     );
     let delta = (switched - dual).abs() / dual;
-    assert!(delta < 0.05, "select should not care about the fabric: {delta:.3}");
+    assert!(
+        delta < 0.05,
+        "select should not care about the fabric: {delta:.3}"
+    );
 }
 
 /// Zipf skew degrades repartitioning through the hot receiver.
@@ -52,7 +55,10 @@ fn zipf_skew_creates_stragglers() {
     let uniform = secs(arch.clone(), TaskKind::Join);
     let mut plan = plan_task(TaskKind::Join, &arch);
     apply_shuffle_skew(&mut plan, Zipf::new(100_000, 1.0).partition_weights(32));
-    let skewed = Simulation::new(arch).run_plan(&plan).elapsed().as_secs_f64();
+    let skewed = Simulation::new(arch)
+        .run_plan(&plan)
+        .elapsed()
+        .as_secs_f64();
     assert!(
         skewed > uniform * 1.2,
         "uniform {uniform:.1}s, Zipf-skewed {skewed:.1}s"
@@ -69,12 +75,18 @@ fn growth_preserves_the_architecture_ranking() {
         let active = {
             let arch = Architecture::active_disks(64);
             let plan = plan_task_on(TaskKind::Select, &arch, &dataset);
-            Simulation::new(arch).run_plan(&plan).elapsed().as_secs_f64()
+            Simulation::new(arch)
+                .run_plan(&plan)
+                .elapsed()
+                .as_secs_f64()
         };
         let smp = {
             let arch = Architecture::smp(64);
             let plan = plan_task_on(TaskKind::Select, &arch, &dataset);
-            Simulation::new(arch).run_plan(&plan).elapsed().as_secs_f64()
+            Simulation::new(arch)
+                .run_plan(&plan)
+                .elapsed()
+                .as_secs_f64()
         };
         assert!(
             smp > 3.0 * active,
@@ -91,10 +103,9 @@ fn embedded_cpu_evolution_helps_where_it_should() {
     let evolved = base
         .clone()
         .with_embedded_cpu(ProcessorSpec::embedded_next_gen());
-    let dmine_gain = 1.0 - secs(evolved.clone(), TaskKind::DataMine)
-        / secs(base.clone(), TaskKind::DataMine);
-    let select_gain =
-        1.0 - secs(evolved, TaskKind::Select) / secs(base, TaskKind::Select);
+    let dmine_gain =
+        1.0 - secs(evolved.clone(), TaskKind::DataMine) / secs(base.clone(), TaskKind::DataMine);
+    let select_gain = 1.0 - secs(evolved, TaskKind::Select) / secs(base, TaskKind::Select);
     assert!(dmine_gain > 0.2, "dmine is CPU-bound: gain {dmine_gain:.2}");
     assert!(
         select_gain < 0.05,

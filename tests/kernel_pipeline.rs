@@ -31,7 +31,10 @@ fn aggregate_task_distributed_equals_central() {
     let spec = DatasetSpec::aggregate().scaled_down(SCALE);
     let data = gen::tuples(spec.tuples as usize, 1_000, 7);
     // Partition over 16 "disks", reduce partials — the Active Disk plan.
-    let partials: Vec<i64> = data.chunks(data.len() / 16 + 1).map(aggregate::sum).collect();
+    let partials: Vec<i64> = data
+        .chunks(data.len() / 16 + 1)
+        .map(aggregate::sum)
+        .collect();
     assert_eq!(aggregate::combine(&partials), aggregate::sum(&data));
 }
 
@@ -110,12 +113,7 @@ fn dmine_task_finds_frequent_itemsets() {
         panic!()
     };
     let scaled_items = (items / SCALE).max(100);
-    let txns = gen::transactions(
-        spec.tuples as usize,
-        scaled_items,
-        avg_items_per_txn,
-        23,
-    );
+    let txns = gen::transactions(spec.tuples as usize, scaled_items, avg_items_per_txn, 23);
     // The paper's 0.1% support is too selective at this scale; 2% keeps
     // the pass structure identical.
     let frequent = apriori::frequent_itemsets(&txns, 0.02, 4);
@@ -202,7 +200,10 @@ fn mview_task_incremental_maintenance() {
     let mut union = mview::View::new();
     for v in views {
         for (k, agg) in v {
-            assert!(union.insert(k, agg).is_none(), "owner partitioning is disjoint");
+            assert!(
+                union.insert(k, agg).is_none(),
+                "owner partitioning is disjoint"
+            );
         }
     }
     assert_eq!(union, central);

@@ -69,7 +69,10 @@ fn reduction_tasks_show_the_largest_smp_gap() {
     assert!(select > 8.0, "select gap at 128 disks: {select:.1}");
     // "even tasks that repartition ... are significantly faster (4-6 fold
     // on 128-disk configurations)" — our sort lands at the low edge.
-    assert!((3.0..7.0).contains(&sort), "sort gap at 128 disks: {sort:.1}");
+    assert!(
+        (3.0..7.0).contains(&sort),
+        "sort gap at 128 disks: {sort:.1}"
+    );
 }
 
 /// "The performance of group-by on cluster configurations is limited by
@@ -83,7 +86,10 @@ fn groupby_is_the_cluster_pathology() {
     let g64 = ratio_at(64, TaskKind::GroupBy);
     let g128 = ratio_at(128, TaskKind::GroupBy);
     assert!(g64 > 1.4, "groupby cluster ratio at 64 disks: {g64:.2}");
-    assert!(g128 > g64, "groupby cluster gap grows: {g64:.2} -> {g128:.2}");
+    assert!(
+        g128 > g64,
+        "groupby cluster gap grows: {g64:.2} -> {g128:.2}"
+    );
     // Every other task stays far below groupby's gap at 128 disks.
     for task in TaskKind::ALL {
         if task != TaskKind::GroupBy {

@@ -1,0 +1,244 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the subset of its API this workspace
+//! uses (`Criterion`, `bench_function`, benchmark groups, and the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides a simple calibrated wall-clock harness: each benchmark
+//! is warmed up, the iteration count is chosen so one sample takes a
+//! measurable slice of time, and the median/mean/min of the samples are
+//! printed in criterion's familiar one-line format. Statistical analysis,
+//! HTML reports, and baseline comparison are out of scope.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Target time per sample once calibrated.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks by name, like
+        // real criterion. Harness flags (e.g. `--bench`) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Criterion {
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group (`group/name`).
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_benchmark(&full, samples, self.parent.filter.as_deref(), f);
+        self
+    }
+
+    /// Finishes the group (accepted for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, filter: Option<&str>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    // Calibrate: grow the iteration count until one sample is long enough
+    // to time reliably.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+            break;
+        }
+        // At least double; jump straight to the projected count when the
+        // routine is fast enough to make a good estimate.
+        let projected = if b.elapsed.is_zero() {
+            iters * 8
+        } else {
+            (TARGET_SAMPLE.as_nanos() as u64 / b.elapsed.as_nanos().max(1) as u64)
+                .saturating_mul(iters)
+                .saturating_add(1)
+        };
+        iters = projected.max(iters * 2).min(1 << 20);
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<50} time: [min {} median {} mean {}]  ({} samples × {} iters)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        samples,
+        iters,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unfiltered() -> Criterion {
+        // Bypass Default: under `cargo test` the harness's own CLI args
+        // must not act as benchmark filters.
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = unfiltered();
+        c.sample_size(2);
+        let mut runs = 0u64;
+        c.bench_function("trivial", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs > 0, "benchmark routine must have executed");
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = unfiltered();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut ran = false;
+        g.bench_function("x", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-9).ends_with("ns"));
+    }
+}
