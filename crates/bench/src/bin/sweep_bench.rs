@@ -1,8 +1,10 @@
-//! Wall-clock benchmark of the parallel sweep engine.
+//! Wall-clock benchmark of the sweep engine and the simulator's event
+//! loop, including the cost of the observability layer.
 //!
 //! Runs the `--quick` figure sweeps serially (`--jobs 1`) and with a
-//! worker pool, verifies both produce identical results, and writes the
-//! timings to `BENCH_PR1.json` in the current directory.
+//! worker pool, verifies both produce identical results, measures the
+//! executor's event throughput with metrics sampling off and on, and
+//! writes everything to `BENCH_PR2.json` in the current directory.
 //!
 //! ```text
 //! cargo run --release -p bench --bin sweep_bench [workers]
@@ -14,7 +16,13 @@
 
 use std::time::Instant;
 
-use howsim::sweep;
+use arch::Architecture;
+use howsim::{sweep, MetricsBuilder, Simulation};
+use tasks::TaskKind;
+
+/// The `fifo_offer_10k_5_tags` result recorded by PR 1's run of this
+/// benchmark on the same container, for drift comparison.
+const PR1_FIFO_US: f64 = 61.3;
 
 /// The `--quick` figure sweeps (the experiments binary's quick sizes).
 fn quick_sweeps() -> (usize, f64) {
@@ -66,6 +74,31 @@ fn fifo_micro_us() -> f64 {
     best
 }
 
+/// Event-loop throughput probe: the fig2 64-disk cluster join, best of
+/// `rounds` wall-clock runs, with metrics sampling off and on. Returns
+/// `(events, best_off_seconds, best_on_seconds)`.
+fn event_throughput(rounds: usize) -> (u64, f64, f64) {
+    let arch = Architecture::cluster(64);
+    let plan = tasks::plan_task(TaskKind::Join, &arch);
+    let sim = Simulation::new(arch);
+    let mut events = 0u64;
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let report = sim.run_plan(&plan);
+        best_off = best_off.min(start.elapsed().as_secs_f64());
+        events = report.events;
+
+        let mut metrics = MetricsBuilder::new();
+        let start = Instant::now();
+        let report_on = sim.run_plan_instrumented(&plan, None, Some(&mut metrics));
+        best_on = best_on.min(start.elapsed().as_secs_f64());
+        assert_eq!(report, report_on, "metrics must not change results");
+    }
+    (events, best_off, best_on)
+}
+
 fn main() {
     let workers: usize = std::env::args()
         .nth(1)
@@ -88,8 +121,13 @@ fn main() {
 
     let speedup = serial / parallel;
     let micro = fifo_micro_us();
+    eprintln!("event throughput (cluster 64 join, metrics off/on)...");
+    let (events, off_s, on_s) = event_throughput(20);
+    let off_eps = events as f64 / off_s;
+    let on_eps = events as f64 / on_s;
+    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
     let json = format!(
-        "{{\n  \"benchmark\": \"experiments --quick figure sweeps\",\n  \
+        "{{\n  \"benchmark\": \"experiments --quick figure sweeps + event-loop throughput\",\n  \
          \"simulated_runs\": {sims},\n  \
          \"available_parallelism\": {cores},\n  \
          \"workers\": {workers},\n  \
@@ -97,8 +135,17 @@ fn main() {
          \"parallel_seconds\": {parallel:.3},\n  \
          \"speedup\": {speedup:.3},\n  \
          \"fifo_offer_10k_5_tags_us\": {micro:.1},\n  \
+         \"fifo_pr1_baseline_us\": {PR1_FIFO_US},\n  \
+         \"event_loop\": {{\n    \
+         \"config\": \"cluster 64-disk join\",\n    \
+         \"events\": {events},\n    \
+         \"metrics_off_seconds\": {off_s:.4},\n    \
+         \"metrics_on_seconds\": {on_s:.4},\n    \
+         \"metrics_off_events_per_sec\": {off_eps:.0},\n    \
+         \"metrics_on_events_per_sec\": {on_eps:.0},\n    \
+         \"metrics_sampling_overhead_pct\": {overhead_pct:.2}\n  }},\n  \
          \"outputs_identical\": true\n}}\n"
     );
-    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
     print!("{json}");
 }

@@ -5,13 +5,16 @@
 //! ```text
 //! experiments [--table1] [--table2] [--fig1] [--fig2] [--fig3] [--fig4]
 //!             [--fig5] [--beyond64] [--skew] [--growth] [--sensitivity] [--ablations] [--quick] [--csv] [--all]
-//!             [--jobs N]
+//!             [--jobs N] [--metrics-out FILE]
 //! ```
 //!
 //! With no arguments, everything is regenerated (`--all`). `--quick`
 //! restricts the figure sweeps to 16- and 64-disk configurations.
 //! `--jobs N` sets the sweep worker count (default: all cores); the
-//! output is byte-identical for any worker count.
+//! output is byte-identical for any worker count. `--metrics-out FILE`
+//! additionally sweeps select/sort/join over the figure sizes and
+//! writes one `howsim-sweep/v1` manifest document aggregating every
+//! run's bottleneck attribution.
 
 use std::env;
 use std::fs;
@@ -40,6 +43,19 @@ fn main() {
             }
         };
         howsim::sweep::set_default_jobs(n);
+        args.drain(i..=i + 1);
+    }
+    // `--metrics-out FILE` requests a sweep manifest and is not a
+    // section flag either.
+    let mut metrics_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--metrics-out") {
+        match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => metrics_out = Some(path.clone()),
+            _ => {
+                eprintln!("error: --metrics-out needs a file path");
+                std::process::exit(2);
+            }
+        }
         args.drain(i..=i + 1);
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -122,6 +138,14 @@ fn main() {
     }
     if want("--ablations") {
         ablations(sizes);
+    }
+    if let Some(path) = metrics_out {
+        use tasks::TaskKind;
+        let grid_tasks = [TaskKind::Select, TaskKind::Sort, TaskKind::Join];
+        let manifests = experiments::manifests::run_grid(&grid_tasks, sizes);
+        let json = experiments::manifests::to_json(&manifests);
+        fs::write(&path, json).expect("write sweep manifest");
+        eprintln!("wrote sweep manifest ({} runs) to {path}", manifests.len());
     }
 }
 

@@ -31,6 +31,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod growth;
+pub mod manifests;
 pub mod sensitivity;
 pub mod skew;
 pub mod table1;

@@ -5,20 +5,28 @@
 //! howsim --arch smp --disks 128 --task select --interconnect 400
 //! howsim --arch active --disks 32 --task join --memory 64 --no-direct
 //! howsim --arch active --disks 256 --task sort --fibre-switch --trace trace.csv
+//! howsim explain --arch cluster --disks 64 --task join
+//! howsim --arch cluster --disks 64 --task join --metrics-out run.json
 //! ```
 //!
-//! Prints the report (total and per-phase breakdown); `--trace FILE`
-//! additionally writes the event trace as CSV.
+//! Prints the report (total and per-phase breakdown). The `explain`
+//! subcommand prints the per-resource utilization table and names the
+//! bottleneck instead. `--trace FILE` writes the event trace as CSV,
+//! `--trace-out FILE` as JSONL (summary line first), and
+//! `--metrics-out FILE` writes a structured run manifest with sampled
+//! utilization time-series.
 
 use std::process::ExitCode;
 
 use arch::Architecture;
-use howsim::Simulation;
+use howsim::manifest::{HostInfo, RunManifest};
+use howsim::{Attribution, MetricsBuilder, Simulation, Trace};
 use tasks::TaskKind;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
 struct Options {
+    explain: bool,
     arch: String,
     disks: usize,
     task: TaskKind,
@@ -28,14 +36,18 @@ struct Options {
     fibre_switch: bool,
     fast_disk: bool,
     trace_path: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     jobs: Option<usize>,
 }
 
 fn usage() -> String {
-    "usage: howsim --arch <active|cluster|smp> --disks <n> --task <name>\n\
+    "usage: howsim [explain] --arch <active|cluster|smp> --disks <n> --task <name>\n\
      \x20      [--memory <MB>] [--interconnect <MB/s>] [--no-direct]\n\
-     \x20      [--fibre-switch] [--fast-disk] [--trace <file.csv>] [--jobs <n>]\n\
-     tasks: select aggregate groupby dcube sort join dmine mview"
+     \x20      [--fibre-switch] [--fast-disk] [--jobs <n>]\n\
+     \x20      [--trace <file.csv>] [--trace-out <file.jsonl>] [--metrics-out <file.json>]\n\
+     tasks: select aggregate groupby dcube sort join dmine mview\n\
+     explain: print the per-resource utilization table and name the bottleneck"
         .to_string()
 }
 
@@ -48,6 +60,7 @@ fn parse_task(name: &str) -> Result<TaskKind, String> {
 
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
+        explain: false,
         arch: "active".to_string(),
         disks: 64,
         task: TaskKind::Select,
@@ -57,8 +70,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
         fibre_switch: false,
         fast_disk: false,
         trace_path: None,
+        trace_out: None,
+        metrics_out: None,
         jobs: None,
     };
+    let mut args = args;
+    if args.first().map(String::as_str) == Some("explain") {
+        opts.explain = true;
+        args = &args[1..];
+    }
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -92,6 +112,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--fibre-switch" => opts.fibre_switch = true,
             "--fast-disk" => opts.fast_disk = true,
             "--trace" => opts.trace_path = Some(value("--trace")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--jobs" => {
                 let n: usize = value("--jobs")?
                     .parse()
@@ -136,6 +158,50 @@ fn build_architecture(opts: &Options) -> Result<Architecture, String> {
     Ok(arch)
 }
 
+/// Prints the per-resource utilization table and the bottleneck verdict
+/// — the `explain` subcommand body.
+fn print_explanation(report: &howsim::Report, wall: std::time::Duration) {
+    let attr = Attribution::from_report(report);
+    println!("{report}");
+    println!();
+    println!(
+        "  {:<16} {:>5} {:>11} {:>8} {:>8}   peak phase",
+        "resource", "lanes", "busy (s)", "overall", "peak"
+    );
+    for r in &attr.resources {
+        println!(
+            "  {:<16} {:>5} {:>11.3} {:>7.1}% {:>7.1}%   {}",
+            r.resource.label(report.architecture),
+            r.lanes,
+            r.busy.as_secs_f64(),
+            r.overall_utilization * 100.0,
+            r.peak_utilization * 100.0,
+            r.peak_phase,
+        );
+    }
+    println!();
+    match attr.bottleneck() {
+        Some(b) => println!(
+            "  bottleneck: {} — {:.1}% busy during `{}`",
+            b.resource.label(report.architecture),
+            b.peak_utilization * 100.0,
+            b.peak_phase,
+        ),
+        None => println!("  bottleneck: none (no phases executed)"),
+    }
+    let wall_s = wall.as_secs_f64();
+    println!(
+        "  simulator: {} events in {:.3} s wall ({:.0} events/s)",
+        report.events,
+        wall_s,
+        if wall_s > 0.0 {
+            report.events as f64 / wall_s
+        } else {
+            0.0
+        },
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&args) {
@@ -155,38 +221,70 @@ fn main() -> ExitCode {
     if let Some(jobs) = opts.jobs {
         howsim::sweep::set_default_jobs(jobs);
     }
-    let sim = Simulation::new(arch);
-    let (report, trace) = sim.run_traced(opts.task);
-    println!("{report}");
-    for p in &report.phases {
-        println!(
-            "  {:<16} {:>9.3} s   CPU idle {:>5.1}%   net {:>8} MB   front-end {:>8} MB",
-            p.name,
-            p.elapsed.as_secs_f64(),
-            p.idle_fraction() * 100.0,
-            p.interconnect_bytes / 1_000_000,
-            p.frontend_bytes / 1_000_000,
-        );
-        for (tag, busy) in &p.cpu_busy_by_tag {
+    let sim = Simulation::new(arch.clone());
+    let plan = tasks::plan_task(opts.task, &arch);
+    let want_trace = opts.trace_path.is_some() || opts.trace_out.is_some();
+    let mut trace = want_trace.then(Trace::new);
+    let mut metrics = opts.metrics_out.is_some().then(MetricsBuilder::new);
+    let started = std::time::Instant::now();
+    let report = sim.run_plan_instrumented(&plan, trace.as_mut(), metrics.as_mut());
+    let wall = started.elapsed();
+
+    if opts.explain {
+        print_explanation(&report, wall);
+    } else {
+        println!("{report}");
+        for p in &report.phases {
             println!(
-                "    {:<14} {:>9.3} node-seconds ({:>4.1}%)",
-                tag,
-                busy.as_secs_f64(),
-                p.cpu_fraction(tag) * 100.0
+                "  {:<16} {:>9.3} s   CPU idle {:>5.1}%   net {:>8} MB   front-end {:>8} MB",
+                p.name,
+                p.elapsed.as_secs_f64(),
+                p.idle_fraction() * 100.0,
+                p.interconnect_bytes / 1_000_000,
+                p.frontend_bytes / 1_000_000,
             );
+            for (tag, busy) in &p.cpu_busy_by_tag {
+                println!(
+                    "    {:<14} {:>9.3} node-seconds ({:>4.1}%)",
+                    tag,
+                    busy.as_secs_f64(),
+                    p.cpu_fraction(tag) * 100.0
+                );
+            }
         }
+        println!("  disk service times: {}", report.disk_service);
     }
-    println!("  disk service times: {}", report.disk_service);
-    if let Some(path) = &opts.trace_path {
-        if let Err(e) = std::fs::write(path, trace.to_csv()) {
-            eprintln!("failed to write trace {path}: {e}");
+
+    if let Some(path) = &opts.metrics_out {
+        let mut manifest =
+            RunManifest::new(&arch, &report).with_host(HostInfo::capture(report.events, wall));
+        if let Some(mb) = metrics {
+            manifest = manifest.with_metrics(mb.finish(report.events));
+        }
+        if let Some(t) = &trace {
+            manifest = manifest.with_trace(t.summary());
+        }
+        if let Err(e) = std::fs::write(path, manifest.to_json()) {
+            eprintln!("failed to write manifest {path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!(
-            "wrote {} events ({} dropped) to {path}",
-            trace.events().len(),
-            trace.dropped()
-        );
+        eprintln!("wrote run manifest to {path}");
+    }
+    if let Some(t) = &trace {
+        if let Some(path) = &opts.trace_path {
+            if let Err(e) = std::fs::write(path, t.to_csv()) {
+                eprintln!("failed to write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote trace to {path}: {}", t.summary());
+        }
+        if let Some(path) = &opts.trace_out {
+            if let Err(e) = std::fs::write(path, t.to_jsonl()) {
+                eprintln!("failed to write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote trace to {path}: {}", t.summary());
+        }
     }
     ExitCode::SUCCESS
 }
@@ -202,17 +300,20 @@ mod tests {
     #[test]
     fn defaults_parse() {
         let o = parse(&[]).unwrap();
+        assert!(!o.explain);
         assert_eq!(o.arch, "active");
         assert_eq!(o.disks, 64);
         assert_eq!(o.task, TaskKind::Select);
         assert!(o.direct);
+        assert_eq!(o.metrics_out, None);
     }
 
     #[test]
     fn full_flag_set_parses() {
         let o = parse(&argv(
             "--arch smp --disks 128 --task sort --memory 64 --interconnect 400 \
-             --no-direct --fibre-switch --fast-disk --trace t.csv --jobs 4",
+             --no-direct --fibre-switch --fast-disk --trace t.csv --trace-out t.jsonl \
+             --metrics-out m.json --jobs 4",
         ))
         .unwrap();
         assert_eq!(o.arch, "smp");
@@ -224,7 +325,20 @@ mod tests {
         assert!(o.fibre_switch);
         assert!(o.fast_disk);
         assert_eq!(o.trace_path.as_deref(), Some("t.csv"));
+        assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
         assert_eq!(o.jobs, Some(4));
+    }
+
+    #[test]
+    fn explain_subcommand_parses() {
+        let o = parse(&argv("explain --arch cluster --disks 64 --task join")).unwrap();
+        assert!(o.explain);
+        assert_eq!(o.arch, "cluster");
+        assert_eq!(o.disks, 64);
+        assert_eq!(o.task, TaskKind::Join);
+        // `explain` is only recognized as the leading word.
+        assert!(parse(&argv("--arch smp explain")).is_err());
     }
 
     #[test]
@@ -234,6 +348,7 @@ mod tests {
         assert!(parse(&argv("--bogus")).is_err());
         assert!(parse(&argv("--disks")).is_err());
         assert!(parse(&argv("--jobs 0")).is_err());
+        assert!(parse(&argv("--metrics-out")).is_err());
         assert!(parse(&argv("--help")).is_err());
     }
 

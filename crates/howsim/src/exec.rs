@@ -8,8 +8,9 @@ use tasks::plan::{CpuWork, PhasePlan, TaskPlan};
 use tasks::{plan_task, TaskKind};
 
 use crate::machine::Machine;
+use crate::metrics::{MetricsBuilder, ResourceUsage, RunMetrics};
 use crate::report::{PhaseReport, Report};
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::{NodeId, Trace, TraceEvent, TraceKind};
 use crate::BATCH_BYTES;
 
 /// A configured simulation: one architecture, ready to run tasks.
@@ -189,7 +190,7 @@ impl Simulation {
     ///
     /// Panics if the plan fails validation.
     pub fn run_plan(&self, plan: &TaskPlan) -> Report {
-        self.run_plan_inner(plan, None)
+        self.run_plan_inner(plan, None, None)
     }
 
     /// Plans and runs a task with event tracing enabled.
@@ -205,11 +206,51 @@ impl Simulation {
     /// Panics if the plan fails validation.
     pub fn run_plan_traced(&self, plan: &TaskPlan) -> (Report, Trace) {
         let mut trace = Trace::new();
-        let report = self.run_plan_inner(plan, Some(&mut trace));
+        let report = self.run_plan_inner(plan, Some(&mut trace), None);
         (report, trace)
     }
 
-    fn run_plan_inner(&self, plan: &TaskPlan, mut trace: Option<&mut Trace>) -> Report {
+    /// Plans and runs a task with time-series metrics sampling enabled
+    /// (default sampling interval; see
+    /// [`MetricsBuilder::DEFAULT_INTERVAL`]).
+    pub fn run_with_metrics(&self, task: TaskKind) -> (Report, RunMetrics) {
+        let plan = plan_task(task, &self.arch);
+        self.run_plan_with_metrics(&plan)
+    }
+
+    /// Runs an explicit phase plan with metrics sampling enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails validation.
+    pub fn run_plan_with_metrics(&self, plan: &TaskPlan) -> (Report, RunMetrics) {
+        let mut metrics = MetricsBuilder::new();
+        let report = self.run_plan_inner(plan, None, Some(&mut metrics));
+        let events = report.events;
+        (report, metrics.finish(events))
+    }
+
+    /// Runs a plan with any combination of tracing and metrics sampling.
+    /// The report is bit-identical whatever instrumentation is attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails validation.
+    pub fn run_plan_instrumented(
+        &self,
+        plan: &TaskPlan,
+        trace: Option<&mut Trace>,
+        metrics: Option<&mut MetricsBuilder>,
+    ) -> Report {
+        self.run_plan_inner(plan, trace, metrics)
+    }
+
+    fn run_plan_inner(
+        &self,
+        plan: &TaskPlan,
+        mut trace: Option<&mut Trace>,
+        mut metrics: Option<&mut MetricsBuilder>,
+    ) -> Report {
         plan.validate().expect("invalid task plan");
         let mut machine = Machine::new(&self.arch);
         for &(node, count) in &self.degraded {
@@ -217,18 +258,21 @@ impl Simulation {
         }
         let mut phases = Vec::with_capacity(plan.phases.len());
         let mut clock = SimTime::ZERO;
+        let mut events = 0u64;
         for (phase_ix, phase) in plan.phases.iter().enumerate() {
             let region = usize::from(phase.reads_intermediate);
             machine.begin_phase(region);
             let before = PhaseSnapshot::take(&machine);
-            let end = run_phase(
+            let (end, phase_events) = run_phase(
                 &mut machine,
                 phase,
                 clock,
                 region,
                 phase_ix,
                 trace.as_deref_mut(),
+                metrics.as_deref_mut(),
             );
+            events += phase_events;
             let after = PhaseSnapshot::take(&machine);
             // Every phase boundary is a global barrier (no node starts
             // the next phase before all have finished this one).
@@ -242,6 +286,7 @@ impl Simulation {
             disks: machine.nodes(),
             phases,
             disk_service: machine.disk_service_histogram(),
+            events,
         }
     }
 }
@@ -251,7 +296,7 @@ fn record(
     trace: &mut Option<&mut Trace>,
     time: SimTime,
     phase: usize,
-    node: usize,
+    node: NodeId,
     kind: TraceKind,
     bytes: u64,
 ) {
@@ -273,6 +318,7 @@ struct PhaseSnapshot {
     disk_total: Duration,
     interconnect: u64,
     frontend: u64,
+    resources: Vec<ResourceUsage>,
 }
 
 impl PhaseSnapshot {
@@ -283,6 +329,7 @@ impl PhaseSnapshot {
             disk_total: m.disk_busy_total(),
             interconnect: m.interconnect_bytes(),
             frontend: m.frontend_bytes(),
+            resources: m.resource_usage(),
         }
     }
 
@@ -301,6 +348,19 @@ impl PhaseSnapshot {
                 tags.insert(tag, d);
             }
         }
+        let resources = after
+            .resources
+            .iter()
+            .zip(&self.resources)
+            .map(|(a, b)| {
+                debug_assert_eq!(a.resource, b.resource);
+                ResourceUsage {
+                    resource: a.resource,
+                    busy: a.busy.saturating_sub(b.busy),
+                    lanes: a.lanes,
+                }
+            })
+            .collect();
         PhaseReport {
             name,
             elapsed,
@@ -310,6 +370,7 @@ impl PhaseSnapshot {
             interconnect_bytes: after.interconnect - self.interconnect,
             frontend_bytes: after.frontend - self.frontend,
             nodes,
+            resources,
         }
     }
 }
@@ -339,7 +400,9 @@ fn charge_cpu(
     end
 }
 
-/// Runs one phase; returns its completion time.
+/// Runs one phase; returns its completion time and the number of
+/// discrete events processed.
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     m: &mut Machine,
     phase: &PhasePlan,
@@ -347,7 +410,8 @@ fn run_phase(
     region: usize,
     phase_ix: usize,
     mut trace: Option<&mut Trace>,
-) -> SimTime {
+    mut metrics: Option<&mut MetricsBuilder>,
+) -> (SimTime, u64) {
     let n = m.nodes();
     // Split the plan's read bytes across nodes without dropping the
     // division remainder: the first `remainder` nodes read one extra byte.
@@ -397,9 +461,22 @@ fn run_phase(
 
     while let Some((now, ev)) = q.pop() {
         horizon = horizon.max(now);
+        // Metrics-off cost: one `Option` discriminant check per event.
+        if let Some(mb) = metrics.as_deref_mut() {
+            if mb.due(now) {
+                mb.sample(now, &m.resource_usage(), q.len());
+            }
+        }
         match ev {
             Ev::BatchRead { node, bytes } => {
-                record(&mut trace, now, phase_ix, node, TraceKind::ReadDone, bytes);
+                record(
+                    &mut trace,
+                    now,
+                    phase_ix,
+                    NodeId::Node(node),
+                    TraceKind::ReadDone,
+                    bytes,
+                );
                 let t = m.node_cpu_work(node, now, costs.os_batch, "os");
                 let done = charge_cpu(
                     m,
@@ -417,7 +494,7 @@ fn run_phase(
                     &mut trace,
                     now,
                     phase_ix,
-                    node,
+                    NodeId::Node(node),
                     TraceKind::BatchProcessed,
                     bytes,
                 );
@@ -467,7 +544,14 @@ fn run_phase(
                 }
             }
             Ev::PeerArrive { dst, bytes } => {
-                record(&mut trace, now, phase_ix, dst, TraceKind::PeerArrive, bytes);
+                record(
+                    &mut trace,
+                    now,
+                    phase_ix,
+                    NodeId::Node(dst),
+                    TraceKind::PeerArrive,
+                    bytes,
+                );
                 let msg_cost = costs.msg_cost(m, bytes);
                 let t = m.node_cpu_work(dst, now, msg_cost, "net-recv");
                 let done = charge_cpu(
@@ -486,7 +570,7 @@ fn run_phase(
                     &mut trace,
                     now,
                     phase_ix,
-                    node,
+                    NodeId::Node(node),
                     TraceKind::RecvProcessed,
                     bytes,
                 );
@@ -498,7 +582,7 @@ fn run_phase(
                         &mut trace,
                         done,
                         phase_ix,
-                        node,
+                        NodeId::Node(node),
                         TraceKind::WriteDone,
                         aligned,
                     );
@@ -510,7 +594,7 @@ fn run_phase(
                     &mut trace,
                     now,
                     phase_ix,
-                    usize::MAX,
+                    NodeId::FrontEnd,
                     TraceKind::FeArrive,
                     bytes,
                 );
@@ -536,7 +620,7 @@ fn run_phase(
 
     // Out-of-band disk positioning penalty (e.g. merge run switches):
     // per-node and overlapped across nodes, so it extends the phase once.
-    horizon + phase.extra_disk_busy_per_node
+    (horizon + phase.extra_disk_busy_per_node, q.popped())
 }
 
 fn issue_read(

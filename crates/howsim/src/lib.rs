@@ -25,13 +25,17 @@
 
 pub mod exec;
 pub mod machine;
+pub mod manifest;
+pub mod metrics;
 pub mod report;
 pub mod sweep;
 pub mod trace;
 
 pub use exec::Simulation;
+pub use manifest::RunManifest;
+pub use metrics::{Attribution, MetricsBuilder, Resource, ResourceUsage, RunMetrics};
 pub use report::{PhaseReport, Report};
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{NodeId, Trace, TraceEvent, TraceKind, TraceSummary};
 
 /// The stream batch size every architecture uses for bulk I/O and
 /// communication (the paper's 256 KB large-request discipline).

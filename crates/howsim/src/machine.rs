@@ -18,6 +18,8 @@ use netmodel::{
 };
 use simcore::{Bandwidth, Duration, FifoServer, SimTime};
 
+use crate::metrics::{Resource, ResourceUsage};
+
 /// The Active Disk serial fabric: the baseline shared dual loop, or the
 /// switched multi-loop extension the paper recommends beyond 64 disks.
 enum ActiveWire {
@@ -550,6 +552,80 @@ impl Machine {
         self.frontend_bytes
     }
 
+    /// Cumulative busy time and lane count of every contended resource
+    /// this machine owns, in a stable order (the same call at two instants
+    /// is differenced into per-window utilizations).
+    ///
+    /// Lane counts: drives and worker CPUs have one lane per node; the
+    /// front-end CPU one. Interconnect lanes are fabric-specific — FC
+    /// loops (dual loop: 2), switch segment loops (2 per segment), worker
+    /// NIC directions (2 per host), or the SMP FC I/O loops. The
+    /// front-end link is the FC port (1) or the front-end NIC pair (2);
+    /// the SMP memory fabric has one block-transfer engine per board.
+    pub fn resource_usage(&self) -> Vec<ResourceUsage> {
+        let mut v = Vec::with_capacity(5);
+        v.push(ResourceUsage {
+            resource: Resource::DiskMedia,
+            busy: self.disk_busy_total(),
+            lanes: self.disks.len() as u32,
+        });
+        v.push(ResourceUsage {
+            resource: Resource::WorkerCpu,
+            busy: self.cpu_busy_total(),
+            lanes: self.nodes as u32,
+        });
+        v.push(ResourceUsage {
+            resource: Resource::FrontEndCpu,
+            busy: self.fe_cpu.busy_total(),
+            lanes: 1,
+        });
+        match &self.fabric {
+            Fabric::Active {
+                fc, fe_port: port, ..
+            } => {
+                let (busy, lanes) = match fc {
+                    ActiveWire::Loop(l) => (l.busy_total(), l.loop_count() as u32),
+                    ActiveWire::Switch(s) => (s.busy_total(), s.lane_count() as u32),
+                };
+                v.push(ResourceUsage {
+                    resource: Resource::Interconnect,
+                    busy,
+                    lanes,
+                });
+                v.push(ResourceUsage {
+                    resource: Resource::FrontEndLink,
+                    busy: port.busy_total(),
+                    lanes: 1,
+                });
+            }
+            Fabric::Cluster { net, .. } => {
+                v.push(ResourceUsage {
+                    resource: Resource::Interconnect,
+                    busy: net.worker_nic_busy_total(),
+                    lanes: net.worker_nic_lanes() as u32,
+                });
+                v.push(ResourceUsage {
+                    resource: Resource::FrontEndLink,
+                    busy: net.front_end_link_busy_total(),
+                    lanes: 2,
+                });
+            }
+            Fabric::Smp { mem, io, .. } => {
+                v.push(ResourceUsage {
+                    resource: Resource::Interconnect,
+                    busy: io.loop_busy_total(),
+                    lanes: io.loop_count() as u32,
+                });
+                v.push(ResourceUsage {
+                    resource: Resource::MemoryFabric,
+                    busy: mem.busy_total(),
+                    lanes: mem.boards() as u32,
+                });
+            }
+        }
+        v
+    }
+
     /// The global-barrier cost model for this architecture's fabric.
     pub fn barrier_costs(&self) -> BarrierCosts {
         match &self.fabric {
@@ -682,6 +758,43 @@ mod tests {
         assert_eq!(tags["alpha"], Duration::from_micros(5));
         assert_eq!(tags["beta"], Duration::from_micros(7));
         assert_eq!(m.cpu_busy_total(), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn resource_usage_is_architecture_shaped() {
+        let mut a = active(4);
+        let usage = a.resource_usage();
+        assert_eq!(usage.len(), 5);
+        assert!(usage.iter().any(|u| u.resource == Resource::FrontEndLink));
+        assert!(usage.iter().all(|u| u.resource != Resource::MemoryFabric));
+        assert!(usage.iter().all(|u| u.busy.is_zero()), "idle machine");
+        // A dual loop reports two lanes; work accrues busy time.
+        let ic = usage
+            .iter()
+            .find(|u| u.resource == Resource::Interconnect)
+            .unwrap();
+        assert_eq!(ic.lanes, 2);
+        a.peer_transfer(SimTime::ZERO, 0, 1, 1 << 20);
+        let after = a.resource_usage();
+        assert!(
+            after
+                .iter()
+                .find(|u| u.resource == Resource::Interconnect)
+                .unwrap()
+                .busy
+                > Duration::ZERO
+        );
+
+        let s = Machine::new(&Architecture::smp(8)).resource_usage();
+        assert!(s.iter().any(|u| u.resource == Resource::MemoryFabric));
+        assert!(s.iter().all(|u| u.resource != Resource::FrontEndLink));
+
+        let c = Machine::new(&Architecture::cluster(16)).resource_usage();
+        let nic = c
+            .iter()
+            .find(|u| u.resource == Resource::Interconnect)
+            .unwrap();
+        assert_eq!(nic.lanes, 32, "one tx + one rx lane per worker host");
     }
 
     #[test]

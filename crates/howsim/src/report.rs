@@ -6,6 +6,8 @@ use std::fmt;
 
 use simcore::{Duration, Histogram};
 
+use crate::metrics::{Resource, ResourceUsage};
+
 /// Measurements for one executed phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseReport {
@@ -25,6 +27,10 @@ pub struct PhaseReport {
     pub frontend_bytes: u64,
     /// Number of worker nodes.
     pub nodes: usize,
+    /// Per-resource busy-time deltas for this phase, in the machine's
+    /// stable resource order (see
+    /// [`crate::machine::Machine::resource_usage`]).
+    pub resources: Vec<ResourceUsage>,
 }
 
 impl PhaseReport {
@@ -54,6 +60,15 @@ impl PhaseReport {
         }
         self.cpu_idle().as_secs_f64() / total
     }
+
+    /// Busy fraction of `resource` during this phase (0..1); zero when
+    /// the machine does not own that resource.
+    pub fn utilization_of(&self, resource: Resource) -> f64 {
+        self.resources
+            .iter()
+            .find(|u| u.resource == resource)
+            .map_or(0.0, |u| u.utilization(self.elapsed))
+    }
 }
 
 /// The result of simulating one task on one configuration.
@@ -70,6 +85,9 @@ pub struct Report {
     /// The merged per-request disk service-time distribution for the
     /// whole run.
     pub disk_service: Histogram,
+    /// Total discrete events the executor processed — the simulator's
+    /// self-profiling work counter (deterministic for a given plan).
+    pub events: u64,
 }
 
 impl Report {
@@ -149,6 +167,11 @@ mod tests {
             interconnect_bytes: 1_000,
             frontend_bytes: 10,
             nodes: 2,
+            resources: vec![ResourceUsage {
+                resource: Resource::DiskMedia,
+                busy: Duration::from_secs(12),
+                lanes: 2,
+            }],
         }
     }
 
@@ -158,6 +181,14 @@ mod tests {
         // 2 nodes × 10 s = 20 s capacity, 15 s busy → 5 s idle.
         assert_eq!(p.cpu_idle(), Duration::from_secs(5));
         assert!((p.idle_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_of_reads_resource_deltas() {
+        let p = sample_phase();
+        // 12 s busy over 10 s × 2 lanes = 60%.
+        assert!((p.utilization_of(Resource::DiskMedia) - 0.6).abs() < 1e-9);
+        assert_eq!(p.utilization_of(Resource::MemoryFabric), 0.0);
     }
 
     #[test]
@@ -176,6 +207,7 @@ mod tests {
             disks: 2,
             phases: vec![sample_phase(), sample_phase()],
             disk_service: Histogram::new(),
+            events: 0,
         };
         assert_eq!(r.elapsed(), Duration::from_secs(20));
         assert_eq!(r.interconnect_bytes(), 2_000);
@@ -193,6 +225,7 @@ mod tests {
             disks: 2,
             phases: vec![sample_phase(), sample_phase()],
             disk_service: Histogram::new(),
+            events: 0,
         };
         let csv = r.to_csv();
         let lines: Vec<&str> = csv.lines().collect();

@@ -4,7 +4,10 @@
 //! too, so that runs can be inspected, diffed, and post-processed (e.g.
 //! building time-series of loop occupancy or per-node progress). Tracing
 //! is off by default — it costs memory, not accuracy — and is bounded so
-//! a 128-disk join cannot exhaust memory.
+//! a 128-disk join cannot exhaust memory; the bound is surfaced (never a
+//! silent cap) via [`Trace::truncated`] and [`Trace::dropped`].
+
+use std::fmt;
 
 use simcore::SimTime;
 
@@ -35,6 +38,54 @@ impl TraceKind {
         TraceKind::FeArrive,
         TraceKind::WriteDone,
     ];
+
+    /// Stable name, used in CSV/JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::ReadDone => "ReadDone",
+            TraceKind::BatchProcessed => "BatchProcessed",
+            TraceKind::PeerArrive => "PeerArrive",
+            TraceKind::RecvProcessed => "RecvProcessed",
+            TraceKind::FeArrive => "FeArrive",
+            TraceKind::WriteDone => "WriteDone",
+        }
+    }
+}
+
+/// The participant of a traced event: a worker node or the front-end.
+///
+/// Replaces the old `usize::MAX` front-end sentinel with a real type, so
+/// nothing downstream can mistake the front-end for node 2^64-1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeId {
+    /// Worker node by index.
+    Node(usize),
+    /// The front-end host.
+    FrontEnd,
+}
+
+impl NodeId {
+    /// The worker index, or `None` for the front-end.
+    pub fn index(self) -> Option<usize> {
+        match self {
+            NodeId::Node(i) => Some(i),
+            NodeId::FrontEnd => None,
+        }
+    }
+
+    /// True for the front-end.
+    pub fn is_front_end(self) -> bool {
+        matches!(self, NodeId::FrontEnd)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Node(i) => write!(f, "{i}"),
+            NodeId::FrontEnd => write!(f, "fe"),
+        }
+    }
 }
 
 /// One traced event.
@@ -44,12 +95,41 @@ pub struct TraceEvent {
     pub time: SimTime,
     /// Phase index within the task.
     pub phase: usize,
-    /// Node involved (front-end events use `usize::MAX`).
-    pub node: usize,
+    /// Node involved (or the front-end).
+    pub node: NodeId,
     /// Event kind.
     pub kind: TraceKind,
     /// Bytes involved.
     pub bytes: u64,
+}
+
+/// Aggregate statistics of a trace: totals, retention, and per-kind
+/// counts (all counts include events dropped past the capacity bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Events observed, including dropped ones.
+    pub total: u64,
+    /// Events retained in the buffer.
+    pub retained: usize,
+    /// Events counted but not retained.
+    pub dropped: u64,
+    /// True when the capacity bound dropped at least one event.
+    pub truncated: bool,
+    /// Per-kind totals, indexed like [`TraceKind::ALL`].
+    pub counts: [u64; 6],
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events ({} retained, {} dropped{})",
+            self.total,
+            self.retained,
+            self.dropped,
+            if self.truncated { ", TRUNCATED" } else { "" }
+        )
+    }
 }
 
 /// A bounded event trace with total counts.
@@ -64,6 +144,7 @@ pub struct TraceEvent {
 /// let (report, trace) = Simulation::new(Architecture::active_disks(4))
 ///     .run_traced(TaskKind::Aggregate);
 /// assert!(trace.count(TraceKind::ReadDone) > 0);
+/// assert!(!trace.truncated());
 /// assert!(report.elapsed().as_secs_f64() > 0.0);
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -116,6 +197,12 @@ impl Trace {
         self.dropped
     }
 
+    /// True when the capacity bound dropped at least one event — the
+    /// retained buffer is then a prefix of the run, not the whole run.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
     /// Total events of `kind`, including dropped ones.
     pub fn count(&self, kind: TraceKind) -> u64 {
         self.counts[kind as usize]
@@ -126,17 +213,65 @@ impl Trace {
         self.counts.iter().sum()
     }
 
+    /// Aggregate statistics (totals, retention, truncation, per-kind
+    /// counts).
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            total: self.total(),
+            retained: self.events.len(),
+            dropped: self.dropped,
+            truncated: self.truncated(),
+            counts: self.counts,
+        }
+    }
+
     /// Serializes the retained events as CSV
-    /// (`time_ns,phase,node,kind,bytes` with a header row).
+    /// (`time_ns,phase,node,kind,bytes` with a header row; the front-end
+    /// appears as node `fe`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time_ns,phase,node,kind,bytes\n");
         for e in &self.events {
             out.push_str(&format!(
-                "{},{},{},{:?},{}\n",
+                "{},{},{},{},{}\n",
                 e.time.as_nanos(),
                 e.phase,
                 e.node,
-                e.kind,
+                e.kind.name(),
+                e.bytes
+            ));
+        }
+        out
+    }
+
+    /// Serializes as JSON Lines: a summary object first, then one object
+    /// per retained event. The summary line carries the truncation state,
+    /// so consumers of a bounded trace know they got a prefix.
+    pub fn to_jsonl(&self) -> String {
+        let s = self.summary();
+        let mut out = String::with_capacity(64 + 96 * self.events.len());
+        out.push_str(&format!(
+            "{{\"type\":\"summary\",\"total\":{},\"retained\":{},\"dropped\":{},\"truncated\":{}",
+            s.total, s.retained, s.dropped, s.truncated
+        ));
+        out.push_str(",\"counts\":{");
+        for (i, kind) in TraceKind::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", kind.name(), s.counts[i]));
+        }
+        out.push_str("}}\n");
+        for e in &self.events {
+            let node = match e.node {
+                NodeId::Node(i) => i.to_string(),
+                NodeId::FrontEnd => "\"fe\"".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"type\":\"event\",\"time_ns\":{},\"phase\":{},\"node\":{},\"kind\":\"{}\",\"bytes\":{}}}\n",
+                e.time.as_nanos(),
+                e.phase,
+                node,
+                e.kind.name(),
                 e.bytes
             ));
         }
@@ -152,7 +287,7 @@ mod tests {
         TraceEvent {
             time: SimTime::from_nanos(t),
             phase: 0,
-            node: 1,
+            node: NodeId::Node(1),
             kind,
             bytes: 64,
         }
@@ -170,6 +305,7 @@ mod tests {
         assert_eq!(tr.total(), 3);
         assert_eq!(tr.events().len(), 3);
         assert_eq!(tr.dropped(), 0);
+        assert!(!tr.truncated());
     }
 
     #[test]
@@ -180,16 +316,58 @@ mod tests {
         }
         assert_eq!(tr.events().len(), 2);
         assert_eq!(tr.dropped(), 3);
+        assert!(tr.truncated());
         assert_eq!(tr.count(TraceKind::PeerArrive), 5);
+        let s = tr.summary();
+        assert_eq!(s.total, 5);
+        assert_eq!(s.retained, 2);
+        assert_eq!(s.dropped, 3);
+        assert!(s.truncated);
+        assert_eq!(s.counts[TraceKind::PeerArrive as usize], 5);
+        assert!(format!("{s}").contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn node_id_distinguishes_front_end() {
+        assert_eq!(NodeId::Node(7).index(), Some(7));
+        assert_eq!(NodeId::FrontEnd.index(), None);
+        assert!(NodeId::FrontEnd.is_front_end());
+        assert_eq!(format!("{}", NodeId::Node(7)), "7");
+        assert_eq!(format!("{}", NodeId::FrontEnd), "fe");
     }
 
     #[test]
     fn csv_has_header_and_rows() {
         let mut tr = Trace::new();
         tr.record(ev(42, TraceKind::WriteDone));
+        tr.record(TraceEvent {
+            node: NodeId::FrontEnd,
+            ..ev(43, TraceKind::FeArrive)
+        });
         let csv = tr.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time_ns,phase,node,kind,bytes");
         assert!(lines[1].starts_with("42,0,1,WriteDone,64"));
+        assert!(lines[2].starts_with("43,0,fe,FeArrive,64"));
+    }
+
+    #[test]
+    fn jsonl_has_summary_line_then_events() {
+        let mut tr = Trace::with_capacity(1);
+        tr.record(ev(5, TraceKind::ReadDone));
+        tr.record(TraceEvent {
+            node: NodeId::FrontEnd,
+            ..ev(6, TraceKind::FeArrive)
+        });
+        let jsonl = tr.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2, "summary + one retained event");
+        assert!(lines[0].contains("\"type\":\"summary\""));
+        assert!(lines[0].contains("\"truncated\":true"));
+        assert!(lines[0].contains("\"ReadDone\":1"));
+        assert!(lines[0].contains("\"FeArrive\":1"));
+        assert!(lines[1].contains("\"type\":\"event\""));
+        assert!(lines[1].contains("\"node\":1"));
+        assert!(lines[1].contains("\"kind\":\"ReadDone\""));
     }
 }

@@ -143,6 +143,26 @@ impl ClusterFabric {
     pub fn rx_free_at(&self, host: usize) -> SimTime {
         self.nic_rx[host].free_at()
     }
+
+    /// Cumulative serialization time across all *worker* NICs (tx + rx
+    /// lanes; the front-end's NIC is excluded — it is reported separately
+    /// as the front-end link).
+    pub fn worker_nic_busy_total(&self) -> Duration {
+        (0..self.hosts)
+            .map(|h| self.nic_tx[h].busy_total() + self.nic_rx[h].busy_total())
+            .sum()
+    }
+
+    /// Worker NIC lane count (one tx + one rx per worker host), for
+    /// normalizing [`ClusterFabric::worker_nic_busy_total`].
+    pub fn worker_nic_lanes(&self) -> usize {
+        2 * self.hosts
+    }
+
+    /// Cumulative serialization time on the front-end host's NIC pair.
+    pub fn front_end_link_busy_total(&self) -> Duration {
+        self.nic_tx[self.hosts].busy_total() + self.nic_rx[self.hosts].busy_total()
+    }
 }
 
 #[cfg(test)]

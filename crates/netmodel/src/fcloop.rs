@@ -111,12 +111,17 @@ impl FcLoop {
             .expect("at least one loop")
     }
 
+    /// Cumulative busy (tenancy) time summed across all loops.
+    pub fn busy_total(&self) -> Duration {
+        self.loops.iter().map(FifoServer::busy_total).sum()
+    }
+
     /// Aggregate utilization over `elapsed`.
     pub fn utilization(&self, elapsed: Duration) -> f64 {
         if elapsed.is_zero() {
             return 0.0;
         }
-        let busy: Duration = self.loops.iter().map(FifoServer::busy_total).sum();
+        let busy = self.busy_total();
         (busy.as_secs_f64() / (elapsed.as_secs_f64() * self.loops.len() as f64)).min(1.0)
     }
 }

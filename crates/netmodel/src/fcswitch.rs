@@ -176,6 +176,24 @@ impl FcSwitchFabric {
     pub fn bytes_carried(&self) -> u64 {
         self.bytes
     }
+
+    /// Cumulative busy time summed across all segment loops (tx + rx
+    /// lanes). Switch-port occupancy is excluded: the ports run at the
+    /// full pair rate and never saturate before the loops do.
+    pub fn busy_total(&self) -> Duration {
+        self.tx
+            .iter()
+            .chain(self.rx.iter())
+            .map(FifoServer::busy_total)
+            .sum()
+    }
+
+    /// Number of loop lanes carrying traffic (one tx + one rx per
+    /// segment), for normalizing [`FcSwitchFabric::busy_total`] into a
+    /// utilization.
+    pub fn lane_count(&self) -> usize {
+        self.tx.len() + self.rx.len()
+    }
 }
 
 #[cfg(test)]

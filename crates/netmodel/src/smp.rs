@@ -88,6 +88,11 @@ impl SmpFabric {
     pub fn bytes_moved(&self) -> u64 {
         self.bytes
     }
+
+    /// Cumulative block-transfer-engine busy time summed across boards.
+    pub fn busy_total(&self) -> Duration {
+        self.bte.iter().map(FifoServer::busy_total).sum()
+    }
 }
 
 /// The I/O complex: a (dual) FC loop in front of an XIO-like pair of I/O
@@ -145,6 +150,16 @@ impl SmpIoSubsystem {
     /// The loop's aggregate utilization over `elapsed`.
     pub fn loop_utilization(&self, elapsed: Duration) -> f64 {
         self.fc.utilization(elapsed)
+    }
+
+    /// Cumulative loop tenancy time summed across the FC loops.
+    pub fn loop_busy_total(&self) -> Duration {
+        self.fc.busy_total()
+    }
+
+    /// Number of FC loops in front of the I/O nodes.
+    pub fn loop_count(&self) -> usize {
+        self.fc.loop_count()
     }
 }
 

@@ -49,6 +49,14 @@ impl Histogram {
         }
     }
 
+    /// Nominal upper bound of bucket `i`, saturating at the largest
+    /// representable duration (the top buckets' power-of-two bounds
+    /// exceed `u64` nanoseconds).
+    fn bucket_bound(i: usize) -> Duration {
+        let ns = (1u128 << i).saturating_mul(1_000);
+        Duration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
     fn bucket_of(d: Duration) -> usize {
         let us = d.as_micros();
         if us == 0 {
@@ -101,7 +109,7 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Duration::from_micros(1 << i);
+                return Self::bucket_bound(i);
             }
         }
         self.max
@@ -113,7 +121,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (Duration::from_micros(1 << i), c))
+            .map(|(i, &c)| (Self::bucket_bound(i), c))
     }
 
     /// Merges another histogram into this one.
@@ -212,6 +220,59 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn invalid_quantile_rejected() {
         Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.quantile(0.0), Duration::ZERO);
+        assert_eq!(h.quantile(1.0), Duration::ZERO);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+        // Merging two empty histograms stays empty.
+        let mut a = Histogram::new();
+        a.merge(&h);
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_all_hit_its_bucket() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(5));
+        // Every quantile of a one-sample distribution lands in the sample's
+        // bucket: 5 µs → [4, 8) µs, upper bound 8 µs.
+        let bound = Duration::from_micros(8);
+        assert_eq!(h.quantile(0.0), bound);
+        assert_eq!(h.quantile(0.5), bound);
+        assert_eq!(h.quantile(0.999), bound);
+        assert_eq!(h.quantile(1.0), bound);
+        assert!(h.quantile(1.0) >= h.max());
+    }
+
+    #[test]
+    fn overflow_bucket_absorbs_huge_samples() {
+        // The largest representable duration must land in a valid bucket
+        // whose reported bound saturates instead of overflowing.
+        let mut h = Histogram::new();
+        let huge = Duration::from_nanos(u64::MAX);
+        h.record(huge);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), huge);
+        assert_eq!(h.mean(), huge);
+        // The sample's nominal power-of-two bound exceeds u64
+        // nanoseconds; quantile and the bucket iterator clamp it.
+        assert_eq!(h.quantile(1.0), huge);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(huge, 1)]);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_nanos(999)); // still < 1 µs
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(Duration::from_micros(1), 2)]);
     }
 
     proptest! {

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod server;
@@ -39,6 +40,7 @@ pub mod stats;
 pub mod time;
 
 pub use histogram::Histogram;
+pub use metrics::{Counter, GaugeSeries, UtilizationSampler};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use server::{FifoServer, MultiServer};

@@ -194,6 +194,43 @@ mod tests {
     }
 
     #[test]
+    fn empty_accumulator_extrema_are_sentinels() {
+        let a = Accumulator::new();
+        assert_eq!(a.min(), f64::INFINITY);
+        assert_eq!(a.max(), f64::NEG_INFINITY);
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_accumulator_collapses() {
+        let mut a = Accumulator::new();
+        a.add(7.5);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 7.5);
+        assert_eq!(a.max(), 7.5);
+        assert_eq!(a.mean(), 7.5);
+    }
+
+    #[test]
+    fn accumulator_accepts_infinities() {
+        // Infinite samples are not NaN; extrema track them.
+        let mut a = Accumulator::new();
+        a.add(f64::INFINITY);
+        a.add(1.0);
+        assert_eq!(a.max(), f64::INFINITY);
+        assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn empty_busy_tracker_is_all_idle() {
+        let bt = BusyTracker::new();
+        assert_eq!(bt.busy(), Duration::ZERO);
+        assert_eq!(bt.horizon(), SimTime::ZERO);
+        assert_eq!(bt.idle(Duration::from_nanos(7)), Duration::from_nanos(7));
+        assert_eq!(bt.idle(Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
     fn busy_tracker_horizon() {
         let mut bt = BusyTracker::new();
         bt.touch(SimTime::from_nanos(50));
