@@ -1,0 +1,118 @@
+//! Head-to-head microbenchmarks of the two event-queue backends: the
+//! calendar wheel (default) and the binary heap it replaced.
+//!
+//! Both backends run the same workloads so a single report shows the
+//! wheel's advantage (or any regression) directly:
+//!
+//! - `push_pop_10k`: bulk load of uniformly random timestamps followed
+//!   by a full drain — the worst case for the wheel's bucket sort.
+//! - `steady_churn_depth_512`: the executor's working regime — a queue
+//!   held at steady-state depth while events churn through an advancing
+//!   window of disk-service-time-scale delays, spread across many
+//!   wheel buckets. This is where the wheel's O(1) bucket indexing
+//!   pays off over the heap's O(log n) sift.
+//! - `narrow_churn_depth_512`: the wheel's adversarial regime — the
+//!   same churn squeezed into a window narrower than one bucket, so
+//!   every event lands in the same bucket and the wheel degrades to
+//!   its lazy in-bucket sort.
+//! - `far_horizon_5k`: events past the wheel's span, exercising the
+//!   overflow heap and bucket migration.
+//!
+//! End-to-end scheduler cost on a real workload is measured separately
+//! by `sweep_bench` (the 64-disk cluster join in `BENCH_PR4.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::{EventQueue, QueueBackend, SimTime, SplitMix64};
+use std::hint::black_box;
+
+const BACKENDS: [(QueueBackend, &str); 2] = [
+    (QueueBackend::CalendarWheel, "wheel"),
+    (QueueBackend::BinaryHeap, "heap"),
+];
+
+fn push_pop_10k(c: &mut Criterion) {
+    for (backend, name) in BACKENDS {
+        c.bench_function(&format!("queue/{name}_push_pop_10k"), |b| {
+            b.iter(|| {
+                let mut rng = SplitMix64::new(1);
+                let mut q = EventQueue::with_backend(backend);
+                for i in 0..10_000u64 {
+                    q.push(SimTime::from_nanos(rng.next_below(1 << 30)), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                black_box(sum)
+            })
+        });
+    }
+}
+
+/// Steady-state churn at depth 512 with delays drawn from `0..span` ns.
+fn churn(c: &mut Criterion, label: &str, span: u64) {
+    for (backend, name) in BACKENDS {
+        c.bench_function(&format!("queue/{name}_{label}_depth_512"), |b| {
+            b.iter(|| {
+                let mut rng = SplitMix64::new(2);
+                let mut q = EventQueue::with_backend_capacity(backend, 512);
+                let mut t = 0u64;
+                for i in 0..512u64 {
+                    q.push(SimTime::from_nanos(t + rng.next_below(span)), i);
+                }
+                let mut sum = 0u64;
+                for i in 0..20_000u64 {
+                    let (now, e) = q.pop().expect("queue stays full");
+                    t = now.as_nanos();
+                    sum = sum.wrapping_add(e);
+                    q.push(SimTime::from_nanos(t + 1 + rng.next_below(span)), i);
+                }
+                black_box(sum)
+            })
+        });
+    }
+}
+
+fn steady_churn(c: &mut Criterion) {
+    // Delays up to ~4 ms — the scale of disk service times and network
+    // transfers, spread across many ~262 µs wheel buckets.
+    churn(c, "steady_churn", 1 << 22);
+}
+
+fn narrow_churn(c: &mut Criterion) {
+    // Delays up to 1 µs — far narrower than one bucket, so the wheel
+    // falls back to sorting a single hot bucket.
+    churn(c, "narrow_churn", 1 << 10);
+}
+
+fn far_horizon_overflow(c: &mut Criterion) {
+    // Events beyond the wheel's horizon land in the overflow heap and
+    // migrate into buckets as time advances; this measures that path
+    // against the plain heap, which treats all horizons alike.
+    for (backend, name) in BACKENDS {
+        c.bench_function(&format!("queue/{name}_far_horizon_5k"), |b| {
+            b.iter(|| {
+                let mut rng = SplitMix64::new(3);
+                let mut q = EventQueue::with_backend(backend);
+                for i in 0..5_000u64 {
+                    // Spread across ~4 seconds — far past one wheel span.
+                    q.push(SimTime::from_nanos(rng.next_below(1 << 42)), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                black_box(sum)
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    push_pop_10k,
+    steady_churn,
+    narrow_churn,
+    far_horizon_overflow
+);
+criterion_main!(benches);

@@ -1,10 +1,18 @@
-//! Wall-clock benchmark of the sweep engine and the simulator's event
-//! loop, including the cost of the observability layer.
+//! Wall-clock benchmark of the event scheduler and the result cache.
 //!
-//! Runs the `--quick` figure sweeps serially (`--jobs 1`) and with a
-//! worker pool, verifies both produce identical results, measures the
-//! executor's event throughput with metrics sampling off and on, and
-//! writes everything to `BENCH_PR2.json` in the current directory.
+//! Three measurements, written to `BENCH_PR4.json` in the current
+//! directory:
+//!
+//! 1. Event-loop throughput on the 64-disk cluster join with the
+//!    calendar-wheel scheduler vs the binary heap it replaced (the
+//!    reports are asserted identical, so the comparison is pure
+//!    scheduler cost).
+//! 2. The `--quick` figure sweeps with a cold result cache and again
+//!    with a warm one, including hit/miss counts (the checksums are
+//!    asserted identical, so the speedup is pure cache effect).
+//! 3. The serial-vs-parallel sweep check carried over from earlier
+//!    revisions of this benchmark, run with the cache disabled so the
+//!    worker pool is actually exercised.
 //!
 //! ```text
 //! cargo run --release -p bench --bin sweep_bench [workers]
@@ -17,12 +25,9 @@
 use std::time::Instant;
 
 use arch::Architecture;
-use howsim::{sweep, MetricsBuilder, Simulation};
+use howsim::{cache, sweep, Simulation};
+use simcore::QueueBackend;
 use tasks::TaskKind;
-
-/// The `fifo_offer_10k_5_tags` result recorded by PR 1's run of this
-/// benchmark on the same container, for drift comparison.
-const PR1_FIFO_US: f64 = 61.3;
 
 /// The `--quick` figure sweeps (the experiments binary's quick sizes).
 fn quick_sweeps() -> (usize, f64) {
@@ -53,50 +58,32 @@ fn timed(jobs: usize) -> (f64, usize, f64) {
     (start.elapsed().as_secs_f64(), sims, checksum)
 }
 
-/// Single-thread microbenchmark of the executor's per-offer accounting
-/// hot path (the same routine as `micro_simulator`'s
-/// `fifo_server_offer_10k_5_tags`): microseconds per 10k offers, best of
-/// 50 runs.
-fn fifo_micro_us() -> f64 {
-    use simcore::{Duration, FifoServer, SimTime};
-    const TAGS: [&str; 5] = ["os", "scan", "net-send", "net-recv", "sort"];
-    let mut best = f64::INFINITY;
-    for _ in 0..50 {
-        let start = Instant::now();
-        let mut s = FifoServer::new();
-        for i in 0..10_000u64 {
-            let tag = TAGS[(i / 64) as usize % TAGS.len()];
-            s.offer(SimTime::from_nanos(i * 10), Duration::from_nanos(7), tag);
-        }
-        std::hint::black_box(s.busy_total());
-        best = best.min(start.elapsed().as_secs_f64() * 1e6);
-    }
-    best
-}
-
-/// Event-loop throughput probe: the fig2 64-disk cluster join, best of
-/// `rounds` wall-clock runs, with metrics sampling off and on. Returns
-/// `(events, best_off_seconds, best_on_seconds)`.
-fn event_throughput(rounds: usize) -> (u64, f64, f64) {
+/// Scheduler throughput probe: the 64-disk cluster join, best of
+/// `rounds` wall-clock runs per queue backend. Returns
+/// `(events, best_wheel_seconds, best_heap_seconds)`.
+fn scheduler_throughput(rounds: usize) -> (u64, f64, f64) {
     let arch = Architecture::cluster(64);
     let plan = tasks::plan_task(TaskKind::Join, &arch);
-    let sim = Simulation::new(arch);
+    let wheel_sim = Simulation::new(arch.clone()).with_queue_backend(QueueBackend::CalendarWheel);
+    let heap_sim = Simulation::new(arch).with_queue_backend(QueueBackend::BinaryHeap);
     let mut events = 0u64;
-    let mut best_off = f64::INFINITY;
-    let mut best_on = f64::INFINITY;
+    let mut best_wheel = f64::INFINITY;
+    let mut best_heap = f64::INFINITY;
     for _ in 0..rounds {
         let start = Instant::now();
-        let report = sim.run_plan(&plan);
-        best_off = best_off.min(start.elapsed().as_secs_f64());
-        events = report.events;
+        let wheel_report = wheel_sim.run_plan(&plan);
+        best_wheel = best_wheel.min(start.elapsed().as_secs_f64());
+        events = wheel_report.events;
 
-        let mut metrics = MetricsBuilder::new();
         let start = Instant::now();
-        let report_on = sim.run_plan_instrumented(&plan, None, Some(&mut metrics));
-        best_on = best_on.min(start.elapsed().as_secs_f64());
-        assert_eq!(report, report_on, "metrics must not change results");
+        let heap_report = heap_sim.run_plan(&plan);
+        best_heap = best_heap.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            wheel_report, heap_report,
+            "queue backends must produce identical reports"
+        );
     }
-    (events, best_off, best_on)
+    (events, best_wheel, best_heap)
 }
 
 fn main() {
@@ -107,45 +94,96 @@ fn main() {
     assert!(workers > 0, "workers must be positive");
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
+    // Serial-vs-parallel determinism check with the cache disabled so
+    // every point actually simulates under the worker pool.
+    cache::set_enabled(false);
     eprintln!("warm-up...");
     let _ = timed(1);
-    eprintln!("serial (--jobs 1)...");
+    eprintln!("serial, cache off (--jobs 1)...");
     let (serial, sims, serial_sum) = timed(1);
-    eprintln!("parallel (--jobs {workers})...");
+    eprintln!("parallel, cache off (--jobs {workers})...");
     let (parallel, _, parallel_sum) = timed(workers);
     assert_eq!(
         serial_sum.to_bits(),
         parallel_sum.to_bits(),
         "parallel sweep must be bit-identical to serial"
     );
-
     let speedup = serial / parallel;
-    let micro = fifo_micro_us();
-    eprintln!("event throughput (cluster 64 join, metrics off/on)...");
-    let (events, off_s, on_s) = event_throughput(20);
-    let off_eps = events as f64 / off_s;
-    let on_eps = events as f64 / on_s;
-    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+
+    // Cold-vs-warm cache: same suite, serial, in-memory tier only.
+    cache::set_enabled(true);
+    cache::clear();
+    cache::reset_stats();
+    eprintln!("cold cache (--jobs 1)...");
+    let (cold, _, cold_sum) = timed(1);
+    let cold_stats = cache::stats();
+    assert_eq!(
+        serial_sum.to_bits(),
+        cold_sum.to_bits(),
+        "cold-cache sweep must be bit-identical to cache-off"
+    );
+    cache::reset_stats();
+    eprintln!("warm cache (--jobs 1)...");
+    let (warm, _, warm_sum) = timed(1);
+    let warm_stats = cache::stats();
+    assert_eq!(
+        serial_sum.to_bits(),
+        warm_sum.to_bits(),
+        "warm-cache sweep must be bit-identical to cache-off"
+    );
+    assert_eq!(
+        warm_stats.misses, 0,
+        "warm run must be served entirely from cache"
+    );
+    assert!(
+        warm < cold,
+        "warm-cache suite ({warm:.3}s) must beat cold ({cold:.3}s)"
+    );
+    let cache_speedup = cold / warm;
+
+    eprintln!("scheduler throughput (cluster 64 join, wheel vs heap)...");
+    let (events, wheel_s, heap_s) = scheduler_throughput(20);
+    let wheel_eps = events as f64 / wheel_s;
+    let heap_eps = events as f64 / heap_s;
+    assert!(
+        wheel_eps >= heap_eps,
+        "calendar wheel ({wheel_eps:.0} events/s) must not lose to the heap ({heap_eps:.0})"
+    );
+    let sched_speedup = heap_s / wheel_s;
+
     let json = format!(
-        "{{\n  \"benchmark\": \"experiments --quick figure sweeps + event-loop throughput\",\n  \
+        "{{\n  \"benchmark\": \"calendar-wheel scheduler + result cache on the --quick figure suite\",\n  \
          \"simulated_runs\": {sims},\n  \
          \"available_parallelism\": {cores},\n  \
          \"workers\": {workers},\n  \
          \"serial_seconds\": {serial:.3},\n  \
          \"parallel_seconds\": {parallel:.3},\n  \
          \"speedup\": {speedup:.3},\n  \
-         \"fifo_offer_10k_5_tags_us\": {micro:.1},\n  \
-         \"fifo_pr1_baseline_us\": {PR1_FIFO_US},\n  \
          \"event_loop\": {{\n    \
          \"config\": \"cluster 64-disk join\",\n    \
          \"events\": {events},\n    \
-         \"metrics_off_seconds\": {off_s:.4},\n    \
-         \"metrics_on_seconds\": {on_s:.4},\n    \
-         \"metrics_off_events_per_sec\": {off_eps:.0},\n    \
-         \"metrics_on_events_per_sec\": {on_eps:.0},\n    \
-         \"metrics_sampling_overhead_pct\": {overhead_pct:.2}\n  }},\n  \
-         \"outputs_identical\": true\n}}\n"
+         \"wheel_seconds\": {wheel_s:.4},\n    \
+         \"heap_seconds\": {heap_s:.4},\n    \
+         \"wheel_events_per_sec\": {wheel_eps:.0},\n    \
+         \"heap_events_per_sec\": {heap_eps:.0},\n    \
+         \"wheel_speedup\": {sched_speedup:.3},\n    \
+         \"reports_identical\": true\n  }},\n  \
+         \"result_cache\": {{\n    \
+         \"suite\": \"--quick figure sweeps, --jobs 1\",\n    \
+         \"cold_seconds\": {cold:.3},\n    \
+         \"warm_seconds\": {warm:.3},\n    \
+         \"cold_hits\": {cold_hits},\n    \
+         \"cold_misses\": {cold_misses},\n    \
+         \"warm_hits\": {warm_hits},\n    \
+         \"warm_misses\": {warm_misses},\n    \
+         \"warm_speedup\": {cache_speedup:.1},\n    \
+         \"outputs_identical\": true\n  }},\n  \
+         \"outputs_identical\": true\n}}\n",
+        cold_hits = cold_stats.hits,
+        cold_misses = cold_stats.misses,
+        warm_hits = warm_stats.hits,
+        warm_misses = warm_stats.misses,
     );
-    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
     print!("{json}");
 }

@@ -8,7 +8,6 @@
 //! baseline dual loop versus the switched multi-loop fabric.
 
 use arch::Architecture;
-use howsim::Simulation;
 use tasks::TaskKind;
 
 use crate::render_table;
@@ -31,14 +30,15 @@ pub struct Row {
 /// Swept in parallel over sizes; see [`howsim::sweep`].
 pub fn run_sizes(sizes: &[usize]) -> Vec<Row> {
     howsim::sweep::map(sizes, |&disks| {
-        let dual = Simulation::new(Architecture::active_disks(disks))
-            .run(TaskKind::Sort)
+        let dual = howsim::cache::run(&Architecture::active_disks(disks), TaskKind::Sort)
             .elapsed()
             .as_secs_f64();
-        let switched = Simulation::new(Architecture::active_disks(disks).with_fibre_switch())
-            .run(TaskKind::Sort)
-            .elapsed()
-            .as_secs_f64();
+        let switched = howsim::cache::run(
+            &Architecture::active_disks(disks).with_fibre_switch(),
+            TaskKind::Sort,
+        )
+        .elapsed()
+        .as_secs_f64();
         Row {
             disks,
             dual_loop_secs: dual,

@@ -5,7 +5,7 @@
 //! ```text
 //! experiments [--table1] [--table2] [--fig1] [--fig2] [--fig3] [--fig4]
 //!             [--fig5] [--beyond64] [--skew] [--growth] [--sensitivity] [--ablations] [--quick] [--csv] [--all]
-//!             [--jobs N] [--metrics-out FILE]
+//!             [--jobs N] [--metrics-out FILE] [--cache] [--no-cache]
 //! ```
 //!
 //! With no arguments, everything is regenerated (`--all`). `--quick`
@@ -15,6 +15,13 @@
 //! additionally sweeps select/sort/join over the figure sizes and
 //! writes one `howsim-sweep/v1` manifest document aggregating every
 //! run's bottleneck attribution.
+//!
+//! Overlapping sweep points (the figure sweeps share many configurations)
+//! simulate once per invocation via the in-memory result cache; a
+//! hit/miss summary is logged at exit. `--cache` additionally persists
+//! results under `results/.simcache/` so later invocations start warm
+//! (wipe by deleting that directory); `--no-cache` disables caching
+//! entirely. The output bytes are identical either way.
 
 use std::env;
 use std::fs;
@@ -57,6 +64,17 @@ fn main() {
             }
         }
         args.drain(i..=i + 1);
+    }
+    // `--cache`/`--no-cache` configure the result cache; not section
+    // flags. The in-memory tier is on by default; `--cache` adds the
+    // on-disk tier and `--no-cache` turns everything off.
+    if let Some(i) = args.iter().position(|a| a == "--cache") {
+        howsim::cache::set_disk_dir(Some(howsim::cache::default_disk_dir()));
+        args.remove(i);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--no-cache") {
+        howsim::cache::set_enabled(false);
+        args.remove(i);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
@@ -147,13 +165,20 @@ fn main() {
         fs::write(&path, json).expect("write sweep manifest");
         eprintln!("wrote sweep manifest ({} runs) to {path}", manifests.len());
     }
+    if howsim::cache::enabled() {
+        let s = howsim::cache::stats();
+        eprintln!(
+            "cache: {} points served from cache, {} simulated ({} from disk)",
+            s.hits, s.misses, s.disk_hits
+        );
+    }
 }
 
 /// Extra design-space sweeps the paper describes in prose: 128 MB disk
 /// memory, the 1 GHz front-end, and Fast Disks for every task.
 fn ablations(sizes: &[usize]) {
     use arch::Architecture;
-    use howsim::Simulation;
+    use howsim::cache;
     use tasks::TaskKind;
 
     println!("Ablation: 128 MB disk memory (vs 32 MB)");
@@ -163,15 +188,14 @@ fn ablations(sizes: &[usize]) {
     println!("Ablation: 1 GHz front-end (vs 450 MHz), % improvement");
     for &disks in sizes {
         for task in TaskKind::ALL {
-            let base = Simulation::new(Architecture::active_disks(disks))
-                .run(task)
+            let base = cache::run(&Architecture::active_disks(disks), task)
                 .elapsed()
                 .as_secs_f64();
-            let fast = Simulation::new(
-                Architecture::active_disks(disks)
+            let fast = cache::run(
+                &Architecture::active_disks(disks)
                     .with_front_end(arch::ProcessorSpec::front_end_1ghz()),
+                task,
             )
-            .run(task)
             .elapsed()
             .as_secs_f64();
             println!(
@@ -187,15 +211,14 @@ fn ablations(sizes: &[usize]) {
     println!("Ablation: next-generation embedded processor (2x Cyrix), % improvement");
     for &disks in sizes {
         for task in TaskKind::ALL {
-            let base = Simulation::new(Architecture::active_disks(disks))
-                .run(task)
+            let base = cache::run(&Architecture::active_disks(disks), task)
                 .elapsed()
                 .as_secs_f64();
-            let fast = Simulation::new(
-                Architecture::active_disks(disks)
+            let fast = cache::run(
+                &Architecture::active_disks(disks)
                     .with_embedded_cpu(arch::ProcessorSpec::embedded_next_gen()),
+                task,
             )
-            .run(task)
             .elapsed()
             .as_secs_f64();
             println!(
@@ -211,15 +234,14 @@ fn ablations(sizes: &[usize]) {
     println!("Ablation: Hitachi Fast Disks (vs Cheetah 9LP), % improvement");
     for &disks in sizes {
         for task in TaskKind::ALL {
-            let base = Simulation::new(Architecture::active_disks(disks))
-                .run(task)
+            let base = cache::run(&Architecture::active_disks(disks), task)
                 .elapsed()
                 .as_secs_f64();
-            let fast = Simulation::new(
-                Architecture::active_disks(disks)
+            let fast = cache::run(
+                &Architecture::active_disks(disks)
                     .with_disk_spec(diskmodel::DiskSpec::hitachi_dk3e1t_91()),
+                task,
             )
-            .run(task)
             .elapsed()
             .as_secs_f64();
             println!(

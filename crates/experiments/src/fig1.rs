@@ -3,7 +3,6 @@
 //! the Active Disk configuration of the same size.
 
 use arch::{Architecture, PAPER_SIZES};
-use howsim::Simulation;
 use tasks::TaskKind;
 
 use crate::{cell, render_table};
@@ -30,42 +29,43 @@ pub fn run() -> Vec<Cell> {
 
 /// Runs Figure 1 for a subset of sizes (used by tests and quick modes).
 ///
-/// The (size, task) points are independent simulations, swept in parallel
-/// by [`howsim::sweep`]; the cells come back in sweep order, so the output
-/// is identical to the serial loop.
+/// The whole `sizes × tasks × architectures` grid goes through
+/// [`howsim::cache::run_tasks`] as one batch: overlapping points (shared
+/// with `manifests` and other sweeps) are deduplicated before dispatch
+/// and the unique simulations run in parallel, with the cells coming
+/// back in grid order so the output is identical to the serial loop.
 pub fn run_sizes(sizes: &[usize]) -> Vec<Cell> {
     let points: Vec<(usize, TaskKind)> = sizes
         .iter()
         .flat_map(|&disks| TaskKind::ALL.into_iter().map(move |task| (disks, task)))
         .collect();
-    howsim::sweep::map(&points, |&(disks, task)| {
-        let archs = [
-            Architecture::active_disks(disks),
-            Architecture::cluster(disks),
-            Architecture::smp(disks),
-        ];
-        let times: Vec<(&'static str, f64)> = archs
-            .iter()
-            .map(|a| {
-                let r = Simulation::new(a.clone()).run(task);
-                (a.short_name(), r.elapsed().as_secs_f64())
-            })
-            .collect();
-        let active = times[0].1;
-        times
+    let sims: Vec<(Architecture, TaskKind)> = points
+        .iter()
+        .flat_map(|&(disks, task)| {
+            [
+                Architecture::active_disks(disks),
+                Architecture::cluster(disks),
+                Architecture::smp(disks),
+            ]
             .into_iter()
-            .map(|(arch, secs)| Cell {
+            .map(move |arch| (arch, task))
+        })
+        .collect();
+    let reports = howsim::cache::run_tasks(&sims);
+    points
+        .iter()
+        .zip(reports.chunks(3))
+        .flat_map(|(&(disks, task), archs)| {
+            let active = archs[0].elapsed().as_secs_f64();
+            archs.iter().map(move |r| Cell {
                 task: task.name(),
-                arch,
+                arch: r.architecture,
                 disks,
-                seconds: secs,
-                normalized: secs / active,
+                seconds: r.elapsed().as_secs_f64(),
+                normalized: r.elapsed().as_secs_f64() / active,
             })
-            .collect::<Vec<Cell>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+        })
+        .collect()
 }
 
 /// Renders the four panels of Figure 1 as text tables.

@@ -3,7 +3,6 @@
 //! normalized to the Active Disk 200 MB/s configuration of the same size.
 
 use arch::Architecture;
-use howsim::Simulation;
 use tasks::TaskKind;
 
 use crate::{cell, render_table};
@@ -54,7 +53,7 @@ pub fn run_sizes(sizes: &[usize]) -> Vec<Cell> {
                     Architecture::smp(disks)
                 }
                 .with_interconnect_mb(mb);
-                let secs = Simulation::new(arch).run(task).elapsed().as_secs_f64();
+                let secs = howsim::cache::run(&arch, task).elapsed().as_secs_f64();
                 (label, secs)
             })
             .collect();

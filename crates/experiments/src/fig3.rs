@@ -4,7 +4,7 @@
 
 use arch::Architecture;
 use diskmodel::DiskSpec;
-use howsim::{Report, Simulation};
+use howsim::Report;
 use tasks::TaskKind;
 
 use crate::render_table;
@@ -78,7 +78,7 @@ pub fn run_sizes(sizes: &[usize]) -> Vec<Breakdown> {
             }
             _ => Architecture::active_disks(disks).with_interconnect_mb(400.0),
         };
-        let report = Simulation::new(arch).run(TaskKind::Sort);
+        let report = howsim::cache::run(&arch, TaskKind::Sort);
         breakdown(disks, variant, &report)
     })
 }

@@ -7,7 +7,6 @@
 //! here as (near-)zero rows.
 
 use arch::Architecture;
-use howsim::Simulation;
 use tasks::TaskKind;
 
 use crate::render_table;
@@ -43,15 +42,18 @@ pub fn run_memory(sizes: &[usize], memory_mb: u64) -> Vec<Cell> {
         .flat_map(|&disks| TaskKind::ALL.into_iter().map(move |task| (disks, task)))
         .collect();
     howsim::sweep::map(&points, |&(disks, task)| {
-        let base = Simulation::new(Architecture::active_disks(disks).with_disk_memory(32 << 20))
-            .run(task)
-            .elapsed()
-            .as_secs_f64();
-        let big =
-            Simulation::new(Architecture::active_disks(disks).with_disk_memory(memory_mb << 20))
-                .run(task)
-                .elapsed()
-                .as_secs_f64();
+        let base = howsim::cache::run(
+            &Architecture::active_disks(disks).with_disk_memory(32 << 20),
+            task,
+        )
+        .elapsed()
+        .as_secs_f64();
+        let big = howsim::cache::run(
+            &Architecture::active_disks(disks).with_disk_memory(memory_mb << 20),
+            task,
+        )
+        .elapsed()
+        .as_secs_f64();
         Cell {
             task: task.name(),
             disks,

@@ -4,7 +4,6 @@
 //! disk-to-disk configuration of the same size.
 
 use arch::Architecture;
-use howsim::Simulation;
 use tasks::TaskKind;
 
 use crate::{cell, render_table};
@@ -38,15 +37,15 @@ pub fn run_sizes(sizes: &[usize]) -> Vec<Cell> {
         .flat_map(|&disks| TaskKind::ALL.into_iter().map(move |task| (disks, task)))
         .collect();
     howsim::sweep::map(&points, |&(disks, task)| {
-        let direct = Simulation::new(Architecture::active_disks(disks))
-            .run(task)
+        let direct = howsim::cache::run(&Architecture::active_disks(disks), task)
             .elapsed()
             .as_secs_f64();
-        let restricted =
-            Simulation::new(Architecture::active_disks(disks).with_direct_disk_to_disk(false))
-                .run(task)
-                .elapsed()
-                .as_secs_f64();
+        let restricted = howsim::cache::run(
+            &Architecture::active_disks(disks).with_direct_disk_to_disk(false),
+            task,
+        )
+        .elapsed()
+        .as_secs_f64();
         Cell {
             task: task.name(),
             disks,

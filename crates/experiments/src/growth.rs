@@ -12,7 +12,6 @@
 //! the SMP's is its I/O interconnect's.
 
 use arch::Architecture;
-use howsim::Simulation;
 use tasks::{plan_task_on, TaskKind};
 
 use crate::render_table;
@@ -47,10 +46,7 @@ pub fn run_scales(disks: usize, scales: &[u64]) -> Vec<Row> {
     howsim::sweep::map(&points, |(arch, scale)| {
         let dataset = base.scaled_up(*scale);
         let plan = plan_task_on(TaskKind::DataMine, arch, &dataset);
-        let secs = Simulation::new(arch.clone())
-            .run_plan(&plan)
-            .elapsed()
-            .as_secs_f64();
+        let secs = howsim::cache::run_plan(arch, &plan).elapsed().as_secs_f64();
         Row {
             arch: arch.short_name(),
             scale: *scale,

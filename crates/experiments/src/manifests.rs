@@ -2,13 +2,13 @@
 //! collects one [`RunManifest`] per run into a single deterministic
 //! `howsim-sweep/v1` JSON document.
 //!
-//! The grid fans out through [`howsim::sweep::map`], so runs execute in
-//! parallel but aggregate in configuration order — the output is
-//! byte-identical for any worker count.
+//! The grid fans out through [`howsim::cache::run_tasks`], so runs are
+//! deduplicated against the result cache (the grid overlaps Figure 1
+//! point-for-point), execute in parallel, and aggregate in configuration
+//! order — the output is byte-identical for any worker count.
 
 use arch::Architecture;
 use howsim::manifest::{git_revision, RunManifest};
-use howsim::Simulation;
 use tasks::TaskKind;
 
 /// Sweep manifest schema identifier.
@@ -27,18 +27,20 @@ fn architectures(disks: usize) -> [Architecture; 3] {
 /// manifest per run in deterministic grid order (task-major, then
 /// architecture, then size).
 pub fn run_grid(tasks: &[TaskKind], sizes: &[usize]) -> Vec<RunManifest> {
-    let mut configs: Vec<(TaskKind, Architecture)> = Vec::new();
+    let mut configs: Vec<(Architecture, TaskKind)> = Vec::new();
     for &task in tasks {
         for &disks in sizes {
             for arch in architectures(disks) {
-                configs.push((task, arch));
+                configs.push((arch, task));
             }
         }
     }
-    howsim::sweep::map(&configs, |(task, arch)| {
-        let report = Simulation::new(arch.clone()).run(*task);
-        RunManifest::new(arch, &report)
-    })
+    let reports = howsim::cache::run_tasks(&configs);
+    configs
+        .iter()
+        .zip(&reports)
+        .map(|((arch, _), report)| RunManifest::new(arch, report))
+        .collect()
 }
 
 /// Serializes a sweep of manifests as one `howsim-sweep/v1` document:

@@ -8,7 +8,6 @@
 //! topology × data movement), so the orderings should — and do — survive.
 
 use arch::Architecture;
-use howsim::Simulation;
 use tasks::{plan_task, TaskKind};
 
 use crate::{cell, render_table};
@@ -38,8 +37,9 @@ pub fn run_scales(disks: usize, scales: &[f64]) -> Vec<Row> {
         let time = |arch: Architecture| {
             let mut plan = plan_task(task, &arch);
             plan.scale_cpu(factor);
-            Simulation::new(arch)
-                .run_plan(&plan)
+            // The scaled plan is part of the cache key, so the ×1.0 points
+            // share entries with Figure 1 and nothing else collides.
+            howsim::cache::run_plan(&arch, &plan)
                 .elapsed()
                 .as_secs_f64()
         };

@@ -10,7 +10,6 @@
 
 use arch::Architecture;
 use datagen::zipf::Zipf;
-use howsim::Simulation;
 use tasks::planner::apply_shuffle_skew;
 use tasks::{plan_task, TaskKind};
 
@@ -53,8 +52,7 @@ pub fn run_thetas(disks: usize, thetas: &[f64]) -> Vec<Row> {
         } else {
             1.0 / disks as f64
         };
-        let secs = Simulation::new(arch)
-            .run_plan(&plan)
+        let secs = howsim::cache::run_plan(&arch, &plan)
             .elapsed()
             .as_secs_f64();
         Row {

@@ -1,58 +1,77 @@
-//! Regression test for the parallel sweep engine: sweeping with one
-//! worker and with many workers must produce byte-identical experiment
-//! outputs (data, rendered tables, and CSV files).
+//! Regression test for the sweep engine and result cache: sweeping with
+//! one worker, with many workers, with a cold cache, and with a warm
+//! cache must all produce byte-identical experiment outputs (data,
+//! rendered tables, and CSV files).
 
-use howsim::sweep;
+use howsim::{cache, sweep};
 
-/// Runs `f` at 1 worker and at 8 workers and asserts identical results.
+/// Runs `f` under four regimes — cache off at 1 and 8 workers, then
+/// cache on cold and warm — and asserts all four results are identical.
 ///
-/// One test drives every comparison sequentially: the worker count is a
-/// process-wide setting, so concurrent tests flipping it would race.
-fn assert_jobs_invariant<R: PartialEq + std::fmt::Debug>(name: &str, f: impl Fn() -> R) {
+/// One test drives every comparison sequentially: the worker count and
+/// the cache are process-wide settings, so concurrent tests flipping
+/// them would race.
+fn assert_invariant<R: PartialEq + std::fmt::Debug>(name: &str, f: impl Fn() -> R) {
+    cache::set_enabled(false);
     sweep::set_default_jobs(1);
-    let serial = f();
+    let baseline = f();
     sweep::set_default_jobs(8);
-    let parallel = f();
-    sweep::set_default_jobs(0);
-    assert_eq!(
-        serial, parallel,
-        "{name}: parallel sweep diverged from serial"
+    assert_eq!(baseline, f(), "{name}: parallel sweep diverged from serial");
+    cache::set_enabled(true);
+    cache::clear();
+    cache::reset_stats();
+    assert_eq!(baseline, f(), "{name}: cold cache diverged from no cache");
+    assert!(
+        cache::stats().misses > 0,
+        "{name}: cold run populated cache"
     );
+    sweep::set_default_jobs(1);
+    assert_eq!(baseline, f(), "{name}: warm cache diverged from no cache");
+    assert!(cache::stats().hits > 0, "{name}: warm run was served hits");
+    sweep::set_default_jobs(0);
 }
 
 #[test]
-fn sweeps_are_identical_for_any_worker_count() {
-    assert_jobs_invariant("fig1", || {
+fn sweeps_are_identical_for_any_worker_count_and_cache_state() {
+    assert_invariant("fig1", || {
         let cells = experiments::fig1::run_sizes(&[16]);
         (
             experiments::fig1::render(&cells),
             experiments::csv::fig1(&cells),
         )
     });
-    assert_jobs_invariant("fig3", || {
+    assert_invariant("fig3", || {
         let rows = experiments::fig3::run_sizes(&[16]);
         (
             experiments::fig3::render(&rows),
             experiments::csv::fig3(&rows),
         )
     });
-    assert_jobs_invariant("fig5", || {
+    assert_invariant("fig5", || {
         let cells = experiments::fig5::run_sizes(&[16]);
         (
             experiments::fig5::render(&cells),
             experiments::csv::fig5(&cells),
         )
     });
-    assert_jobs_invariant("skew", || {
+    assert_invariant("skew", || {
         experiments::skew::run_thetas(16, &[0.0, 1.0])
             .iter()
             .map(|r| (r.task, r.seconds.to_bits(), r.slowdown.to_bits()))
             .collect::<Vec<_>>()
     });
-    assert_jobs_invariant("growth", || {
+    assert_invariant("growth", || {
         experiments::growth::run_scales(16, &[1, 2])
             .iter()
             .map(|r| (r.arch, r.scale, r.hours.to_bits()))
             .collect::<Vec<_>>()
+    });
+    assert_invariant("manifests", || {
+        // Manifest JSON includes the git revision but no wall-clock data,
+        // so it is cache- and worker-count-invariant.
+        experiments::manifests::to_json(&experiments::manifests::run_grid(
+            &[tasks::TaskKind::Select],
+            &[16],
+        ))
     });
 }

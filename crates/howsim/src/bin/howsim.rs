@@ -15,6 +15,12 @@
 //! `--trace-out FILE` as JSONL (summary line first), and
 //! `--metrics-out FILE` writes a structured run manifest with sampled
 //! utilization time-series.
+//!
+//! `--cache` consults and populates the on-disk result cache under
+//! `results/.simcache/` (wipe by deleting the directory); `--no-cache`
+//! skips even the in-process cache. Traced and instrumented runs always
+//! simulate — only the plain report path is cached — and a cached report
+//! is byte-identical to a fresh one.
 
 use std::process::ExitCode;
 
@@ -39,12 +45,14 @@ struct Options {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     jobs: Option<usize>,
+    disk_cache: bool,
+    no_cache: bool,
 }
 
 fn usage() -> String {
     "usage: howsim [explain] --arch <active|cluster|smp> --disks <n> --task <name>\n\
      \x20      [--memory <MB>] [--interconnect <MB/s>] [--no-direct]\n\
-     \x20      [--fibre-switch] [--fast-disk] [--jobs <n>]\n\
+     \x20      [--fibre-switch] [--fast-disk] [--jobs <n>] [--cache] [--no-cache]\n\
      \x20      [--trace <file.csv>] [--trace-out <file.jsonl>] [--metrics-out <file.json>]\n\
      tasks: select aggregate groupby dcube sort join dmine mview\n\
      explain: print the per-resource utilization table and name the bottleneck"
@@ -73,6 +81,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         trace_out: None,
         metrics_out: None,
         jobs: None,
+        disk_cache: false,
+        no_cache: false,
     };
     let mut args = args;
     if args.first().map(String::as_str) == Some("explain") {
@@ -123,6 +133,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 }
                 opts.jobs = Some(n);
             }
+            "--cache" => opts.disk_cache = true,
+            "--no-cache" => opts.no_cache = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -221,14 +233,28 @@ fn main() -> ExitCode {
     if let Some(jobs) = opts.jobs {
         howsim::sweep::set_default_jobs(jobs);
     }
+    if opts.no_cache {
+        howsim::cache::set_enabled(false);
+    } else if opts.disk_cache {
+        howsim::cache::set_disk_dir(Some(howsim::cache::default_disk_dir()));
+    }
     let sim = Simulation::new(arch.clone());
     let plan = tasks::plan_task(opts.task, &arch);
     let want_trace = opts.trace_path.is_some() || opts.trace_out.is_some();
     let mut trace = want_trace.then(Trace::new);
     let mut metrics = opts.metrics_out.is_some().then(MetricsBuilder::new);
     let started = std::time::Instant::now();
-    let report = sim.run_plan_instrumented(&plan, trace.as_mut(), metrics.as_mut());
+    // Traced/instrumented runs must actually execute to produce their
+    // event streams; only the plain report path is cacheable.
+    let report = if want_trace || metrics.is_some() {
+        sim.run_plan_instrumented(&plan, trace.as_mut(), metrics.as_mut())
+    } else {
+        howsim::cache::run_sim(&sim, &plan)
+    };
     let wall = started.elapsed();
+    if opts.disk_cache && howsim::cache::stats().disk_hits > 0 {
+        eprintln!("cache: report served from results/.simcache/");
+    }
 
     if opts.explain {
         print_explanation(&report, wall);
@@ -313,7 +339,7 @@ mod tests {
         let o = parse(&argv(
             "--arch smp --disks 128 --task sort --memory 64 --interconnect 400 \
              --no-direct --fibre-switch --fast-disk --trace t.csv --trace-out t.jsonl \
-             --metrics-out m.json --jobs 4",
+             --metrics-out m.json --jobs 4 --cache",
         ))
         .unwrap();
         assert_eq!(o.arch, "smp");
@@ -328,6 +354,16 @@ mod tests {
         assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
         assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
         assert_eq!(o.jobs, Some(4));
+        assert!(o.disk_cache);
+        assert!(!o.no_cache);
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        let o = parse(&argv("--no-cache")).unwrap();
+        assert!(o.no_cache);
+        assert!(!o.disk_cache);
+        assert!(!parse(&[]).unwrap().disk_cache);
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Content-addressed simulation result cache.
+//!
+//! Every simulation is a pure function of `(architecture, plan,
+//! degraded-disk set, seed)`, so its [`Report`] can be memoized. The
+//! cache key is that tuple's debug representation, content-addressed by
+//! the same FNV-1a hash the run manifests use
+//! ([`crate::manifest::fnv1a64`]); the full key material is stored
+//! alongside each entry and verified on lookup, so a hash collision can
+//! never return the wrong report.
+//!
+//! Two tiers:
+//!
+//! * **In-memory** (always available, on by default): a process-wide
+//!   map, so overlapping points across figure sweeps in one
+//!   `experiments` invocation simulate once.
+//! * **On-disk** (opt-in via [`set_disk_dir`], `--cache` in the
+//!   binaries): entries under `results/.simcache/` persist across
+//!   invocations. Files are written atomically (temp file + rename) and
+//!   any unreadable, corrupt, or colliding entry is treated as a miss.
+//!   Wipe the cache by deleting the directory.
+//!
+//! Because cached reports are bit-identical to fresh ones (exact integer
+//! serialization, no floats — see [`crate::manifest::report_to_cache`])
+//! and [`run_plans`] dispatches misses through the deterministic
+//! [`crate::sweep`] engine, cache-on and cache-off outputs are
+//! byte-identical for any worker count. The event-queue backend is
+//! deliberately *not* part of the key: every backend produces identical
+//! reports (enforced by test), so they share entries.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use arch::Architecture;
+use tasks::{plan_task, TaskKind, TaskPlan};
+
+use crate::exec::Simulation;
+use crate::manifest::{fnv1a64, report_from_cache, report_to_cache};
+use crate::report::Report;
+use crate::sweep;
+
+/// On-disk entry schema identifier, bumped on breaking layout changes.
+pub const SCHEMA: &str = "howsim-simcache/v1";
+
+/// Lifetime hit/miss counters for the process-wide cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served without simulating (including points deduplicated
+    /// within one [`run_plans`] batch).
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+    /// The subset of `hits` that came from the on-disk tier.
+    pub disk_hits: u64,
+}
+
+struct CacheState {
+    enabled: bool,
+    disk_dir: Option<PathBuf>,
+    /// Hash → entries; a `Vec` per hash so verified key material, not
+    /// the hash, decides equality.
+    entries: HashMap<u64, Vec<(String, Report)>>,
+    stats: CacheStats,
+}
+
+fn state() -> &'static Mutex<CacheState> {
+    static STATE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(CacheState {
+            enabled: true,
+            disk_dir: None,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, CacheState> {
+    state().lock().expect("cache lock")
+}
+
+/// Enables or disables the cache process-wide (`--no-cache` sets false).
+/// Disabled, every `run_*` call simulates directly and no stats move.
+pub fn set_enabled(on: bool) {
+    lock().enabled = on;
+}
+
+/// Whether the cache is consulted at all.
+pub fn enabled() -> bool {
+    lock().enabled
+}
+
+/// Sets the on-disk tier directory (`None` keeps the cache
+/// memory-only). The binaries' `--cache` flag passes
+/// [`default_disk_dir`].
+pub fn set_disk_dir(dir: Option<PathBuf>) {
+    lock().disk_dir = dir;
+}
+
+/// The on-disk tier directory, if one is configured.
+pub fn disk_dir() -> Option<PathBuf> {
+    lock().disk_dir.clone()
+}
+
+/// The conventional on-disk cache location, next to the experiment CSVs.
+pub fn default_disk_dir() -> PathBuf {
+    PathBuf::from("results/.simcache")
+}
+
+/// Drops every in-memory entry (the on-disk tier is untouched).
+pub fn clear() {
+    lock().entries.clear();
+}
+
+/// Lifetime hit/miss counters.
+pub fn stats() -> CacheStats {
+    lock().stats
+}
+
+/// Zeroes the hit/miss counters.
+pub fn reset_stats() {
+    lock().stats = CacheStats::default();
+}
+
+/// The full cache key for one simulation: every input the result depends
+/// on, in debug representation. Hashed with FNV-1a for addressing and
+/// stored verbatim for collision-proof verification.
+pub fn key_material(
+    arch: &Architecture,
+    plan: &TaskPlan,
+    degraded: &[(usize, u64)],
+    seed: u64,
+) -> String {
+    format!("arch={arch:?} | plan={plan:?} | degraded={degraded:?} | seed={seed}")
+}
+
+fn entry_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("{hash:016x}.report"))
+}
+
+fn disk_load(dir: &Path, hash: u64, key: &str) -> Option<Report> {
+    let text = fs::read_to_string(entry_path(dir, hash)).ok()?;
+    let mut sections = text.splitn(3, '\n');
+    if sections.next()? != SCHEMA {
+        return None;
+    }
+    if sections.next()?.strip_prefix("key ")? != key {
+        return None; // hash collision with a different config
+    }
+    report_from_cache(sections.next()?).ok()
+}
+
+fn disk_store(dir: &Path, hash: u64, key: &str, report: &Report) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    // Atomic publish: concurrent processes may race on the same entry,
+    // but each rename installs a complete, verified file.
+    let tmp = dir.join(format!(".tmp-{:016x}-{}", hash, std::process::id()));
+    fs::write(
+        &tmp,
+        format!("{SCHEMA}\nkey {key}\n{}", report_to_cache(report)),
+    )?;
+    fs::rename(&tmp, entry_path(dir, hash))
+}
+
+/// Looks `key` up in both tiers, counting one hit or one miss.
+fn probe(key: &str) -> Option<Report> {
+    let hash = fnv1a64(key.as_bytes());
+    let disk = {
+        let mut st = lock();
+        if let Some(found) = st
+            .entries
+            .get(&hash)
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, r)| r.clone())
+        {
+            st.stats.hits += 1;
+            return Some(found);
+        }
+        st.disk_dir.clone()
+    };
+    if let Some(dir) = disk {
+        // File I/O happens outside the lock.
+        if let Some(report) = disk_load(&dir, hash, key) {
+            let mut st = lock();
+            st.stats.hits += 1;
+            st.stats.disk_hits += 1;
+            let entries = st.entries.entry(hash).or_default();
+            if !entries.iter().any(|(k, _)| k == key) {
+                entries.push((key.to_string(), report.clone()));
+            }
+            return Some(report);
+        }
+    }
+    lock().stats.misses += 1;
+    None
+}
+
+/// Records a freshly simulated report under `key` in both tiers.
+fn insert(key: &str, report: Report) {
+    let hash = fnv1a64(key.as_bytes());
+    let disk = {
+        let mut st = lock();
+        let entries = st.entries.entry(hash).or_default();
+        if !entries.iter().any(|(k, _)| k == key) {
+            entries.push((key.to_string(), report.clone()));
+        }
+        st.disk_dir.clone()
+    };
+    if let Some(dir) = disk {
+        // Best effort: a full disk or unwritable directory degrades to
+        // memory-only caching rather than failing the sweep.
+        let _ = disk_store(&dir, hash, key, &report);
+    }
+}
+
+/// Plans and runs `task` on `arch` through the cache.
+pub fn run(arch: &Architecture, task: TaskKind) -> Report {
+    run_sim(&Simulation::new(arch.clone()), &plan_task(task, arch))
+}
+
+/// Runs an explicit plan on `arch` through the cache.
+pub fn run_plan(arch: &Architecture, plan: &TaskPlan) -> Report {
+    run_sim(&Simulation::new(arch.clone()), plan)
+}
+
+/// Runs `plan` on a configured [`Simulation`] through the cache (the
+/// degraded-disk set participates in the key).
+pub fn run_sim(sim: &Simulation, plan: &TaskPlan) -> Report {
+    if !enabled() {
+        return sim.run_plan(plan);
+    }
+    let key = key_material(sim.architecture(), plan, sim.degraded_disks(), 0);
+    if let Some(report) = probe(&key) {
+        return report;
+    }
+    let report = sim.run_plan(plan);
+    insert(&key, report.clone());
+    report
+}
+
+/// Batch variant of [`run`]: plans every point and delegates to
+/// [`run_plans`].
+pub fn run_tasks(points: &[(Architecture, TaskKind)]) -> Vec<Report> {
+    let plans: Vec<(Architecture, TaskPlan)> = points
+        .iter()
+        .map(|(arch, task)| (arch.clone(), plan_task(*task, arch)))
+        .collect();
+    run_plans(&plans)
+}
+
+/// Runs a batch of sweep points, deduplicating before dispatch: cached
+/// points are served immediately, duplicate uncached points simulate
+/// once (the copies count as hits), and the unique misses go through
+/// [`sweep::map`] in parallel. Results come back in point order, so the
+/// output is byte-identical to mapping [`Simulation::run_plan`] over the
+/// points directly.
+pub fn run_plans(points: &[(Architecture, TaskPlan)]) -> Vec<Report> {
+    if !enabled() {
+        return sweep::map(points, |(arch, plan)| {
+            Simulation::new(arch.clone()).run_plan(plan)
+        });
+    }
+    enum Slot {
+        Ready(Box<Report>),
+        Fresh(usize),
+    }
+    let keys: Vec<String> = points
+        .iter()
+        .map(|(arch, plan)| key_material(arch, plan, &[], 0))
+        .collect();
+    let mut first_job: HashMap<&str, usize> = HashMap::new();
+    let mut jobs: Vec<usize> = Vec::new();
+    let mut slots: Vec<Slot> = Vec::with_capacity(points.len());
+    for (ix, key) in keys.iter().enumerate() {
+        if let Some(report) = probe(key) {
+            slots.push(Slot::Ready(Box::new(report)));
+        } else if let Some(&job) = first_job.get(key.as_str()) {
+            // Deduplicated within this batch: served without simulating.
+            let mut st = lock();
+            st.stats.hits += 1;
+            st.stats.misses -= 1; // probe above counted it as a miss
+            drop(st);
+            slots.push(Slot::Fresh(job));
+        } else {
+            first_job.insert(key, jobs.len());
+            slots.push(Slot::Fresh(jobs.len()));
+            jobs.push(ix);
+        }
+    }
+    let fresh: Vec<Report> = sweep::map(&jobs, |&ix| {
+        let (arch, plan) = &points[ix];
+        Simulation::new(arch.clone()).run_plan(plan)
+    });
+    for (&ix, report) in jobs.iter().zip(&fresh) {
+        insert(&keys[ix], report.clone());
+    }
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Ready(report) => *report,
+            Slot::Fresh(job) => fresh[job].clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cache state is process-global; serialize the tests that mutate it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn fresh_cache() -> std::sync::MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        set_disk_dir(None);
+        clear();
+        reset_stats();
+        guard
+    }
+
+    #[test]
+    fn cached_report_is_field_identical_to_fresh() {
+        let _guard = fresh_cache();
+        let arch = Architecture::active_disks(4);
+        let fresh = Simulation::new(arch.clone()).run(TaskKind::Select);
+        let first = run(&arch, TaskKind::Select);
+        let second = run(&arch, TaskKind::Select);
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+        let s = stats();
+        assert_eq!((s.hits, s.misses, s.disk_hits), (1, 1, 0));
+    }
+
+    #[test]
+    fn key_separates_configs_and_degraded_sets() {
+        let _guard = fresh_cache();
+        let arch = Architecture::cluster(2);
+        let plan = plan_task(TaskKind::Select, &arch);
+        let base = key_material(&arch, &plan, &[], 0);
+        assert_ne!(base, key_material(&Architecture::cluster(4), &plan, &[], 0));
+        assert_ne!(base, key_material(&arch, &plan, &[(0, 50)], 0));
+        assert_ne!(base, key_material(&arch, &plan, &[], 1));
+        let degraded = Simulation::new(arch.clone()).with_degraded_disk(0, 50);
+        let plain = run_sim(&Simulation::new(arch), &plan);
+        let slow = run_sim(&degraded, &plan);
+        assert!(slow.elapsed() > plain.elapsed(), "degraded run not shared");
+        assert_eq!(stats().misses, 2);
+    }
+
+    #[test]
+    fn batch_dedups_before_dispatch() {
+        let _guard = fresh_cache();
+        let arch = Architecture::smp(2);
+        let points = vec![
+            (arch.clone(), TaskKind::Select),
+            (arch.clone(), TaskKind::Aggregate),
+            (arch.clone(), TaskKind::Select), // duplicate of point 0
+        ];
+        let reports = run_tasks(&points);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0], reports[2]);
+        let s = stats();
+        assert_eq!((s.hits, s.misses), (1, 2), "duplicate served from batch");
+        // A second batch is all hits and byte-identical.
+        let again = run_tasks(&points);
+        assert_eq!(again, reports);
+        assert_eq!(stats().hits, 4);
+        assert_eq!(stats().misses, 2);
+    }
+
+    #[test]
+    fn disabled_cache_simulates_directly() {
+        let _guard = fresh_cache();
+        set_enabled(false);
+        let arch = Architecture::active_disks(2);
+        let a = run(&arch, TaskKind::Select);
+        let b = run(&arch, TaskKind::Select);
+        assert_eq!(a, b);
+        assert_eq!(stats(), CacheStats::default(), "no stats move when off");
+        set_enabled(true);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_rejects_corruption() {
+        let _guard = fresh_cache();
+        let dir = std::env::temp_dir().join(format!("howsim-simcache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        set_disk_dir(Some(dir.clone()));
+        let arch = Architecture::cluster(4);
+        let fresh = run(&arch, TaskKind::Sort);
+        assert_eq!(stats().misses, 1);
+        let entry = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        assert!(entry.to_string_lossy().ends_with(".report"));
+
+        // Drop the memory tier: the next lookup must come from disk.
+        clear();
+        let warm = run(&arch, TaskKind::Sort);
+        assert_eq!(warm, fresh, "disk round trip is field-identical");
+        let s = stats();
+        assert_eq!((s.hits, s.disk_hits), (1, 1));
+
+        // A corrupt entry is a miss, not an error or a wrong answer.
+        clear();
+        fs::write(&entry, "garbage\n").unwrap();
+        let recomputed = run(&arch, TaskKind::Sort);
+        assert_eq!(recomputed, fresh);
+        assert_eq!(stats().misses, 2);
+
+        set_disk_dir(None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

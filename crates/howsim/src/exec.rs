@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use arch::Architecture;
-use simcore::{Duration, EventQueue, SimTime};
+use simcore::{Duration, EventQueue, QueueBackend, SimTime};
 use tasks::plan::{CpuWork, PhasePlan, TaskPlan};
 use tasks::{plan_task, TaskKind};
 
@@ -30,6 +30,7 @@ use crate::BATCH_BYTES;
 pub struct Simulation {
     arch: Architecture,
     degraded: Vec<(usize, u64)>,
+    queue_backend: QueueBackend,
 }
 
 /// Events of the phase executor.
@@ -162,7 +163,16 @@ impl Simulation {
         Simulation {
             arch,
             degraded: Vec::new(),
+            queue_backend: QueueBackend::default(),
         }
+    }
+
+    /// Selects the event-scheduler backend (differential testing and
+    /// benchmarking; every backend produces byte-identical reports).
+    #[must_use]
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue_backend = backend;
+        self
     }
 
     /// Injects `grown_defects` remapped sectors into `node`'s drive before
@@ -176,6 +186,12 @@ impl Simulation {
     /// The architecture being simulated.
     pub fn architecture(&self) -> &Architecture {
         &self.arch
+    }
+
+    /// The injected per-node drive degradations, as `(node, grown_defects)`
+    /// pairs in injection order (part of a run's cache identity).
+    pub fn degraded_disks(&self) -> &[(usize, u64)] {
+        &self.degraded
     }
 
     /// Plans and runs one of the eight workload tasks.
@@ -269,6 +285,7 @@ impl Simulation {
                 clock,
                 region,
                 phase_ix,
+                self.queue_backend,
                 trace.as_deref_mut(),
                 metrics.as_deref_mut(),
             );
@@ -409,6 +426,7 @@ fn run_phase(
     start: SimTime,
     region: usize,
     phase_ix: usize,
+    queue_backend: QueueBackend,
     mut trace: Option<&mut Trace>,
     mut metrics: Option<&mut MetricsBuilder>,
 ) -> (SimTime, u64) {
@@ -424,8 +442,9 @@ fn run_phase(
 
     let window = m.window() as u64;
     // Steady state holds `window` in-flight reads per node plus the
-    // messages they fan out into; pre-size the heap to that depth.
-    let mut q: EventQueue<Ev> = EventQueue::with_capacity(n * (window as usize + 4));
+    // messages they fan out into; pre-size the queue to that depth.
+    let mut q: EventQueue<Ev> =
+        EventQueue::with_backend_capacity(queue_backend, n * (window as usize + 4));
     let mut horizon = start;
     let mut nodes: Vec<NodeState> = (0..n)
         .map(|i| {
@@ -818,6 +837,25 @@ mod tests {
         let b = sim.run(TaskKind::Aggregate);
         assert_eq!(a.elapsed(), b.elapsed(), "simulation is deterministic");
         assert!(a.elapsed().as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn wheel_and_heap_backends_produce_identical_reports() {
+        use simcore::QueueBackend;
+        let cases = [
+            (Architecture::active_disks(8), TaskKind::Sort),
+            (Architecture::cluster(4), TaskKind::Join),
+            (Architecture::smp(4), TaskKind::DataMine),
+        ];
+        for (arch, task) in cases {
+            let wheel = Simulation::new(arch.clone())
+                .with_queue_backend(QueueBackend::CalendarWheel)
+                .run(task);
+            let heap = Simulation::new(arch)
+                .with_queue_backend(QueueBackend::BinaryHeap)
+                .run(task);
+            assert_eq!(wheel, heap, "{task:?}: backends must agree field-for-field");
+        }
     }
 
     #[test]

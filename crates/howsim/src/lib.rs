@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod exec;
 pub mod machine;
 pub mod manifest;
@@ -31,6 +32,7 @@ pub mod report;
 pub mod sweep;
 pub mod trace;
 
+pub use cache::CacheStats;
 pub use exec::Simulation;
 pub use manifest::RunManifest;
 pub use metrics::{Attribution, MetricsBuilder, Resource, ResourceUsage, RunMetrics};

@@ -15,14 +15,16 @@
 //! which carries wall-clock measurements and is `null` unless
 //! explicitly attached via [`RunManifest::with_host`].
 
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::process::Command;
+use std::sync::{Mutex, OnceLock};
 
 use arch::Architecture;
-use simcore::Duration;
+use simcore::{Duration, Histogram};
 
-use crate::metrics::{Attribution, RunMetrics};
-use crate::report::Report;
+use crate::metrics::{Attribution, Resource, ResourceUsage, RunMetrics};
+use crate::report::{PhaseReport, Report};
 use crate::trace::TraceSummary;
 
 /// Manifest schema identifier, bumped on breaking layout changes.
@@ -371,13 +373,208 @@ fn json_string(s: &str) -> String {
 }
 
 /// FNV-1a 64-bit hash — small, dependency-free, stable across runs.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Used for the manifest `config_hash` and as the content address of
+/// [`crate::cache`] entries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Interns a string, returning a `&'static str` with the same contents.
+///
+/// [`Report`] carries `&'static str` names (task, architecture, phase and
+/// CPU-work tags); deserializing a cached report reconstructs them by
+/// leaking each *distinct* name once per process. The set of names is
+/// tiny and fixed by the workload definitions, so the leak is bounded.
+pub(crate) fn intern(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("intern pool lock");
+    if let Some(&v) = pool.get(s) {
+        return v;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(s.to_string(), leaked);
+    leaked
+}
+
+/// Serializes a [`Report`] to the compact line-based format used by the
+/// result cache (see [`crate::cache`]).
+///
+/// Every field is an exact integer — nanoseconds, bytes, or counts; the
+/// report holds no floats — so the round trip through
+/// [`report_from_cache`] is field-identical, and serializing the same
+/// report twice yields identical bytes.
+pub fn report_to_cache(report: &Report) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(out, "task {}", report.task);
+    let _ = writeln!(out, "arch {}", report.architecture);
+    let _ = writeln!(out, "disks {}", report.disks);
+    let _ = writeln!(out, "events {}", report.events);
+    let h = &report.disk_service;
+    let _ = writeln!(out, "hist_total_ns {}", h.total().as_nanos());
+    let _ = writeln!(out, "hist_max_ns {}", h.max().as_nanos());
+    out.push_str("hist_buckets");
+    for c in h.bucket_counts() {
+        let _ = write!(out, " {c}");
+    }
+    out.push('\n');
+    let _ = writeln!(out, "phases {}", report.phases.len());
+    for p in &report.phases {
+        let _ = writeln!(out, "phase {}", p.name);
+        let _ = writeln!(out, "elapsed_ns {}", p.elapsed.as_nanos());
+        let _ = writeln!(out, "cpu_busy_ns {}", p.cpu_busy_total.as_nanos());
+        let _ = writeln!(out, "disk_busy_ns {}", p.disk_busy_total.as_nanos());
+        let _ = writeln!(out, "interconnect_bytes {}", p.interconnect_bytes);
+        let _ = writeln!(out, "frontend_bytes {}", p.frontend_bytes);
+        let _ = writeln!(out, "nodes {}", p.nodes);
+        let _ = writeln!(out, "tags {}", p.cpu_busy_by_tag.len());
+        for (tag, d) in &p.cpu_busy_by_tag {
+            // Nanoseconds first: the tag is the rest of the line, so
+            // names with spaces survive the round trip.
+            let _ = writeln!(out, "tag {} {}", d.as_nanos(), tag);
+        }
+        let _ = writeln!(out, "resources {}", p.resources.len());
+        for u in &p.resources {
+            let _ = writeln!(
+                out,
+                "res {} {} {}",
+                u.resource.key(),
+                u.busy.as_nanos(),
+                u.lanes
+            );
+        }
+    }
+    out
+}
+
+/// Reads lines of the cache format, enforcing the expected field order.
+struct CacheLines<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> CacheLines<'a> {
+    /// The value of the next line, which must start with `key `.
+    fn field(&mut self, key: &str) -> Result<&'a str, String> {
+        let line = self
+            .lines
+            .next()
+            .ok_or_else(|| format!("missing `{key}` line"))?;
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .ok_or_else(|| format!("expected `{key} ...`, got `{line}`"))
+    }
+
+    /// The next `key`-line value parsed as a number.
+    fn num<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, String> {
+        self.field(key)?
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad number in `{key}` line"))
+    }
+}
+
+/// Parses the output of [`report_to_cache`] back into a [`Report`].
+///
+/// Strict: any missing, reordered, malformed, or trailing line is an
+/// error, so a corrupt or stale on-disk cache entry is rejected rather
+/// than silently misread.
+pub fn report_from_cache(text: &str) -> Result<Report, String> {
+    let mut p = CacheLines {
+        lines: text.lines(),
+    };
+    let task = intern(p.field("task")?);
+    let architecture = intern(p.field("arch")?);
+    let disks: usize = p.num("disks")?;
+    let events: u64 = p.num("events")?;
+    let total = Duration::from_nanos(p.num("hist_total_ns")?);
+    let max = Duration::from_nanos(p.num("hist_max_ns")?);
+    let mut buckets = [0u64; 64];
+    let mut counts = p.field("hist_buckets")?.split_whitespace();
+    for b in buckets.iter_mut() {
+        *b = counts
+            .next()
+            .ok_or("hist_buckets: expected 64 counts")?
+            .parse()
+            .map_err(|_| "hist_buckets: bad count".to_string())?;
+    }
+    if counts.next().is_some() {
+        return Err("hist_buckets: more than 64 counts".into());
+    }
+    let disk_service = Histogram::from_raw(buckets, total, max);
+    let nphases: usize = p.num("phases")?;
+    let mut phases = Vec::with_capacity(nphases);
+    for _ in 0..nphases {
+        let name = intern(p.field("phase")?);
+        let elapsed = Duration::from_nanos(p.num("elapsed_ns")?);
+        let cpu_busy_total = Duration::from_nanos(p.num("cpu_busy_ns")?);
+        let disk_busy_total = Duration::from_nanos(p.num("disk_busy_ns")?);
+        let interconnect_bytes: u64 = p.num("interconnect_bytes")?;
+        let frontend_bytes: u64 = p.num("frontend_bytes")?;
+        let nodes: usize = p.num("nodes")?;
+        let ntags: usize = p.num("tags")?;
+        let mut cpu_busy_by_tag = BTreeMap::new();
+        for _ in 0..ntags {
+            let rest = p.field("tag")?;
+            let (ns, tag) = rest.split_once(' ').ok_or("tag: expected `<ns> <name>`")?;
+            let ns: u64 = ns.parse().map_err(|_| "tag: bad nanoseconds".to_string())?;
+            cpu_busy_by_tag.insert(intern(tag), Duration::from_nanos(ns));
+        }
+        let nres: usize = p.num("resources")?;
+        let mut resources = Vec::with_capacity(nres);
+        for _ in 0..nres {
+            let rest = p.field("res")?;
+            let mut parts = rest.split_whitespace();
+            let key = parts.next().ok_or("res: missing resource key")?;
+            let resource =
+                Resource::from_key(key).ok_or_else(|| format!("res: unknown resource `{key}`"))?;
+            let busy = Duration::from_nanos(
+                parts
+                    .next()
+                    .ok_or("res: missing busy time")?
+                    .parse()
+                    .map_err(|_| "res: bad busy time".to_string())?,
+            );
+            let lanes: u32 = parts
+                .next()
+                .ok_or("res: missing lanes")?
+                .parse()
+                .map_err(|_| "res: bad lanes".to_string())?;
+            resources.push(ResourceUsage {
+                resource,
+                busy,
+                lanes,
+            });
+        }
+        phases.push(PhaseReport {
+            name,
+            elapsed,
+            cpu_busy_by_tag,
+            cpu_busy_total,
+            disk_busy_total,
+            interconnect_bytes,
+            frontend_bytes,
+            nodes,
+            resources,
+        });
+    }
+    if let Some(extra) = p.lines.next() {
+        return Err(format!("trailing data after last phase: `{extra}`"));
+    }
+    Ok(Report {
+        task,
+        architecture,
+        disks,
+        phases,
+        disk_service,
+        events,
+    })
 }
 
 /// The repository's short git revision, or `"unknown"` outside a
@@ -445,6 +642,35 @@ mod tests {
         assert!(json.contains("\"seed\": 7"));
         assert!(json.contains("\"trace\": {\"total\":"));
         assert!(json.contains("\"generated_unix_ms\": 1700000000000"));
+    }
+
+    #[test]
+    fn report_cache_round_trip_is_field_identical() {
+        let arch = Architecture::active_disks(4);
+        let fresh = Simulation::new(arch).run(TaskKind::Sort);
+        let text = report_to_cache(&fresh);
+        let back = report_from_cache(&text).expect("well-formed cache text");
+        assert_eq!(back, fresh, "round trip must preserve every field");
+        assert_eq!(report_to_cache(&back), text, "serialization is stable");
+    }
+
+    #[test]
+    fn report_cache_rejects_malformed_input() {
+        assert!(report_from_cache("").is_err());
+        assert!(report_from_cache("task x\n").is_err());
+        let arch = Architecture::smp(2);
+        let fresh = Simulation::new(arch).run(TaskKind::Select);
+        let text = report_to_cache(&fresh);
+        assert!(report_from_cache(&text[..text.len() / 2]).is_err());
+        assert!(report_from_cache(&format!("{text}junk trailing\n")).is_err());
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_content_equal() {
+        let a = intern("some-phase-name");
+        let b = intern("some-phase-name");
+        assert_eq!(a, "some-phase-name");
+        assert!(std::ptr::eq(a, b), "same name interns to the same pointer");
     }
 
     #[test]

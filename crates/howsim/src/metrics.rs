@@ -67,6 +67,11 @@ impl Resource {
         }
     }
 
+    /// The inverse of [`Resource::key`]; `None` for unknown keys.
+    pub fn from_key(key: &str) -> Option<Resource> {
+        Resource::ALL.into_iter().find(|r| r.key() == key)
+    }
+
     /// Human-readable label; worker CPUs are "disk CPU" on the Active
     /// Disk architecture and "host CPU" elsewhere.
     pub fn label(self, architecture: &str) -> &'static str {
@@ -441,6 +446,14 @@ mod tests {
         assert_eq!(Resource::WorkerCpu.label("Active"), "disk CPU");
         assert_eq!(Resource::WorkerCpu.label("Cluster"), "host CPU");
         assert_eq!(Resource::ALL.len(), 6);
+    }
+
+    #[test]
+    fn from_key_inverts_key() {
+        for r in Resource::ALL {
+            assert_eq!(Resource::from_key(r.key()), Some(r));
+        }
+        assert_eq!(Resource::from_key("floppy"), None);
     }
 
     #[test]

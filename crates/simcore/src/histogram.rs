@@ -124,6 +124,30 @@ impl Histogram {
             .map(|(i, &c)| (Self::bucket_bound(i), c))
     }
 
+    /// The raw per-bucket counts (see the struct docs for the bucket
+    /// bounds). With [`Histogram::total`] and [`Histogram::max`] this is
+    /// the histogram's full state, for exact serialization.
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Sum of all recorded samples.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Reconstructs a histogram from its raw state (the inverse of
+    /// reading [`Histogram::bucket_counts`], [`Histogram::total`], and
+    /// [`Histogram::max`]); the sample count is the bucket sum.
+    pub fn from_raw(buckets: [u64; 64], total: Duration, max: Duration) -> Self {
+        Histogram {
+            buckets,
+            count: buckets.iter().sum(),
+            total,
+            max,
+        }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -273,6 +297,18 @@ mod tests {
         h.record(Duration::from_nanos(999)); // still < 1 µs
         let buckets: Vec<_> = h.nonzero_buckets().collect();
         assert_eq!(buckets, vec![(Duration::from_micros(1), 2)]);
+    }
+
+    #[test]
+    fn raw_round_trip_is_exact() {
+        let mut h = Histogram::new();
+        for us in [0u64, 1, 3, 900, 12_000, 5_000_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let back = Histogram::from_raw(*h.bucket_counts(), h.total(), h.max());
+        assert_eq!(back, h);
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.mean(), h.mean());
     }
 
     proptest! {

@@ -41,7 +41,7 @@ pub mod time;
 
 pub use histogram::Histogram;
 pub use metrics::{Counter, GaugeSeries, UtilizationSampler};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueBackend};
 pub use rng::SplitMix64;
 pub use server::{FifoServer, MultiServer};
 pub use stats::{Accumulator, BusyTracker};

@@ -1,15 +1,61 @@
 //! The event queue: a priority queue over simulated time with deterministic
 //! FIFO tie-breaking.
+//!
+//! # Scheduler structure
+//!
+//! The default backend is a **hierarchical calendar queue** (timing
+//! wheel): a circular array of buckets, each covering a fixed slice of
+//! simulated time, plus a binary-heap *overflow* level for events
+//! scheduled beyond the wheel's horizon. Pushing an event within the
+//! horizon appends to its bucket (amortized O(1)); popping scans a
+//! bitmap for the next occupied bucket and drains it in `(time, seq)`
+//! order. Overflow events migrate into the wheel as the cursor
+//! approaches their bucket, so the far-future heap stays small and the
+//! hot path is array traffic instead of heap rebalancing.
+//!
+//! ## Bucket-width heuristic
+//!
+//! Each bucket spans `2^BUCKET_SHIFT` nanoseconds (currently 2^18 ns ≈
+//! 262 µs). That width sits between the executor's two natural time
+//! scales: per-batch CPU costs (tens of microseconds — so simultaneous
+//! and near-simultaneous completions share a bucket instead of
+//! scattering across thousands) and per-batch disk service times
+//! (milliseconds — so a pipeline window of in-flight reads spreads over
+//! many buckets instead of piling into one). The bucket count is a
+//! power of two sized from [`EventQueue::with_capacity`]'s hint
+//! (clamped to `[64, 65536]`, default 1024), putting the wheel horizon
+//! at `buckets × 262 µs` — e.g. ≈ 268 ms for the default — which covers
+//! the scheduling distance of almost every event the executor produces;
+//! the rare longer-range event (a deeply queued disk or a saturated
+//! interconnect) takes the overflow heap and migrates back in.
+//!
+//! Events in one bucket are sorted **lazily**: a bucket is sorted
+//! (descending, so pops pop from the back) only when the cursor first
+//! reaches it, and same-time bursts inserted *into the current bucket*
+//! keep it sorted by binary-search insertion. Determinism is unchanged
+//! from the classic heap: ties fire in push order via the per-event
+//! sequence number, whatever mixture of bucket/overflow placements the
+//! events took. The reference [`QueueBackend::BinaryHeap`] backend is
+//! kept for differential testing and benchmarking.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// Log2 of the bucket width in nanoseconds (2^18 ns ≈ 262 µs).
+const BUCKET_SHIFT: u32 = 18;
+/// Bucket count when no capacity hint is given.
+const DEFAULT_BUCKETS: usize = 1024;
+/// Smallest allowed bucket count (one bitmap word).
+const MIN_BUCKETS: usize = 64;
+/// Largest allowed bucket count (16k buckets ≈ 4.3 s horizon).
+const MAX_BUCKETS: usize = 1 << 16;
+
 /// A pending event: fires at `time`, carrying `payload`.
 ///
 /// Events scheduled for the same instant fire in the order they were pushed
-/// (FIFO), which makes simulations deterministic regardless of heap
+/// (FIFO), which makes simulations deterministic regardless of scheduler
 /// internals.
 #[derive(Debug)]
 struct Scheduled<E> {
@@ -40,6 +86,199 @@ impl<E> PartialOrd for Scheduled<E> {
     }
 }
 
+/// Which scheduler implementation an [`EventQueue`] runs on.
+///
+/// Both backends produce byte-identical pop sequences; the wheel is the
+/// default, the heap is retained as the differential-testing and
+/// benchmarking reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Calendar-queue / timing-wheel scheduler (the default).
+    #[default]
+    CalendarWheel,
+    /// The classic binary-heap scheduler.
+    BinaryHeap,
+}
+
+/// The calendar-wheel scheduler level structure.
+#[derive(Debug)]
+struct Wheel<E> {
+    /// Power-of-two circular bucket array; slot = `abs & (len - 1)` where
+    /// `abs = time_ns >> BUCKET_SHIFT`.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: Vec<u64>,
+    /// Events currently held in buckets (excludes overflow).
+    count: usize,
+    /// Absolute bucket index of the wheel's current position. Invariant:
+    /// every bucketed event has `abs` in `[cursor, cursor + buckets.len())`.
+    cursor: u64,
+    /// Whether the cursor's bucket is sorted descending by `(time, seq)`.
+    cur_sorted: bool,
+    /// Far-future events beyond the wheel horizon, earliest-first.
+    overflow: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Wheel<E> {
+    fn with_buckets(nbuckets: usize, reserve: usize) -> Self {
+        debug_assert!(nbuckets.is_power_of_two() && nbuckets >= MIN_BUCKETS);
+        Wheel {
+            buckets: (0..nbuckets).map(|_| Vec::with_capacity(reserve)).collect(),
+            occupied: vec![0u64; nbuckets / 64],
+            count: 0,
+            cursor: 0,
+            cur_sorted: false,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn abs_of(time: SimTime) -> u64 {
+        time.as_nanos() >> BUCKET_SHIFT
+    }
+
+    fn nbuckets(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    fn mask(&self) -> u64 {
+        self.nbuckets() - 1
+    }
+
+    fn len(&self) -> usize {
+        self.count + self.overflow.len()
+    }
+
+    fn push(&mut self, ev: Scheduled<E>) {
+        let abs = Self::abs_of(ev.time);
+        if abs >= self.cursor + self.nbuckets() {
+            self.overflow.push(ev);
+        } else {
+            debug_assert!(abs >= self.cursor, "bucketed event behind the cursor");
+            self.place(ev, abs);
+        }
+    }
+
+    /// Puts an in-horizon event into its bucket, keeping the cursor's
+    /// bucket sorted if it already is.
+    fn place(&mut self, ev: Scheduled<E>, abs: u64) {
+        let slot = (abs & self.mask()) as usize;
+        let bucket = &mut self.buckets[slot];
+        if abs == self.cursor && self.cur_sorted {
+            // Descending order: later (time, seq) first, pops from the back.
+            let key = (ev.time, ev.seq);
+            let pos = bucket.partition_point(|s| (s.time, s.seq) > key);
+            bucket.insert(pos, ev);
+        } else {
+            bucket.push(ev);
+        }
+        self.occupied[slot >> 6] |= 1 << (slot & 63);
+        self.count += 1;
+    }
+
+    /// Moves overflow events whose bucket entered the horizon into the
+    /// wheel. Must run before any pop selection: an overflow event can be
+    /// earlier than every bucketed one.
+    fn migrate(&mut self) {
+        let horizon = self.cursor + self.nbuckets();
+        while let Some(top) = self.overflow.peek() {
+            let abs = Self::abs_of(top.time);
+            if abs >= horizon {
+                break;
+            }
+            let ev = self.overflow.pop().expect("peeked entry");
+            self.place(ev, abs);
+        }
+    }
+
+    /// Physical index of the first occupied bucket at or circularly after
+    /// the cursor slot. Buckets only hold events within the horizon, so
+    /// the first set bit in cursor order is also the earliest bucket.
+    fn next_occupied(&self) -> Option<usize> {
+        let start = (self.cursor & self.mask()) as usize;
+        let words = self.occupied.len();
+        let mut w = start >> 6;
+        let mut word = self.occupied[w] & (!0u64 << (start & 63));
+        // `words + 1` iterations: the wrap re-checks the starting word's
+        // low bits (its high bits were already seen empty).
+        for _ in 0..=words {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == words {
+                w = 0;
+            }
+            word = self.occupied[w];
+        }
+        None
+    }
+
+    /// Absolute bucket index of physical `slot`, relative to the cursor.
+    fn abs_at(&self, slot: usize) -> u64 {
+        self.cursor + ((slot as u64).wrapping_sub(self.cursor) & self.mask())
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        if self.count == 0 {
+            // Wheel empty: jump the cursor to the overflow's earliest
+            // bucket so migration can land it.
+            let abs = Self::abs_of(self.overflow.peek()?.time);
+            self.cursor = abs;
+            self.cur_sorted = false;
+        }
+        self.migrate();
+        let slot = self.next_occupied().expect("wheel holds events");
+        let abs = self.abs_at(slot);
+        if abs != self.cursor || !self.cur_sorted {
+            // First touch of this bucket: advance and lazily sort it
+            // descending so pops come off the back in (time, seq) order.
+            self.cursor = abs;
+            self.buckets[slot].sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+            self.cur_sorted = true;
+        }
+        let bucket = &mut self.buckets[slot];
+        let ev = bucket.pop().expect("occupied bucket");
+        self.count -= 1;
+        if bucket.is_empty() {
+            self.occupied[slot >> 6] &= !(1 << (slot & 63));
+        }
+        Some(ev)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        let wheel = if self.count > 0 {
+            let slot = self.next_occupied().expect("wheel holds events");
+            let bucket = &self.buckets[slot];
+            if self.abs_at(slot) == self.cursor && self.cur_sorted {
+                bucket.last().map(|s| s.time)
+            } else {
+                bucket.iter().map(|s| s.time).min()
+            }
+        } else {
+            None
+        };
+        // An overflow event just outside a stale horizon can precede every
+        // bucketed one, so always compare against the overflow top.
+        let over = self.overflow.peek().map(|s| s.time);
+        match (wheel, over) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Events the wheel can hold without any allocation growing.
+    fn capacity(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum::<usize>() + self.overflow.capacity()
+    }
+}
+
+/// The scheduler backing an [`EventQueue`].
+#[derive(Debug)]
+enum Backend<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<Scheduled<E>>),
+}
+
 /// A discrete-event queue ordered by simulated time.
 ///
 /// # Example
@@ -51,12 +290,12 @@ impl<E> PartialOrd for Scheduled<E> {
 /// q.push(SimTime::from_nanos(30), 'c');
 /// q.push(SimTime::from_nanos(10), 'a');
 /// q.push(SimTime::from_nanos(10), 'b'); // same time: FIFO order
-/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// let order: Vec<char> = q.drain().map(|(_, e)| e).collect();
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     popped: u64,
     last_popped: SimTime,
@@ -69,10 +308,19 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default backend.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// Creates an empty queue on an explicit backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let backend = match backend {
+            QueueBackend::CalendarWheel => Backend::Wheel(Wheel::with_buckets(DEFAULT_BUCKETS, 0)),
+            QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             next_seq: 0,
             popped: 0,
             last_popped: SimTime::ZERO,
@@ -82,20 +330,52 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with room for `capacity` pending events.
     ///
     /// Event-loop hot paths (one simulation pushes millions of events)
-    /// pre-size the heap to its steady-state depth so the backing buffer
-    /// never reallocates mid-run.
+    /// pre-size the queue to its steady-state depth so the backing
+    /// buffers never reallocate mid-run. On the wheel backend the hint
+    /// sizes the bucket array (next power of two, clamped to
+    /// `[64, 65536]` — see the module comment for the width heuristic)
+    /// and pre-reserves each bucket and the overflow heap.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_backend_capacity(QueueBackend::default(), capacity)
+    }
+
+    /// [`EventQueue::with_capacity`] on an explicit backend.
+    pub fn with_backend_capacity(backend: QueueBackend, capacity: usize) -> Self {
+        let backend = match backend {
+            QueueBackend::CalendarWheel => {
+                let nbuckets = capacity.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+                // Room for the steady-state depth even if it bunches up at
+                // a couple of events per bucket.
+                let reserve = (capacity / nbuckets) + 1;
+                let mut wheel = Wheel::with_buckets(nbuckets, reserve);
+                wheel.overflow.reserve(capacity);
+                Backend::Wheel(wheel)
+            }
+            QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::with_capacity(capacity)),
+        };
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            backend,
             next_seq: 0,
             popped: 0,
             last_popped: SimTime::ZERO,
         }
     }
 
-    /// Number of events the queue can hold without reallocating.
+    /// The scheduler backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match &self.backend {
+            Backend::Wheel(_) => QueueBackend::CalendarWheel,
+            Backend::Heap(_) => QueueBackend::BinaryHeap,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating (summed
+    /// over the wheel's buckets and overflow level on the wheel backend).
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.backend {
+            Backend::Wheel(w) => w.capacity(),
+            Backend::Heap(h) => h.capacity(),
+        }
     }
 
     /// Schedules `payload` to fire at `time`.
@@ -114,15 +394,42 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, payload });
+        let ev = Scheduled { time, seq, payload };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push(ev),
+            Backend::Heap(h) => h.push(ev),
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let ev = self.heap.pop()?;
+        let ev = match &mut self.backend {
+            Backend::Wheel(w) => w.pop()?,
+            Backend::Heap(h) => h.pop()?,
+        };
         self.popped += 1;
         self.last_popped = ev.time;
         Some((ev.time, ev.payload))
+    }
+
+    /// Pops every pending event in firing order.
+    ///
+    /// The iterator borrows the queue mutably; events pushed after it is
+    /// dropped are unaffected.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simcore::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.push(SimTime::from_nanos(2), 'b');
+    /// q.push(SimTime::from_nanos(1), 'a');
+    /// assert_eq!(q.drain().map(|(_, e)| e).collect::<Vec<_>>(), vec!['a', 'b']);
+    /// assert!(q.is_empty());
+    /// ```
+    pub fn drain(&mut self) -> Drain<'_, E> {
+        Drain { queue: self }
     }
 
     /// Total events popped over the queue's lifetime (the simulator's
@@ -133,17 +440,23 @@ impl<E> EventQueue<E> {
 
     /// The time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        match &self.backend {
+            Backend::Wheel(w) => w.peek_time(),
+            Backend::Heap(h) => h.peek().map(|s| s.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Wheel(w) => w.len(),
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// The time of the most recently popped event (the simulation clock).
@@ -152,43 +465,88 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Draining iterator over an [`EventQueue`]; see [`EventQueue::drain`].
+#[derive(Debug)]
+pub struct Drain<'a, E> {
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<E> Iterator for Drain<'_, E> {
+    type Item = (SimTime, E);
+
+    fn next(&mut self) -> Option<(SimTime, E)> {
+        self.queue.pop()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let len = self.queue.len();
+        (len, Some(len))
+    }
+}
+
+impl<E> ExactSizeIterator for Drain<'_, E> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
     use proptest::prelude::*;
+
+    const BACKENDS: [QueueBackend; 2] = [QueueBackend::CalendarWheel, QueueBackend::BinaryHeap];
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        for &t in &[50u64, 10, 30, 20, 40] {
-            q.push(SimTime::from_nanos(t), t);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            for &t in &[50u64, 10, 30, 20, 40] {
+                q.push(SimTime::from_nanos(t), t);
+            }
+            let out: Vec<u64> = q.drain().map(|(_, e)| e).collect();
+            assert_eq!(out, vec![10, 20, 30, 40, 50], "{backend:?}");
         }
-        let mut out = Vec::new();
-        while let Some((_, e)) = q.pop() {
-            out.push(e);
-        }
-        assert_eq!(out, vec![10, 20, 30, 40, 50]);
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(SimTime::from_nanos(7), i);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..100 {
+                q.push(SimTime::from_nanos(7), i);
+            }
+            let popped: Vec<u32> = q.drain().map(|(_, e)| e).collect();
+            let expected: Vec<u32> = (0..100).collect();
+            assert_eq!(popped, expected, "{backend:?}");
         }
-        let popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        let expected: Vec<u32> = (0..100).collect();
-        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn ties_break_fifo_across_wheel_and_overflow() {
+        // Same-time events split between the bucket array and the
+        // overflow heap (the queue's position moves between the pushes)
+        // must still fire in push order after migration.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_nanos((DEFAULT_BUCKETS as u64 + 1) << super::BUCKET_SHIFT);
+        // Interleave: a near event, then far-future ties pushed both
+        // before and after the cursor advances past the near event.
+        q.push(far, 0u32);
+        q.push(SimTime::from_nanos(1), 100);
+        q.push(far, 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(100));
+        q.push(far, 2);
+        let rest: Vec<u32> = q.drain().map(|(_, e)| e).collect();
+        assert_eq!(rest, vec![0, 1, 2]);
     }
 
     #[test]
     fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(42), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
-        let (t, ()) = q.pop().unwrap();
-        assert_eq!(t, SimTime::from_nanos(42));
-        assert_eq!(q.peek_time(), None);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(SimTime::from_nanos(42), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+            let (t, ()) = q.pop().unwrap();
+            assert_eq!(t, SimTime::from_nanos(42));
+            assert_eq!(q.peek_time(), None);
+        }
     }
 
     #[test]
@@ -201,48 +559,70 @@ mod tests {
     }
 
     #[test]
-    fn len_and_empty_track_contents() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        q.push(SimTime::from_nanos(1), ());
-        q.push(SimTime::from_nanos(2), ());
-        assert_eq!(q.len(), 2);
+    #[should_panic(expected = "past")]
+    fn wheel_rejects_past_events_after_cursor_advance() {
+        // The wheel path specifically: advance the cursor far past the
+        // first bucket (through the overflow level), then schedule behind
+        // it. The push must panic, not corrupt the wheel.
+        let mut q = EventQueue::with_backend(QueueBackend::CalendarWheel);
+        let far = SimTime::from_nanos((DEFAULT_BUCKETS as u64 + 7) << super::BUCKET_SHIFT);
+        q.push(far, ());
         q.pop();
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        q.push(SimTime::from_nanos(far.as_nanos() - 1), ());
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            assert!(q.is_empty());
+            q.push(SimTime::from_nanos(1), ());
+            q.push(SimTime::from_nanos(2), ());
+            assert_eq!(q.len(), 2);
+            q.pop();
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
     }
 
     #[test]
     fn with_capacity_presizes_and_behaves_like_new() {
+        // The hint sizes the wheel's bucket array and pre-reserves the
+        // buckets: a steady-state load spread across the horizon must not
+        // grow any allocation.
         let mut q = EventQueue::with_capacity(64);
         assert!(q.capacity() >= 64);
         let before = q.capacity();
         for i in 0..64u64 {
-            q.push(SimTime::from_nanos(64 - i), i);
+            // One event per bucket, pushed in reverse bucket order.
+            q.push(SimTime::from_nanos((63 - i) << super::BUCKET_SHIFT), i);
         }
-        assert_eq!(q.capacity(), before, "pre-sized heap must not reallocate");
+        assert_eq!(q.capacity(), before, "pre-sized queue must not reallocate");
         let mut last = 0;
         while let Some((t, _)) = q.pop() {
             assert!(t.as_nanos() >= last);
             last = t.as_nanos();
         }
+        assert_eq!(q.capacity(), before, "popping must not reallocate either");
     }
 
     #[test]
     fn popped_counts_lifetime_pops() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.popped(), 0);
-        for t in 0..5u64 {
-            q.push(SimTime::from_nanos(t), t);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.popped(), 0);
+            for t in 0..5u64 {
+                q.push(SimTime::from_nanos(t), t);
+            }
+            q.pop();
+            q.pop();
+            assert_eq!(q.popped(), 2);
+            while q.pop().is_some() {}
+            assert_eq!(q.popped(), 5);
+            // Popping an empty queue does not inflate the counter.
+            assert!(q.pop().is_none());
+            assert_eq!(q.popped(), 5);
         }
-        q.pop();
-        q.pop();
-        assert_eq!(q.popped(), 2);
-        while q.pop().is_some() {}
-        assert_eq!(q.popped(), 5);
-        // Popping an empty queue does not inflate the counter.
-        assert!(q.pop().is_none());
-        assert_eq!(q.popped(), 5);
     }
 
     #[test]
@@ -254,32 +634,123 @@ mod tests {
         assert_eq!(q.now(), SimTime::from_nanos(9));
     }
 
+    #[test]
+    fn drain_reports_length_and_interleaves_with_pushes() {
+        let mut q = EventQueue::new();
+        for t in 0..10u64 {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        {
+            let mut d = q.drain();
+            assert_eq!(d.len(), 10);
+            assert_eq!(d.next().map(|(_, e)| e), Some(0));
+            assert_eq!(d.len(), 9);
+        }
+        // The queue stays usable after a partial drain.
+        q.push(SimTime::from_nanos(100), 100);
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.drain().count(), 10);
+    }
+
+    /// Drives a wheel and a heap queue with the same operation sequence
+    /// and asserts identical observable behavior at every step.
+    fn differential(ops: &[(u8, u64)]) {
+        let mut wheel: EventQueue<u64> = EventQueue::with_backend(QueueBackend::CalendarWheel);
+        let mut heap: EventQueue<u64> = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut payload = 0u64;
+        for &(op, t) in ops {
+            if op % 3 != 0 {
+                // Push twice as often as popping so the queues fill up.
+                let time = wheel.now() + crate::time::Duration::from_nanos(t);
+                wheel.push(time, payload);
+                heap.push(time, payload);
+                payload += 1;
+            } else {
+                assert_eq!(wheel.pop(), heap.pop());
+            }
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            assert_eq!(wheel.len(), heap.len());
+            assert_eq!(wheel.now(), heap.now());
+        }
+        // Conservation: both queues drain the same residue, and every
+        // pushed payload was popped exactly once across the run.
+        let rest_w: Vec<(SimTime, u64)> = wheel.drain().collect();
+        let rest_h: Vec<(SimTime, u64)> = heap.drain().collect();
+        assert_eq!(rest_w, rest_h);
+        assert_eq!(wheel.popped(), heap.popped());
+        assert_eq!(wheel.popped(), payload);
+    }
+
+    #[test]
+    fn differential_same_time_bursts() {
+        // Lockstep bursts (64 nodes completing simultaneously) with
+        // occasional jumps past the wheel horizon.
+        let mut ops = Vec::new();
+        for round in 0..40u64 {
+            for _ in 0..64 {
+                ops.push((1u8, (round % 3) * (1 << BUCKET_SHIFT)));
+            }
+            // A couple of far-future stragglers each round.
+            ops.push((1, (DEFAULT_BUCKETS as u64 + 3) << BUCKET_SHIFT));
+            for _ in 0..60 {
+                ops.push((0, 0));
+            }
+        }
+        differential(&ops);
+    }
+
     proptest! {
         /// Popped event times are non-decreasing for any insertion order.
         #[test]
         fn prop_pop_order_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
-            let mut q = EventQueue::new();
-            for &t in &times {
-                q.push(SimTime::from_nanos(t), t);
-            }
-            let mut last = 0u64;
-            while let Some((t, _)) = q.pop() {
-                prop_assert!(t.as_nanos() >= last);
-                last = t.as_nanos();
+            for backend in BACKENDS {
+                let mut q = EventQueue::with_backend(backend);
+                for &t in &times {
+                    q.push(SimTime::from_nanos(t), t);
+                }
+                let mut last = 0u64;
+                while let Some((t, _)) = q.pop() {
+                    prop_assert!(t.as_nanos() >= last);
+                    last = t.as_nanos();
+                }
             }
         }
 
         /// Every pushed event is popped exactly once.
         #[test]
         fn prop_conservation(times in proptest::collection::vec(0u64..1_000, 0..100)) {
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime::from_nanos(t), i);
+            for backend in BACKENDS {
+                let mut q = EventQueue::with_backend(backend);
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(t), i);
+                }
+                let mut seen: Vec<usize> = q.drain().map(|(_, e)| e).collect();
+                seen.sort_unstable();
+                let expected: Vec<usize> = (0..times.len()).collect();
+                prop_assert_eq!(seen, expected);
             }
-            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-            seen.sort_unstable();
-            let expected: Vec<usize> = (0..times.len()).collect();
-            prop_assert_eq!(seen, expected);
+        }
+
+        /// Differential: random interleaved push/pop workloads produce
+        /// identical pop sequences (order, FIFO ties, and conservation)
+        /// on the wheel and the reference heap.
+        #[test]
+        fn prop_wheel_matches_heap(seed in 0u64..400) {
+            let mut rng = SplitMix64::new(seed);
+            let mut ops: Vec<(u8, u64)> = Vec::with_capacity(400);
+            for _ in 0..400 {
+                let op = rng.next_below(3) as u8;
+                // Mix of scheduling distances: same-instant ties, intra-
+                // bucket, cross-bucket, and beyond-horizon overflow.
+                let dt = match rng.next_below(4) {
+                    0 => 0,
+                    1 => rng.next_below(1 << BUCKET_SHIFT),
+                    2 => rng.next_below((DEFAULT_BUCKETS as u64) << BUCKET_SHIFT),
+                    _ => rng.next_below((4 * DEFAULT_BUCKETS as u64) << BUCKET_SHIFT),
+                };
+                ops.push((op, dt));
+            }
+            differential(&ops);
         }
     }
 }
