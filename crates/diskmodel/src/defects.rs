@@ -180,6 +180,69 @@ mod tests {
         assert!(!SpareExhausted.to_string().is_empty());
     }
 
+    #[test]
+    fn regrowing_keeps_the_original_spare_mapping() {
+        let mut d = DefectMap::new(1_000, 16);
+        d.grow_defect(7).unwrap();
+        let first = d.translate(7, 1);
+        d.grow_defect(8).unwrap();
+        // Re-growing 7 must not move it to a new spare sector.
+        d.grow_defect(7).unwrap();
+        assert_eq!(d.translate(7, 1), first);
+        assert_eq!(first, vec![(1_000, 1)]);
+        assert_eq!(d.translate(8, 1), vec![(1_001, 1)]);
+    }
+
+    #[test]
+    fn translate_spans_multiple_scattered_remaps() {
+        let mut d = DefectMap::new(1_000, 16);
+        // Non-adjacent defects inside one extent: each forces its own
+        // detour to a spare sector that is NOT adjacent to the previous
+        // fragment, so nothing merges.
+        d.grow_defect(12).unwrap();
+        d.grow_defect(15).unwrap();
+        d.grow_defect(19).unwrap();
+        let frags = d.translate(10, 12);
+        assert_eq!(
+            frags,
+            vec![
+                (10, 2),
+                (1_000, 1),
+                (13, 2),
+                (1_001, 1),
+                (16, 3),
+                (1_002, 1),
+                (20, 2),
+            ]
+        );
+        let total: u64 = frags.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 12, "translation conserves the extent");
+    }
+
+    #[test]
+    fn exhausted_map_still_translates_and_tolerates_regrowth() {
+        let mut d = DefectMap::new(1_000, 2);
+        d.grow_defect(4).unwrap();
+        d.grow_defect(9).unwrap();
+        assert_eq!(d.grow_defect(5), Err(SpareExhausted));
+        // The failed growth must not corrupt the table: existing remaps
+        // hold, the rejected LBA stays un-remapped, and re-growing an
+        // already-remapped sector is still the documented no-op even
+        // with zero spares left.
+        assert_eq!(d.grown(), 2);
+        assert_eq!(d.spare_remaining(), 0);
+        assert_eq!(d.grow_defect(4), Ok(()));
+        assert_eq!(d.translate(4, 1), vec![(1_000, 1)]);
+        assert_eq!(d.translate(5, 1), vec![(5, 1)]);
+        assert_eq!(
+            d.translate(3, 8),
+            vec![(3, 1), (1_000, 1), (5, 4), (1_001, 1), (10, 1)]
+        );
+        // A second exhausted growth keeps failing deterministically.
+        assert_eq!(d.grow_defect(6), Err(SpareExhausted));
+        assert_eq!(d.grown(), 2);
+    }
+
     proptest! {
         /// Translation conserves sector count and never emits the
         /// defective LBAs themselves.

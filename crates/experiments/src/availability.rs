@@ -1,0 +1,267 @@
+//! Degraded-mode availability experiment.
+//!
+//! The paper evaluates healthy hardware only, but a 64-disk decision
+//! support machine spends a meaningful fraction of its life with
+//! something broken. This experiment measures how each architecture
+//! degrades when faults strike mid-query: disk fail-stops at 25% and 50%
+//! of the healthy run (under the redistribute and reconstruct-read
+//! recovery policies, plus the abort-and-rerun baseline), a grown-defect
+//! media burst, and an interconnect fault. Every scenario reports the
+//! slowdown relative to the healthy run of the same (task, architecture)
+//! point.
+//!
+//! Fault times are derived from the *healthy simulated elapsed time* of
+//! the same point, so the schedule is fully deterministic: same seed,
+//! same table, at any `--jobs` count.
+
+use arch::Architecture;
+use howsim::faults::{FaultPlan, RecoveryPolicy};
+use howsim::Simulation;
+use simcore::Duration;
+use tasks::{plan_task, TaskKind, TaskPlan};
+
+use crate::render_table;
+
+/// The seed every availability run uses (defect placement draws on it).
+pub const SEED: u64 = 42;
+
+/// One row of the availability table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Task name.
+    pub task: &'static str,
+    /// Architecture label.
+    pub arch: &'static str,
+    /// Fault scenario label.
+    pub scenario: &'static str,
+    /// Simulated seconds (for abort-and-rerun: aborted run + full rerun).
+    pub seconds: f64,
+    /// Normalized to the healthy run of the same (task, arch) point.
+    pub slowdown: f64,
+    /// Fault events that struck.
+    pub faults: u64,
+}
+
+/// The architectures the availability table compares.
+fn architectures(disks: usize) -> [(&'static str, Architecture); 3] {
+    [
+        ("Active", Architecture::active_disks(disks)),
+        ("Cluster", Architecture::cluster(disks)),
+        ("SMP", Architecture::smp(disks)),
+    ]
+}
+
+/// A fault scenario: a label plus the plan/policy it runs under, built
+/// from the healthy elapsed time of the point it applies to.
+struct Scenario {
+    label: &'static str,
+    policy: RecoveryPolicy,
+    /// Abort-and-rerun scenarios add the healthy elapsed time on top of
+    /// the aborted run (the query restarts from scratch on the survivors'
+    /// next maintenance window).
+    rerun: bool,
+    plan: fn(f64) -> FaultPlan,
+}
+
+/// The fault scenarios, each a function of the healthy elapsed seconds.
+fn scenarios() -> Vec<Scenario> {
+    fn at(frac: f64, healthy: f64) -> Duration {
+        Duration::from_secs_f64(healthy * frac)
+    }
+    vec![
+        Scenario {
+            label: "disk-fail@25%",
+            policy: RecoveryPolicy::Redistribute,
+            rerun: false,
+            plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.25, h)),
+        },
+        Scenario {
+            label: "disk-fail@50%",
+            policy: RecoveryPolicy::Redistribute,
+            rerun: false,
+            plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.50, h)),
+        },
+        Scenario {
+            label: "disk-fail@50%/reconstruct",
+            policy: RecoveryPolicy::ReconstructRead,
+            rerun: false,
+            plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.50, h)),
+        },
+        Scenario {
+            label: "disk-fail@50%/abort+rerun",
+            policy: RecoveryPolicy::FailStop,
+            rerun: true,
+            plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.50, h)),
+        },
+        Scenario {
+            label: "media-burst@25%",
+            policy: RecoveryPolicy::Redistribute,
+            rerun: false,
+            plan: |h| FaultPlan::new().media_burst(1, at(0.25, h), 2_000),
+        },
+        Scenario {
+            label: "link-fault@25%",
+            policy: RecoveryPolicy::Redistribute,
+            rerun: false,
+            plan: |h| FaultPlan::new().link_fault(1, at(0.25, h), 0.5),
+        },
+    ]
+}
+
+/// Runs the availability sweep for `disks`-node configurations of every
+/// architecture over `tasks`.
+///
+/// Two batched passes through the result cache: the healthy baselines
+/// first (their elapsed times parameterize the fault schedules), then
+/// every fault scenario in one deterministic parallel sweep.
+pub fn run_configs(disks: usize, tasks: &[TaskKind]) -> Vec<Row> {
+    let archs = architectures(disks);
+    let points: Vec<(&'static str, &Architecture, TaskKind)> = tasks
+        .iter()
+        .flat_map(|&task| archs.iter().map(move |(name, arch)| (*name, arch, task)))
+        .collect();
+    let base: Vec<(Simulation, TaskPlan)> = points
+        .iter()
+        .map(|(_, arch, task)| {
+            let plan = plan_task(*task, arch);
+            (Simulation::new((*arch).clone()).with_seed(SEED), plan)
+        })
+        .collect();
+    let healthy = howsim::cache::run_sims(&base);
+
+    let scens = scenarios();
+    let faulted: Vec<(Simulation, TaskPlan)> = points
+        .iter()
+        .zip(&healthy)
+        .flat_map(|((_, arch, task), h)| {
+            let plan = plan_task(*task, arch);
+            let h_secs = h.elapsed().as_secs_f64();
+            scens.iter().map(move |s| {
+                (
+                    Simulation::new((*arch).clone())
+                        .with_seed(SEED)
+                        .with_fault_plan((s.plan)(h_secs))
+                        .with_recovery(s.policy),
+                    plan.clone(),
+                )
+            })
+        })
+        .collect();
+    let reports = howsim::cache::run_sims(&faulted);
+
+    let mut rows = Vec::with_capacity(points.len() * (1 + scens.len()));
+    for (ix, ((name, _, task), h)) in points.iter().zip(&healthy).enumerate() {
+        let h_secs = h.elapsed().as_secs_f64();
+        rows.push(Row {
+            task: task.name(),
+            arch: name,
+            scenario: "healthy",
+            seconds: h_secs,
+            slowdown: 1.0,
+            faults: 0,
+        });
+        for (six, s) in scens.iter().enumerate() {
+            let r = &reports[ix * scens.len() + six];
+            debug_assert_eq!(r.aborted, s.rerun, "{name}/{}/{}", task.name(), s.label);
+            let secs = r.elapsed().as_secs_f64() + if s.rerun { h_secs } else { 0.0 };
+            rows.push(Row {
+                task: task.name(),
+                arch: name,
+                scenario: s.label,
+                seconds: secs,
+                slowdown: secs / h_secs,
+                faults: r.faults_injected,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the default availability table (16 disks; select, sort, join).
+pub fn run() -> Vec<Row> {
+    run_configs(16, &[TaskKind::Select, TaskKind::Sort, TaskKind::Join])
+}
+
+/// Renders the availability experiment.
+pub fn render(rows: &[Row]) -> String {
+    let header: Vec<String> = ["task", "arch", "scenario", "seconds", "slowdown", "faults"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.task.to_string(),
+                r.arch.to_string(),
+                r.scenario.to_string(),
+                format!("{:.1}", r.seconds),
+                format!("{:.2}x", r.slowdown),
+                r.faults.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Extension: degraded-mode availability (faults injected mid-query; \
+         slowdown vs the healthy run of the same point)",
+        &header,
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redistribute_beats_abort_and_rerun() {
+        let rows = run_configs(8, &[TaskKind::Sort]);
+        let pick = |arch: &str, scenario: &str| -> &Row {
+            rows.iter()
+                .find(|r| r.arch == arch && r.scenario == scenario)
+                .unwrap()
+        };
+        for arch in ["Active", "Cluster", "SMP"] {
+            let healthy = pick(arch, "healthy");
+            let redist = pick(arch, "disk-fail@50%");
+            let rerun = pick(arch, "disk-fail@50%/abort+rerun");
+            assert!((healthy.slowdown - 1.0).abs() < 1e-9);
+            if arch != "SMP" {
+                // The SMP stripes every read over the whole array, so a
+                // mid-merge disk loss restripes over survivors at almost
+                // no cost — its redistribute slowdown can be ~1.0. The
+                // per-node-partitioned architectures must pay.
+                assert!(
+                    redist.slowdown > 1.0,
+                    "{arch}: losing a disk must cost time, got {:.3}x",
+                    redist.slowdown
+                );
+            }
+            assert!(
+                redist.slowdown > 0.999,
+                "{arch}: recovery cannot beat healthy, got {:.3}x",
+                redist.slowdown
+            );
+            assert!(
+                rerun.slowdown > redist.slowdown,
+                "{arch}: abort+rerun ({:.2}x) should be worse than \
+                 redistribute ({:.2}x)",
+                rerun.slowdown,
+                redist.slowdown
+            );
+            assert_eq!(redist.faults, 1);
+        }
+    }
+
+    #[test]
+    fn every_scenario_emits_one_row_per_point() {
+        let rows = run_configs(4, &[TaskKind::Select]);
+        // 3 architectures × (1 healthy + 6 fault scenarios).
+        assert_eq!(rows.len(), 3 * 7);
+        assert!(rows.iter().all(|r| r.seconds > 0.0 && r.slowdown > 0.0));
+        // Media bursts and link faults degrade without killing anything.
+        for r in rows.iter().filter(|r| r.scenario == "media-burst@25%") {
+            assert!(r.slowdown >= 1.0, "{}: {}", r.arch, r.slowdown);
+        }
+    }
+}

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! experiments [--table1] [--table2] [--fig1] [--fig2] [--fig3] [--fig4]
-//!             [--fig5] [--beyond64] [--skew] [--growth] [--sensitivity] [--ablations] [--quick] [--csv] [--all]
+//!             [--fig5] [--beyond64] [--skew] [--growth] [--sensitivity]
+//!             [--availability] [--ablations] [--quick] [--csv] [--all]
 //!             [--jobs N] [--metrics-out FILE] [--cache] [--no-cache]
 //! ```
 //!
@@ -145,6 +146,20 @@ fn main() {
             experiments::skew::run()
         };
         println!("{}", experiments::skew::render(&rows));
+    }
+    if want("--availability") {
+        use tasks::TaskKind;
+        let rows = if quick {
+            experiments::availability::run_configs(16, &[TaskKind::Select, TaskKind::Sort])
+        } else {
+            experiments::availability::run()
+        };
+        println!("{}", experiments::availability::render(&rows));
+        write_csv(
+            csv,
+            "availability.csv",
+            &experiments::csv::availability(&rows),
+        );
     }
     if want("--sensitivity") {
         let rows = if quick {

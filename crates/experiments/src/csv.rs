@@ -3,7 +3,7 @@
 //! Each function mirrors a figure module's data type and produces one CSV
 //! document (header row + data rows) suitable for gnuplot/matplotlib.
 
-use crate::{beyond64, fig1, fig2, fig3, fig4, fig5};
+use crate::{availability, beyond64, fig1, fig2, fig3, fig4, fig5};
 
 /// Figure 1 cells as CSV.
 pub fn fig1(cells: &[fig1::Cell]) -> String {
@@ -88,6 +88,18 @@ pub fn beyond64(rows: &[beyond64::Row]) -> String {
     out
 }
 
+/// Availability rows as CSV.
+pub fn availability(rows: &[availability::Row]) -> String {
+    let mut out = String::from("task,arch,scenario,seconds,slowdown,faults_injected\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.4},{}\n",
+            r.task, r.arch, r.scenario, r.seconds, r.slowdown, r.faults
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +126,6 @@ mod tests {
         assert!(fig4(&[]).starts_with("task,disks,memory_mb"));
         assert!(fig5(&[]).starts_with("task,disks,secs_direct"));
         assert!(beyond64(&[]).starts_with("disks,dual_loop"));
+        assert!(availability(&[]).starts_with("task,arch,scenario"));
     }
 }

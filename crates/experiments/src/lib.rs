@@ -14,6 +14,7 @@
 //! | [`skew`] | Extension — repartitioning under Zipf key skew |
 //! | [`growth`] | Extension — the overnight-mining window under data growth |
 //! | [`sensitivity`] | Extension — robustness to the CPU calibration |
+//! | [`availability`] | Extension — degraded-mode availability under injected faults |
 //!
 //! Each module exposes `run()` returning plain data and `render()`
 //! producing the aligned text table printed by the `experiments` binary.
@@ -23,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod beyond64;
 pub mod csv;
 pub mod fig1;

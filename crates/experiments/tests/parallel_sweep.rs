@@ -66,6 +66,20 @@ fn sweeps_are_identical_for_any_worker_count_and_cache_state() {
             .map(|r| (r.arch, r.scale, r.hours.to_bits()))
             .collect::<Vec<_>>()
     });
+    assert_invariant("availability", || {
+        // Fault-injected runs draw defect placement from the seeded RNG
+        // and schedule recovery through the event queue; the rendered
+        // table and CSV must still be byte-identical at any worker count
+        // and from a warm cache.
+        let rows = experiments::availability::run_configs(
+            8,
+            &[tasks::TaskKind::Select, tasks::TaskKind::Sort],
+        );
+        (
+            experiments::availability::render(&rows),
+            experiments::csv::availability(&rows),
+        )
+    });
     assert_invariant("manifests", || {
         // Manifest JSON includes the git revision but no wall-clock data,
         // so it is cache- and worker-count-invariant.

@@ -25,6 +25,7 @@
 use std::process::ExitCode;
 
 use arch::Architecture;
+use howsim::faults::{FaultPlan, RecoveryPolicy};
 use howsim::manifest::{HostInfo, RunManifest};
 use howsim::{Attribution, MetricsBuilder, Simulation, Trace};
 use tasks::TaskKind;
@@ -47,14 +48,19 @@ struct Options {
     jobs: Option<usize>,
     disk_cache: bool,
     no_cache: bool,
+    seed: u64,
+    faults: Vec<String>,
+    recovery: RecoveryPolicy,
 }
 
 fn usage() -> String {
     "usage: howsim [explain] --arch <active|cluster|smp> --disks <n> --task <name>\n\
      \x20      [--memory <MB>] [--interconnect <MB/s>] [--no-direct]\n\
      \x20      [--fibre-switch] [--fast-disk] [--jobs <n>] [--cache] [--no-cache]\n\
+     \x20      [--seed <n>] [--fault <spec>]... [--recovery <failstop|redistribute|reconstruct>]\n\
      \x20      [--trace <file.csv>] [--trace-out <file.jsonl>] [--metrics-out <file.json>]\n\
      tasks: select aggregate groupby dcube sort join dmine mview\n\
+     fault specs: disk:<node>@<time>  slow:<node>@<time>:<defects>  link:<node>@<time>:<factor>\n\
      explain: print the per-resource utilization table and name the bottleneck"
         .to_string()
 }
@@ -83,6 +89,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         jobs: None,
         disk_cache: false,
         no_cache: false,
+        seed: 0,
+        faults: Vec::new(),
+        recovery: RecoveryPolicy::default(),
     };
     let mut args = args;
     if args.first().map(String::as_str) == Some("explain") {
@@ -135,6 +144,23 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--cache" => opts.disk_cache = true,
             "--no-cache" => opts.no_cache = true,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--fault" => {
+                let spec = value("--fault")?;
+                // Validate eagerly so a typo fails before simulating.
+                FaultPlan::parse_spec(&spec)?;
+                opts.faults.push(spec);
+            }
+            "--recovery" => {
+                let name = value("--recovery")?;
+                opts.recovery = RecoveryPolicy::parse(&name).ok_or_else(|| {
+                    format!("--recovery: unknown policy `{name}` (want failstop, redistribute, or reconstruct)")
+                })?;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -238,7 +264,20 @@ fn main() -> ExitCode {
     } else if opts.disk_cache {
         howsim::cache::set_disk_dir(Some(howsim::cache::default_disk_dir()));
     }
-    let sim = Simulation::new(arch.clone());
+    let mut fault_plan = FaultPlan::new();
+    for spec in &opts.faults {
+        fault_plan = match fault_plan.with_spec(spec) {
+            Ok(p) => p,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    let sim = Simulation::new(arch.clone())
+        .with_seed(opts.seed)
+        .with_fault_plan(fault_plan.clone())
+        .with_recovery(opts.recovery);
     let plan = tasks::plan_task(opts.task, &arch);
     let want_trace = opts.trace_path.is_some() || opts.trace_out.is_some();
     let mut trace = want_trace.then(Trace::new);
@@ -280,10 +319,24 @@ fn main() -> ExitCode {
         }
         println!("  disk service times: {}", report.disk_service);
     }
+    if report.faults_injected > 0 {
+        println!(
+            "  faults: {} injected ({}), recovery {} — {:.3} s recovery work, {} MB redistributed, {:.3} s disk downtime{}",
+            report.faults_injected,
+            fault_plan.summary(),
+            opts.recovery.name(),
+            report.recovery_time.as_secs_f64(),
+            report.work_redistributed / 1_000_000,
+            report.downtime.as_secs_f64(),
+            if report.aborted { ", run ABORTED" } else { "" },
+        );
+    }
 
     if let Some(path) = &opts.metrics_out {
-        let mut manifest =
-            RunManifest::new(&arch, &report).with_host(HostInfo::capture(report.events, wall));
+        let mut manifest = RunManifest::new(&arch, &report)
+            .with_seed(opts.seed)
+            .with_faults(&fault_plan, opts.recovery)
+            .with_host(HostInfo::capture(report.events, wall));
         if let Some(mb) = metrics {
             manifest = manifest.with_metrics(mb.finish(report.events));
         }
@@ -386,6 +439,31 @@ mod tests {
         assert!(parse(&argv("--jobs 0")).is_err());
         assert!(parse(&argv("--metrics-out")).is_err());
         assert!(parse(&argv("--help")).is_err());
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let o = parse(&argv(
+            "--seed 42 --fault disk:3@2.5s --fault slow:0@1s:128 --recovery reconstruct",
+        ))
+        .unwrap();
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.faults, vec!["disk:3@2.5s", "slow:0@1s:128"]);
+        assert_eq!(o.recovery, RecoveryPolicy::ReconstructRead);
+        // Defaults: seed 0, no faults, redistribute.
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.seed, 0);
+        assert!(d.faults.is_empty());
+        assert_eq!(d.recovery, RecoveryPolicy::Redistribute);
+    }
+
+    #[test]
+    fn bad_fault_flags_are_rejected() {
+        assert!(parse(&argv("--fault nuke:0@1s")).is_err());
+        assert!(parse(&argv("--fault disk:0")).is_err());
+        assert!(parse(&argv("--recovery raid6")).is_err());
+        assert!(parse(&argv("--seed abc")).is_err());
+        assert!(parse(&argv("--fault")).is_err());
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Content-addressed simulation result cache.
 //!
 //! Every simulation is a pure function of `(architecture, plan,
-//! degraded-disk set, seed)`, so its [`Report`] can be memoized. The
-//! cache key is that tuple's debug representation, content-addressed by
-//! the same FNV-1a hash the run manifests use
-//! ([`crate::manifest::fnv1a64`]); the full key material is stored
-//! alongside each entry and verified on lookup, so a hash collision can
-//! never return the wrong report.
+//! degraded-disk set, seed, fault plan, recovery policy)`, so its
+//! [`Report`] can be memoized. The cache key is that tuple's canonical
+//! representation, content-addressed by the same FNV-1a hash the run
+//! manifests use ([`crate::manifest::fnv1a64`]); the full key material
+//! is stored alongside each entry and verified on lookup, so a hash
+//! collision can never return the wrong report.
 //!
 //! Two tiers:
 //!
@@ -16,7 +16,8 @@
 //! * **On-disk** (opt-in via [`set_disk_dir`], `--cache` in the
 //!   binaries): entries under `results/.simcache/` persist across
 //!   invocations. Files are written atomically (temp file + rename) and
-//!   any unreadable, corrupt, or colliding entry is treated as a miss.
+//!   carry an FNV-1a checksum over their payload; any unreadable,
+//!   truncated, bit-flipped, or colliding entry is treated as a miss.
 //!   Wipe the cache by deleting the directory.
 //!
 //! Because cached reports are bit-identical to fresh ones (exact integer
@@ -36,12 +37,14 @@ use arch::Architecture;
 use tasks::{plan_task, TaskKind, TaskPlan};
 
 use crate::exec::Simulation;
+use crate::faults::{FaultPlan, RecoveryPolicy};
 use crate::manifest::{fnv1a64, report_from_cache, report_to_cache};
 use crate::report::Report;
 use crate::sweep;
 
-/// On-disk entry schema identifier, bumped on breaking layout changes.
-pub const SCHEMA: &str = "howsim-simcache/v1";
+/// On-disk entry schema identifier, bumped on breaking layout changes
+/// (v2 added the checksum line and the seed/fault-plan key fields).
+pub const SCHEMA: &str = "howsim-simcache/v2";
 
 /// Lifetime hit/miss counters for the process-wide cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,15 +127,21 @@ pub fn reset_stats() {
 }
 
 /// The full cache key for one simulation: every input the result depends
-/// on, in debug representation. Hashed with FNV-1a for addressing and
+/// on, in canonical representation. Hashed with FNV-1a for addressing and
 /// stored verbatim for collision-proof verification.
 pub fn key_material(
     arch: &Architecture,
     plan: &TaskPlan,
     degraded: &[(usize, u64)],
     seed: u64,
+    faults: &FaultPlan,
+    recovery: RecoveryPolicy,
 ) -> String {
-    format!("arch={arch:?} | plan={plan:?} | degraded={degraded:?} | seed={seed}")
+    format!(
+        "arch={arch:?} | plan={plan:?} | degraded={degraded:?} | seed={seed} | faults={} | recovery={}",
+        faults.summary(),
+        recovery.name(),
+    )
 }
 
 fn entry_path(dir: &Path, hash: u64) -> PathBuf {
@@ -145,10 +154,16 @@ fn disk_load(dir: &Path, hash: u64, key: &str) -> Option<Report> {
     if sections.next()? != SCHEMA {
         return None;
     }
-    if sections.next()?.strip_prefix("key ")? != key {
+    let sum = u64::from_str_radix(sections.next()?.strip_prefix("sum ")?, 16).ok()?;
+    let payload = sections.next()?;
+    if fnv1a64(payload.as_bytes()) != sum {
+        return None; // truncated or bit-flipped entry
+    }
+    let (key_line, body) = payload.split_once('\n')?;
+    if key_line.strip_prefix("key ")? != key {
         return None; // hash collision with a different config
     }
-    report_from_cache(sections.next()?).ok()
+    report_from_cache(body).ok()
 }
 
 fn disk_store(dir: &Path, hash: u64, key: &str, report: &Report) -> std::io::Result<()> {
@@ -156,10 +171,9 @@ fn disk_store(dir: &Path, hash: u64, key: &str, report: &Report) -> std::io::Res
     // Atomic publish: concurrent processes may race on the same entry,
     // but each rename installs a complete, verified file.
     let tmp = dir.join(format!(".tmp-{:016x}-{}", hash, std::process::id()));
-    fs::write(
-        &tmp,
-        format!("{SCHEMA}\nkey {key}\n{}", report_to_cache(report)),
-    )?;
+    let payload = format!("key {key}\n{}", report_to_cache(report));
+    let sum = fnv1a64(payload.as_bytes());
+    fs::write(&tmp, format!("{SCHEMA}\nsum {sum:016x}\n{payload}"))?;
     fs::rename(&tmp, entry_path(dir, hash))
 }
 
@@ -224,13 +238,26 @@ pub fn run_plan(arch: &Architecture, plan: &TaskPlan) -> Report {
     run_sim(&Simulation::new(arch.clone()), plan)
 }
 
+/// The cache key for a configured [`Simulation`] and plan.
+fn sim_key(sim: &Simulation, plan: &TaskPlan) -> String {
+    key_material(
+        sim.architecture(),
+        plan,
+        sim.degraded_disks(),
+        sim.seed(),
+        sim.fault_plan(),
+        sim.recovery_policy(),
+    )
+}
+
 /// Runs `plan` on a configured [`Simulation`] through the cache (the
-/// degraded-disk set participates in the key).
+/// degraded-disk set, seed, fault plan, and recovery policy all
+/// participate in the key).
 pub fn run_sim(sim: &Simulation, plan: &TaskPlan) -> Report {
     if !enabled() {
         return sim.run_plan(plan);
     }
-    let key = key_material(sim.architecture(), plan, sim.degraded_disks(), 0);
+    let key = sim_key(sim, plan);
     if let Some(report) = probe(&key) {
         return report;
     }
@@ -256,10 +283,19 @@ pub fn run_tasks(points: &[(Architecture, TaskKind)]) -> Vec<Report> {
 /// output is byte-identical to mapping [`Simulation::run_plan`] over the
 /// points directly.
 pub fn run_plans(points: &[(Architecture, TaskPlan)]) -> Vec<Report> {
+    let sims: Vec<(Simulation, TaskPlan)> = points
+        .iter()
+        .map(|(arch, plan)| (Simulation::new(arch.clone()), plan.clone()))
+        .collect();
+    run_sims(&sims)
+}
+
+/// Runs a batch of fully configured simulations (degraded disks, seeds,
+/// fault plans and all) through the cache with the same deduplication and
+/// deterministic parallel dispatch as [`run_plans`].
+pub fn run_sims(points: &[(Simulation, TaskPlan)]) -> Vec<Report> {
     if !enabled() {
-        return sweep::map(points, |(arch, plan)| {
-            Simulation::new(arch.clone()).run_plan(plan)
-        });
+        return sweep::map(points, |(sim, plan)| sim.run_plan(plan));
     }
     enum Slot {
         Ready(Box<Report>),
@@ -267,7 +303,7 @@ pub fn run_plans(points: &[(Architecture, TaskPlan)]) -> Vec<Report> {
     }
     let keys: Vec<String> = points
         .iter()
-        .map(|(arch, plan)| key_material(arch, plan, &[], 0))
+        .map(|(sim, plan)| sim_key(sim, plan))
         .collect();
     let mut first_job: HashMap<&str, usize> = HashMap::new();
     let mut jobs: Vec<usize> = Vec::new();
@@ -289,8 +325,8 @@ pub fn run_plans(points: &[(Architecture, TaskPlan)]) -> Vec<Report> {
         }
     }
     let fresh: Vec<Report> = sweep::map(&jobs, |&ix| {
-        let (arch, plan) = &points[ix];
-        Simulation::new(arch.clone()).run_plan(plan)
+        let (sim, plan) = &points[ix];
+        sim.run_plan(plan)
     });
     for (&ix, report) in jobs.iter().zip(&fresh) {
         insert(&keys[ix], report.clone());
@@ -338,15 +374,84 @@ mod tests {
         let _guard = fresh_cache();
         let arch = Architecture::cluster(2);
         let plan = plan_task(TaskKind::Select, &arch);
-        let base = key_material(&arch, &plan, &[], 0);
-        assert_ne!(base, key_material(&Architecture::cluster(4), &plan, &[], 0));
-        assert_ne!(base, key_material(&arch, &plan, &[(0, 50)], 0));
-        assert_ne!(base, key_material(&arch, &plan, &[], 1));
+        let none = FaultPlan::new();
+        let policy = RecoveryPolicy::default();
+        let base = key_material(&arch, &plan, &[], 0, &none, policy);
+        assert_ne!(
+            base,
+            key_material(&Architecture::cluster(4), &plan, &[], 0, &none, policy)
+        );
+        assert_ne!(
+            base,
+            key_material(&arch, &plan, &[(0, 50)], 0, &none, policy)
+        );
+        assert_ne!(base, key_material(&arch, &plan, &[], 1, &none, policy));
+        let failing = FaultPlan::parse_spec("disk:0@1s").unwrap();
+        assert_ne!(base, key_material(&arch, &plan, &[], 0, &failing, policy));
+        assert_ne!(
+            base,
+            key_material(&arch, &plan, &[], 0, &none, RecoveryPolicy::FailStop)
+        );
         let degraded = Simulation::new(arch.clone()).with_degraded_disk(0, 50);
         let plain = run_sim(&Simulation::new(arch), &plan);
         let slow = run_sim(&degraded, &plan);
         assert!(slow.elapsed() > plain.elapsed(), "degraded run not shared");
         assert_eq!(stats().misses, 2);
+    }
+
+    #[test]
+    fn different_seeds_miss_each_other() {
+        let _guard = fresh_cache();
+        let arch = Architecture::active_disks(2);
+        let plan = plan_task(TaskKind::Select, &arch);
+        // Seed matters once faults draw randomized placements from it: two
+        // seeds must never share an entry.
+        let burst = FaultPlan::parse_spec("slow:0@0s:500").unwrap();
+        let a = run_sim(
+            &Simulation::new(arch.clone())
+                .with_seed(1)
+                .with_fault_plan(burst.clone()),
+            &plan,
+        );
+        let b = run_sim(
+            &Simulation::new(arch.clone())
+                .with_seed(2)
+                .with_fault_plan(burst.clone()),
+            &plan,
+        );
+        assert_eq!(stats().misses, 2, "distinct seeds simulate separately");
+        assert_eq!(stats().hits, 0);
+        // Re-running seed 1 hits its own entry and reproduces its report.
+        let a2 = run_sim(
+            &Simulation::new(arch).with_seed(1).with_fault_plan(burst),
+            &plan,
+        );
+        assert_eq!(a, a2);
+        assert_eq!(stats().hits, 1);
+        let _ = b;
+    }
+
+    #[test]
+    fn fault_plan_and_policy_separate_entries() {
+        let _guard = fresh_cache();
+        let arch = Architecture::active_disks(4);
+        let plan = plan_task(TaskKind::Select, &arch);
+        let healthy = run_sim(&Simulation::new(arch.clone()), &plan);
+        let failing = FaultPlan::parse_spec("disk:1@0.05s").unwrap();
+        let redistributed = run_sim(
+            &Simulation::new(arch.clone()).with_fault_plan(failing.clone()),
+            &plan,
+        );
+        let aborted = run_sim(
+            &Simulation::new(arch)
+                .with_fault_plan(failing)
+                .with_recovery(RecoveryPolicy::FailStop),
+            &plan,
+        );
+        assert_eq!(stats().misses, 3, "three configs, three entries");
+        assert!(!healthy.aborted);
+        assert!(redistributed.elapsed() > healthy.elapsed());
+        assert!(aborted.aborted);
     }
 
     #[test]
@@ -407,6 +512,77 @@ mod tests {
         let recomputed = run(&arch, TaskKind::Sort);
         assert_eq!(recomputed, fresh);
         assert_eq!(stats().misses, 2);
+
+        set_disk_dir(None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_bit_flipped_entries_are_misses() {
+        let _guard = fresh_cache();
+        let dir =
+            std::env::temp_dir().join(format!("howsim-simcache-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        set_disk_dir(Some(dir.clone()));
+        let arch = Architecture::active_disks(4);
+        let fresh = run(&arch, TaskKind::Select);
+        let entry = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let intact = fs::read(&entry).unwrap();
+
+        // Truncation (a crash mid-write on a non-atomic filesystem, or a
+        // partial copy): checksum fails, entry is recomputed.
+        clear();
+        reset_stats();
+        fs::write(&entry, &intact[..intact.len() / 2]).unwrap();
+        assert_eq!(run(&arch, TaskKind::Select), fresh);
+        let s = stats();
+        assert_eq!((s.hits, s.misses), (0, 1), "truncated entry must miss");
+
+        // A single flipped bit in the payload: checksum fails.
+        clear();
+        reset_stats();
+        let mut flipped = intact.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        fs::write(&entry, &flipped).unwrap();
+        assert_eq!(run(&arch, TaskKind::Select), fresh);
+        let s = stats();
+        assert_eq!((s.hits, s.misses), (0, 1), "bit-flipped entry must miss");
+
+        // The rewritten (intact) entry loads again.
+        clear();
+        reset_stats();
+        assert_eq!(run(&arch, TaskKind::Select), fresh);
+        let s = stats();
+        assert_eq!((s.hits, s.disk_hits, s.misses), (1, 1, 0));
+
+        set_disk_dir(None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_report_round_trips_through_disk_tier() {
+        let _guard = fresh_cache();
+        let dir =
+            std::env::temp_dir().join(format!("howsim-simcache-faults-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        set_disk_dir(Some(dir.clone()));
+        let arch = Architecture::active_disks(4);
+        let plan = plan_task(TaskKind::Sort, &arch);
+        let sim = Simulation::new(arch)
+            .with_seed(7)
+            .with_fault_plan(FaultPlan::parse_spec("disk:2@0.1s").unwrap());
+        let cold = run_sim(&sim, &plan);
+        assert!(cold.faults_injected > 0);
+        assert!(cold.recovery_time > simcore::Duration::ZERO);
+
+        // Drop the memory tier: the fault fields must survive the disk
+        // round trip bit-for-bit.
+        clear();
+        let warm = run_sim(&sim, &plan);
+        assert_eq!(warm, cold);
+        let s = stats();
+        assert_eq!((s.hits, s.disk_hits), (1, 1));
 
         set_disk_dir(None);
         let _ = fs::remove_dir_all(&dir);

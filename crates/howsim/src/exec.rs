@@ -1,12 +1,15 @@
 //! The discrete-event executor: runs a task's phase plans on a machine.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use arch::Architecture;
-use simcore::{Duration, EventQueue, QueueBackend, SimTime};
+use simcore::{Duration, EventQueue, QueueBackend, SimTime, SplitMix64};
 use tasks::plan::{CpuWork, PhasePlan, TaskPlan};
 use tasks::{plan_task, TaskKind};
 
+use crate::faults::{
+    FaultEvent, FaultKind, FaultPlan, RecoveryPolicy, DETECT_TIMEOUT, RETRY_TIMEOUT,
+};
 use crate::machine::Machine;
 use crate::metrics::{MetricsBuilder, ResourceUsage, RunMetrics};
 use crate::report::{PhaseReport, Report};
@@ -31,6 +34,9 @@ pub struct Simulation {
     arch: Architecture,
     degraded: Vec<(usize, u64)>,
     queue_backend: QueueBackend,
+    seed: u64,
+    faults: FaultPlan,
+    recovery: RecoveryPolicy,
 }
 
 /// Events of the phase executor.
@@ -41,11 +47,14 @@ enum Ev {
     /// A node's CPU finished processing a scanned batch.
     BatchProcessed { node: usize, bytes: u64 },
     /// A repartitioned batch arrived at a peer.
-    PeerArrive { dst: usize, bytes: u64 },
+    PeerArrive { src: usize, dst: usize, bytes: u64 },
     /// A peer finished its receive-side CPU work on a batch.
     RecvProcessed { node: usize, bytes: u64 },
     /// Data arrived at the front-end.
     FeArrive { bytes: u64 },
+    /// The failure of `node` is detected (its request timeouts expired):
+    /// recovery of its remaining partition begins.
+    RecoveryKick { node: usize },
 }
 
 /// Costs that are identical for every full-sized batch of a phase,
@@ -116,10 +125,22 @@ struct NodeState {
     /// nodes, remainder distributed so no byte is dropped).
     bytes_total: u64,
     batches_total: u64,
+    /// Batches served from this node's own disk; `batches_total` exceeds
+    /// this when recovery work for a failed peer has been assigned here.
+    own_batches: u64,
     issued: u64,
     issued_bytes: u64,
     processed: u64,
     last_batch_bytes: u64,
+    /// Batch sizes of recovery work (a failed peer's partition) assigned
+    /// to this node, read via the surviving disks.
+    recovery_pending: VecDeque<u64>,
+    /// The node's disk has fail-stopped: it issues no reads, loses
+    /// in-flight work, and drops arriving messages.
+    dead: bool,
+    /// The final front-end/reduction message has been sent (guards
+    /// against re-sending when recovery work re-arms `finished`).
+    fe_sent: bool,
     next_dst: usize,
     /// Weighted-fair destination credits when the phase shuffles with
     /// skewed weights (None = uniform round robin).
@@ -157,6 +178,210 @@ impl NodeState {
     }
 }
 
+/// Fault-injection runtime: persists across phases of one run, applying
+/// scheduled faults as simulated time reaches them and steering recovery.
+struct FaultRt {
+    /// Scheduled faults in chronological order (absolute offsets).
+    events: Vec<FaultEvent>,
+    /// Index of the first not-yet-applied fault.
+    next: usize,
+    policy: RecoveryPolicy,
+    /// Whether a node's fail-stop has been *detected* (request timeouts
+    /// expired); until then peers keep sending to it and pay retries.
+    detected: Vec<bool>,
+    /// Lost batches awaiting reassignment, as `(origin node, bytes)`.
+    /// Entries stay pooled until the origin's failure is detected.
+    pool: Vec<(usize, u64)>,
+    /// Round-robin cursor spreading recovery batches over survivors.
+    rr: usize,
+    rng: SplitMix64,
+    injected: u64,
+    /// Fail-stop policy: the run aborts when the clock reaches this.
+    abort_at: Option<SimTime>,
+    /// Fast-path guard: true once any disk has fail-stopped.
+    any_dead: bool,
+}
+
+impl FaultRt {
+    fn new(plan: &FaultPlan, policy: RecoveryPolicy, seed: u64, nodes: usize) -> Self {
+        FaultRt {
+            events: plan.events().to_vec(),
+            next: 0,
+            policy,
+            detected: vec![false; nodes],
+            pool: Vec::new(),
+            rr: 0,
+            rng: SplitMix64::new(seed),
+            injected: 0,
+            abort_at: None,
+            any_dead: false,
+        }
+    }
+
+    /// Whether any scheduled fault has not been applied yet.
+    #[inline]
+    fn pending(&self) -> bool {
+        self.next < self.events.len()
+    }
+
+    /// Applies machine-level effects of one fault at its due time `t`.
+    /// Returns the failed node index for fail-stops so the caller can do
+    /// the executor-side bookkeeping (which differs at phase start vs
+    /// mid-phase).
+    fn apply_machine(&mut self, m: &mut Machine, ev: FaultEvent, t: SimTime) -> Option<usize> {
+        match ev.kind {
+            FaultKind::DiskFailStop { node } => {
+                if node >= m.nodes() || m.disk_failed(node) {
+                    return None;
+                }
+                m.fail_disk(node, t);
+                self.any_dead = true;
+                self.injected += 1;
+                if self.policy == RecoveryPolicy::FailStop {
+                    let abort = t + DETECT_TIMEOUT;
+                    self.abort_at = Some(self.abort_at.map_or(abort, |prev| prev.min(abort)));
+                }
+                Some(node)
+            }
+            FaultKind::MediaBurst { node, defects } => {
+                if node < m.nodes() && !m.disk_failed(node) {
+                    m.degrade_disk_seeded(node, defects as u64, &mut self.rng);
+                    self.injected += 1;
+                }
+                None
+            }
+            FaultKind::LinkFault { node, severity } => {
+                if node < m.nodes() {
+                    m.interconnect_fault(node, severity);
+                    self.injected += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Applies every fault due at or before `start` (the phase boundary is
+    /// a synchronization point, so failures surfacing in the barrier gap
+    /// are already *detected* when the next phase begins).
+    fn apply_phase_start(&mut self, m: &mut Machine, start: SimTime) {
+        while self.pending() {
+            let ev = self.events[self.next];
+            let t = SimTime::ZERO + ev.at;
+            if t > start {
+                break;
+            }
+            self.next += 1;
+            if let Some(node) = self.apply_machine(m, ev, t) {
+                self.detected[node] = true;
+            }
+        }
+    }
+
+    /// Reassigns every pooled batch whose origin's failure is detected,
+    /// round-robin over survivors. Returns the indices of survivors that
+    /// received work (empty when nothing was assignable). Sets the abort
+    /// clock if no survivor remains.
+    fn assign_detected(&mut self, nodes: &mut [NodeState], now: SimTime) -> Vec<usize> {
+        let mut touched = Vec::new();
+        let healthy: Vec<usize> = (0..nodes.len()).filter(|&i| !nodes[i].dead).collect();
+        let mut i = 0;
+        while i < self.pool.len() {
+            let (origin, bytes) = self.pool[i];
+            if !self.detected[origin] {
+                i += 1;
+                continue;
+            }
+            if healthy.is_empty() {
+                self.abort_at = Some(self.abort_at.map_or(now, |a| a.min(now)));
+                return touched;
+            }
+            self.pool.remove(i);
+            let target = healthy[self.rr % healthy.len()];
+            self.rr += 1;
+            nodes[target].batches_total += 1;
+            nodes[target].recovery_pending.push_back(bytes);
+            if !touched.contains(&target) {
+                touched.push(target);
+            }
+        }
+        touched
+    }
+
+    /// Applies every fault due at or before `now` mid-phase. A fail-stop
+    /// pools the node's unissued work and (under a recovering policy)
+    /// schedules its detection; in-flight work is lost lazily as its
+    /// events pop.
+    fn apply_due(
+        &mut self,
+        m: &mut Machine,
+        q: &mut EventQueue<Ev>,
+        nodes: &mut [NodeState],
+        now: SimTime,
+    ) {
+        while self.pending() {
+            let ev = self.events[self.next];
+            let t = SimTime::ZERO + ev.at;
+            if t > now {
+                break;
+            }
+            self.next += 1;
+            if let Some(node) = self.apply_machine(m, ev, t) {
+                let st = &mut nodes[node];
+                st.dead = true;
+                // Its unissued own partition must be re-read elsewhere.
+                for j in st.issued..st.own_batches {
+                    let bytes = if j == st.own_batches - 1 {
+                        st.last_batch_bytes
+                    } else {
+                        BATCH_BYTES
+                    };
+                    self.pool.push((node, bytes));
+                }
+                st.batches_total = st.issued;
+                st.own_batches = st.issued;
+                // Recovery work it had been assigned goes back too.
+                while let Some(bytes) = st.recovery_pending.pop_front() {
+                    self.pool.push((node, bytes));
+                }
+                if self.policy != RecoveryPolicy::FailStop {
+                    q.push((t + DETECT_TIMEOUT).max(now), Ev::RecoveryKick { node });
+                }
+            }
+        }
+    }
+}
+
+/// The first surviving node after `from` (wrapping), if any.
+fn next_healthy(nodes: &[NodeState], from: usize) -> Option<usize> {
+    let n = nodes.len();
+    (1..=n).map(|k| (from + k) % n).find(|&i| !nodes[i].dead)
+}
+
+/// Tops survivors' pipelines back up to the read window after recovery
+/// work lands on them (their own pipeline may already have drained, in
+/// which case no `BatchProcessed` event would ever re-prime them).
+#[allow(clippy::too_many_arguments)]
+fn refill(
+    m: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    nodes: &mut [NodeState],
+    touched: &[usize],
+    now: SimTime,
+    window: u64,
+    region: usize,
+    phase_writes: bool,
+    policy: RecoveryPolicy,
+) {
+    for &node in touched {
+        while !nodes[node].dead
+            && nodes[node].issued < nodes[node].batches_total
+            && nodes[node].issued.saturating_sub(nodes[node].processed) < window
+        {
+            issue_read(m, q, nodes, node, now, region, phase_writes, policy);
+        }
+    }
+}
+
 impl Simulation {
     /// Creates a simulation of `arch`.
     pub fn new(arch: Architecture) -> Self {
@@ -164,7 +389,48 @@ impl Simulation {
             arch,
             degraded: Vec::new(),
             queue_backend: QueueBackend::default(),
+            seed: 0,
+            faults: FaultPlan::default(),
+            recovery: RecoveryPolicy::default(),
         }
+    }
+
+    /// Seeds the simulation's random streams (today: media-burst defect
+    /// placement). Part of a run's cache identity.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Schedules deterministic fault injection for every run of this
+    /// simulation. Fault times are absolute simulated-time offsets.
+    #[must_use]
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Selects how the system reacts when a disk fail-stops mid-run.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// The configured RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The configured recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// Selects the event-scheduler backend (differential testing and
@@ -272,30 +538,43 @@ impl Simulation {
         for &(node, count) in &self.degraded {
             machine.degrade_disk(node, count);
         }
+        let mut fr = FaultRt::new(&self.faults, self.recovery, self.seed, machine.nodes());
         let mut phases = Vec::with_capacity(plan.phases.len());
         let mut clock = SimTime::ZERO;
         let mut events = 0u64;
+        let mut aborted = false;
         for (phase_ix, phase) in plan.phases.iter().enumerate() {
             let region = usize::from(phase.reads_intermediate);
             machine.begin_phase(region);
             let before = PhaseSnapshot::take(&machine);
-            let (end, phase_events) = run_phase(
+            let (end, phase_events, phase_aborted) = run_phase(
                 &mut machine,
                 phase,
                 clock,
                 region,
                 phase_ix,
                 self.queue_backend,
+                &mut fr,
                 trace.as_deref_mut(),
                 metrics.as_deref_mut(),
             );
             events += phase_events;
             let after = PhaseSnapshot::take(&machine);
             // Every phase boundary is a global barrier (no node starts
-            // the next phase before all have finished this one).
-            let end = end + machine.barrier_costs().barrier(machine.nodes());
+            // the next phase before all have finished this one). An
+            // aborted phase ends at the abort clock: there is no barrier
+            // because there is no next phase.
+            let end = if phase_aborted {
+                end
+            } else {
+                end + machine.barrier_costs().barrier(machine.nodes())
+            };
             phases.push(before.delta(&after, phase.name, end.since(clock), machine.nodes()));
             clock = end;
+            if phase_aborted {
+                aborted = true;
+                break;
+            }
         }
         Report {
             task: plan.task,
@@ -304,6 +583,11 @@ impl Simulation {
             phases,
             disk_service: machine.disk_service_histogram(),
             events,
+            faults_injected: fr.injected,
+            recovery_time: machine.recovery_busy(),
+            work_redistributed: machine.work_redistributed(),
+            aborted,
+            downtime: machine.disk_downtime(clock),
         }
     }
 }
@@ -417,8 +701,8 @@ fn charge_cpu(
     end
 }
 
-/// Runs one phase; returns its completion time and the number of
-/// discrete events processed.
+/// Runs one phase; returns its completion time, the number of discrete
+/// events processed, and whether the run aborted (fail-stop policy).
 #[allow(clippy::too_many_arguments)]
 fn run_phase(
     m: &mut Machine,
@@ -427,14 +711,34 @@ fn run_phase(
     region: usize,
     phase_ix: usize,
     queue_backend: QueueBackend,
+    fr: &mut FaultRt,
     mut trace: Option<&mut Trace>,
     mut metrics: Option<&mut MetricsBuilder>,
-) -> (SimTime, u64) {
+) -> (SimTime, u64, bool) {
     let n = m.nodes();
+    // Faults due at or before the barrier strike before any work starts.
+    if fr.pending() {
+        fr.apply_phase_start(m, start);
+    }
+    if let Some(abort) = fr.abort_at {
+        if abort <= start || m.failed_count() == n {
+            return (abort.max(start), 0, true);
+        }
+    }
+    if m.failed_count() == n {
+        return (start, 0, true);
+    }
     // Split the plan's read bytes across nodes without dropping the
     // division remainder: the first `remainder` nodes read one extra byte.
-    let base_per_node = phase.read_bytes_total / n as u64;
-    let remainder = (phase.read_bytes_total % n as u64) as usize;
+    // Intermediate data (runs written in a previous phase) lives on the
+    // surviving disks, so those phases split across survivors only; base
+    // data has fixed placement, so a dead node's share becomes recovery
+    // work pooled for the survivors below.
+    let failed_now = m.failed_count();
+    let healthy_split = failed_now > 0 && phase.reads_intermediate;
+    let split_n = if healthy_split { n - failed_now } else { n } as u64;
+    let base_per_node = phase.read_bytes_total / split_n;
+    let remainder = (phase.read_bytes_total % split_n) as usize;
     // Disk-group separation (SMP, NOW-sort style) only pays off when the
     // write stream is substantial.
     let phase_writes = phase.local_write_factor >= 0.25 || phase.write_received;
@@ -446,18 +750,43 @@ fn run_phase(
     let mut q: EventQueue<Ev> =
         EventQueue::with_backend_capacity(queue_backend, n * (window as usize + 4));
     let mut horizon = start;
+    let mut rank = 0usize;
     let mut nodes: Vec<NodeState> = (0..n)
         .map(|i| {
-            let bytes_total = base_per_node + u64::from(i < remainder);
-            let batches = bytes_total.div_ceil(BATCH_BYTES).max(1);
-            let last = bytes_total - (batches - 1) * BATCH_BYTES.min(bytes_total);
+            let dead = failed_now > 0 && m.disk_failed(i);
+            let bytes_total = if healthy_split && dead {
+                0
+            } else {
+                let r = if healthy_split {
+                    let r = rank;
+                    rank += 1;
+                    r
+                } else {
+                    i
+                };
+                base_per_node + u64::from(r < remainder)
+            };
+            let batches = if bytes_total == 0 {
+                0
+            } else {
+                bytes_total.div_ceil(BATCH_BYTES)
+            };
+            let last = if batches == 0 {
+                0
+            } else {
+                bytes_total - (batches - 1) * BATCH_BYTES.min(bytes_total)
+            };
             NodeState {
                 bytes_total,
                 batches_total: batches,
+                own_batches: batches,
                 issued: 0,
                 issued_bytes: 0,
                 processed: 0,
                 last_batch_bytes: last,
+                recovery_pending: VecDeque::new(),
+                dead,
+                fe_sent: false,
                 next_dst: (i + 1) % n,
                 dst_credits: phase.shuffle_weights.as_ref().map(|w| {
                     assert_eq!(w.len(), n, "shuffle weights must cover every node");
@@ -470,16 +799,58 @@ fn run_phase(
         })
         .collect();
 
+    // A dead node's fixed-placement share becomes pooled recovery work.
+    if failed_now > 0 && !healthy_split {
+        for (i, st) in nodes.iter_mut().enumerate() {
+            if st.dead && st.bytes_total > 0 {
+                for j in 0..st.batches_total {
+                    let bytes = if j == st.batches_total - 1 {
+                        st.last_batch_bytes
+                    } else {
+                        BATCH_BYTES
+                    };
+                    fr.pool.push((i, bytes));
+                }
+                st.bytes_total = 0;
+                st.batches_total = 0;
+                st.own_batches = 0;
+                st.last_batch_bytes = 0;
+            }
+        }
+        fr.assign_detected(&mut nodes, start);
+        if let Some(abort) = fr.abort_at {
+            return (abort.max(start), 0, true);
+        }
+    }
+
     // Prime each node's pipeline.
     for node in 0..n {
         let to_issue = window.min(nodes[node].batches_total);
         for _ in 0..to_issue {
-            issue_read(m, &mut q, &mut nodes, node, start, region, phase_writes);
+            issue_read(
+                m,
+                &mut q,
+                &mut nodes,
+                node,
+                start,
+                region,
+                phase_writes,
+                fr.policy,
+            );
         }
     }
 
     while let Some((now, ev)) = q.pop() {
         horizon = horizon.max(now);
+        // Faults-off cost: one bounds check per event.
+        if fr.pending() {
+            fr.apply_due(m, &mut q, &mut nodes, now);
+        }
+        if let Some(abort) = fr.abort_at {
+            if now >= abort {
+                return (abort, q.popped(), true);
+            }
+        }
         // Metrics-off cost: one `Option` discriminant check per event.
         if let Some(mb) = metrics.as_deref_mut() {
             if mb.due(now) {
@@ -488,6 +859,26 @@ fn run_phase(
         }
         match ev {
             Ev::BatchRead { node, bytes } => {
+                if fr.any_dead && nodes[node].dead {
+                    // The batch died with its node: un-issue and pool it.
+                    nodes[node].issued_bytes -= bytes;
+                    fr.pool.push((node, bytes));
+                    if fr.detected[node] {
+                        let touched = fr.assign_detected(&mut nodes, now);
+                        refill(
+                            m,
+                            &mut q,
+                            &mut nodes,
+                            &touched,
+                            now,
+                            window,
+                            region,
+                            phase_writes,
+                            fr.policy,
+                        );
+                    }
+                    continue;
+                }
                 record(
                     &mut trace,
                     now,
@@ -509,6 +900,27 @@ fn run_phase(
                 q.push(done.max(now), Ev::BatchProcessed { node, bytes });
             }
             Ev::BatchProcessed { node, bytes } => {
+                if fr.any_dead && nodes[node].dead {
+                    // Processed output lost with the node: a survivor
+                    // must re-read the underlying batch.
+                    nodes[node].issued_bytes -= bytes;
+                    fr.pool.push((node, bytes));
+                    if fr.detected[node] {
+                        let touched = fr.assign_detected(&mut nodes, now);
+                        refill(
+                            m,
+                            &mut q,
+                            &mut nodes,
+                            &touched,
+                            now,
+                            window,
+                            region,
+                            phase_writes,
+                            fr.policy,
+                        );
+                    }
+                    continue;
+                }
                 record(
                     &mut trace,
                     now,
@@ -521,7 +933,16 @@ fn run_phase(
                 horizon = horizon.max(now);
                 // Keep the pipeline full.
                 if nodes[node].issued < nodes[node].batches_total {
-                    issue_read(m, &mut q, &mut nodes, node, now, region, phase_writes);
+                    issue_read(
+                        m,
+                        &mut q,
+                        &mut nodes,
+                        node,
+                        now,
+                        region,
+                        phase_writes,
+                        fr.policy,
+                    );
                 }
                 // Route the outputs.
                 nodes[node].shuffle_credit += bytes as f64 * phase.shuffle_factor;
@@ -533,6 +954,7 @@ fn run_phase(
                     &mut q,
                     &mut nodes,
                     &costs,
+                    fr,
                     node,
                     now,
                     finished,
@@ -541,28 +963,65 @@ fn run_phase(
                     phase_writes,
                     phase.shuffle_weights.as_deref(),
                 );
-                if finished && phase.frontend_bytes_per_node > 0 {
+                if finished && phase.frontend_bytes_per_node > 0 && !nodes[node].fe_sent {
+                    nodes[node].fe_sent = true;
                     if phase.frontend_combinable && node != 0 && !m.restricted_peer_routing() {
                         // Combinable partials flow up a reduction tree
                         // (the messaging library's global reduce) instead
                         // of funnelling every node's copy into the
                         // front-end link.
-                        let parent = (node - 1) / 2;
-                        send_peer(
-                            m,
-                            &mut q,
-                            &costs,
-                            node,
-                            parent,
-                            now,
-                            phase.frontend_bytes_per_node,
-                        );
+                        let mut parent = (node - 1) / 2;
+                        if fr.any_dead {
+                            // Route around dead ancestors; if the root is
+                            // gone, go straight to the front-end.
+                            while parent != 0 && nodes[parent].dead {
+                                parent = (parent - 1) / 2;
+                            }
+                        }
+                        if fr.any_dead && nodes[parent].dead {
+                            send_frontend(
+                                m,
+                                &mut q,
+                                &costs,
+                                node,
+                                now,
+                                phase.frontend_bytes_per_node,
+                            );
+                        } else {
+                            send_peer(
+                                m,
+                                &mut q,
+                                &costs,
+                                node,
+                                parent,
+                                now,
+                                phase.frontend_bytes_per_node,
+                            );
+                        }
                     } else {
                         send_frontend(m, &mut q, &costs, node, now, phase.frontend_bytes_per_node);
                     }
                 }
             }
-            Ev::PeerArrive { dst, bytes } => {
+            Ev::PeerArrive { src, dst, bytes } => {
+                if fr.any_dead && nodes[dst].dead {
+                    // Receiver gone: the sender times out and re-sends to
+                    // the next survivor (unless it has since died too).
+                    if !nodes[src].dead {
+                        if let Some(dst2) = next_healthy(&nodes, dst) {
+                            let arrival = m.peer_transfer(now + RETRY_TIMEOUT, src, dst2, bytes);
+                            q.push(
+                                arrival.max(now),
+                                Ev::PeerArrive {
+                                    src,
+                                    dst: dst2,
+                                    bytes,
+                                },
+                            );
+                        }
+                    }
+                    continue;
+                }
                 record(
                     &mut trace,
                     now,
@@ -585,6 +1044,9 @@ fn run_phase(
                 q.push(done.max(now), Ev::RecvProcessed { node: dst, bytes });
             }
             Ev::RecvProcessed { node, bytes } => {
+                if fr.any_dead && nodes[node].dead {
+                    continue;
+                }
                 record(
                     &mut trace,
                     now,
@@ -625,11 +1087,36 @@ fn run_phase(
                 let done = m.fe_cpu_work(now, cost, "frontend");
                 horizon = horizon.max(done);
             }
+            Ev::RecoveryKick { node } => {
+                // Request timeouts on the failed node expired: its loss
+                // is now globally known and its partition is reassigned.
+                fr.detected[node] = true;
+                let touched = fr.assign_detected(&mut nodes, now);
+                refill(
+                    m,
+                    &mut q,
+                    &mut nodes,
+                    &touched,
+                    now,
+                    window,
+                    region,
+                    phase_writes,
+                    fr.policy,
+                );
+            }
         }
     }
 
+    // Fail-stop policy with the abort clock beyond the last event: the
+    // survivors drained their queues, but the failed partition was never
+    // re-read — the run still aborts at the detection time.
+    if let Some(abort) = fr.abort_at {
+        return (abort, q.popped(), true);
+    }
+
     // Byte conservation: the nodes together must have issued exactly the
-    // plan's read bytes — the per-node split drops nothing.
+    // plan's read bytes — the per-node split drops nothing, and recovery
+    // re-issues every batch a failed node left behind.
     let issued: u64 = nodes.iter().map(|s| s.issued_bytes).sum();
     assert_eq!(
         issued, phase.read_bytes_total,
@@ -639,9 +1126,10 @@ fn run_phase(
 
     // Out-of-band disk positioning penalty (e.g. merge run switches):
     // per-node and overlapped across nodes, so it extends the phase once.
-    (horizon + phase.extra_disk_busy_per_node, q.popped())
+    (horizon + phase.extra_disk_busy_per_node, q.popped(), false)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn issue_read(
     m: &mut Machine,
     q: &mut EventQueue<Ev>,
@@ -650,22 +1138,39 @@ fn issue_read(
     now: SimTime,
     region: usize,
     phase_writes: bool,
+    policy: RecoveryPolicy,
 ) {
     let st = &mut nodes[node];
-    if st.bytes_total == 0 || st.issued >= st.batches_total {
+    if st.dead {
         return;
     }
-    let is_last = st.issued == st.batches_total - 1;
-    let bytes = if is_last {
-        st.last_batch_bytes
-    } else {
-        BATCH_BYTES
-    };
-    st.issued += 1;
-    st.issued_bytes += bytes;
-    let aligned = align_sectors(bytes);
-    let ready = m.read(node, now, aligned, region, phase_writes);
-    q.push(ready.max(now), Ev::BatchRead { node, bytes });
+    if st.bytes_total > 0 && st.issued < st.own_batches {
+        let is_last = st.issued == st.own_batches - 1;
+        let bytes = if is_last {
+            st.last_batch_bytes
+        } else {
+            BATCH_BYTES
+        };
+        st.issued += 1;
+        st.issued_bytes += bytes;
+        let aligned = align_sectors(bytes);
+        let ready = m.read(node, now, aligned, region, phase_writes);
+        q.push(ready.max(now), Ev::BatchRead { node, bytes });
+    } else if let Some(bytes) = st.recovery_pending.pop_front() {
+        // A failed peer's batch: re-read it from the surviving disks
+        // (mirror or parity reconstruction) and ship it here.
+        st.issued += 1;
+        st.issued_bytes += bytes;
+        let ready = m.recovery_read(
+            policy,
+            node,
+            now,
+            align_sectors(bytes),
+            region,
+            phase_writes,
+        );
+        q.push(ready.max(now), Ev::BatchRead { node, bytes });
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -674,6 +1179,7 @@ fn drain_outputs(
     q: &mut EventQueue<Ev>,
     nodes: &mut [NodeState],
     costs: &PhaseCosts,
+    fr: &FaultRt,
     node: usize,
     now: SimTime,
     flush: bool,
@@ -683,7 +1189,9 @@ fn drain_outputs(
     phase_weights: Option<&[f64]>,
 ) {
     let n = nodes.len();
-    // Shuffle: emit batch-sized messages round-robin over peers.
+    // Shuffle: emit batch-sized messages round-robin over peers. Once a
+    // peer's failure is detected, senders skip it; before detection they
+    // still send and pay the retry at arrival.
     loop {
         let st = &mut nodes[node];
         let emit = if st.shuffle_credit >= BATCH_BYTES as f64 {
@@ -694,7 +1202,13 @@ fn drain_outputs(
             break;
         };
         st.shuffle_credit -= emit as f64;
-        let dst = st.pick_dst(phase_weights, n);
+        let mut dst = st.pick_dst(phase_weights, n);
+        if fr.any_dead && nodes[dst].dead && fr.detected[dst] {
+            match next_healthy(nodes, dst) {
+                Some(d) => dst = d,
+                None => continue,
+            }
+        }
         send_peer(m, q, costs, node, dst, now, emit);
     }
     // Front-end stream.
@@ -738,7 +1252,7 @@ fn send_peer(
     let msg_cost = costs.msg_cost(m, bytes);
     let send_done = m.node_cpu_work(src, now, msg_cost, "net-send");
     let arrival = m.peer_transfer(send_done, src, dst, bytes);
-    q.push(arrival.max(now), Ev::PeerArrive { dst, bytes });
+    q.push(arrival.max(now), Ev::PeerArrive { src, dst, bytes });
 }
 
 fn send_frontend(

@@ -25,6 +25,7 @@
 
 pub mod cache;
 pub mod exec;
+pub mod faults;
 pub mod machine;
 pub mod manifest;
 pub mod metrics;
@@ -34,6 +35,7 @@ pub mod trace;
 
 pub use cache::CacheStats;
 pub use exec::Simulation;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
 pub use manifest::RunManifest;
 pub use metrics::{Attribution, MetricsBuilder, Resource, ResourceUsage, RunMetrics};
 pub use report::{PhaseReport, Report};

@@ -16,8 +16,9 @@ use hostos::OsCosts;
 use netmodel::{
     BarrierCosts, ClusterFabric, FcLoop, FcSwitchFabric, MsgCosts, SmpFabric, SmpIoSubsystem,
 };
-use simcore::{Bandwidth, Duration, FifoServer, SimTime};
+use simcore::{Bandwidth, DowntimeTracker, Duration, FifoServer, SimTime, SplitMix64};
 
+use crate::faults::RecoveryPolicy;
 use crate::metrics::{Resource, ResourceUsage};
 
 /// The Active Disk serial fabric: the baseline shared dual loop, or the
@@ -108,6 +109,29 @@ pub struct Machine {
     region_size: u64,
     interconnect_bytes: u64,
     frontend_bytes: u64,
+    /// Per-node fail-stop flags (set by [`Machine::fail_disk`]).
+    failed: Vec<bool>,
+    /// Per-node disk downtime accounting.
+    downtime: Vec<DowntimeTracker>,
+    /// Aggregate service time of recovery reads and rebalance transfers.
+    recovery_busy: Duration,
+    /// Bytes of failed partitions re-read through the recovery path.
+    work_redistributed: u64,
+    /// Rotating cursor spreading Redistribute mirror reads over survivors.
+    recovery_rr: usize,
+    /// Cached count of failed nodes (keeps the healthy hot path free of
+    /// per-read scans and allocations).
+    failed_count: usize,
+}
+
+/// The healthy members of the stripe group `[start, start+len)`, falling
+/// back to all healthy nodes when the whole group has failed.
+fn healthy_group(failed: &[bool], start: usize, len: usize) -> Vec<usize> {
+    let group: Vec<usize> = (start..start + len).filter(|&d| !failed[d]).collect();
+    if !group.is_empty() {
+        return group;
+    }
+    (0..failed.len()).filter(|&d| !failed[d]).collect()
 }
 
 impl Machine {
@@ -152,7 +176,14 @@ impl Machine {
             disks,
             interconnect_bytes: 0,
             frontend_bytes: 0,
+            failed: Vec::new(),
+            downtime: Vec::new(),
+            recovery_busy: Duration::ZERO,
+            work_redistributed: 0,
+            recovery_rr: 0,
+            failed_count: 0,
         }
+        .init_fault_state()
     }
 
     fn cluster(c: &ClusterConfig) -> Self {
@@ -178,7 +209,14 @@ impl Machine {
             disks,
             interconnect_bytes: 0,
             frontend_bytes: 0,
+            failed: Vec::new(),
+            downtime: Vec::new(),
+            recovery_busy: Duration::ZERO,
+            work_redistributed: 0,
+            recovery_rr: 0,
+            failed_count: 0,
         }
+        .init_fault_state()
     }
 
     fn smp(c: &SmpConfig) -> Self {
@@ -206,7 +244,20 @@ impl Machine {
             disks,
             interconnect_bytes: 0,
             frontend_bytes: 0,
+            failed: Vec::new(),
+            downtime: Vec::new(),
+            recovery_busy: Duration::ZERO,
+            work_redistributed: 0,
+            recovery_rr: 0,
+            failed_count: 0,
         }
+        .init_fault_state()
+    }
+
+    fn init_fault_state(mut self) -> Self {
+        self.failed = vec![false; self.nodes];
+        self.downtime = vec![DowntimeTracker::new(); self.nodes];
+        self
     }
 
     /// Number of worker nodes (processors / disks).
@@ -292,20 +343,30 @@ impl Machine {
                     .end
             }
             Fabric::Smp { io, .. } => {
-                // Striped read: 64 KB chunks over the read group, each
-                // crossing the FC loop + XIO into memory.
-                let (start, len, _) = {
+                // Striped read: 64 KB chunks over the read group (failed
+                // drives drop out of the stripe), each crossing the FC
+                // loop + XIO into memory.
+                let (start, len) = {
                     if phase_writes && self.nodes >= 2 {
-                        (0usize, self.nodes / 2, self.nodes / 2)
+                        (0usize, self.nodes / 2)
                     } else {
-                        (0, self.nodes, 0)
+                        (0, self.nodes)
                     }
+                };
+                let group = if self.failed_count > 0 {
+                    healthy_group(&self.failed, start, len)
+                } else {
+                    Vec::new()
                 };
                 let mut remaining = bytes;
                 let mut ready = now;
                 while remaining > 0 {
                     let chunk = remaining.min(SMP_CHUNK);
-                    let disk_ix = start + (self.stripe_cursor[0] % len);
+                    let disk_ix = if group.is_empty() {
+                        start + (self.stripe_cursor[0] % len)
+                    } else {
+                        group[self.stripe_cursor[0] % group.len()]
+                    };
                     self.stripe_cursor[0] += 1;
                     let offset = {
                         let cur = &mut self.cursors[disk_ix][region];
@@ -350,18 +411,27 @@ impl Machine {
                     .end
             }
             Fabric::Smp { io, .. } => {
-                let (_, len, wstart) = {
+                let (wstart, len) = {
                     if phase_writes && self.nodes >= 2 {
-                        (0usize, self.nodes / 2, self.nodes / 2)
+                        (self.nodes / 2, self.nodes / 2)
                     } else {
-                        (0, self.nodes, 0)
+                        (0, self.nodes)
                     }
+                };
+                let group = if self.failed_count > 0 {
+                    healthy_group(&self.failed, wstart, len.max(1))
+                } else {
+                    Vec::new()
                 };
                 let mut remaining = bytes;
                 let mut done = now;
                 while remaining > 0 {
                     let chunk = remaining.min(SMP_CHUNK);
-                    let disk_ix = wstart + (self.stripe_cursor[1] % len.max(1));
+                    let disk_ix = if group.is_empty() {
+                        wstart + (self.stripe_cursor[1] % len.max(1))
+                    } else {
+                        group[self.stripe_cursor[1] % group.len()]
+                    };
                     self.stripe_cursor[1] += 1;
                     let offset = {
                         let cur = &mut self.cursors[disk_ix][region];
@@ -532,6 +602,153 @@ impl Machine {
         }
     }
 
+    /// Injects `count` grown defects into `node`'s drive at positions
+    /// drawn from `rng` across the dataset region (a defect *burst*, as
+    /// from a head ding — unlike [`Machine::degrade_disk`]'s even
+    /// stride). Silently stops on spare exhaustion; no-op on a
+    /// fail-stopped drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degrade_disk_seeded(&mut self, node: usize, count: u64, rng: &mut SplitMix64) {
+        assert!(node < self.disks.len(), "node out of range");
+        if self.failed[node] {
+            return;
+        }
+        let total = self.disks[node].geometry().total_sectors();
+        let base = 3 * total / 4;
+        let span = total / 4 - 2_048;
+        for _ in 0..count {
+            if self.disks[node]
+                .grow_defect(base + rng.next_below(span))
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+
+    /// Fail-stops `node`'s disk at `now`: it serves no further requests,
+    /// drops out of SMP stripe groups, and starts accruing downtime.
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn fail_disk(&mut self, node: usize, now: SimTime) {
+        assert!(node < self.nodes, "node out of range");
+        if !self.failed[node] {
+            self.failed[node] = true;
+            self.failed_count += 1;
+            self.downtime[node].fail(now);
+        }
+    }
+
+    /// True if `node`'s disk has fail-stopped.
+    pub fn disk_failed(&self, node: usize) -> bool {
+        self.failed[node]
+    }
+
+    /// Number of fail-stopped nodes.
+    pub fn failed_count(&self) -> usize {
+        self.failed_count
+    }
+
+    /// Applies an interconnect fault near `node`: on the Active dual loop
+    /// one loop drops (survivors carry everything); on a cluster the
+    /// node's NIC pair degrades to `severity` of its bandwidth; on an SMP
+    /// one FC I/O loop drops. The Active switch fabric is unaffected
+    /// (switched segments have no shared medium to lose — the fault is
+    /// absorbed, which is itself a finding the availability experiment
+    /// can surface).
+    pub fn interconnect_fault(&mut self, node: usize, severity: f64) {
+        match &mut self.fabric {
+            Fabric::Active { fc, .. } => {
+                if let ActiveWire::Loop(l) = fc {
+                    l.fail_loop(node % l.loop_count());
+                }
+            }
+            Fabric::Cluster { net, .. } => net.degrade_host_link(node, severity),
+            Fabric::Smp { io, .. } => io.fail_loop(node % io.loop_count()),
+        }
+    }
+
+    /// Serves one batch of a failed node's partition through the recovery
+    /// path, delivering `bytes` into `consumer`'s memory; returns when
+    /// the data is there.
+    ///
+    /// * [`RecoveryPolicy::Redistribute`] reads the batch from a rotating
+    ///   surviving mirror and ships it to `consumer` over the real
+    ///   interconnect.
+    /// * [`RecoveryPolicy::ReconstructRead`] reads `bytes` from *every*
+    ///   surviving drive (RAID-5 stripe reconstruction — the read
+    ///   amplification is the point) and ships the survivors' shares to
+    ///   `consumer`; the batch is ready when the last share lands.
+    /// * [`RecoveryPolicy::FailStop`] never issues recovery reads; calling
+    ///   with it is a logic error.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `FailStop`, or when no healthy node remains.
+    pub fn recovery_read(
+        &mut self,
+        policy: RecoveryPolicy,
+        consumer: usize,
+        now: SimTime,
+        bytes: u64,
+        region: usize,
+        phase_writes: bool,
+    ) -> SimTime {
+        let healthy: Vec<usize> = (0..self.nodes).filter(|&n| !self.failed[n]).collect();
+        assert!(!healthy.is_empty(), "recovery with no surviving node");
+        let ready = match policy {
+            RecoveryPolicy::FailStop => panic!("FailStop policy issues no recovery reads"),
+            RecoveryPolicy::Redistribute => {
+                // Prefer a mirror other than the consumer so the rebalance
+                // traffic actually crosses the interconnect.
+                let mirror = if healthy.len() > 1 {
+                    let others: Vec<usize> =
+                        healthy.iter().copied().filter(|&n| n != consumer).collect();
+                    let m = others[self.recovery_rr % others.len()];
+                    self.recovery_rr += 1;
+                    m
+                } else {
+                    healthy[0]
+                };
+                let media_done = self.read(mirror, now, bytes, region, phase_writes);
+                self.peer_transfer(media_done, mirror, consumer, bytes)
+            }
+            RecoveryPolicy::ReconstructRead => {
+                let mut ready = now;
+                for &survivor in &healthy {
+                    let media_done = self.read(survivor, now, bytes, region, phase_writes);
+                    let arrived = self.peer_transfer(media_done, survivor, consumer, bytes);
+                    ready = ready.max(arrived);
+                }
+                ready
+            }
+        };
+        self.recovery_busy += ready.since(now);
+        self.work_redistributed += bytes;
+        ready
+    }
+
+    /// Aggregate service time of recovery reads and rebalance transfers.
+    pub fn recovery_busy(&self) -> Duration {
+        self.recovery_busy
+    }
+
+    /// Bytes of failed partitions served through the recovery path.
+    pub fn work_redistributed(&self) -> u64 {
+        self.work_redistributed
+    }
+
+    /// Total disk downtime (failed node-seconds) through `end`.
+    pub fn disk_downtime(&self, end: SimTime) -> Duration {
+        self.downtime.iter().map(|d| d.total(end)).sum()
+    }
+
     /// The merged per-request disk service-time distribution across all
     /// drives.
     pub fn disk_service_histogram(&self) -> simcore::Histogram {
@@ -563,7 +780,7 @@ impl Machine {
     /// front-end link is the FC port (1) or the front-end NIC pair (2);
     /// the SMP memory fabric has one block-transfer engine per board.
     pub fn resource_usage(&self) -> Vec<ResourceUsage> {
-        let mut v = Vec::with_capacity(5);
+        let mut v = Vec::with_capacity(6);
         v.push(ResourceUsage {
             resource: Resource::DiskMedia,
             busy: self.disk_busy_total(),
@@ -623,6 +840,11 @@ impl Machine {
                 });
             }
         }
+        v.push(ResourceUsage {
+            resource: Resource::Recovery,
+            busy: self.recovery_busy,
+            lanes: 1,
+        });
         v
     }
 
@@ -764,7 +986,8 @@ mod tests {
     fn resource_usage_is_architecture_shaped() {
         let mut a = active(4);
         let usage = a.resource_usage();
-        assert_eq!(usage.len(), 5);
+        assert_eq!(usage.len(), 6);
+        assert_eq!(usage.last().unwrap().resource, Resource::Recovery);
         assert!(usage.iter().any(|u| u.resource == Resource::FrontEndLink));
         assert!(usage.iter().all(|u| u.resource != Resource::MemoryFabric));
         assert!(usage.iter().all(|u| u.busy.is_zero()), "idle machine");
@@ -795,6 +1018,113 @@ mod tests {
             .find(|u| u.resource == Resource::Interconnect)
             .unwrap();
         assert_eq!(nic.lanes, 32, "one tx + one rx lane per worker host");
+    }
+
+    #[test]
+    fn fail_disk_is_idempotent_and_accrues_downtime() {
+        let mut m = active(4);
+        assert!(!m.disk_failed(2));
+        let t = SimTime::ZERO + Duration::from_secs(1);
+        m.fail_disk(2, t);
+        m.fail_disk(2, t + Duration::from_secs(5));
+        assert!(m.disk_failed(2));
+        assert_eq!(m.failed_count(), 1);
+        assert_eq!(
+            m.disk_downtime(t + Duration::from_secs(3)),
+            Duration::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn redistribute_recovery_crosses_the_interconnect() {
+        let mut m = active(4);
+        m.begin_phase(0);
+        m.fail_disk(1, SimTime::ZERO);
+        let ready = m.recovery_read(
+            RecoveryPolicy::Redistribute,
+            1,
+            SimTime::ZERO,
+            256 * 1024,
+            0,
+            false,
+        );
+        assert!(ready > SimTime::ZERO);
+        assert_eq!(m.work_redistributed(), 256 * 1024);
+        assert!(m.recovery_busy() > Duration::ZERO);
+        assert_eq!(
+            m.interconnect_bytes(),
+            256 * 1024,
+            "rebalance traffic rides the real fabric"
+        );
+    }
+
+    #[test]
+    fn reconstruct_amplifies_surviving_disk_reads() {
+        let run = |policy| {
+            let mut m = active(8);
+            m.begin_phase(0);
+            m.fail_disk(0, SimTime::ZERO);
+            m.recovery_read(policy, 0, SimTime::ZERO, 256 * 1024, 0, false);
+            m.disk_busy_total()
+        };
+        let redistribute = run(RecoveryPolicy::Redistribute);
+        let reconstruct = run(RecoveryPolicy::ReconstructRead);
+        assert!(
+            reconstruct > redistribute * 4,
+            "every survivor reads the stripe: {reconstruct} vs {redistribute}"
+        );
+    }
+
+    #[test]
+    fn smp_stripe_skips_failed_disks() {
+        let mut m = Machine::new(&Architecture::smp(8));
+        m.begin_phase(0);
+        m.fail_disk(3, SimTime::ZERO);
+        let t = m.read(0, SimTime::ZERO, 1 << 20, 0, false);
+        assert!(t > SimTime::ZERO);
+        // The failed drive served nothing.
+        assert!(m.disks[3].busy_total().is_zero());
+    }
+
+    #[test]
+    fn seeded_degradation_is_reproducible() {
+        // Scan 64 MB in executor-sized batches (the access pattern the
+        // simulator actually issues).
+        let scan = |m: &mut Machine| {
+            m.begin_phase(0);
+            let mut t = SimTime::ZERO;
+            for _ in 0..256 {
+                t = m.read(0, t, 256 << 10, 0, false);
+            }
+            t
+        };
+        let mk = || {
+            let mut m = active(2);
+            let mut rng = SplitMix64::new(42);
+            m.degrade_disk_seeded(0, 1_000, &mut rng);
+            scan(&mut m)
+        };
+        assert_eq!(mk(), mk(), "same seed, same defect pattern");
+        let mut healthy = active(2);
+        let h = scan(&mut healthy);
+        let d = mk();
+        assert!(
+            d > h,
+            "grown defects slow the scan: degraded {d}, healthy {h}"
+        );
+    }
+
+    #[test]
+    fn interconnect_fault_slows_active_loop_traffic() {
+        let mut m = active(8);
+        let healthy = m.peer_transfer(SimTime::ZERO, 0, 1, 8 << 20);
+        let mut faulty = active(8);
+        faulty.interconnect_fault(1, 0.5);
+        let t = faulty.peer_transfer(SimTime::ZERO, 0, 1, 8 << 20);
+        // One loop dropped: the survivor serializes both parities.
+        let t2 = faulty.peer_transfer(SimTime::ZERO, 1, 0, 8 << 20);
+        assert!(t2 > t, "single surviving loop serializes");
+        assert!(t >= healthy);
     }
 
     #[test]

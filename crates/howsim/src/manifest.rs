@@ -87,6 +87,10 @@ pub struct RunManifest {
     pub disks: usize,
     /// Run seed (provenance only; the simulator is deterministic).
     pub seed: u64,
+    /// Human-readable fault-plan summary (`"none"` for healthy runs).
+    pub faults: String,
+    /// Recovery policy name in effect for the run.
+    pub recovery: String,
     /// FNV-1a 64-bit hash of the config debug representation, hex.
     pub config_hash: String,
     /// Full config debug representation, for human auditing.
@@ -118,6 +122,8 @@ impl RunManifest {
             task: report.task,
             disks: report.disks,
             seed: 0,
+            faults: "none".to_string(),
+            recovery: crate::faults::RecoveryPolicy::default().name().to_string(),
             config_hash: format!("{:016x}", fnv1a64(config_repr.as_bytes())),
             config_repr,
             git_rev: git_revision(),
@@ -134,6 +140,17 @@ impl RunManifest {
     /// Records the run seed (provenance; defaults to 0).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Records the fault plan and recovery policy the run executed under.
+    pub fn with_faults(
+        mut self,
+        plan: &crate::faults::FaultPlan,
+        policy: crate::faults::RecoveryPolicy,
+    ) -> Self {
+        self.faults = plan.summary();
+        self.recovery = policy.name().to_string();
         self
     }
 
@@ -166,6 +183,8 @@ impl RunManifest {
         kv_str(&mut out, 2, "task", self.task, true);
         kv_raw(&mut out, 2, "disks", &self.disks.to_string(), true);
         kv_raw(&mut out, 2, "seed", &self.seed.to_string(), true);
+        kv_str(&mut out, 2, "faults", &self.faults, true);
+        kv_str(&mut out, 2, "recovery", &self.recovery, true);
         kv_str(&mut out, 2, "hash", &self.config_hash, true);
         kv_str(&mut out, 2, "repr", &self.config_repr, false);
         out.push_str("  },\n");
@@ -417,6 +436,11 @@ pub fn report_to_cache(report: &Report) -> String {
     let _ = writeln!(out, "arch {}", report.architecture);
     let _ = writeln!(out, "disks {}", report.disks);
     let _ = writeln!(out, "events {}", report.events);
+    let _ = writeln!(out, "faults_injected {}", report.faults_injected);
+    let _ = writeln!(out, "recovery_ns {}", report.recovery_time.as_nanos());
+    let _ = writeln!(out, "work_redistributed {}", report.work_redistributed);
+    let _ = writeln!(out, "aborted {}", u8::from(report.aborted));
+    let _ = writeln!(out, "downtime_ns {}", report.downtime.as_nanos());
     let h = &report.disk_service;
     let _ = writeln!(out, "hist_total_ns {}", h.total().as_nanos());
     let _ = writeln!(out, "hist_max_ns {}", h.max().as_nanos());
@@ -493,6 +517,15 @@ pub fn report_from_cache(text: &str) -> Result<Report, String> {
     let architecture = intern(p.field("arch")?);
     let disks: usize = p.num("disks")?;
     let events: u64 = p.num("events")?;
+    let faults_injected: u64 = p.num("faults_injected")?;
+    let recovery_time = Duration::from_nanos(p.num("recovery_ns")?);
+    let work_redistributed: u64 = p.num("work_redistributed")?;
+    let aborted = match p.num::<u8>("aborted")? {
+        0 => false,
+        1 => true,
+        other => return Err(format!("aborted: expected 0 or 1, got {other}")),
+    };
+    let downtime = Duration::from_nanos(p.num("downtime_ns")?);
     let total = Duration::from_nanos(p.num("hist_total_ns")?);
     let max = Duration::from_nanos(p.num("hist_max_ns")?);
     let mut buckets = [0u64; 64];
@@ -574,6 +607,11 @@ pub fn report_from_cache(text: &str) -> Result<Report, String> {
         phases,
         disk_service,
         events,
+        faults_injected,
+        recovery_time,
+        work_redistributed,
+        aborted,
+        downtime,
     })
 }
 

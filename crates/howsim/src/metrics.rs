@@ -42,17 +42,21 @@ pub enum Resource {
     FrontEndLink,
     /// The SMP inter-board memory fabric (block-transfer engines).
     MemoryFabric,
+    /// Fault-recovery work: surviving disks and interconnect time spent
+    /// re-reading and re-shipping a failed node's partition.
+    Recovery,
 }
 
 impl Resource {
     /// All resource classes, in stable report order.
-    pub const ALL: [Resource; 6] = [
+    pub const ALL: [Resource; 7] = [
         Resource::DiskMedia,
         Resource::WorkerCpu,
         Resource::FrontEndCpu,
         Resource::Interconnect,
         Resource::FrontEndLink,
         Resource::MemoryFabric,
+        Resource::Recovery,
     ];
 
     /// Stable machine-readable key used in manifests and JSON output.
@@ -64,6 +68,7 @@ impl Resource {
             Resource::Interconnect => "interconnect",
             Resource::FrontEndLink => "front_end_link",
             Resource::MemoryFabric => "memory_fabric",
+            Resource::Recovery => "recovery",
         }
     }
 
@@ -88,6 +93,7 @@ impl Resource {
             Resource::Interconnect => "interconnect",
             Resource::FrontEndLink => "front-end link",
             Resource::MemoryFabric => "memory fabric",
+            Resource::Recovery => "recovery",
         }
     }
 }
@@ -359,6 +365,11 @@ mod tests {
             phases,
             disk_service: Histogram::new(),
             events: 0,
+            faults_injected: 0,
+            recovery_time: Duration::ZERO,
+            work_redistributed: 0,
+            aborted: false,
+            downtime: Duration::ZERO,
         }
     }
 
@@ -445,7 +456,8 @@ mod tests {
         assert_eq!(Resource::Interconnect.key(), "interconnect");
         assert_eq!(Resource::WorkerCpu.label("Active"), "disk CPU");
         assert_eq!(Resource::WorkerCpu.label("Cluster"), "host CPU");
-        assert_eq!(Resource::ALL.len(), 6);
+        assert_eq!(Resource::Recovery.key(), "recovery");
+        assert_eq!(Resource::ALL.len(), 7);
     }
 
     #[test]

@@ -88,6 +88,19 @@ pub struct Report {
     /// Total discrete events the executor processed — the simulator's
     /// self-profiling work counter (deterministic for a given plan).
     pub events: u64,
+    /// Number of fault events that actually struck during the run.
+    pub faults_injected: u64,
+    /// Aggregate service time of recovery work (surviving-disk re-reads
+    /// plus rebalance transfers) charged by the recovery policy.
+    pub recovery_time: Duration,
+    /// Bytes of the failed node's partition re-assigned to survivors.
+    pub work_redistributed: u64,
+    /// True if the run was cut short by the `FailStop` policy; the phase
+    /// list stops at the aborted phase and later phases never ran.
+    pub aborted: bool,
+    /// Total disk downtime: failed-disk node-seconds through the end of
+    /// the run.
+    pub downtime: Duration,
 }
 
 impl Report {
@@ -199,16 +212,25 @@ mod tests {
         assert_eq!(p.cpu_fraction("absent"), 0.0);
     }
 
-    #[test]
-    fn report_sums_phases() {
-        let r = Report {
+    fn sample_report() -> Report {
+        Report {
             task: "sort",
             architecture: "Active",
             disks: 2,
             phases: vec![sample_phase(), sample_phase()],
             disk_service: Histogram::new(),
             events: 0,
-        };
+            faults_injected: 0,
+            recovery_time: Duration::ZERO,
+            work_redistributed: 0,
+            aborted: false,
+            downtime: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn report_sums_phases() {
+        let r = sample_report();
         assert_eq!(r.elapsed(), Duration::from_secs(20));
         assert_eq!(r.interconnect_bytes(), 2_000);
         assert_eq!(r.frontend_bytes(), 20);
@@ -219,14 +241,7 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_one_row_per_phase() {
-        let r = Report {
-            task: "sort",
-            architecture: "Active",
-            disks: 2,
-            phases: vec![sample_phase(), sample_phase()],
-            disk_service: Histogram::new(),
-            events: 0,
-        };
+        let r = sample_report();
         let csv = r.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);

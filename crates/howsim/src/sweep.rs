@@ -19,7 +19,10 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide default worker count; 0 means "auto" (available
 /// parallelism).
@@ -49,29 +52,55 @@ pub fn default_jobs() -> usize {
 /// count.
 pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
-    T: Sync,
+    T: Sync + Debug,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
     map_jobs(items, default_jobs(), f)
 }
 
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// [`map`] with an explicit worker count.
 ///
 /// # Panics
 ///
-/// Panics if any invocation of `f` panics (the panic is propagated).
+/// Panics if any invocation of `f` panics. The panic is caught per point
+/// and re-raised from the calling thread naming the lowest panicked sweep
+/// index and its item, so a 300-point sweep that dies on point 217 says
+/// so instead of unwinding anonymously through a worker join.
 pub fn map_jobs<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
-    T: Sync,
+    T: Sync + Debug,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
     let jobs = jobs.max(1).min(items.len());
+    let run = |i: usize| catch_unwind(AssertUnwindSafe(|| f(&items[i])));
     if jobs <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| match run(i) {
+                Ok(r) => r,
+                Err(p) => panic!(
+                    "sweep point {i} (item: {item:?}) panicked: {}",
+                    panic_message(p.as_ref())
+                ),
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     std::thread::scope(|s| {
@@ -84,18 +113,31 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        done.push((i, f(&items[i])));
+                        match run(i) {
+                            Ok(r) => done.push((i, r)),
+                            Err(p) => {
+                                // Record and stop pulling work: the sweep
+                                // is going to fail, so don't waste cores.
+                                let msg = panic_message(p.as_ref());
+                                panics.lock().expect("panic list").push((i, msg));
+                                break;
+                            }
+                        }
                     }
                     done
                 })
             })
             .collect();
         for w in workers {
-            for (i, r) in w.join().expect("sweep worker panicked") {
+            for (i, r) in w.join().expect("sweep worker thread died") {
                 slots[i] = Some(r);
             }
         }
     });
+    let panicked = panics.into_inner().expect("panic list");
+    if let Some((i, msg)) = panicked.into_iter().min_by_key(|&(i, _)| i) {
+        panic!("sweep point {i} (item: {:?}) panicked: {msg}", items[i]);
+    }
     slots
         .into_iter()
         .map(|r| r.expect("every sweep job produced a result"))
@@ -147,11 +189,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
-    fn worker_panics_propagate() {
+    #[should_panic(expected = "sweep point 4 (item: 4) panicked: boom")]
+    fn worker_panics_name_the_point() {
+        // Indices are handed out in order, so the lowest panicking index
+        // (4) is always the one reported, at any worker count.
         let items: Vec<u32> = (0..8).collect();
         let _ = map_jobs(&items, 2, |&x| {
             assert!(x < 4, "boom");
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep point 2 (item: 2) panicked: serial boom")]
+    fn serial_panics_name_the_point_too() {
+        let items: Vec<u32> = (0..4).collect();
+        let _ = map_jobs(&items, 1, |&x| {
+            assert!(x != 2, "serial boom");
             x
         });
     }

@@ -74,8 +74,8 @@ fn instrumented_run_collects_utilization_series() {
     assert_eq!(m.events, report.events);
     assert!(report.events > 0);
     // SMP owns disk media, worker CPUs, front-end CPU, interconnect,
-    // memory fabric.
-    assert_eq!(m.utilization.len(), 5);
+    // memory fabric, plus the (idle here) recovery lane.
+    assert_eq!(m.utilization.len(), 6);
     let (resource, _, series) = &m.utilization[0];
     assert_eq!(*resource, Resource::DiskMedia);
     assert!(!series.samples().is_empty());

@@ -129,6 +129,19 @@ impl ClusterFabric {
         done.max(g4.end) + lat
     }
 
+    /// Degrades `host`'s NIC pair to `factor` of current bandwidth (a
+    /// flapping or renegotiated-down edge port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` exceeds the front-end index or `factor` is not in
+    /// `(0, 1]`.
+    pub fn degrade_host_link(&mut self, host: usize, factor: f64) {
+        assert!(host <= self.hosts, "host out of range");
+        self.nic_tx[host].degrade(factor);
+        self.nic_rx[host].degrade(factor);
+    }
+
     /// Total bytes delivered to `host` (its NIC-rx counter).
     pub fn bytes_delivered_to(&self, host: usize) -> u64 {
         self.nic_rx[host].bytes_carried()
@@ -243,6 +256,19 @@ mod tests {
         let t = net.send(SimTime::ZERO, 3, fe, 1_000, "collect");
         assert!(t > SimTime::ZERO);
         assert_eq!(net.bytes_delivered_to(fe), 1_000);
+    }
+
+    #[test]
+    fn degraded_host_link_slows_its_traffic_only() {
+        let mut net = ClusterFabric::new(16);
+        let healthy = net.send(SimTime::ZERO, 0, 1, 1_000_000, "x");
+        net.degrade_host_link(2, 0.5);
+        let mut net2 = ClusterFabric::new(16);
+        net2.degrade_host_link(2, 0.5);
+        let slowed = net2.send(SimTime::ZERO, 2, 3, 1_000_000, "x");
+        let unaffected = net2.send(SimTime::ZERO, 0, 1, 1_000_000, "x");
+        assert!(slowed > healthy, "degraded sender pays the slower NIC");
+        assert_eq!(unaffected, healthy, "other hosts keep full rate");
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub const DEFAULT_EFFICIENCY: f64 = 0.95;
 #[derive(Debug, Clone)]
 pub struct FcLoop {
     loops: Vec<FifoServer>,
+    /// Indices of loops still carrying traffic; a dropped loop keeps its
+    /// server (so busy accounting survives) but receives no new tenancies.
+    active: Vec<usize>,
     per_loop: Bandwidth,
     arbitration: Duration,
     efficiency: f64,
@@ -68,6 +71,7 @@ impl FcLoop {
         );
         FcLoop {
             loops: vec![FifoServer::new(); n],
+            active: (0..n).collect(),
             per_loop: Bandwidth::from_bytes_per_sec(aggregate.bytes_per_sec() / n as f64),
             arbitration,
             efficiency,
@@ -75,12 +79,25 @@ impl FcLoop {
         }
     }
 
+    /// Drops loop `ix` from service: devices formerly assigned to it fail
+    /// over to the surviving loops, which now carry all traffic.
+    ///
+    /// Dropping an already-dropped loop is a no-op; the last active loop
+    /// refuses to drop (a totally dead interconnect would deadlock the
+    /// simulation rather than model anything).
+    pub fn fail_loop(&mut self, ix: usize) {
+        if self.active.len() <= 1 {
+            return;
+        }
+        self.active.retain(|&a| a != ix % self.loops.len());
+    }
+
     /// Transfers `bytes` from device `src` at `now`; returns delivery time.
     ///
     /// The source's loop is chosen statically by device parity, the usual
     /// dual-loop assignment for drives with two ports.
     pub fn transfer(&mut self, now: SimTime, src: usize, bytes: u64, tag: &'static str) -> SimTime {
-        let loop_ix = src % self.loops.len();
+        let loop_ix = self.active[src % self.active.len()];
         let wire_time = self.per_loop.scale(self.efficiency).transfer_time(bytes);
         let grant = self.loops[loop_ix].offer(now, self.arbitration + wire_time, tag);
         self.bytes += bytes;
@@ -191,6 +208,27 @@ mod tests {
         let t400 = fc400.transfer(SimTime::ZERO, 0, 50_000_000, "x");
         let ratio = t200.as_secs_f64() / t400.as_secs_f64();
         assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn dropped_loop_forces_survivor_contention() {
+        let mut fc = dual200();
+        fc.fail_loop(1);
+        // Both parities now land on loop 0 and serialize.
+        let a = fc.transfer(SimTime::ZERO, 0, 1_000_000, "x");
+        let b = fc.transfer(SimTime::ZERO, 1, 1_000_000, "x");
+        assert!(b > a, "survivor loop serializes all traffic");
+    }
+
+    #[test]
+    fn last_active_loop_refuses_to_drop() {
+        let mut fc = dual200();
+        fc.fail_loop(0);
+        fc.fail_loop(1);
+        fc.fail_loop(1);
+        // Still functional: one loop survives.
+        let t = fc.transfer(SimTime::ZERO, 3, 1_000, "x");
+        assert!(t > SimTime::ZERO);
     }
 
     #[test]

@@ -60,6 +60,21 @@ impl Link {
         grant
     }
 
+    /// Degrades the link to `factor` of its current bandwidth (a flapping
+    /// or renegotiated-down connection). Messages already queued keep the
+    /// service time they were booked with; only later sends slow down.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is in `(0, 1]`.
+    pub fn degrade(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "link degrade factor must be in (0, 1], got {factor}"
+        );
+        self.bandwidth = self.bandwidth.scale(factor);
+    }
+
     /// When the link next becomes free.
     pub fn free_at(&self) -> SimTime {
         self.server.free_at()
@@ -135,6 +150,22 @@ mod tests {
         assert_eq!(l.bytes_carried(), 3_000);
         assert!(l.busy_total() > Duration::ZERO);
         assert!(l.utilization(Duration::from_secs(1)) > 0.0);
+    }
+
+    #[test]
+    fn degrade_slows_later_sends_only() {
+        let mut l = Link::new(Bandwidth::from_mb_per_sec(100.0), Duration::ZERO);
+        let healthy = l.send(SimTime::ZERO, 1_000_000, "x");
+        assert_eq!(healthy.as_micros(), 10_000);
+        l.degrade(0.5);
+        let slowed = l.send(healthy, 1_000_000, "x");
+        assert_eq!(slowed.since(healthy), Duration::from_micros(20_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor")]
+    fn degrade_rejects_out_of_range() {
+        fast_ethernet().degrade(0.0);
     }
 
     proptest! {

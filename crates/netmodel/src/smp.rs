@@ -142,6 +142,12 @@ impl SmpIoSubsystem {
             .end
     }
 
+    /// Drops one FC loop: surviving loops carry all disk traffic (see
+    /// [`FcLoop::fail_loop`]; the last loop refuses to drop).
+    pub fn fail_loop(&mut self, ix: usize) {
+        self.fc.fail_loop(ix);
+    }
+
     /// Total bytes that crossed the loop.
     pub fn bytes_carried(&self) -> u64 {
         self.fc.bytes_carried()

@@ -1,0 +1,124 @@
+//! Per-resource downtime accounting for fault-injection runs.
+//!
+//! The fault layer (in `howsim::faults`) schedules failures against
+//! simulated time; each failed resource carries a [`DowntimeTracker`] so
+//! reports can state how long the resource was unavailable. The tracker is
+//! deliberately tiny — fail/restore bracketing over the simulated clock —
+//! and lives in `simcore` so every model crate can account downtime with
+//! the same arithmetic.
+
+use crate::time::{Duration, SimTime};
+
+/// Accumulates the total time a simulated resource spends failed.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{DowntimeTracker, Duration, SimTime};
+/// let mut dt = DowntimeTracker::new();
+/// dt.fail(SimTime::ZERO + Duration::from_secs(1));
+/// dt.restore(SimTime::ZERO + Duration::from_secs(3));
+/// assert_eq!(dt.total(SimTime::ZERO + Duration::from_secs(10)),
+///            Duration::from_secs(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DowntimeTracker {
+    down_since: Option<SimTime>,
+    completed: Duration,
+}
+
+impl DowntimeTracker {
+    /// A tracker for a resource that has never failed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the resource failed at `now`. A second `fail` while already
+    /// down is ignored (the earlier failure keeps accruing).
+    pub fn fail(&mut self, now: SimTime) {
+        if self.down_since.is_none() {
+            self.down_since = Some(now);
+        }
+    }
+
+    /// Marks the resource restored at `now`, closing the open downtime
+    /// interval. Restoring an up resource is a no-op.
+    pub fn restore(&mut self, now: SimTime) {
+        if let Some(since) = self.down_since.take() {
+            self.completed += now.saturating_since(since);
+        }
+    }
+
+    /// True while the resource is failed.
+    pub fn is_down(&self) -> bool {
+        self.down_since.is_some()
+    }
+
+    /// Total downtime accrued through `end`, including a still-open
+    /// failure interval.
+    pub fn total(&self, end: SimTime) -> Duration {
+        match self.down_since {
+            Some(since) => self.completed + end.saturating_since(since),
+            None => self.completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn never_failed_has_zero_downtime() {
+        let dt = DowntimeTracker::new();
+        assert!(!dt.is_down());
+        assert_eq!(dt.total(at(100)), Duration::ZERO);
+    }
+
+    #[test]
+    fn closed_interval_accrues_exactly() {
+        let mut dt = DowntimeTracker::new();
+        dt.fail(at(2));
+        assert!(dt.is_down());
+        dt.restore(at(5));
+        assert!(!dt.is_down());
+        assert_eq!(dt.total(at(50)), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn open_interval_accrues_to_query_point() {
+        let mut dt = DowntimeTracker::new();
+        dt.fail(at(4));
+        assert_eq!(dt.total(at(10)), Duration::from_secs(6));
+        assert_eq!(dt.total(at(11)), Duration::from_secs(7));
+    }
+
+    #[test]
+    fn double_fail_keeps_first_interval() {
+        let mut dt = DowntimeTracker::new();
+        dt.fail(at(1));
+        dt.fail(at(5));
+        assert_eq!(dt.total(at(6)), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn restore_without_fail_is_noop() {
+        let mut dt = DowntimeTracker::new();
+        dt.restore(at(3));
+        assert_eq!(dt.total(at(10)), Duration::ZERO);
+    }
+
+    #[test]
+    fn intervals_accumulate() {
+        let mut dt = DowntimeTracker::new();
+        dt.fail(at(1));
+        dt.restore(at(2));
+        dt.fail(at(4));
+        dt.restore(at(7));
+        assert_eq!(dt.total(at(100)), Duration::from_secs(4));
+    }
+}

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod histogram;
 pub mod metrics;
 pub mod queue;
@@ -39,6 +40,7 @@ pub mod server;
 pub mod stats;
 pub mod time;
 
+pub use faults::DowntimeTracker;
 pub use histogram::Histogram;
 pub use metrics::{Counter, GaugeSeries, UtilizationSampler};
 pub use queue::{EventQueue, QueueBackend};
