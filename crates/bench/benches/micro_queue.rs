@@ -1,7 +1,8 @@
-//! Head-to-head microbenchmarks of the two event-queue backends: the
-//! calendar wheel (default) and the binary heap it replaced.
+//! Head-to-head microbenchmarks of the event-queue backends: the
+//! arena-backed calendar wheel (default), the sharded wheel at one and
+//! four shards, and the binary heap they replaced.
 //!
-//! Both backends run the same workloads so a single report shows the
+//! All backends run the same workloads so a single report shows the
 //! wheel's advantage (or any regression) directly:
 //!
 //! - `push_pop_10k`: bulk load of uniformly random timestamps followed
@@ -18,15 +19,27 @@
 //! - `far_horizon_5k`: events past the wheel's span, exercising the
 //!   overflow heap and bucket migration.
 //!
+//! Before the criterion runs, the harness prints an allocations/event
+//! table for the steady-churn workload (this binary registers
+//! [`bench::CountingAlloc`]): every backend's steady state performs
+//! zero heap allocations at constant depth — the arena wheel reaches
+//! that without ever freeing a slot back to the allocator, recycling
+//! them through its freelist instead.
+//!
 //! End-to-end scheduler cost on a real workload is measured separately
-//! by `sweep_bench` (the 64-disk cluster join in `BENCH_PR4.json`).
+//! by `sweep_bench` (the 64-disk cluster join in `BENCH_PR6.json`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use simcore::{EventQueue, QueueBackend, SimTime, SplitMix64};
 use std::hint::black_box;
 
-const BACKENDS: [(QueueBackend, &str); 2] = [
+#[global_allocator]
+static ALLOC: bench::CountingAlloc = bench::CountingAlloc;
+
+const BACKENDS: [(QueueBackend, &str); 4] = [
     (QueueBackend::CalendarWheel, "wheel"),
+    (QueueBackend::ShardedWheel { shards: 1 }, "sharded1"),
+    (QueueBackend::ShardedWheel { shards: 4 }, "sharded4"),
     (QueueBackend::BinaryHeap, "heap"),
 ];
 
@@ -75,7 +88,7 @@ fn churn(c: &mut Criterion, label: &str, span: u64) {
 
 fn steady_churn(c: &mut Criterion) {
     // Delays up to ~4 ms — the scale of disk service times and network
-    // transfers, spread across many ~262 µs wheel buckets.
+    // transfers, spread across many ~524 µs wheel buckets.
     churn(c, "steady_churn", 1 << 22);
 }
 
@@ -108,6 +121,44 @@ fn far_horizon_overflow(c: &mut Criterion) {
     }
 }
 
+/// Print allocations/event for the steady-churn workload, per backend.
+///
+/// Warm-up matches the measured window so every arena, bucket, and
+/// scratch buffer reaches its working size first; the count that
+/// follows is pure steady state.
+fn report_allocs_per_event() {
+    const EVENTS: u64 = 20_000;
+    println!("allocations/event, steady_churn_depth_512 ({EVENTS} events after warm-up):");
+    for (backend, name) in BACKENDS {
+        let mut rng = SplitMix64::new(2);
+        let mut q = EventQueue::with_backend_capacity(backend, 512);
+        let mut t = 0u64;
+        for i in 0..512u64 {
+            q.push(SimTime::from_nanos(t + rng.next_below(1 << 22)), i);
+        }
+        for i in 0..EVENTS {
+            let (now, _) = q.pop().expect("queue stays full");
+            t = now.as_nanos();
+            q.push(SimTime::from_nanos(t + 1 + rng.next_below(1 << 22)), i);
+        }
+        let (_, allocs) = bench::count_allocs(|| {
+            let mut sum = 0u64;
+            for i in 0..EVENTS {
+                let (now, e) = q.pop().expect("queue stays full");
+                t = now.as_nanos();
+                sum = sum.wrapping_add(e);
+                q.push(SimTime::from_nanos(t + 1 + rng.next_below(1 << 22)), i);
+            }
+            black_box(sum)
+        });
+        println!(
+            "  {name:<9} {allocs:>6} allocs  ({:.4} allocs/event)",
+            allocs as f64 / EVENTS as f64
+        );
+    }
+    println!();
+}
+
 criterion_group!(
     benches,
     push_pop_10k,
@@ -115,4 +166,8 @@ criterion_group!(
     narrow_churn,
     far_horizon_overflow
 );
-criterion_main!(benches);
+
+fn main() {
+    report_allocs_per_event();
+    benches();
+}

@@ -1,12 +1,12 @@
 //! Wall-clock benchmark of the event scheduler and the result cache.
 //!
-//! Three measurements, written to `BENCH_PR4.json` in the current
+//! Three measurements, written to `BENCH_PR6.json` in the current
 //! directory:
 //!
-//! 1. Event-loop throughput on the 64-disk cluster join with the
-//!    calendar-wheel scheduler vs the binary heap it replaced (the
-//!    reports are asserted identical, so the comparison is pure
-//!    scheduler cost).
+//! 1. Event-loop throughput on the 64-disk cluster join across all
+//!    four queue backends — arena calendar wheel, sharded wheel at one
+//!    and four shards, and the binary heap baseline (the reports are
+//!    asserted identical, so the comparison is pure scheduler cost).
 //! 2. The `--quick` figure sweeps with a cold result cache and again
 //!    with a warm one, including hit/miss counts (the checksums are
 //!    asserted identical, so the speedup is pure cache effect).
@@ -18,9 +18,15 @@
 //! cargo run --release -p bench --bin sweep_bench [workers]
 //! ```
 //!
-//! `workers` defaults to 8. On a single-core host the parallel run cannot
-//! beat the serial one; the report records the machine's available
-//! parallelism so the numbers can be read in context.
+//! `workers` defaults to 8. On a single-core host the parallel run
+//! cannot beat the serial one, so the speedup expectation is only
+//! asserted when `available_parallelism > 1`; the report records the
+//! machine's parallelism and labels the field so a sub-1.0 "speedup"
+//! on a 1-core host is not misread as a regression.
+//!
+//! The report also carries a `trajectory` array folding the scheduler
+//! numbers of the earlier benchmark reports (`BENCH_PR1/2/4.json`) so
+//! the event-loop progress is readable from one file.
 
 use std::time::Instant;
 
@@ -58,32 +64,45 @@ fn timed(jobs: usize) -> (f64, usize, f64) {
     (start.elapsed().as_secs_f64(), sims, checksum)
 }
 
+/// The four scheduler backends under test, in report order.
+const SCHED_BACKENDS: [(QueueBackend, &str); 4] = [
+    (QueueBackend::CalendarWheel, "wheel"),
+    (QueueBackend::ShardedWheel { shards: 1 }, "sharded1"),
+    (QueueBackend::ShardedWheel { shards: 4 }, "sharded4"),
+    (QueueBackend::BinaryHeap, "heap"),
+];
+
 /// Scheduler throughput probe: the 64-disk cluster join, best of
-/// `rounds` wall-clock runs per queue backend. Returns
-/// `(events, best_wheel_seconds, best_heap_seconds)`.
-fn scheduler_throughput(rounds: usize) -> (u64, f64, f64) {
+/// `rounds` wall-clock runs per queue backend. Returns the event count
+/// and the best seconds per backend (order of [`SCHED_BACKENDS`]).
+/// Every backend's report is asserted equal to the wheel's.
+fn scheduler_throughput(rounds: usize) -> (u64, [f64; 4]) {
     let arch = Architecture::cluster(64);
     let plan = tasks::plan_task(TaskKind::Join, &arch);
-    let wheel_sim = Simulation::new(arch.clone()).with_queue_backend(QueueBackend::CalendarWheel);
-    let heap_sim = Simulation::new(arch).with_queue_backend(QueueBackend::BinaryHeap);
+    let sims: Vec<Simulation> = SCHED_BACKENDS
+        .iter()
+        .map(|&(backend, _)| Simulation::new(arch.clone()).with_queue_backend(backend))
+        .collect();
     let mut events = 0u64;
-    let mut best_wheel = f64::INFINITY;
-    let mut best_heap = f64::INFINITY;
+    let mut best = [f64::INFINITY; 4];
     for _ in 0..rounds {
-        let start = Instant::now();
-        let wheel_report = wheel_sim.run_plan(&plan);
-        best_wheel = best_wheel.min(start.elapsed().as_secs_f64());
-        events = wheel_report.events;
-
-        let start = Instant::now();
-        let heap_report = heap_sim.run_plan(&plan);
-        best_heap = best_heap.min(start.elapsed().as_secs_f64());
-        assert_eq!(
-            wheel_report, heap_report,
-            "queue backends must produce identical reports"
-        );
+        let mut reference = None;
+        for (i, sim) in sims.iter().enumerate() {
+            let start = Instant::now();
+            let report = sim.run_plan(&plan);
+            best[i] = best[i].min(start.elapsed().as_secs_f64());
+            events = report.events;
+            match &reference {
+                None => reference = Some(report),
+                Some(r) => assert_eq!(
+                    *r, report,
+                    "queue backend `{}` must produce the wheel's report",
+                    SCHED_BACKENDS[i].1
+                ),
+            }
+        }
     }
-    (events, best_wheel, best_heap)
+    (events, best)
 }
 
 fn main() {
@@ -109,6 +128,19 @@ fn main() {
         "parallel sweep must be bit-identical to serial"
     );
     let speedup = serial / parallel;
+    // A 1-core host cannot show a parallel speedup; only hold the pool
+    // to the bar on machines where the bar is physically reachable.
+    if cores > 1 {
+        assert!(
+            speedup > 0.9,
+            "parallel sweep ({parallel:.3}s) fell behind serial ({serial:.3}s) on a {cores}-core host"
+        );
+    }
+    let speedup_note = if cores > 1 {
+        "parallel vs serial wall-clock on a multi-core host"
+    } else {
+        "measured on a 1-core host: parallel cannot beat serial, value is pool overhead only"
+    };
 
     // Cold-vs-warm cache: same suite, serial, in-memory tier only.
     cache::set_enabled(true);
@@ -141,32 +173,45 @@ fn main() {
     );
     let cache_speedup = cold / warm;
 
-    eprintln!("scheduler throughput (cluster 64 join, wheel vs heap)...");
-    let (events, wheel_s, heap_s) = scheduler_throughput(20);
-    let wheel_eps = events as f64 / wheel_s;
-    let heap_eps = events as f64 / heap_s;
+    eprintln!("scheduler throughput (cluster 64 join, 4 backends)...");
+    let (events, best) = scheduler_throughput(20);
+    let [wheel_s, sharded1_s, sharded4_s, heap_s] = best;
+    let eps = |s: f64| events as f64 / s;
+    let (wheel_eps, sharded1_eps, sharded4_eps, heap_eps) =
+        (eps(wheel_s), eps(sharded1_s), eps(sharded4_s), eps(heap_s));
     assert!(
         wheel_eps >= heap_eps,
         "calendar wheel ({wheel_eps:.0} events/s) must not lose to the heap ({heap_eps:.0})"
     );
     let sched_speedup = heap_s / wheel_s;
+    // Prior-PR scheduler numbers, folded into the trajectory below.
+    const PR2_EPS: u64 = 5_520_663;
+    const PR4_WHEEL_EPS: u64 = 5_967_797;
+    const PR4_HEAP_EPS: u64 = 4_384_018;
+    let vs_pr4 = wheel_eps / PR4_WHEEL_EPS as f64;
 
     let json = format!(
-        "{{\n  \"benchmark\": \"calendar-wheel scheduler + result cache on the --quick figure suite\",\n  \
+        "{{\n  \"benchmark\": \"arena event wheel + sharded merge + result cache on the --quick figure suite\",\n  \
          \"simulated_runs\": {sims},\n  \
          \"available_parallelism\": {cores},\n  \
          \"workers\": {workers},\n  \
          \"serial_seconds\": {serial:.3},\n  \
          \"parallel_seconds\": {parallel:.3},\n  \
-         \"speedup\": {speedup:.3},\n  \
+         \"parallel_speedup\": {speedup:.3},\n  \
+         \"parallel_speedup_note\": \"{speedup_note}\",\n  \
          \"event_loop\": {{\n    \
          \"config\": \"cluster 64-disk join\",\n    \
          \"events\": {events},\n    \
          \"wheel_seconds\": {wheel_s:.4},\n    \
+         \"sharded1_seconds\": {sharded1_s:.4},\n    \
+         \"sharded4_seconds\": {sharded4_s:.4},\n    \
          \"heap_seconds\": {heap_s:.4},\n    \
          \"wheel_events_per_sec\": {wheel_eps:.0},\n    \
+         \"sharded1_events_per_sec\": {sharded1_eps:.0},\n    \
+         \"sharded4_events_per_sec\": {sharded4_eps:.0},\n    \
          \"heap_events_per_sec\": {heap_eps:.0},\n    \
-         \"wheel_speedup\": {sched_speedup:.3},\n    \
+         \"wheel_vs_heap_speedup\": {sched_speedup:.3},\n    \
+         \"wheel_vs_pr4_wheel_speedup\": {vs_pr4:.3},\n    \
          \"reports_identical\": true\n  }},\n  \
          \"result_cache\": {{\n    \
          \"suite\": \"--quick figure sweeps, --jobs 1\",\n    \
@@ -178,12 +223,17 @@ fn main() {
          \"warm_misses\": {warm_misses},\n    \
          \"warm_speedup\": {cache_speedup:.1},\n    \
          \"outputs_identical\": true\n  }},\n  \
+         \"trajectory\": [\n    \
+         {{\"pr\": 1, \"source\": \"BENCH_PR1.json\", \"fifo_offer_10k_5_tags_us\": 61.3}},\n    \
+         {{\"pr\": 2, \"source\": \"BENCH_PR2.json\", \"events_per_sec\": {PR2_EPS}, \"fifo_offer_10k_5_tags_us\": 47.8}},\n    \
+         {{\"pr\": 4, \"source\": \"BENCH_PR4.json\", \"wheel_events_per_sec\": {PR4_WHEEL_EPS}, \"heap_events_per_sec\": {PR4_HEAP_EPS}, \"wheel_vs_heap_speedup\": 1.361}},\n    \
+         {{\"pr\": 6, \"source\": \"this run\", \"wheel_events_per_sec\": {wheel_eps:.0}, \"sharded1_events_per_sec\": {sharded1_eps:.0}, \"sharded4_events_per_sec\": {sharded4_eps:.0}, \"heap_events_per_sec\": {heap_eps:.0}, \"wheel_vs_pr4_wheel_speedup\": {vs_pr4:.3}}}\n  ],\n  \
          \"outputs_identical\": true\n}}\n",
         cold_hits = cold_stats.hits,
         cold_misses = cold_stats.misses,
         warm_hits = warm_stats.hits,
         warm_misses = warm_stats.misses,
     );
-    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
     print!("{json}");
 }

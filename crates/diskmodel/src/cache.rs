@@ -39,6 +39,31 @@ struct Segment {
     as_of: SimTime,
     /// LRU stamp.
     last_use: u64,
+    /// Memoized zone window `[zone_lo, zone_hi)` with its media-rate
+    /// constants: a sequential stream stays inside one zone for ~10^6
+    /// sectors, so revalidating with two compares replaces the per-request
+    /// zone binary search. Initialized empty (`lo > hi`) to force a fetch.
+    zone_lo: u64,
+    zone_hi: u64,
+    /// Media rate of the memoized zone in bytes per second.
+    bps: f64,
+    /// Seconds per sector at `bps` (`SECTOR_BYTES / bps`, precomputed).
+    sector_secs: f64,
+}
+
+impl Segment {
+    /// Media-rate constants `(bytes/s, seconds/sector)` at `pos`, served
+    /// from the memoized zone window when `pos` is still inside it.
+    fn rate_at(&mut self, pos: u64, geo: &Geometry) -> (f64, f64) {
+        if !(self.zone_lo <= pos && pos < self.zone_hi) {
+            let (lo, hi, bps, sector_secs) = geo.zone_window(pos);
+            self.zone_lo = lo;
+            self.zone_hi = hi;
+            self.bps = bps;
+            self.sector_secs = sector_secs;
+        }
+        (self.bps, self.sector_secs)
+    }
 }
 
 /// A segmented read cache with sequential prefetch.
@@ -89,14 +114,14 @@ impl SegmentedCache {
 
     /// Media read-ahead position of `seg` at time `now`, capped by segment
     /// capacity ahead of the stream position.
-    fn media_pos_at(seg: &Segment, now: SimTime, geo: &Geometry, cap: u64) -> u64 {
+    fn media_pos_at(seg: &mut Segment, now: SimTime, geo: &Geometry, cap: u64) -> u64 {
         let elapsed = now.saturating_since(seg.as_of);
         if seg.media_pos >= geo.total_sectors() {
             return geo.total_sectors();
         }
-        let rate = geo.media_rate_at(seg.media_pos.min(geo.total_sectors() - 1));
-        let sector_time = SECTOR_BYTES as f64 / rate.bytes_per_sec();
-        let advanced = (elapsed.as_secs_f64() / sector_time) as u64;
+        let pos = seg.media_pos.min(geo.total_sectors() - 1);
+        let (_, sector_secs) = seg.rate_at(pos, geo);
+        let advanced = (elapsed.as_secs_f64() / sector_secs) as u64;
         (seg.media_pos + advanced)
             .min(seg.next_lba + cap)
             .min(geo.total_sectors())
@@ -115,7 +140,25 @@ impl SegmentedCache {
             return Lookup::Miss;
         };
         let end = lba + sectors;
-        let pos_now = Self::media_pos_at(seg, now, geo, cap);
+        let total = geo.total_sectors();
+        // Inlined [`Self::media_pos_at`]: the stream's media-rate constants
+        // are shared with the post-hit position update below, so the zone
+        // memo is consulted once and the advance divide runs at most twice
+        // per hit.
+        let (at_end, sector_secs, advanced) = if seg.media_pos >= total {
+            (true, 0.0, 0)
+        } else {
+            let (_, ss) = seg.rate_at(seg.media_pos.min(total - 1), geo);
+            let elapsed = now.saturating_since(seg.as_of);
+            (false, ss, (elapsed.as_secs_f64() / ss) as u64)
+        };
+        let pos_now = if at_end {
+            total
+        } else {
+            (seg.media_pos + advanced)
+                .min(seg.next_lba + cap)
+                .min(total)
+        };
         if lba > pos_now {
             // Skipped ahead of the read-ahead head: treat as a miss.
             return Lookup::Miss;
@@ -124,18 +167,25 @@ impl SegmentedCache {
             now
         } else {
             let remaining = end - pos_now;
-            if end > geo.total_sectors() {
+            if end > total {
                 return Lookup::Miss;
             }
-            let rate = geo.media_rate_at(pos_now.min(geo.total_sectors() - 1));
-            let t = Duration::from_secs_f64(
-                remaining as f64 * SECTOR_BYTES as f64 / rate.bytes_per_sec(),
-            );
+            let (bps, _) = seg.rate_at(pos_now.min(total - 1), geo);
+            let t = Duration::from_secs_f64(remaining as f64 * SECTOR_BYTES as f64 / bps);
             now + t
         };
         // Advance the stream: prefetch continues from max(end, pos at ready).
+        let pos_ready = if at_end {
+            total
+        } else if data_ready == now {
+            (seg.media_pos + advanced).min(end + cap).min(total)
+        } else {
+            let elapsed = data_ready.saturating_since(seg.as_of);
+            let advanced = (elapsed.as_secs_f64() / sector_secs) as u64;
+            (seg.media_pos + advanced).min(end + cap).min(total)
+        };
         seg.next_lba = end;
-        seg.media_pos = end.max(Self::media_pos_at(seg, data_ready, geo, cap));
+        seg.media_pos = end.max(pos_ready);
         seg.as_of = data_ready;
         seg.last_use = stamp;
         Lookup::Hit { data_ready }
@@ -164,6 +214,10 @@ impl SegmentedCache {
             media_pos: end,
             as_of: done,
             last_use: stamp,
+            zone_lo: 1,
+            zone_hi: 0,
+            bps: 0.0,
+            sector_secs: 0.0,
         };
         if self.segments.len() < self.max_segments {
             self.segments.push(seg);

@@ -108,6 +108,11 @@ pub struct Disk {
     bytes_read: u64,
     bytes_written: u64,
     cache_hits: u64,
+    /// Memoized `(sectors, bus_rate.transfer_time(sectors * SECTOR_BYTES))`
+    /// of the last cache-hit read. Scan workloads hit with one fixed
+    /// batch size, so this skips the float division on the hot path; the
+    /// memo reproduces the same expression, keeping results bit-identical.
+    bus_memo: Option<(u64, Duration)>,
 }
 
 impl Disk {
@@ -137,6 +142,7 @@ impl Disk {
             bytes_read: 0,
             bytes_written: 0,
             cache_hits: 0,
+            bus_memo: None,
         }
     }
 
@@ -241,7 +247,14 @@ impl Disk {
                 self.cache_hits += 1;
                 // Bus transfer streams behind the data; completion is
                 // data-availability plus the bus time of the final burst.
-                let bus = self.spec.bus_rate.transfer_time(sectors * SECTOR_BYTES);
+                let bus = match self.bus_memo {
+                    Some((s, d)) if s == sectors => d,
+                    _ => {
+                        let d = self.spec.bus_rate.transfer_time(sectors * SECTOR_BYTES);
+                        self.bus_memo = Some((sectors, d));
+                        d
+                    }
+                };
                 let end = data_ready.max(start + overhead + bus);
                 Completion {
                     start,
@@ -327,7 +340,7 @@ impl Disk {
         // Rotational wait: the spindle angle is a global function of time.
         let zone = &self.geometry.zones()[loc.zone as usize];
         let rev = self.geometry.revolution();
-        let sector_time = rev / u64::from(zone.sectors_per_track);
+        let sector_time = zone.sector_time;
         let target_angle_ns = u64::from(loc.sector) * sector_time.as_nanos();
         let now_angle_ns = after_seek.as_nanos() % rev.as_nanos();
         let wait_ns = (target_angle_ns + rev.as_nanos() - now_angle_ns) % rev.as_nanos();

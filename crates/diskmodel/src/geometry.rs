@@ -27,6 +27,10 @@ pub struct Zone {
     pub first_lba: u64,
     /// Total sectors in the zone.
     pub sectors: u64,
+    /// Time for one sector to pass under the head (`revolution /
+    /// sectors_per_track`, precomputed — this division sits on the
+    /// per-request media-transfer path).
+    pub sector_time: Duration,
 }
 
 /// A physical disk location.
@@ -56,9 +60,21 @@ pub struct Location {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Geometry {
     zones: Vec<Zone>,
+    /// Per-zone media-rate constants, parallel to `zones`; precomputed
+    /// because the cache's read-ahead model evaluates them per request.
+    zone_rates: Vec<ZoneRate>,
     heads: u32,
     revolution: Duration,
     total_sectors: u64,
+}
+
+/// Precomputed media-rate constants for one zone.
+#[derive(Debug, Clone, PartialEq)]
+struct ZoneRate {
+    /// Media rate in bytes per second (`bytes_per_rev / revolution`).
+    bps: f64,
+    /// Seconds for one sector to stream past the head (`SECTOR_BYTES / bps`).
+    sector_secs: f64,
 }
 
 impl Geometry {
@@ -95,15 +111,37 @@ impl Geometry {
                 sectors_per_track: spt,
                 first_lba,
                 sectors,
+                sector_time: spec.revolution() / u64::from(spt),
             });
             first_cylinder += cylinders;
             first_lba += sectors;
         }
+        let revolution = spec.revolution();
+        let zone_rates = zones
+            .iter()
+            .map(|zn| {
+                let bytes_per_rev = u64::from(zn.sectors_per_track) * SECTOR_BYTES;
+                let bps = bytes_per_rev as f64 / revolution.as_secs_f64();
+                ZoneRate {
+                    bps,
+                    sector_secs: SECTOR_BYTES as f64 / bps,
+                }
+            })
+            .collect();
         Geometry {
             zones,
+            zone_rates,
             heads: spec.heads,
-            revolution: spec.revolution(),
+            revolution,
             total_sectors: first_lba,
+        }
+    }
+
+    /// Index of the zone containing `lba` (caller guarantees range).
+    fn zone_index(&self, lba: u64) -> usize {
+        match self.zones.binary_search_by(|zn| zn.first_lba.cmp(&lba)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
         }
     }
 
@@ -135,10 +173,7 @@ impl Geometry {
         if lba >= self.total_sectors {
             return None;
         }
-        let zi = match self.zones.binary_search_by(|zn| zn.first_lba.cmp(&lba)) {
-            Ok(i) => i,
-            Err(i) => i - 1,
-        };
+        let zi = self.zone_index(lba);
         let zone = &self.zones[zi];
         let off = lba - zone.first_lba;
         let spt = u64::from(zone.sectors_per_track);
@@ -160,12 +195,24 @@ impl Geometry {
     ///
     /// Panics if `lba` is out of range.
     pub fn media_rate_at(&self, lba: u64) -> Bandwidth {
-        let loc = self
-            .locate(lba)
-            .unwrap_or_else(|| panic!("LBA {lba} out of range"));
-        let zone = &self.zones[loc.zone as usize];
-        let bytes_per_rev = u64::from(zone.sectors_per_track) * SECTOR_BYTES;
-        Bandwidth::from_bytes_per_sec(bytes_per_rev as f64 / self.revolution.as_secs_f64())
+        assert!(lba < self.total_sectors, "LBA {lba} out of range");
+        Bandwidth::from_bytes_per_sec(self.zone_rates[self.zone_index(lba)].bps)
+    }
+
+    /// The zone window containing `lba`: `(first_lba, first_lba + sectors,
+    /// bytes/s, seconds/sector)`. Callers that track a sequential stream
+    /// memoize this and revalidate with two compares instead of repeating
+    /// the binary search per request (caller guarantees range).
+    pub(crate) fn zone_window(&self, lba: u64) -> (u64, u64, f64, f64) {
+        let zi = self.zone_index(lba);
+        let zn = &self.zones[zi];
+        let zr = &self.zone_rates[zi];
+        (
+            zn.first_lba,
+            zn.first_lba + zn.sectors,
+            zr.bps,
+            zr.sector_secs,
+        )
     }
 
     /// Time to read/write `sectors` sectors starting at `lba`, including
@@ -196,7 +243,7 @@ impl Geometry {
             let loc = self.locate(at).expect("in range by the assert above");
             let zone = &self.zones[loc.zone as usize];
             let spt = u64::from(zone.sectors_per_track);
-            let sector_time = self.revolution / spt;
+            let sector_time = zone.sector_time;
             let left_on_track = spt - u64::from(loc.sector);
             let chunk = remaining.min(left_on_track);
             total += sector_time * chunk;

@@ -28,6 +28,7 @@ use arch::Architecture;
 use howsim::faults::{FaultPlan, RecoveryPolicy};
 use howsim::manifest::{HostInfo, RunManifest};
 use howsim::{Attribution, MetricsBuilder, Simulation, Trace};
+use simcore::QueueBackend;
 use tasks::TaskKind;
 
 /// Parsed command-line options.
@@ -51,6 +52,27 @@ struct Options {
     seed: u64,
     faults: Vec<String>,
     recovery: RecoveryPolicy,
+    queue: QueueBackend,
+}
+
+/// Parses `--queue` values: `heap`, `wheel`, or `sharded:<n>`.
+fn parse_queue(name: &str) -> Result<QueueBackend, String> {
+    match name {
+        "heap" => Ok(QueueBackend::BinaryHeap),
+        "wheel" => Ok(QueueBackend::CalendarWheel),
+        _ => match name.strip_prefix("sharded:") {
+            Some(n) => {
+                let shards: usize = n.parse().map_err(|e| format!("--queue sharded:<n>: {e}"))?;
+                if shards == 0 {
+                    return Err("--queue sharded:<n> needs n >= 1".to_string());
+                }
+                Ok(QueueBackend::ShardedWheel { shards })
+            }
+            None => Err(format!(
+                "--queue: unknown backend `{name}` (want heap, wheel, or sharded:<n>)"
+            )),
+        },
+    }
 }
 
 fn usage() -> String {
@@ -58,6 +80,7 @@ fn usage() -> String {
      \x20      [--memory <MB>] [--interconnect <MB/s>] [--no-direct]\n\
      \x20      [--fibre-switch] [--fast-disk] [--jobs <n>] [--cache] [--no-cache]\n\
      \x20      [--seed <n>] [--fault <spec>]... [--recovery <failstop|redistribute|reconstruct>]\n\
+     \x20      [--queue <heap|wheel|sharded:<n>>]\n\
      \x20      [--trace <file.csv>] [--trace-out <file.jsonl>] [--metrics-out <file.json>]\n\
      tasks: select aggregate groupby dcube sort join dmine mview\n\
      fault specs: disk:<node>@<time>  slow:<node>@<time>:<defects>  link:<node>@<time>:<factor>\n\
@@ -92,6 +115,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         seed: 0,
         faults: Vec::new(),
         recovery: RecoveryPolicy::default(),
+        queue: QueueBackend::default(),
     };
     let mut args = args;
     if args.first().map(String::as_str) == Some("explain") {
@@ -155,6 +179,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 FaultPlan::parse_spec(&spec)?;
                 opts.faults.push(spec);
             }
+            "--queue" => opts.queue = parse_queue(&value("--queue")?)?,
             "--recovery" => {
                 let name = value("--recovery")?;
                 opts.recovery = RecoveryPolicy::parse(&name).ok_or_else(|| {
@@ -277,7 +302,8 @@ fn main() -> ExitCode {
     let sim = Simulation::new(arch.clone())
         .with_seed(opts.seed)
         .with_fault_plan(fault_plan.clone())
-        .with_recovery(opts.recovery);
+        .with_recovery(opts.recovery)
+        .with_queue_backend(opts.queue);
     let plan = tasks::plan_task(opts.task, &arch);
     let want_trace = opts.trace_path.is_some() || opts.trace_out.is_some();
     let mut trace = want_trace.then(Trace::new);
@@ -464,6 +490,27 @@ mod tests {
         assert!(parse(&argv("--recovery raid6")).is_err());
         assert!(parse(&argv("--seed abc")).is_err());
         assert!(parse(&argv("--fault")).is_err());
+    }
+
+    #[test]
+    fn queue_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().queue, QueueBackend::CalendarWheel);
+        assert_eq!(
+            parse(&argv("--queue heap")).unwrap().queue,
+            QueueBackend::BinaryHeap
+        );
+        assert_eq!(
+            parse(&argv("--queue wheel")).unwrap().queue,
+            QueueBackend::CalendarWheel
+        );
+        assert_eq!(
+            parse(&argv("--queue sharded:4")).unwrap().queue,
+            QueueBackend::ShardedWheel { shards: 4 }
+        );
+        assert!(parse(&argv("--queue sharded:0")).is_err());
+        assert!(parse(&argv("--queue sharded:x")).is_err());
+        assert!(parse(&argv("--queue splay")).is_err());
+        assert!(parse(&argv("--queue")).is_err());
     }
 
     #[test]

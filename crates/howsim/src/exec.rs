@@ -57,6 +57,23 @@ enum Ev {
     RecoveryKick { node: usize },
 }
 
+/// Shard key for the sharded scheduler backend: the node an event fires
+/// *on* (receiver side for transfers), so each shard's events are one
+/// node group's and cross-shard traffic pays interconnect latency —
+/// matching the lookahead bound. Front-end arrivals ride shard 0.
+/// Placement never affects the pop order (the cross-shard merge is an
+/// exact `(time, seq)` argmin), so reports are identical for any key.
+fn shard_of_ev(ev: &Ev) -> usize {
+    match *ev {
+        Ev::BatchRead { node, .. }
+        | Ev::BatchProcessed { node, .. }
+        | Ev::RecvProcessed { node, .. }
+        | Ev::RecoveryKick { node } => node,
+        Ev::PeerArrive { dst, .. } => dst,
+        Ev::FeArrive { .. } => 0,
+    }
+}
+
 /// Costs that are identical for every full-sized batch of a phase,
 /// computed once at phase start instead of per event. Almost every batch
 /// the executor handles is exactly [`BATCH_BYTES`], so the hot loop reads
@@ -676,29 +693,38 @@ impl PhaseSnapshot {
     }
 }
 
-/// Charges a list of tagged CPU work items for `bytes` to a node's CPU;
-/// returns the completion time of the last item. Full batches use the
-/// phase's precomputed costs; tail batches pay the float math.
+/// Charges `prefix` (the OS or messaging toll) followed by a list of
+/// tagged CPU work items for `bytes` to a node's CPU, as one fused
+/// queueing round; returns the completion time of the run. Full batches
+/// use the phase's precomputed costs; tail batches pay the float math.
+#[allow(clippy::too_many_arguments)]
 fn charge_cpu(
     m: &mut Machine,
     node: usize,
     now: SimTime,
+    prefix: (Duration, &'static str),
     bytes: u64,
     work: &[CpuWork],
     batch_cost: &[Duration],
     perf: f64,
 ) -> SimTime {
-    let mut end = now;
+    let head = std::iter::once(prefix);
     if bytes == BATCH_BYTES {
-        for (w, &cost) in work.iter().zip(batch_cost) {
-            end = m.node_cpu_work(node, now, cost, w.tag);
-        }
+        m.node_cpu_run(
+            node,
+            now,
+            head.chain(work.iter().zip(batch_cost).map(|(w, &cost)| (cost, w.tag))),
+        )
     } else {
-        for w in work {
-            end = m.node_cpu_work(node, now, cpu_cost(w.ns_per_byte, bytes, perf), w.tag);
-        }
+        m.node_cpu_run(
+            node,
+            now,
+            head.chain(
+                work.iter()
+                    .map(|w| (cpu_cost(w.ns_per_byte, bytes, perf), w.tag)),
+            ),
+        )
     }
-    end
 }
 
 /// Runs one phase; returns its completion time, the number of discrete
@@ -749,6 +775,8 @@ fn run_phase(
     // messages they fan out into; pre-size the queue to that depth.
     let mut q: EventQueue<Ev> =
         EventQueue::with_backend_capacity(queue_backend, n * (window as usize + 4));
+    q.set_shard_fn(shard_of_ev);
+    q.set_lookahead(m.lookahead_bound());
     let mut horizon = start;
     let mut rank = 0usize;
     let mut nodes: Vec<NodeState> = (0..n)
@@ -823,22 +851,22 @@ fn run_phase(
         }
     }
 
-    // Prime each node's pipeline.
+    // Prime each node's pipeline: the phase fan-out schedules every
+    // node's full read window in one batched push (same event order as
+    // pushing one by one, so sequence numbers — and reports — are
+    // unchanged).
+    let mut primed: Vec<(SimTime, Ev)> = Vec::with_capacity(n * window as usize);
     for node in 0..n {
         let to_issue = window.min(nodes[node].batches_total);
         for _ in 0..to_issue {
-            issue_read(
-                m,
-                &mut q,
-                &mut nodes,
-                node,
-                start,
-                region,
-                phase_writes,
-                fr.policy,
-            );
+            if let Some(ev) =
+                prepare_read(m, &mut nodes, node, start, region, phase_writes, fr.policy)
+            {
+                primed.push(ev);
+            }
         }
     }
+    q.push_many(primed);
 
     while let Some((now, ev)) = q.pop() {
         horizon = horizon.max(now);
@@ -887,11 +915,11 @@ fn run_phase(
                     TraceKind::ReadDone,
                     bytes,
                 );
-                let t = m.node_cpu_work(node, now, costs.os_batch, "os");
                 let done = charge_cpu(
                     m,
                     node,
-                    t,
+                    now,
+                    (costs.os_batch, "os"),
                     bytes,
                     &phase.read_cpu,
                     &costs.read_batch,
@@ -1031,11 +1059,11 @@ fn run_phase(
                     bytes,
                 );
                 let msg_cost = costs.msg_cost(m, bytes);
-                let t = m.node_cpu_work(dst, now, msg_cost, "net-recv");
                 let done = charge_cpu(
                     m,
                     dst,
-                    t,
+                    now,
+                    (msg_cost, "net-recv"),
                     bytes,
                     &phase.recv_cpu,
                     &costs.recv_batch,
@@ -1129,20 +1157,23 @@ fn run_phase(
     (horizon + phase.extra_disk_busy_per_node, q.popped(), false)
 }
 
+/// Charges one batch read against the machine and returns the completion
+/// event to schedule, or `None` if the node has nothing left to read.
+/// Callers either push immediately ([`issue_read`]) or collect a batch
+/// for [`EventQueue::push_many`] (phase priming).
 #[allow(clippy::too_many_arguments)]
-fn issue_read(
+fn prepare_read(
     m: &mut Machine,
-    q: &mut EventQueue<Ev>,
     nodes: &mut [NodeState],
     node: usize,
     now: SimTime,
     region: usize,
     phase_writes: bool,
     policy: RecoveryPolicy,
-) {
+) -> Option<(SimTime, Ev)> {
     let st = &mut nodes[node];
     if st.dead {
-        return;
+        return None;
     }
     if st.bytes_total > 0 && st.issued < st.own_batches {
         let is_last = st.issued == st.own_batches - 1;
@@ -1155,7 +1186,7 @@ fn issue_read(
         st.issued_bytes += bytes;
         let aligned = align_sectors(bytes);
         let ready = m.read(node, now, aligned, region, phase_writes);
-        q.push(ready.max(now), Ev::BatchRead { node, bytes });
+        Some((ready.max(now), Ev::BatchRead { node, bytes }))
     } else if let Some(bytes) = st.recovery_pending.pop_front() {
         // A failed peer's batch: re-read it from the surviving disks
         // (mirror or parity reconstruction) and ship it here.
@@ -1169,7 +1200,25 @@ fn issue_read(
             region,
             phase_writes,
         );
-        q.push(ready.max(now), Ev::BatchRead { node, bytes });
+        Some((ready.max(now), Ev::BatchRead { node, bytes }))
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn issue_read(
+    m: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    nodes: &mut [NodeState],
+    node: usize,
+    now: SimTime,
+    region: usize,
+    phase_writes: bool,
+    policy: RecoveryPolicy,
+) {
+    if let Some((t, ev)) = prepare_read(m, nodes, node, now, region, phase_writes, policy) {
+        q.push(t, ev);
     }
 }
 
@@ -1361,14 +1410,24 @@ mod tests {
             (Architecture::cluster(4), TaskKind::Join),
             (Architecture::smp(4), TaskKind::DataMine),
         ];
+        let backends = [
+            QueueBackend::BinaryHeap,
+            QueueBackend::ShardedWheel { shards: 1 },
+            QueueBackend::ShardedWheel { shards: 4 },
+        ];
         for (arch, task) in cases {
             let wheel = Simulation::new(arch.clone())
                 .with_queue_backend(QueueBackend::CalendarWheel)
                 .run(task);
-            let heap = Simulation::new(arch)
-                .with_queue_backend(QueueBackend::BinaryHeap)
-                .run(task);
-            assert_eq!(wheel, heap, "{task:?}: backends must agree field-for-field");
+            for backend in backends {
+                let other = Simulation::new(arch.clone())
+                    .with_queue_backend(backend)
+                    .run(task);
+                assert_eq!(
+                    wheel, other,
+                    "{task:?}/{backend:?}: backends must agree field-for-field"
+                );
+            }
         }
     }
 

@@ -265,6 +265,22 @@ impl Machine {
         self.nodes
     }
 
+    /// Conservative lookahead bound for partitioned event scheduling:
+    /// the minimum latency any cross-node interaction pays on this
+    /// machine's interconnect. An event one node schedules on another is
+    /// always at least this far in the future, which bounds how far
+    /// independent scheduler shards could run ahead of each other.
+    pub fn lookahead_bound(&self) -> Duration {
+        match &self.fabric {
+            Fabric::Active { fc, .. } => match fc {
+                ActiveWire::Loop(fc) => fc.arbitration(),
+                ActiveWire::Switch(sw) => sw.switch_latency(),
+            },
+            Fabric::Cluster { net, .. } => net.min_link_latency(),
+            Fabric::Smp { mem, .. } => mem.link_latency(),
+        }
+    }
+
     /// The pipeline window (in-flight batches) per node.
     pub fn window(&self) -> usize {
         self.window
@@ -294,6 +310,18 @@ impl Machine {
         tag: &'static str,
     ) -> SimTime {
         self.cpus[node].offer(now, work, tag).end
+    }
+
+    /// Offers a back-to-back run of tagged work items to a node's CPU;
+    /// returns the run's completion time. Bit-identical with offering
+    /// each item in sequence, at a single queueing round.
+    pub fn node_cpu_run(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        parts: impl IntoIterator<Item = (Duration, &'static str)>,
+    ) -> SimTime {
+        self.cpus[node].offer_run(now, parts).end
     }
 
     /// Offers tagged work to the front-end CPU.

@@ -25,6 +25,11 @@ pub struct Link {
     latency: Duration,
     server: FifoServer,
     bytes: u64,
+    /// Memoized `(bytes, transfer_time(bytes))` of the last send. Phase
+    /// traffic is overwhelmingly fixed-size batches, so this hit skips
+    /// the float division + round on the event-loop hot path. Same
+    /// expression, same result: reports stay bit-identical.
+    cached: Option<(u64, Duration)>,
 }
 
 impl Link {
@@ -35,6 +40,7 @@ impl Link {
             latency,
             server: FifoServer::new(),
             bytes: 0,
+            cached: None,
         }
     }
 
@@ -53,9 +59,15 @@ impl Link {
         bytes: u64,
         tag: &'static str,
     ) -> simcore::server::Grant {
-        let grant = self
-            .server
-            .offer(now, self.bandwidth.transfer_time(bytes), tag);
+        let service = match self.cached {
+            Some((b, d)) if b == bytes => d,
+            _ => {
+                let d = self.bandwidth.transfer_time(bytes);
+                self.cached = Some((bytes, d));
+                d
+            }
+        };
+        let grant = self.server.offer(now, service, tag);
         self.bytes += bytes;
         grant
     }
@@ -73,6 +85,8 @@ impl Link {
             "link degrade factor must be in (0, 1], got {factor}"
         );
         self.bandwidth = self.bandwidth.scale(factor);
+        // The memo was computed at the old rate.
+        self.cached = None;
     }
 
     /// When the link next becomes free.

@@ -7,50 +7,115 @@
 //! wheel): a circular array of buckets, each covering a fixed slice of
 //! simulated time, plus a binary-heap *overflow* level for events
 //! scheduled beyond the wheel's horizon. Pushing an event within the
-//! horizon appends to its bucket (amortized O(1)); popping scans a
-//! bitmap for the next occupied bucket and drains it in `(time, seq)`
-//! order. Overflow events migrate into the wheel as the cursor
-//! approaches their bucket, so the far-future heap stays small and the
-//! hot path is array traffic instead of heap rebalancing.
+//! horizon appends to its bucket (O(1)); popping scans a bitmap for the
+//! next occupied bucket and drains it in `(time, seq)` order. Overflow
+//! events migrate into the wheel as the cursor approaches their bucket,
+//! so the far-future heap stays small and the hot path is array traffic
+//! instead of heap rebalancing.
+//!
+//! ## Arena bucket store
+//!
+//! Buckets do not own `Vec`s of events. Every pending in-horizon event
+//! lives in one reusable slab of slots (`Wheel::slots`), and a bucket is
+//! just a `(head, tail)` pair of `u32` slot indices forming an intrusive
+//! singly-linked chain through the slab. Pushing links a slot onto its
+//! bucket's tail; popping returns the slot to a freelist threaded through
+//! the same `next` fields. Steady-state push/pop therefore performs
+//! **zero allocation** — the slab and the drain buffer grow to the
+//! queue's high-water depth and are reused forever after.
+//!
+//! ## Bucket drains and same-instant fusion
+//!
+//! When the cursor first reaches an occupied bucket, its chain is
+//! *gathered* into a reusable drain buffer of `(time, seq, slot)` keys
+//! and sorted ascending once (a sortedness scan skips the sort for the
+//! common already-ordered chain — in particular any same-instant tie
+//! burst, which is chained in push order). Pops then walk the buffer
+//! with a cursor; a tie burst of N events pops as one contiguous scan.
+//!
+//! Events pushed *into the bucket being drained* (the executor's
+//! completion storms schedule millions of these) are not inserted into
+//! the sorted buffer. They are **fused into pending runs**: one `(time,
+//! head, tail)` chain per distinct timestamp, appended O(1), and merged
+//! against the drain buffer at pop. On a time tie the buffer wins — its
+//! events predate every pending push, so `(time, seq)` order is
+//! preserved exactly. This replaces the per-push binary-search insertion
+//! of the previous revision with an O(1) append plus an O(1) two-way
+//! merge step at pop.
 //!
 //! ## Bucket-width heuristic
 //!
-//! Each bucket spans `2^BUCKET_SHIFT` nanoseconds (currently 2^18 ns ≈
-//! 262 µs). That width sits between the executor's two natural time
+//! Each bucket spans `2^BUCKET_SHIFT` nanoseconds (currently 2^19 ns ≈
+//! 524 µs). That width sits between the executor's two natural time
 //! scales: per-batch CPU costs (tens of microseconds — so simultaneous
 //! and near-simultaneous completions share a bucket instead of
 //! scattering across thousands) and per-batch disk service times
 //! (milliseconds — so a pipeline window of in-flight reads spreads over
-//! many buckets instead of piling into one). The bucket count is a
-//! power of two sized from [`EventQueue::with_capacity`]'s hint
-//! (clamped to `[64, 65536]`, default 1024), putting the wheel horizon
-//! at `buckets × 262 µs` — e.g. ≈ 268 ms for the default — which covers
+//! many buckets instead of piling into one). Measured on the executor's
+//! cluster join, 2^19 beats both 2^18 and 2^20: a few events per bucket
+//! amortizes the bucket-transition scan without inflating the in-bucket
+//! sort. The bucket count is a power of two sized from
+//! [`EventQueue::with_capacity`]'s hint (clamped to `[64, 65536]`,
+//! default 1024), putting the wheel horizon at `buckets × 524 µs` —
+//! e.g. ≈ 537 ms for the default — which covers
 //! the scheduling distance of almost every event the executor produces;
 //! the rare longer-range event (a deeply queued disk or a saturated
 //! interconnect) takes the overflow heap and migrates back in.
 //!
-//! Events in one bucket are sorted **lazily**: a bucket is sorted
-//! (descending, so pops pop from the back) only when the cursor first
-//! reaches it, and same-time bursts inserted *into the current bucket*
-//! keep it sorted by binary-search insertion. Determinism is unchanged
-//! from the classic heap: ties fire in push order via the per-event
-//! sequence number, whatever mixture of bucket/overflow placements the
-//! events took. The reference [`QueueBackend::BinaryHeap`] backend is
-//! kept for differential testing and benchmarking.
+//! ## Sharded wheel
+//!
+//! [`QueueBackend::ShardedWheel`] partitions events over `shards`
+//! independent wheels by a caller-supplied key function (the executor
+//! shards by node group; see [`EventQueue::set_shard_fn`]). Sequence
+//! numbers stay global, and pop takes the exact `(time, seq)` argmin
+//! over per-shard cached heads, so the pop sequence — and therefore
+//! every simulation report — is **byte-identical** to the single-wheel
+//! and binary-heap backends for any shard count. The backend also
+//! carries a conservative *lookahead* bound ([`EventQueue::set_lookahead`],
+//! the minimum interconnect link latency): events a shard schedules for
+//! another shard always land at least that far in the future, which is
+//! the window a future multi-core driver may drain shards independently
+//! within. On a single-CPU host the deterministic merge is the
+//! deliverable. With `shards == 1` the backend delegates straight to
+//! its single wheel and the merge machinery costs <3% (in practice it
+//! measures at parity with the plain wheel). With multiple shards the
+//! exact cross-shard argmin requires refreshing a shard's cached head
+//! after every pop, which costs roughly 20–25% single-threaded — the
+//! price of keeping reports byte-identical while exposing the
+//! parallelism window.
+//!
+//! Determinism is unchanged from the classic heap: ties fire in push
+//! order via the per-event sequence number, whatever mixture of
+//! bucket/overflow placements the events took. The reference
+//! [`QueueBackend::BinaryHeap`] backend is kept for differential
+//! testing and benchmarking.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::time::SimTime;
+use crate::time::{Duration, SimTime};
 
-/// Log2 of the bucket width in nanoseconds (2^18 ns ≈ 262 µs).
-const BUCKET_SHIFT: u32 = 18;
+/// Log2 of the bucket width in nanoseconds (2^19 ns ≈ 524 µs).
+const BUCKET_SHIFT: u32 = 19;
 /// Bucket count when no capacity hint is given.
 const DEFAULT_BUCKETS: usize = 1024;
 /// Smallest allowed bucket count (one bitmap word).
 const MIN_BUCKETS: usize = 64;
-/// Largest allowed bucket count (16k buckets ≈ 4.3 s horizon).
+/// Largest allowed bucket count (64k buckets ≈ 17 s horizon).
 const MAX_BUCKETS: usize = 1 << 16;
+
+/// Null slot index terminating arena chains and the freelist.
+const NIL: u32 = u32::MAX;
+
+/// Bucket count for a capacity hint: next power of two, clamped, with
+/// the no-hint default of [`DEFAULT_BUCKETS`].
+fn nbuckets_for(capacity: usize) -> usize {
+    if capacity == 0 {
+        DEFAULT_BUCKETS
+    } else {
+        capacity.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS)
+    }
+}
 
 /// A pending event: fires at `time`, carrying `payload`.
 ///
@@ -88,46 +153,91 @@ impl<E> PartialOrd for Scheduled<E> {
 
 /// Which scheduler implementation an [`EventQueue`] runs on.
 ///
-/// Both backends produce byte-identical pop sequences; the wheel is the
+/// All backends produce byte-identical pop sequences; the wheel is the
 /// default, the heap is retained as the differential-testing and
-/// benchmarking reference.
+/// benchmarking reference, and the sharded wheel partitions events for a
+/// future multi-core driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueueBackend {
-    /// Calendar-queue / timing-wheel scheduler (the default).
+    /// Arena-backed calendar-queue / timing-wheel scheduler (the default).
     #[default]
     CalendarWheel,
     /// The classic binary-heap scheduler.
     BinaryHeap,
+    /// `shards` independent wheels with a deterministic `(time, seq)`
+    /// cross-shard merge at pop. See the module docs.
+    ShardedWheel {
+        /// Number of wheel partitions (at least 1).
+        shards: usize,
+    },
 }
 
-/// The calendar-wheel scheduler level structure.
+/// One slot of the arena slab: an event's key and payload plus the
+/// intrusive `next` link (bucket chain, pending run, or freelist).
+#[derive(Debug)]
+struct Slot<E> {
+    time: SimTime,
+    seq: u64,
+    next: u32,
+    payload: Option<E>,
+}
+
+/// A fused run of same-instant pushes into the bucket being drained:
+/// a chain of slots all scheduled for `time`, in push (= seq) order.
+#[derive(Debug)]
+struct Run {
+    time: SimTime,
+    head: u32,
+    tail: u32,
+}
+
+/// The arena-backed calendar-wheel scheduler level structure.
 #[derive(Debug)]
 struct Wheel<E> {
-    /// Power-of-two circular bucket array; slot = `abs & (len - 1)` where
-    /// `abs = time_ns >> BUCKET_SHIFT`.
-    buckets: Vec<Vec<Scheduled<E>>>,
-    /// One bit per bucket: set iff the bucket is non-empty.
+    /// The arena slab holding every in-horizon event.
+    slots: Vec<Slot<E>>,
+    /// Freelist head threaded through `Slot::next` (`NIL` = empty).
+    free: u32,
+    /// Per-bucket chain heads; slot = `abs & (len - 1)` where
+    /// `abs = time_ns >> BUCKET_SHIFT`. `NIL` = empty.
+    heads: Vec<u32>,
+    /// Per-bucket chain tails (`NIL` = empty).
+    tails: Vec<u32>,
+    /// One bit per bucket: set iff the bucket holds events.
     occupied: Vec<u64>,
     /// Events currently held in buckets (excludes overflow).
     count: usize,
     /// Absolute bucket index of the wheel's current position. Invariant:
-    /// every bucketed event has `abs` in `[cursor, cursor + buckets.len())`.
+    /// every bucketed event has `abs` in `[cursor, cursor + nbuckets)`.
     cursor: u64,
-    /// Whether the cursor's bucket is sorted descending by `(time, seq)`.
-    cur_sorted: bool,
+    /// Whether `drain_buf`/`pending` describe the cursor's bucket.
+    draining: bool,
+    /// The gathered `(time, seq, slot)` keys of the bucket being
+    /// drained, ascending; `pos` is the next entry to pop.
+    drain_buf: Vec<(SimTime, u64, u32)>,
+    pos: usize,
+    /// Same-instant runs pushed into the bucket being drained, sorted
+    /// ascending by time (a handful of distinct timestamps at most).
+    pending: Vec<Run>,
     /// Far-future events beyond the wheel horizon, earliest-first.
     overflow: BinaryHeap<Scheduled<E>>,
 }
 
 impl<E> Wheel<E> {
-    fn with_buckets(nbuckets: usize, reserve: usize) -> Self {
+    fn with_buckets(nbuckets: usize, slot_capacity: usize) -> Self {
         debug_assert!(nbuckets.is_power_of_two() && nbuckets >= MIN_BUCKETS);
         Wheel {
-            buckets: (0..nbuckets).map(|_| Vec::with_capacity(reserve)).collect(),
+            slots: Vec::with_capacity(slot_capacity),
+            free: NIL,
+            heads: vec![NIL; nbuckets],
+            tails: vec![NIL; nbuckets],
             occupied: vec![0u64; nbuckets / 64],
             count: 0,
             cursor: 0,
-            cur_sorted: false,
+            draining: false,
+            drain_buf: Vec::with_capacity(slot_capacity),
+            pos: 0,
+            pending: Vec::new(),
             overflow: BinaryHeap::new(),
         }
     }
@@ -137,7 +247,7 @@ impl<E> Wheel<E> {
     }
 
     fn nbuckets(&self) -> u64 {
-        self.buckets.len() as u64
+        self.heads.len() as u64
     }
 
     fn mask(&self) -> u64 {
@@ -148,28 +258,84 @@ impl<E> Wheel<E> {
         self.count + self.overflow.len()
     }
 
+    /// Takes a slot from the freelist, or grows the slab.
+    fn alloc(&mut self, time: SimTime, seq: u64, payload: E) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let s = &mut self.slots[idx as usize];
+            self.free = s.next;
+            s.time = time;
+            s.seq = seq;
+            s.next = NIL;
+            s.payload = Some(payload);
+            idx
+        } else {
+            let idx = self.slots.len();
+            assert!(idx < NIL as usize, "event arena exhausted u32 indices");
+            self.slots.push(Slot {
+                time,
+                seq,
+                next: NIL,
+                payload: Some(payload),
+            });
+            idx as u32
+        }
+    }
+
+    /// Returns a slot's contents and links it onto the freelist.
+    fn release(&mut self, idx: u32) -> Scheduled<E> {
+        let s = &mut self.slots[idx as usize];
+        let time = s.time;
+        let seq = s.seq;
+        let payload = s.payload.take().expect("live arena slot");
+        s.next = self.free;
+        self.free = idx;
+        Scheduled { time, seq, payload }
+    }
+
     fn push(&mut self, ev: Scheduled<E>) {
         let abs = Self::abs_of(ev.time);
         if abs >= self.cursor + self.nbuckets() {
             self.overflow.push(ev);
         } else {
             debug_assert!(abs >= self.cursor, "bucketed event behind the cursor");
-            self.place(ev, abs);
+            self.place(ev.time, ev.seq, ev.payload, abs);
         }
     }
 
-    /// Puts an in-horizon event into its bucket, keeping the cursor's
-    /// bucket sorted if it already is.
-    fn place(&mut self, ev: Scheduled<E>, abs: u64) {
+    /// Puts an in-horizon event into its bucket chain, or — for pushes
+    /// into the bucket currently being drained — fuses it into the
+    /// pending runs.
+    fn place(&mut self, time: SimTime, seq: u64, payload: E, abs: u64) {
+        let idx = self.alloc(time, seq, payload);
         let slot = (abs & self.mask()) as usize;
-        let bucket = &mut self.buckets[slot];
-        if abs == self.cursor && self.cur_sorted {
-            // Descending order: later (time, seq) first, pops from the back.
-            let key = (ev.time, ev.seq);
-            let pos = bucket.partition_point(|s| (s.time, s.seq) > key);
-            bucket.insert(pos, ev);
+        if abs == self.cursor && self.draining {
+            // Same-instant fusion: O(1) append to the run for this
+            // timestamp. Chains are in push order, which is seq order —
+            // the global sequence counter is monotonic.
+            match self.pending.binary_search_by_key(&time, |r| r.time) {
+                Ok(i) => {
+                    let tail = self.pending[i].tail;
+                    self.slots[tail as usize].next = idx;
+                    self.pending[i].tail = idx;
+                }
+                Err(i) => self.pending.insert(
+                    i,
+                    Run {
+                        time,
+                        head: idx,
+                        tail: idx,
+                    },
+                ),
+            }
         } else {
-            bucket.push(ev);
+            let tail = self.tails[slot];
+            if tail == NIL {
+                self.heads[slot] = idx;
+            } else {
+                self.slots[tail as usize].next = idx;
+            }
+            self.tails[slot] = idx;
         }
         self.occupied[slot >> 6] |= 1 << (slot & 63);
         self.count += 1;
@@ -178,6 +344,11 @@ impl<E> Wheel<E> {
     /// Moves overflow events whose bucket entered the horizon into the
     /// wheel. Must run before any pop selection: an overflow event can be
     /// earlier than every bucketed one.
+    ///
+    /// Migration can never target the bucket being drained: by the time a
+    /// bucket is gathered, every overflow event destined for it has
+    /// already migrated (the pop that advanced the cursor onto the bucket
+    /// ran `migrate` first, and its horizon covered the bucket).
     fn migrate(&mut self) {
         let horizon = self.cursor + self.nbuckets();
         while let Some(top) = self.overflow.peek() {
@@ -185,8 +356,12 @@ impl<E> Wheel<E> {
             if abs >= horizon {
                 break;
             }
+            debug_assert!(
+                !(self.draining && abs == self.cursor),
+                "overflow migration into a bucket mid-drain"
+            );
             let ev = self.overflow.pop().expect("peeked entry");
-            self.place(ev, abs);
+            self.place(ev.time, ev.seq, ev.payload, abs);
         }
     }
 
@@ -218,57 +393,233 @@ impl<E> Wheel<E> {
         self.cursor + ((slot as u64).wrapping_sub(self.cursor) & self.mask())
     }
 
+    /// Gathers a bucket's chain into the drain buffer, sorting ascending
+    /// by `(time, seq)` unless the chain is already ordered (direct
+    /// pushes are — seq is monotonic; only an interleaved overflow
+    /// migration can weave an older seq behind a newer one).
+    fn gather(&mut self, slot: usize) {
+        debug_assert!(self.pos == self.drain_buf.len() && self.pending.is_empty());
+        self.drain_buf.clear();
+        self.pos = 0;
+        let mut h = self.heads[slot];
+        let mut sorted = true;
+        let mut prev = (SimTime::ZERO, 0u64);
+        while h != NIL {
+            let s = &self.slots[h as usize];
+            let key = (s.time, s.seq);
+            sorted &= key >= prev;
+            prev = key;
+            self.drain_buf.push((s.time, s.seq, h));
+            h = s.next;
+        }
+        if !sorted {
+            self.drain_buf.sort_unstable_by_key(|&(t, q, _)| (t, q));
+        }
+        self.heads[slot] = NIL;
+        self.tails[slot] = NIL;
+        self.draining = true;
+    }
+
+    /// Pops the earliest event of the bucket being drained: a two-way
+    /// merge of the sorted drain buffer against the fused pending runs.
+    /// On a time tie the buffer wins — its events predate every pending
+    /// push, so they carry older seqs.
+    fn pop_current(&mut self) -> Scheduled<E> {
+        let buf = self.drain_buf.get(self.pos).copied();
+        let idx = match (buf, self.pending.first().map(|r| r.time)) {
+            (Some((bt, _, _)), Some(pt)) if pt < bt => self.pop_pending(),
+            (Some((_, _, idx)), _) => {
+                self.pos += 1;
+                idx
+            }
+            (None, Some(_)) => self.pop_pending(),
+            (None, None) => unreachable!("occupied bucket with no drain state"),
+        };
+        self.count -= 1;
+        if self.pos == self.drain_buf.len() && self.pending.is_empty() {
+            let slot = (self.cursor & self.mask()) as usize;
+            self.occupied[slot >> 6] &= !(1 << (slot & 63));
+        }
+        self.release(idx)
+    }
+
+    /// Unlinks the head of the earliest pending run.
+    fn pop_pending(&mut self) -> u32 {
+        let run = &mut self.pending[0];
+        let idx = run.head;
+        let next = self.slots[idx as usize].next;
+        if next == NIL {
+            self.pending.remove(0);
+        } else {
+            run.head = next;
+        }
+        idx
+    }
+
     fn pop(&mut self) -> Option<Scheduled<E>> {
+        // Fast path: the bucket being drained still holds events. They
+        // all precede every other bucket (later `abs`) and every
+        // overflow event (beyond some past horizon ≥ cursor + 1), so no
+        // bitmap scan or migration check is needed.
+        if self.draining && (self.pos < self.drain_buf.len() || !self.pending.is_empty()) {
+            return Some(self.pop_current());
+        }
         if self.count == 0 {
             // Wheel empty: jump the cursor to the overflow's earliest
             // bucket so migration can land it.
             let abs = Self::abs_of(self.overflow.peek()?.time);
             self.cursor = abs;
-            self.cur_sorted = false;
+            self.draining = false;
         }
         self.migrate();
         let slot = self.next_occupied().expect("wheel holds events");
-        let abs = self.abs_at(slot);
-        if abs != self.cursor || !self.cur_sorted {
-            // First touch of this bucket: advance and lazily sort it
-            // descending so pops come off the back in (time, seq) order.
-            self.cursor = abs;
-            self.buckets[slot].sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
-            self.cur_sorted = true;
-        }
-        let bucket = &mut self.buckets[slot];
-        let ev = bucket.pop().expect("occupied bucket");
-        self.count -= 1;
-        if bucket.is_empty() {
-            self.occupied[slot >> 6] &= !(1 << (slot & 63));
-        }
-        Some(ev)
+        self.cursor = self.abs_at(slot);
+        self.gather(slot);
+        Some(self.pop_current())
     }
 
-    fn peek_time(&self) -> Option<SimTime> {
-        let wheel = if self.count > 0 {
-            let slot = self.next_occupied().expect("wheel holds events");
-            let bucket = &self.buckets[slot];
-            if self.abs_at(slot) == self.cursor && self.cur_sorted {
-                bucket.last().map(|s| s.time)
-            } else {
-                bucket.iter().map(|s| s.time).min()
+    /// The `(time, seq)` key of the earliest pending event, without
+    /// mutating the wheel (the cursor must only advance on actual pops:
+    /// it pins the legal range of future pushes).
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        // Fast path, mirroring `pop`: live drain state precedes every
+        // other bucket and every overflow event, so no bitmap scan or
+        // overflow comparison is needed.
+        if self.draining {
+            let buf = self.drain_buf.get(self.pos).map(|&(t, q, _)| (t, q));
+            let pend = self
+                .pending
+                .first()
+                .map(|r| (r.time, self.slots[r.head as usize].seq));
+            match (buf, pend) {
+                // Buffer wins time ties (older seqs), as in pop.
+                (Some(b), Some(p)) => return Some(if p.0 < b.0 { p } else { b }),
+                (None, Some(p)) => return Some(p),
+                (Some(b), None) => return Some(b),
+                (None, None) => {}
             }
+        }
+        let bucket = if self.count > 0 {
+            // Untouched bucket: min-scan its chain.
+            let slot = self.next_occupied().expect("wheel holds events");
+            let mut h = self.heads[slot];
+            let mut best: Option<(SimTime, u64)> = None;
+            while h != NIL {
+                let s = &self.slots[h as usize];
+                let key = (s.time, s.seq);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+                h = s.next;
+            }
+            best
         } else {
             None
         };
-        // An overflow event just outside a stale horizon can precede every
-        // bucketed one, so always compare against the overflow top.
-        let over = self.overflow.peek().map(|s| s.time);
-        match (wheel, over) {
+        // An overflow event just outside a stale horizon can precede
+        // every bucketed one, so always compare against the overflow top.
+        let over = self.overflow.peek().map(|s| (s.time, s.seq));
+        match (bucket, over) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
     }
 
+    fn peek_time(&self) -> Option<SimTime> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
     /// Events the wheel can hold without any allocation growing.
     fn capacity(&self) -> usize {
-        self.buckets.iter().map(Vec::capacity).sum::<usize>() + self.overflow.capacity()
+        self.slots.capacity() + self.overflow.capacity()
+    }
+}
+
+/// The sharded-wheel backend: independent wheels merged at pop by exact
+/// `(time, seq)` argmin over cached per-shard heads.
+#[derive(Debug)]
+struct Sharded<E> {
+    wheels: Vec<Wheel<E>>,
+    /// `heads[i]` is exactly `wheels[i].peek_key()` at all times: pushes
+    /// min-update it in O(1), pops recompute the popped shard's entry.
+    heads: Vec<Option<(SimTime, u64)>>,
+    shard_of: fn(&E) -> usize,
+    /// Conservative lookahead for a future multi-core driver: cross-shard
+    /// events always land at least this far ahead of the sender's clock
+    /// (the minimum interconnect link latency). Purely descriptive today.
+    lookahead: Duration,
+}
+
+/// Default shard extractor: everything on shard 0.
+fn shard_zero<E>(_: &E) -> usize {
+    0
+}
+
+impl<E> Sharded<E> {
+    fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards >= 1, "sharded wheel needs at least one shard");
+        let per = capacity.div_ceil(shards);
+        // Slot arenas split the capacity hint, but every shard keeps the
+        // full bucket count: shards see the same time range as a single
+        // wheel, so a narrower horizon would only push events into the
+        // overflow heap without saving meaningful memory (buckets are two
+        // u32s each).
+        let nbuckets = nbuckets_for(capacity);
+        Sharded {
+            wheels: (0..shards)
+                .map(|_| Wheel::with_buckets(nbuckets, per))
+                .collect(),
+            heads: vec![None; shards],
+            shard_of: shard_zero::<E>,
+            lookahead: Duration::ZERO,
+        }
+    }
+
+    fn push(&mut self, ev: Scheduled<E>) {
+        // One shard needs no merge bookkeeping: the wheel IS the queue.
+        if self.wheels.len() == 1 {
+            self.wheels[0].push(ev);
+            return;
+        }
+        let i = (self.shard_of)(&ev.payload) % self.wheels.len();
+        let key = (ev.time, ev.seq);
+        self.wheels[i].push(ev);
+        if self.heads[i].is_none_or(|h| key < h) {
+            self.heads[i] = Some(key);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        if self.wheels.len() == 1 {
+            return self.wheels[0].pop();
+        }
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some(k) = *head {
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        let (i, _) = best?;
+        let ev = self.wheels[i].pop().expect("cached head exists");
+        self.heads[i] = self.wheels[i].peek_key();
+        Some(ev)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        if self.wheels.len() == 1 {
+            return self.wheels[0].peek_time();
+        }
+        self.heads.iter().flatten().min().map(|&(t, _)| t)
+    }
+
+    fn len(&self) -> usize {
+        self.wheels.iter().map(Wheel::len).sum()
+    }
+
+    fn capacity(&self) -> usize {
+        self.wheels.iter().map(Wheel::capacity).sum()
     }
 }
 
@@ -277,6 +628,7 @@ impl<E> Wheel<E> {
 enum Backend<E> {
     Wheel(Wheel<E>),
     Heap(BinaryHeap<Scheduled<E>>),
+    Sharded(Sharded<E>),
 }
 
 /// A discrete-event queue ordered by simulated time.
@@ -315,26 +667,17 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue on an explicit backend.
     pub fn with_backend(backend: QueueBackend) -> Self {
-        let backend = match backend {
-            QueueBackend::CalendarWheel => Backend::Wheel(Wheel::with_buckets(DEFAULT_BUCKETS, 0)),
-            QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::new()),
-        };
-        EventQueue {
-            backend,
-            next_seq: 0,
-            popped: 0,
-            last_popped: SimTime::ZERO,
-        }
+        Self::with_backend_capacity(backend, 0)
     }
 
     /// Creates an empty queue with room for `capacity` pending events.
     ///
     /// Event-loop hot paths (one simulation pushes millions of events)
     /// pre-size the queue to its steady-state depth so the backing
-    /// buffers never reallocate mid-run. On the wheel backend the hint
+    /// buffers never reallocate mid-run. On the wheel backends the hint
     /// sizes the bucket array (next power of two, clamped to
     /// `[64, 65536]` — see the module comment for the width heuristic)
-    /// and pre-reserves each bucket and the overflow heap.
+    /// and pre-reserves the arena slab, drain buffer, and overflow heap.
     pub fn with_capacity(capacity: usize) -> Self {
         Self::with_backend_capacity(QueueBackend::default(), capacity)
     }
@@ -343,15 +686,15 @@ impl<E> EventQueue<E> {
     pub fn with_backend_capacity(backend: QueueBackend, capacity: usize) -> Self {
         let backend = match backend {
             QueueBackend::CalendarWheel => {
-                let nbuckets = capacity.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
-                // Room for the steady-state depth even if it bunches up at
-                // a couple of events per bucket.
-                let reserve = (capacity / nbuckets) + 1;
-                let mut wheel = Wheel::with_buckets(nbuckets, reserve);
+                let nbuckets = nbuckets_for(capacity);
+                let mut wheel = Wheel::with_buckets(nbuckets, capacity);
                 wheel.overflow.reserve(capacity);
                 Backend::Wheel(wheel)
             }
             QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::with_capacity(capacity)),
+            QueueBackend::ShardedWheel { shards } => {
+                Backend::Sharded(Sharded::new(shards, capacity))
+            }
         };
         EventQueue {
             backend,
@@ -366,15 +709,63 @@ impl<E> EventQueue<E> {
         match &self.backend {
             Backend::Wheel(_) => QueueBackend::CalendarWheel,
             Backend::Heap(_) => QueueBackend::BinaryHeap,
+            Backend::Sharded(s) => QueueBackend::ShardedWheel {
+                shards: s.wheels.len(),
+            },
+        }
+    }
+
+    /// Number of shard partitions (1 on the unsharded backends).
+    pub fn shards(&self) -> usize {
+        match &self.backend {
+            Backend::Sharded(s) => s.wheels.len(),
+            _ => 1,
+        }
+    }
+
+    /// Sets the shard key function on the sharded backend (events map to
+    /// shard `f(&payload) % shards`). A no-op on other backends. Shard
+    /// placement never affects the pop order — sequence numbers are
+    /// global and the cross-shard merge is an exact `(time, seq)` argmin
+    /// — but a placement-coherent key is what would let a future
+    /// multi-core driver run shards in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue already holds events (their placement would
+    /// be inconsistent with the new key).
+    pub fn set_shard_fn(&mut self, f: fn(&E) -> usize) {
+        let empty = self.is_empty();
+        if let Backend::Sharded(s) = &mut self.backend {
+            assert!(empty, "shard key must be set while the queue is empty");
+            s.shard_of = f;
+        }
+    }
+
+    /// Records the conservative lookahead bound on the sharded backend
+    /// (the minimum interconnect link latency; see the module docs). A
+    /// no-op on other backends.
+    pub fn set_lookahead(&mut self, lookahead: Duration) {
+        if let Backend::Sharded(s) = &mut self.backend {
+            s.lookahead = lookahead;
+        }
+    }
+
+    /// The sharded backend's lookahead bound, if any.
+    pub fn lookahead(&self) -> Option<Duration> {
+        match &self.backend {
+            Backend::Sharded(s) => Some(s.lookahead),
+            _ => None,
         }
     }
 
     /// Number of events the queue can hold without reallocating (summed
-    /// over the wheel's buckets and overflow level on the wheel backend).
+    /// over the arena slab and overflow level on the wheel backends).
     pub fn capacity(&self) -> usize {
         match &self.backend {
             Backend::Wheel(w) => w.capacity(),
             Backend::Heap(h) => h.capacity(),
+            Backend::Sharded(s) => s.capacity(),
         }
     }
 
@@ -398,6 +789,29 @@ impl<E> EventQueue<E> {
         match &mut self.backend {
             Backend::Wheel(w) => w.push(ev),
             Backend::Heap(h) => h.push(ev),
+            Backend::Sharded(s) => s.push(ev),
+        }
+    }
+
+    /// Schedules a batch of events in order (the executor's phase
+    /// fan-out primes every node's pipeline window in one burst). Each
+    /// element behaves exactly like an individual [`EventQueue::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event's time is earlier than the last popped event.
+    pub fn push_many<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let iter = batch.into_iter();
+        if let (_, Some(hint)) = (iter.size_hint().0, iter.size_hint().1) {
+            if let Backend::Heap(h) = &mut self.backend {
+                h.reserve(hint);
+            }
+        }
+        for (time, payload) in iter {
+            self.push(time, payload);
         }
     }
 
@@ -406,6 +820,7 @@ impl<E> EventQueue<E> {
         let ev = match &mut self.backend {
             Backend::Wheel(w) => w.pop()?,
             Backend::Heap(h) => h.pop()?,
+            Backend::Sharded(s) => s.pop()?,
         };
         self.popped += 1;
         self.last_popped = ev.time;
@@ -443,6 +858,7 @@ impl<E> EventQueue<E> {
         match &self.backend {
             Backend::Wheel(w) => w.peek_time(),
             Backend::Heap(h) => h.peek().map(|s| s.time),
+            Backend::Sharded(s) => s.peek_time(),
         }
     }
 
@@ -451,6 +867,7 @@ impl<E> EventQueue<E> {
         match &self.backend {
             Backend::Wheel(w) => w.len(),
             Backend::Heap(h) => h.len(),
+            Backend::Sharded(s) => s.len(),
         }
     }
 
@@ -492,12 +909,29 @@ mod tests {
     use crate::rng::SplitMix64;
     use proptest::prelude::*;
 
-    const BACKENDS: [QueueBackend; 2] = [QueueBackend::CalendarWheel, QueueBackend::BinaryHeap];
+    const BACKENDS: [QueueBackend; 4] = [
+        QueueBackend::CalendarWheel,
+        QueueBackend::BinaryHeap,
+        QueueBackend::ShardedWheel { shards: 1 },
+        QueueBackend::ShardedWheel { shards: 4 },
+    ];
+
+    /// Scatter u64 payloads over shards so multi-shard merges are
+    /// actually exercised in the generic tests.
+    fn shard_by_value(e: &u64) -> usize {
+        (*e % 7) as usize
+    }
+
+    fn queue_u64(backend: QueueBackend) -> EventQueue<u64> {
+        let mut q = EventQueue::with_backend(backend);
+        q.set_shard_fn(shard_by_value);
+        q
+    }
 
     #[test]
     fn pops_in_time_order() {
         for backend in BACKENDS {
-            let mut q = EventQueue::with_backend(backend);
+            let mut q = queue_u64(backend);
             for &t in &[50u64, 10, 30, 20, 40] {
                 q.push(SimTime::from_nanos(t), t);
             }
@@ -510,6 +944,7 @@ mod tests {
     fn ties_break_fifo() {
         for backend in BACKENDS {
             let mut q = EventQueue::with_backend(backend);
+            q.set_shard_fn(|e: &u32| (*e % 3) as usize);
             for i in 0..100 {
                 q.push(SimTime::from_nanos(7), i);
             }
@@ -588,8 +1023,8 @@ mod tests {
     #[test]
     fn with_capacity_presizes_and_behaves_like_new() {
         // The hint sizes the wheel's bucket array and pre-reserves the
-        // buckets: a steady-state load spread across the horizon must not
-        // grow any allocation.
+        // arena slab: a steady-state load spread across the horizon must
+        // not grow any allocation.
         let mut q = EventQueue::with_capacity(64);
         assert!(q.capacity() >= 64);
         let before = q.capacity();
@@ -652,33 +1087,178 @@ mod tests {
         assert_eq!(q.drain().count(), 10);
     }
 
-    /// Drives a wheel and a heap queue with the same operation sequence
-    /// and asserts identical observable behavior at every step.
+    #[test]
+    fn push_many_matches_individual_pushes() {
+        for backend in BACKENDS {
+            let mut a = queue_u64(backend);
+            let mut b = queue_u64(backend);
+            let batch: Vec<(SimTime, u64)> = (0..50)
+                .map(|i| (SimTime::from_nanos((i * 37) % 13), i))
+                .collect();
+            for &(t, e) in &batch {
+                a.push(t, e);
+            }
+            b.push_many(batch);
+            let va: Vec<_> = a.drain().collect();
+            let vb: Vec<_> = b.drain().collect();
+            assert_eq!(va, vb, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_reports_shards_and_lookahead() {
+        let mut q: EventQueue<u64> =
+            EventQueue::with_backend(QueueBackend::ShardedWheel { shards: 4 });
+        assert_eq!(q.shards(), 4);
+        assert_eq!(q.lookahead(), Some(Duration::ZERO));
+        q.set_lookahead(Duration::from_micros(10));
+        assert_eq!(q.lookahead(), Some(Duration::from_micros(10)));
+        assert_eq!(
+            q.backend(),
+            QueueBackend::ShardedWheel { shards: 4 },
+            "backend round-trips shard count"
+        );
+        let plain: EventQueue<u64> = EventQueue::new();
+        assert_eq!(plain.shards(), 1);
+        assert_eq!(plain.lookahead(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "while the queue is empty")]
+    fn shard_fn_rejected_once_events_exist() {
+        let mut q: EventQueue<u64> =
+            EventQueue::with_backend(QueueBackend::ShardedWheel { shards: 2 });
+        q.push(SimTime::from_nanos(1), 1);
+        q.set_shard_fn(shard_by_value);
+    }
+
+    // ----- Wheel edge cases -------------------------------------------
+
+    /// An event exactly on the overflow-horizon boundary
+    /// (`abs == cursor + nbuckets`) must take the overflow heap, and one
+    /// just inside must take a bucket; both pop in global order.
+    #[test]
+    fn horizon_boundary_event_splits_correctly() {
+        let mut q: EventQueue<u32> = EventQueue::with_backend(QueueBackend::CalendarWheel);
+        let edge_in = SimTime::from_nanos(((DEFAULT_BUCKETS as u64) << super::BUCKET_SHIFT) - 1);
+        let edge_out = SimTime::from_nanos((DEFAULT_BUCKETS as u64) << super::BUCKET_SHIFT);
+        q.push(edge_out, 2);
+        q.push(edge_in, 1);
+        q.push(SimTime::ZERO, 0);
+        assert_eq!(q.len(), 3);
+        let out: Vec<(SimTime, u32)> = q.drain().collect();
+        assert_eq!(out, vec![(SimTime::ZERO, 0), (edge_in, 1), (edge_out, 2)]);
+    }
+
+    /// Cursor wrap-around with a fully set bitmap word: the smallest
+    /// wheel (64 buckets = one word), every bucket occupied, then pushes
+    /// that wrap physically behind the cursor's slot while staying ahead
+    /// of it in absolute time.
+    #[test]
+    fn cursor_wraps_through_full_bitmap_word() {
+        let mut q: EventQueue<u64> =
+            EventQueue::with_backend_capacity(QueueBackend::CalendarWheel, 64);
+        for i in 0..64u64 {
+            q.push(SimTime::from_nanos(i << super::BUCKET_SHIFT), i);
+        }
+        // Pop the first 10 buckets, then refill the wrapped slots: abs
+        // 64..74 map to physical slots 0..10, behind the cursor slot.
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            out.push(q.pop().unwrap().1);
+        }
+        for i in 64..74u64 {
+            q.push(SimTime::from_nanos(i << super::BUCKET_SHIFT), i);
+        }
+        out.extend(q.drain().map(|(_, e)| e));
+        let expected: Vec<u64> = (0..74).collect();
+        assert_eq!(out, expected);
+    }
+
+    /// Overflow migration racing a same-time in-bucket insertion: a
+    /// far-future event migrates into a bucket that already holds a
+    /// *newer-seq* event at the same instant. The gather sort must
+    /// restore seq order (the chain alone is not sorted).
+    #[test]
+    fn migration_races_same_time_insertion() {
+        let mut q: EventQueue<u32> = EventQueue::with_backend(QueueBackend::CalendarWheel);
+        let t = SimTime::from_nanos((DEFAULT_BUCKETS as u64 + 5) << super::BUCKET_SHIFT);
+        q.push(t, 0); // beyond horizon: overflow (seq 0)
+        q.push(SimTime::from_nanos(1), 99);
+        // Advancing past the near event pulls the horizon forward.
+        assert_eq!(q.pop().map(|(_, e)| e), Some(99));
+        // Now `t` is within the horizon: this lands in the bucket chain
+        // directly (seq 2), while seq 0 is still in overflow until the
+        // next pop migrates it — behind seq 2 in the chain.
+        q.push(t, 1);
+        let rest: Vec<u32> = q.drain().map(|(_, e)| e).collect();
+        assert_eq!(rest, vec![0, 1], "older seq must still pop first");
+    }
+
+    /// Pushes into the current bucket mid-drain of a tie burst: the
+    /// burst's remainder (older seqs) fires first, then the fused
+    /// same-instant pushes in their own push order, then later times.
+    #[test]
+    fn push_into_current_bucket_during_tie_burst_drain() {
+        let mut q: EventQueue<u32> = EventQueue::with_backend(QueueBackend::CalendarWheel);
+        let t = SimTime::from_nanos(1_000);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            out.push(q.pop().unwrap().1);
+        }
+        // Mid-drain pushes: same instant (fused runs), plus a later time
+        // in the same bucket.
+        let t2 = SimTime::from_nanos(2_000);
+        q.push(t2, 300);
+        for i in 100..120 {
+            q.push(t, i);
+        }
+        q.push(t2, 301);
+        out.extend(q.drain().map(|(_, e)| e));
+        let mut expected: Vec<u32> = (0..120).collect();
+        expected.extend([300, 301]);
+        assert_eq!(out, expected);
+    }
+
+    /// Drives every backend pair with the same operation sequence and
+    /// asserts identical observable behavior at every step.
     fn differential(ops: &[(u8, u64)]) {
-        let mut wheel: EventQueue<u64> = EventQueue::with_backend(QueueBackend::CalendarWheel);
-        let mut heap: EventQueue<u64> = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut queues: Vec<EventQueue<u64>> = BACKENDS.iter().map(|&b| queue_u64(b)).collect();
         let mut payload = 0u64;
         for &(op, t) in ops {
             if op % 3 != 0 {
                 // Push twice as often as popping so the queues fill up.
-                let time = wheel.now() + crate::time::Duration::from_nanos(t);
-                wheel.push(time, payload);
-                heap.push(time, payload);
+                let time = queues[0].now() + crate::time::Duration::from_nanos(t);
+                for q in &mut queues {
+                    q.push(time, payload);
+                }
                 payload += 1;
             } else {
-                assert_eq!(wheel.pop(), heap.pop());
+                let expect = queues[0].pop();
+                for q in &mut queues[1..] {
+                    assert_eq!(q.pop(), expect);
+                }
             }
-            assert_eq!(wheel.peek_time(), heap.peek_time());
-            assert_eq!(wheel.len(), heap.len());
-            assert_eq!(wheel.now(), heap.now());
+            let (peek, len, now) = (queues[0].peek_time(), queues[0].len(), queues[0].now());
+            for q in &queues[1..] {
+                assert_eq!(q.peek_time(), peek);
+                assert_eq!(q.len(), len);
+                assert_eq!(q.now(), now);
+            }
         }
-        // Conservation: both queues drain the same residue, and every
+        // Conservation: every backend drains the same residue, and every
         // pushed payload was popped exactly once across the run.
-        let rest_w: Vec<(SimTime, u64)> = wheel.drain().collect();
-        let rest_h: Vec<(SimTime, u64)> = heap.drain().collect();
-        assert_eq!(rest_w, rest_h);
-        assert_eq!(wheel.popped(), heap.popped());
-        assert_eq!(wheel.popped(), payload);
+        let rest: Vec<Vec<(SimTime, u64)>> =
+            queues.iter_mut().map(|q| q.drain().collect()).collect();
+        for r in &rest[1..] {
+            assert_eq!(r, &rest[0]);
+        }
+        for q in &queues {
+            assert_eq!(q.popped(), payload);
+        }
     }
 
     #[test]
@@ -704,7 +1284,7 @@ mod tests {
         #[test]
         fn prop_pop_order_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
             for backend in BACKENDS {
-                let mut q = EventQueue::with_backend(backend);
+                let mut q = queue_u64(backend);
                 for &t in &times {
                     q.push(SimTime::from_nanos(t), t);
                 }
@@ -721,6 +1301,7 @@ mod tests {
         fn prop_conservation(times in proptest::collection::vec(0u64..1_000, 0..100)) {
             for backend in BACKENDS {
                 let mut q = EventQueue::with_backend(backend);
+                q.set_shard_fn(|e: &usize| e % 5);
                 for (i, &t) in times.iter().enumerate() {
                     q.push(SimTime::from_nanos(t), i);
                 }
@@ -733,7 +1314,8 @@ mod tests {
 
         /// Differential: random interleaved push/pop workloads produce
         /// identical pop sequences (order, FIFO ties, and conservation)
-        /// on the wheel and the reference heap.
+        /// on every backend — the arena wheel and both shard counts
+        /// against the reference heap.
         #[test]
         fn prop_wheel_matches_heap(seed in 0u64..400) {
             let mut rng = SplitMix64::new(seed);

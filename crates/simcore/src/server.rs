@@ -66,6 +66,7 @@ impl FifoServer {
 
     /// Offers a job at time `now` requiring `service` time, accounted under
     /// `tag`. Returns when the job starts and completes.
+    #[inline]
     pub fn offer(&mut self, now: SimTime, service: Duration, tag: &'static str) -> Grant {
         let start = now.max(self.free_at);
         let end = start + service;
@@ -76,14 +77,54 @@ impl FifoServer {
         Grant { start, end }
     }
 
+    /// Offers a run of back-to-back jobs, each accounted under its own
+    /// tag. Bit-identical with offering the parts one at a time at `now`:
+    /// the first part starts at `max(now, free_at)`, the rest queue
+    /// immediately behind it. The returned grant spans the whole run.
+    /// An empty run leaves the server untouched.
+    pub fn offer_run(
+        &mut self,
+        now: SimTime,
+        parts: impl IntoIterator<Item = (Duration, &'static str)>,
+    ) -> Grant {
+        let start = now.max(self.free_at);
+        let mut end = start;
+        let mut any = false;
+        for (service, tag) in parts {
+            any = true;
+            end += service;
+            self.busy_total += service;
+            self.charge_tag(tag, service);
+            self.jobs += 1;
+        }
+        if any {
+            self.free_at = end;
+        }
+        Grant { start, end }
+    }
+
+    #[inline]
     fn charge_tag(&mut self, tag: &'static str, service: Duration) {
         if let Some(&mut (t, ref mut d)) = self.busy_by_tag.get_mut(self.last_tag) {
             // Static tags are almost always the same literal, so pointer
             // identity settles the common case without a comparison walk.
-            if std::ptr::eq(t, tag) || t == tag {
+            if std::ptr::eq(t, tag) {
                 *d += service;
                 return;
             }
+        }
+        // Tags are interned literals, so pointer identity also finds
+        // entries charged under a different tag last time; the
+        // content-comparing search below only runs the first time a
+        // distinct literal address shows up.
+        if let Some(i) = self
+            .busy_by_tag
+            .iter()
+            .position(|&(t, _)| std::ptr::eq(t, tag))
+        {
+            self.busy_by_tag[i].1 += service;
+            self.last_tag = i;
+            return;
         }
         match self.busy_by_tag.binary_search_by(|&(t, _)| t.cmp(tag)) {
             Ok(i) => {

@@ -37,11 +37,13 @@ impl SimTime {
     pub const ZERO: SimTime = SimTime(0);
 
     /// Constructs a time from raw nanoseconds.
+    #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)
     }
 
     /// Raw nanoseconds since simulation start.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
@@ -52,12 +54,14 @@ impl SimTime {
     }
 
     /// Seconds since simulation start, as a float (for reporting).
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
     /// The later of two instants.
     #[must_use]
+    #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
         if self.0 >= other.0 {
             self
@@ -73,6 +77,7 @@ impl SimTime {
     /// Panics if `earlier` is later than `self`; a simulation that computes
     /// a negative elapsed time has a logic error worth failing loudly on.
     #[must_use]
+    #[inline]
     pub fn since(self, earlier: SimTime) -> Duration {
         assert!(
             earlier.0 <= self.0,
@@ -83,6 +88,7 @@ impl SimTime {
 
     /// Duration elapsed since `earlier`, or zero if `earlier` is later.
     #[must_use]
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> Duration {
         Duration(self.0.saturating_sub(earlier.0))
     }
@@ -93,16 +99,19 @@ impl Duration {
     pub const ZERO: Duration = Duration(0);
 
     /// Constructs a duration from nanoseconds.
+    #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         Duration(ns)
     }
 
     /// Constructs a duration from microseconds.
+    #[inline]
     pub const fn from_micros(us: u64) -> Self {
         Duration(us * 1_000)
     }
 
     /// Constructs a duration from milliseconds.
+    #[inline]
     pub const fn from_millis(ms: u64) -> Self {
         Duration(ms * 1_000_000)
     }
@@ -118,6 +127,7 @@ impl Duration {
     /// # Panics
     ///
     /// Panics if `secs` is negative or not finite.
+    #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(
             secs.is_finite() && secs >= 0.0,
@@ -145,6 +155,7 @@ impl Duration {
     }
 
     /// Raw nanoseconds.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
@@ -155,17 +166,20 @@ impl Duration {
     }
 
     /// Fractional seconds (for reporting).
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
     /// True if this duration is zero.
+    #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// The longer of two durations.
     #[must_use]
+    #[inline]
     pub fn max(self, other: Duration) -> Duration {
         if self.0 >= other.0 {
             self
@@ -174,8 +188,20 @@ impl Duration {
         }
     }
 
+    /// The shorter of two durations.
+    #[must_use]
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
     /// Saturating subtraction.
     #[must_use]
+    #[inline]
     pub fn saturating_sub(self, other: Duration) -> Duration {
         Duration(self.0.saturating_sub(other.0))
     }
@@ -198,12 +224,14 @@ impl Duration {
 
 impl Add<Duration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: Duration) -> SimTime {
         SimTime(self.0 + rhs.0)
     }
 }
 
 impl AddAssign<Duration> for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: Duration) {
         self.0 += rhs.0;
     }
@@ -211,6 +239,7 @@ impl AddAssign<Duration> for SimTime {
 
 impl Sub<SimTime> for SimTime {
     type Output = Duration;
+    #[inline]
     fn sub(self, rhs: SimTime) -> Duration {
         self.since(rhs)
     }
@@ -218,12 +247,14 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for Duration {
     type Output = Duration;
+    #[inline]
     fn add(self, rhs: Duration) -> Duration {
         Duration(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for Duration {
+    #[inline]
     fn add_assign(&mut self, rhs: Duration) {
         self.0 += rhs.0;
     }
@@ -231,6 +262,7 @@ impl AddAssign for Duration {
 
 impl Sub for Duration {
     type Output = Duration;
+    #[inline]
     fn sub(self, rhs: Duration) -> Duration {
         assert!(rhs.0 <= self.0, "Duration subtraction underflow");
         Duration(self.0 - rhs.0)
@@ -238,6 +270,7 @@ impl Sub for Duration {
 }
 
 impl SubAssign for Duration {
+    #[inline]
     fn sub_assign(&mut self, rhs: Duration) {
         *self = *self - rhs;
     }
@@ -245,6 +278,7 @@ impl SubAssign for Duration {
 
 impl Mul<u64> for Duration {
     type Output = Duration;
+    #[inline]
     fn mul(self, rhs: u64) -> Duration {
         Duration(self.0 * rhs)
     }
@@ -252,6 +286,7 @@ impl Mul<u64> for Duration {
 
 impl Div<u64> for Duration {
     type Output = Duration;
+    #[inline]
     fn div(self, rhs: u64) -> Duration {
         Duration(self.0 / rhs)
     }
@@ -326,6 +361,7 @@ impl Bandwidth {
     }
 
     /// Time to move `bytes` at this rate.
+    #[inline]
     pub fn transfer_time(self, bytes: u64) -> Duration {
         Duration::from_secs_f64(bytes as f64 / self.0)
     }
