@@ -95,6 +95,9 @@ pub struct Disk {
     cylinder: u32,
     free_at: SimTime,
     busy: Duration,
+    /// Cumulative time requests spent queued behind the arm
+    /// (submit→start-of-service) before the drive began serving them.
+    wait: Duration,
     /// End LBA and cylinder of the most recent write stream (write-behind
     /// cache state): continuation is only free while the arm is still
     /// parked on the stream.
@@ -134,6 +137,7 @@ impl Disk {
             cylinder: 0,
             free_at: SimTime::ZERO,
             busy: Duration::ZERO,
+            wait: Duration::ZERO,
             write_stream_end: None,
             defects,
             service_hist: Histogram::new(),
@@ -223,6 +227,7 @@ impl Disk {
         };
         self.free_at = completion.end;
         self.busy += completion.service();
+        self.wait += start.since(now);
         self.service_hist.record(completion.service());
         match req.kind {
             RequestKind::Read => {
@@ -369,6 +374,11 @@ impl Disk {
     /// Total time the drive has been busy.
     pub fn busy_total(&self) -> Duration {
         self.busy
+    }
+
+    /// Cumulative time requests spent queued (submit→start-of-service).
+    pub fn wait_total(&self) -> Duration {
+        self.wait
     }
 
     /// Reads served.

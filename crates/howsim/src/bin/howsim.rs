@@ -6,35 +6,47 @@
 //! howsim --arch active --disks 32 --task join --memory 64 --no-direct
 //! howsim --arch active --disks 256 --task sort --fibre-switch --trace trace.csv
 //! howsim explain --arch cluster --disks 64 --task join
+//! howsim profile --arch cluster --disks 64 --task join
 //! howsim --arch cluster --disks 64 --task join --metrics-out run.json
+//! howsim --arch cluster --disks 64 --task join --trace-events trace.json
 //! ```
 //!
 //! Prints the report (total and per-phase breakdown). The `explain`
-//! subcommand prints the per-resource utilization table and names the
-//! bottleneck instead. `--trace FILE` writes the event trace as CSV,
-//! `--trace-out FILE` as JSONL (summary line first), and
-//! `--metrics-out FILE` writes a structured run manifest with sampled
-//! utilization time-series.
+//! subcommand prints the per-resource utilization table (with the
+//! wait-vs-service split) and names the bottleneck and critical-path
+//! resource instead; `profile` prints the causal critical-path
+//! decomposition, the wait/service table, and the longest spans.
+//! `--trace FILE` writes the event trace as CSV, `--trace-out FILE` as
+//! JSONL (summary line first), `--metrics-out FILE` writes a structured
+//! run manifest with sampled utilization time-series, and
+//! `--trace-events FILE` writes the causal spans as Chrome trace-event
+//! JSON (load it in `chrome://tracing` or <https://ui.perfetto.dev>).
 //!
 //! `--cache` consults and populates the on-disk result cache under
 //! `results/.simcache/` (wipe by deleting the directory); `--no-cache`
-//! skips even the in-process cache. Traced and instrumented runs always
-//! simulate — only the plain report path is cached — and a cached report
-//! is byte-identical to a fresh one.
+//! skips even the in-process cache. Traced, instrumented, and profiled
+//! runs always simulate — only the plain report path is cached — and a
+//! cached report is byte-identical to a fresh one.
 
 use std::process::ExitCode;
 
 use arch::Architecture;
 use howsim::faults::{FaultPlan, RecoveryPolicy};
 use howsim::manifest::{HostInfo, RunManifest};
-use howsim::{Attribution, MetricsBuilder, Simulation, Trace};
+use howsim::profile::CriticalPath;
+use howsim::{Attribution, MetricsBuilder, Simulation, SpanTrace, Trace};
+use simcore::span::FRONT_END_NODE;
 use simcore::QueueBackend;
 use tasks::TaskKind;
+
+/// Spans printed by the `profile` subcommand's longest-spans table.
+const PROFILE_TOP_K: usize = 10;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
 struct Options {
     explain: bool,
+    profile: bool,
     arch: String,
     disks: usize,
     task: TaskKind,
@@ -46,6 +58,7 @@ struct Options {
     trace_path: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    trace_events: Option<String>,
     jobs: Option<usize>,
     disk_cache: bool,
     no_cache: bool,
@@ -76,15 +89,17 @@ fn parse_queue(name: &str) -> Result<QueueBackend, String> {
 }
 
 fn usage() -> String {
-    "usage: howsim [explain] --arch <active|cluster|smp> --disks <n> --task <name>\n\
+    "usage: howsim [explain|profile] --arch <active|cluster|smp> --disks <n> --task <name>\n\
      \x20      [--memory <MB>] [--interconnect <MB/s>] [--no-direct]\n\
      \x20      [--fibre-switch] [--fast-disk] [--jobs <n>] [--cache] [--no-cache]\n\
      \x20      [--seed <n>] [--fault <spec>]... [--recovery <failstop|redistribute|reconstruct>]\n\
      \x20      [--queue <heap|wheel|sharded:<n>>]\n\
      \x20      [--trace <file.csv>] [--trace-out <file.jsonl>] [--metrics-out <file.json>]\n\
+     \x20      [--trace-events <file.json>]\n\
      tasks: select aggregate groupby dcube sort join dmine mview\n\
      fault specs: disk:<node>@<time>  slow:<node>@<time>:<defects>  link:<node>@<time>:<factor>\n\
-     explain: print the per-resource utilization table and name the bottleneck"
+     explain: print the per-resource utilization table and name the bottleneck\n\
+     profile: print the critical path, wait/service table, and longest spans"
         .to_string()
 }
 
@@ -98,6 +113,7 @@ fn parse_task(name: &str) -> Result<TaskKind, String> {
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         explain: false,
+        profile: false,
         arch: "active".to_string(),
         disks: 64,
         task: TaskKind::Select,
@@ -109,6 +125,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         trace_path: None,
         trace_out: None,
         metrics_out: None,
+        trace_events: None,
         jobs: None,
         disk_cache: false,
         no_cache: false,
@@ -118,9 +135,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
         queue: QueueBackend::default(),
     };
     let mut args = args;
-    if args.first().map(String::as_str) == Some("explain") {
-        opts.explain = true;
-        args = &args[1..];
+    match args.first().map(String::as_str) {
+        Some("explain") => {
+            opts.explain = true;
+            args = &args[1..];
+        }
+        Some("profile") => {
+            opts.profile = true;
+            args = &args[1..];
+        }
+        _ => {}
     }
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -157,6 +181,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--trace" => opts.trace_path = Some(value("--trace")?),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--trace-events" => opts.trace_events = Some(value("--trace-events")?),
             "--jobs" => {
                 let n: usize = value("--jobs")?
                     .parse()
@@ -221,22 +246,27 @@ fn build_architecture(opts: &Options) -> Result<Architecture, String> {
     Ok(arch)
 }
 
-/// Prints the per-resource utilization table and the bottleneck verdict
-/// — the `explain` subcommand body.
-fn print_explanation(report: &howsim::Report, wall: std::time::Duration) {
+/// Prints the per-resource utilization table (service vs wait) and the
+/// bottleneck and critical-path verdicts — the `explain` subcommand body.
+fn print_explanation(
+    report: &howsim::Report,
+    critical_path: Option<&CriticalPath>,
+    wall: std::time::Duration,
+) {
     let attr = Attribution::from_report(report);
     println!("{report}");
     println!();
     println!(
-        "  {:<16} {:>5} {:>11} {:>8} {:>8}   peak phase",
-        "resource", "lanes", "busy (s)", "overall", "peak"
+        "  {:<16} {:>5} {:>11} {:>11} {:>8} {:>8}   peak phase",
+        "resource", "lanes", "service (s)", "wait (s)", "overall", "peak"
     );
     for r in &attr.resources {
         println!(
-            "  {:<16} {:>5} {:>11.3} {:>7.1}% {:>7.1}%   {}",
+            "  {:<16} {:>5} {:>11.3} {:>11.3} {:>7.1}% {:>7.1}%   {}",
             r.resource.label(report.architecture),
             r.lanes,
             r.busy.as_secs_f64(),
+            r.wait.as_secs_f64(),
             r.overall_utilization * 100.0,
             r.peak_utilization * 100.0,
             r.peak_phase,
@@ -252,6 +282,18 @@ fn print_explanation(report: &howsim::Report, wall: std::time::Duration) {
         ),
         None => println!("  bottleneck: none (no phases executed)"),
     }
+    if let Some(cp) = critical_path {
+        match cp.segments.first() {
+            Some(top) if !cp.total.is_zero() => println!(
+                "  critical path: {} — {:.1}% of elapsed ({:.3} s of {:.3} s)",
+                top.resource,
+                top.time.as_secs_f64() / cp.total.as_secs_f64() * 100.0,
+                top.time.as_secs_f64(),
+                cp.total.as_secs_f64(),
+            ),
+            _ => println!("  critical path: none (no phases executed)"),
+        }
+    }
     let wall_s = wall.as_secs_f64();
     println!(
         "  simulator: {} events in {:.3} s wall ({:.0} events/s)",
@@ -262,6 +304,80 @@ fn print_explanation(report: &howsim::Report, wall: std::time::Duration) {
         } else {
             0.0
         },
+    );
+}
+
+/// Prints the causal profile: the per-resource critical-path
+/// decomposition, the wait/service table, and the longest spans — the
+/// `profile` subcommand body. Deterministic: no wall-clock data.
+fn print_profile(report: &howsim::Report, spans: &SpanTrace) {
+    println!("{report}");
+    let cp = spans.critical_path();
+    println!();
+    println!(
+        "  critical path ({} ns — equals elapsed exactly):",
+        cp.total.as_nanos()
+    );
+    println!("  {:<18} {:>12} {:>8}", "resource", "time (s)", "share");
+    for seg in &cp.segments {
+        println!(
+            "  {:<18} {:>12.3} {:>7.1}%",
+            seg.resource,
+            seg.time.as_secs_f64(),
+            seg.time.as_secs_f64() / cp.total.as_secs_f64().max(f64::MIN_POSITIVE) * 100.0,
+        );
+    }
+    println!();
+    println!(
+        "  {:<16} {:>5} {:>12} {:>12} {:>10}",
+        "resource", "lanes", "service (s)", "wait (s)", "wait frac"
+    );
+    let attr = Attribution::from_report(report);
+    for r in &attr.resources {
+        let total = r.busy + r.wait;
+        let frac = if total.is_zero() {
+            0.0
+        } else {
+            r.wait.as_secs_f64() / total.as_secs_f64()
+        };
+        println!(
+            "  {:<16} {:>5} {:>12.3} {:>12.3} {:>9.1}%",
+            r.resource.label(report.architecture),
+            r.lanes,
+            r.busy.as_secs_f64(),
+            r.wait.as_secs_f64(),
+            frac * 100.0,
+        );
+    }
+    println!();
+    println!("  top {PROFILE_TOP_K} longest spans:");
+    println!(
+        "  {:>8} {:<12} {:<16} {:>6} {:>14} {:>14} {:>12}",
+        "span", "kind", "resource", "node", "start (ns)", "dur (ns)", "bytes"
+    );
+    for (id, s) in spans.top_spans(PROFILE_TOP_K) {
+        let node = if s.node == FRONT_END_NODE {
+            "fe".to_string()
+        } else {
+            s.node.to_string()
+        };
+        println!(
+            "  {:>8} {:<12} {:<16} {:>6} {:>14} {:>14} {:>12}",
+            id.index().unwrap_or(usize::MAX),
+            s.kind.name(),
+            s.resource,
+            node,
+            s.start.as_nanos(),
+            s.duration().as_nanos(),
+            s.bytes,
+        );
+    }
+    println!();
+    println!(
+        "  spans: {} recorded, {} dropped (capacity {})",
+        spans.arena.len(),
+        spans.arena.dropped(),
+        spans.arena.capacity(),
     );
 }
 
@@ -306,23 +422,28 @@ fn main() -> ExitCode {
         .with_queue_backend(opts.queue);
     let plan = tasks::plan_task(opts.task, &arch);
     let want_trace = opts.trace_path.is_some() || opts.trace_out.is_some();
+    // `explain` needs the critical path, so it profiles too.
+    let want_profile = opts.profile || opts.explain || opts.trace_events.is_some();
     let mut trace = want_trace.then(Trace::new);
     let mut metrics = opts.metrics_out.is_some().then(MetricsBuilder::new);
     let started = std::time::Instant::now();
-    // Traced/instrumented runs must actually execute to produce their
-    // event streams; only the plain report path is cacheable.
-    let report = if want_trace || metrics.is_some() {
-        sim.run_plan_instrumented(&plan, trace.as_mut(), metrics.as_mut())
+    // Traced/instrumented/profiled runs must actually execute to produce
+    // their event streams; only the plain report path is cacheable.
+    let (report, span_trace) = if want_trace || metrics.is_some() || want_profile {
+        sim.run_plan_observed(&plan, trace.as_mut(), metrics.as_mut(), want_profile)
     } else {
-        howsim::cache::run_sim(&sim, &plan)
+        (howsim::cache::run_sim(&sim, &plan), None)
     };
     let wall = started.elapsed();
     if opts.disk_cache && howsim::cache::stats().disk_hits > 0 {
         eprintln!("cache: report served from results/.simcache/");
     }
+    let critical_path = span_trace.as_ref().map(SpanTrace::critical_path);
 
     if opts.explain {
-        print_explanation(&report, wall);
+        print_explanation(&report, critical_path.as_ref(), wall);
+    } else if opts.profile {
+        print_profile(&report, span_trace.as_ref().expect("profiled run"));
     } else {
         println!("{report}");
         for p in &report.phases {
@@ -358,6 +479,17 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(path) = &opts.trace_events {
+        let spans = span_trace.as_ref().expect("profiled run");
+        if let Err(e) = std::fs::write(path, spans.chrome_trace_json()) {
+            eprintln!("failed to write trace events {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} spans as Chrome trace events to {path}",
+            spans.arena.len()
+        );
+    }
     if let Some(path) = &opts.metrics_out {
         let mut manifest = RunManifest::new(&arch, &report)
             .with_seed(opts.seed)
@@ -368,6 +500,9 @@ fn main() -> ExitCode {
         }
         if let Some(t) = &trace {
             manifest = manifest.with_trace(t.summary());
+        }
+        if let Some(cp) = critical_path.clone() {
+            manifest = manifest.with_critical_path(cp);
         }
         if let Err(e) = std::fs::write(path, manifest.to_json()) {
             eprintln!("failed to write manifest {path}: {e}");
@@ -449,11 +584,27 @@ mod tests {
     fn explain_subcommand_parses() {
         let o = parse(&argv("explain --arch cluster --disks 64 --task join")).unwrap();
         assert!(o.explain);
+        assert!(!o.profile);
         assert_eq!(o.arch, "cluster");
         assert_eq!(o.disks, 64);
         assert_eq!(o.task, TaskKind::Join);
         // `explain` is only recognized as the leading word.
         assert!(parse(&argv("--arch smp explain")).is_err());
+    }
+
+    #[test]
+    fn profile_subcommand_and_trace_events_parse() {
+        let o = parse(&argv("profile --arch cluster --disks 64 --task join")).unwrap();
+        assert!(o.profile);
+        assert!(!o.explain);
+        assert_eq!(o.task, TaskKind::Join);
+        assert!(parse(&argv("--arch smp profile")).is_err());
+
+        let o = parse(&argv("--trace-events t.json")).unwrap();
+        assert_eq!(o.trace_events.as_deref(), Some("t.json"));
+        assert!(!o.profile);
+        assert!(parse(&argv("--trace-events")).is_err());
+        assert_eq!(parse(&[]).unwrap().trace_events, None);
     }
 
     #[test]

@@ -43,8 +43,10 @@ use crate::report::Report;
 use crate::sweep;
 
 /// On-disk entry schema identifier, bumped on breaking layout changes
-/// (v2 added the checksum line and the seed/fault-plan key fields).
-pub const SCHEMA: &str = "howsim-simcache/v2";
+/// (v2 added the checksum line and the seed/fault-plan key fields; v3
+/// added per-resource wait time to the report `res` lines, so v2
+/// entries no longer parse and read as misses).
+pub const SCHEMA: &str = "howsim-simcache/v3";
 
 /// Lifetime hit/miss counters for the process-wide cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use arch::Architecture;
+use simcore::span::{SpanArena, SpanId, SpanKind, FRONT_END_NODE};
 use simcore::{Duration, EventQueue, QueueBackend, SimTime, SplitMix64};
 use tasks::plan::{CpuWork, PhasePlan, TaskPlan};
 use tasks::{plan_task, TaskKind};
@@ -11,10 +12,17 @@ use crate::faults::{
     FaultEvent, FaultKind, FaultPlan, RecoveryPolicy, DETECT_TIMEOUT, RETRY_TIMEOUT,
 };
 use crate::machine::Machine;
-use crate::metrics::{MetricsBuilder, ResourceUsage, RunMetrics};
+use crate::metrics::{MetricsBuilder, Resource, ResourceUsage, RunMetrics};
+use crate::profile::{PhaseSpans, SpanTrace};
 use crate::report::{PhaseReport, Report};
 use crate::trace::{NodeId, Trace, TraceEvent, TraceKind};
 use crate::BATCH_BYTES;
+
+/// Synthetic critical-path resource for phase-boundary barriers.
+pub(crate) const BARRIER_RESOURCE: &str = "barrier";
+/// Synthetic critical-path resource for out-of-band disk positioning at
+/// phase end (merge run switches).
+pub(crate) const POSITIONING_RESOURCE: &str = "disk_positioning";
 
 /// A configured simulation: one architecture, ready to run tasks.
 ///
@@ -39,22 +47,106 @@ pub struct Simulation {
     recovery: RecoveryPolicy,
 }
 
-/// Events of the phase executor.
+/// Events of the phase executor. The `span` on each work event is the
+/// span that completes when the event fires ([`SpanId::NONE`] unless the
+/// run is profiled) — the causal parent of whatever the handler does
+/// next.
 #[derive(Debug)]
 enum Ev {
     /// A batch finished reading from disk at a node.
-    BatchRead { node: usize, bytes: u64 },
+    BatchRead {
+        node: usize,
+        bytes: u64,
+        span: SpanId,
+    },
     /// A node's CPU finished processing a scanned batch.
-    BatchProcessed { node: usize, bytes: u64 },
+    BatchProcessed {
+        node: usize,
+        bytes: u64,
+        span: SpanId,
+    },
     /// A repartitioned batch arrived at a peer.
-    PeerArrive { src: usize, dst: usize, bytes: u64 },
+    PeerArrive {
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        span: SpanId,
+    },
     /// A peer finished its receive-side CPU work on a batch.
-    RecvProcessed { node: usize, bytes: u64 },
+    RecvProcessed {
+        node: usize,
+        bytes: u64,
+        span: SpanId,
+    },
     /// Data arrived at the front-end.
-    FeArrive { bytes: u64 },
+    FeArrive { bytes: u64, span: SpanId },
     /// The failure of `node` is detected (its request timeouts expired):
     /// recovery of its remaining partition begins.
     RecoveryKick { node: usize },
+}
+
+/// Span-recording runtime of one profiled run: the arena plus the
+/// last-ending span of the current phase (the critical-path anchor).
+struct SpanRt {
+    arena: SpanArena,
+    /// Last-ending retained span of the current phase; later records at
+    /// the same end time win, which is deterministic because record
+    /// order follows the (backend-invariant) event pop order.
+    last: SpanId,
+    last_end: SimTime,
+    phases: Vec<PhaseSpans>,
+}
+
+impl SpanRt {
+    fn new() -> Self {
+        SpanRt {
+            arena: SpanArena::enabled(),
+            last: SpanId::NONE,
+            last_end: SimTime::ZERO,
+            phases: Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        parent: SpanId,
+        resource: &'static str,
+        kind: SpanKind,
+        node: u32,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+    ) -> SpanId {
+        let id = self
+            .arena
+            .record(parent, resource, kind, node, start, end, bytes);
+        if id.is_some() && end >= self.last_end {
+            self.last = id;
+            self.last_end = end;
+        }
+        id
+    }
+}
+
+/// Records a span if profiling is enabled — one `Option` check per site
+/// when it is not.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn span(
+    spans: &mut Option<&mut SpanRt>,
+    parent: SpanId,
+    resource: &'static str,
+    kind: SpanKind,
+    node: u32,
+    start: SimTime,
+    end: SimTime,
+    bytes: u64,
+) -> SpanId {
+    match spans {
+        Some(s) => s.record(parent, resource, kind, node, start, end, bytes),
+        None => SpanId::NONE,
+    }
 }
 
 /// Shard key for the sharded scheduler backend: the node an event fires
@@ -388,13 +480,28 @@ fn refill(
     region: usize,
     phase_writes: bool,
     policy: RecoveryPolicy,
+    spans: &mut Option<&mut SpanRt>,
 ) {
     for &node in touched {
         while !nodes[node].dead
             && nodes[node].issued < nodes[node].batches_total
             && nodes[node].issued.saturating_sub(nodes[node].processed) < window
         {
-            issue_read(m, q, nodes, node, now, region, phase_writes, policy);
+            // Recovery-driven refills are rooted at the detection event,
+            // not a prior span; the walker surfaces any gap they leave as
+            // "unattributed".
+            issue_read(
+                m,
+                q,
+                nodes,
+                node,
+                now,
+                region,
+                phase_writes,
+                policy,
+                spans,
+                SpanId::NONE,
+            );
         }
     }
 }
@@ -489,7 +596,34 @@ impl Simulation {
     ///
     /// Panics if the plan fails validation.
     pub fn run_plan(&self, plan: &TaskPlan) -> Report {
-        self.run_plan_inner(plan, None, None)
+        self.run_plan_inner(plan, None, None, None)
+    }
+
+    /// Plans and runs a task with causal span profiling enabled.
+    pub fn run_profiled(&self, task: TaskKind) -> (Report, SpanTrace) {
+        let plan = plan_task(task, &self.arch);
+        self.run_plan_profiled(&plan)
+    }
+
+    /// Runs an explicit phase plan with causal span profiling enabled:
+    /// the returned [`SpanTrace`] supports critical-path analysis
+    /// ([`SpanTrace::critical_path`]) and Chrome-trace export
+    /// ([`SpanTrace::chrome_trace_json`]). The report is bit-identical
+    /// to an unprofiled run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails validation.
+    pub fn run_plan_profiled(&self, plan: &TaskPlan) -> (Report, SpanTrace) {
+        let mut rt = SpanRt::new();
+        let report = self.run_plan_inner(plan, None, None, Some(&mut rt));
+        (
+            report,
+            SpanTrace {
+                arena: rt.arena,
+                phases: rt.phases,
+            },
+        )
     }
 
     /// Plans and runs a task with event tracing enabled.
@@ -505,7 +639,7 @@ impl Simulation {
     /// Panics if the plan fails validation.
     pub fn run_plan_traced(&self, plan: &TaskPlan) -> (Report, Trace) {
         let mut trace = Trace::new();
-        let report = self.run_plan_inner(plan, Some(&mut trace), None);
+        let report = self.run_plan_inner(plan, Some(&mut trace), None, None);
         (report, trace)
     }
 
@@ -524,7 +658,7 @@ impl Simulation {
     /// Panics if the plan fails validation.
     pub fn run_plan_with_metrics(&self, plan: &TaskPlan) -> (Report, RunMetrics) {
         let mut metrics = MetricsBuilder::new();
-        let report = self.run_plan_inner(plan, None, Some(&mut metrics));
+        let report = self.run_plan_inner(plan, None, Some(&mut metrics), None);
         let events = report.events;
         (report, metrics.finish(events))
     }
@@ -541,7 +675,37 @@ impl Simulation {
         trace: Option<&mut Trace>,
         metrics: Option<&mut MetricsBuilder>,
     ) -> Report {
-        self.run_plan_inner(plan, trace, metrics)
+        self.run_plan_inner(plan, trace, metrics, None)
+    }
+
+    /// Runs a plan with any combination of event tracing, metrics
+    /// sampling, and (when `profiled`) span recording, in a single
+    /// simulation pass. The report is bit-identical whatever
+    /// instrumentation is attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails validation.
+    pub fn run_plan_observed(
+        &self,
+        plan: &TaskPlan,
+        trace: Option<&mut Trace>,
+        metrics: Option<&mut MetricsBuilder>,
+        profiled: bool,
+    ) -> (Report, Option<SpanTrace>) {
+        if profiled {
+            let mut rt = SpanRt::new();
+            let report = self.run_plan_inner(plan, trace, metrics, Some(&mut rt));
+            (
+                report,
+                Some(SpanTrace {
+                    arena: rt.arena,
+                    phases: rt.phases,
+                }),
+            )
+        } else {
+            (self.run_plan_inner(plan, trace, metrics, None), None)
+        }
     }
 
     fn run_plan_inner(
@@ -549,6 +713,7 @@ impl Simulation {
         plan: &TaskPlan,
         mut trace: Option<&mut Trace>,
         mut metrics: Option<&mut MetricsBuilder>,
+        mut spans: Option<&mut SpanRt>,
     ) -> Report {
         plan.validate().expect("invalid task plan");
         let mut machine = Machine::new(&self.arch);
@@ -563,6 +728,10 @@ impl Simulation {
         for (phase_ix, phase) in plan.phases.iter().enumerate() {
             let region = usize::from(phase.reads_intermediate);
             machine.begin_phase(region);
+            if let Some(rt) = spans.as_deref_mut() {
+                rt.last = SpanId::NONE;
+                rt.last_end = clock;
+            }
             let before = PhaseSnapshot::take(&machine);
             let (end, phase_events, phase_aborted) = run_phase(
                 &mut machine,
@@ -574,6 +743,7 @@ impl Simulation {
                 &mut fr,
                 trace.as_deref_mut(),
                 metrics.as_deref_mut(),
+                spans.as_deref_mut(),
             );
             events += phase_events;
             let after = PhaseSnapshot::take(&machine);
@@ -581,11 +751,35 @@ impl Simulation {
             // the next phase before all have finished this one). An
             // aborted phase ends at the abort clock: there is no barrier
             // because there is no next phase.
+            let pre_barrier = end;
             let end = if phase_aborted {
                 end
             } else {
                 end + machine.barrier_costs().barrier(machine.nodes())
             };
+            if let Some(rt) = spans.as_deref_mut() {
+                if !phase_aborted {
+                    // The barrier span chains onto the phase's last span
+                    // (which ends exactly at `pre_barrier` on healthy
+                    // runs), making it the critical-path anchor.
+                    let parent = rt.last;
+                    rt.record(
+                        parent,
+                        BARRIER_RESOURCE,
+                        SpanKind::Barrier,
+                        FRONT_END_NODE,
+                        pre_barrier,
+                        end,
+                        0,
+                    );
+                }
+                rt.phases.push(PhaseSpans {
+                    name: phase.name,
+                    start: clock,
+                    end,
+                    anchor: rt.last,
+                });
+            }
             phases.push(before.delta(&after, phase.name, end.since(clock), machine.nodes()));
             clock = end;
             if phase_aborted {
@@ -675,6 +869,7 @@ impl PhaseSnapshot {
                 ResourceUsage {
                     resource: a.resource,
                     busy: a.busy.saturating_sub(b.busy),
+                    wait: a.wait.saturating_sub(b.wait),
                     lanes: a.lanes,
                 }
             })
@@ -740,6 +935,7 @@ fn run_phase(
     fr: &mut FaultRt,
     mut trace: Option<&mut Trace>,
     mut metrics: Option<&mut MetricsBuilder>,
+    mut spans: Option<&mut SpanRt>,
 ) -> (SimTime, u64, bool) {
     let n = m.nodes();
     // Faults due at or before the barrier strike before any work starts.
@@ -859,9 +1055,17 @@ fn run_phase(
     for node in 0..n {
         let to_issue = window.min(nodes[node].batches_total);
         for _ in 0..to_issue {
-            if let Some(ev) =
-                prepare_read(m, &mut nodes, node, start, region, phase_writes, fr.policy)
-            {
+            if let Some(ev) = prepare_read(
+                m,
+                &mut nodes,
+                node,
+                start,
+                region,
+                phase_writes,
+                fr.policy,
+                &mut spans,
+                SpanId::NONE,
+            ) {
                 primed.push(ev);
             }
         }
@@ -886,7 +1090,11 @@ fn run_phase(
             }
         }
         match ev {
-            Ev::BatchRead { node, bytes } => {
+            Ev::BatchRead {
+                node,
+                bytes,
+                span: ev_span,
+            } => {
                 if fr.any_dead && nodes[node].dead {
                     // The batch died with its node: un-issue and pool it.
                     nodes[node].issued_bytes -= bytes;
@@ -903,6 +1111,7 @@ fn run_phase(
                             region,
                             phase_writes,
                             fr.policy,
+                            &mut spans,
                         );
                     }
                     continue;
@@ -925,9 +1134,30 @@ fn run_phase(
                     &costs.read_batch,
                     costs.perf,
                 );
-                q.push(done.max(now), Ev::BatchProcessed { node, bytes });
+                let cpu_span = span(
+                    &mut spans,
+                    ev_span,
+                    Resource::WorkerCpu.key(),
+                    SpanKind::Cpu,
+                    node as u32,
+                    now,
+                    done.max(now),
+                    bytes,
+                );
+                q.push(
+                    done.max(now),
+                    Ev::BatchProcessed {
+                        node,
+                        bytes,
+                        span: cpu_span,
+                    },
+                );
             }
-            Ev::BatchProcessed { node, bytes } => {
+            Ev::BatchProcessed {
+                node,
+                bytes,
+                span: ev_span,
+            } => {
                 if fr.any_dead && nodes[node].dead {
                     // Processed output lost with the node: a survivor
                     // must re-read the underlying batch.
@@ -945,6 +1175,7 @@ fn run_phase(
                             region,
                             phase_writes,
                             fr.policy,
+                            &mut spans,
                         );
                     }
                     continue;
@@ -970,6 +1201,8 @@ fn run_phase(
                         region,
                         phase_writes,
                         fr.policy,
+                        &mut spans,
+                        ev_span,
                     );
                 }
                 // Route the outputs.
@@ -990,6 +1223,8 @@ fn run_phase(
                     region,
                     phase_writes,
                     phase.shuffle_weights.as_deref(),
+                    &mut spans,
+                    ev_span,
                 );
                 if finished && phase.frontend_bytes_per_node > 0 && !nodes[node].fe_sent {
                     nodes[node].fe_sent = true;
@@ -1014,6 +1249,8 @@ fn run_phase(
                                 node,
                                 now,
                                 phase.frontend_bytes_per_node,
+                                &mut spans,
+                                ev_span,
                             );
                         } else {
                             send_peer(
@@ -1024,26 +1261,55 @@ fn run_phase(
                                 parent,
                                 now,
                                 phase.frontend_bytes_per_node,
+                                &mut spans,
+                                ev_span,
                             );
                         }
                     } else {
-                        send_frontend(m, &mut q, &costs, node, now, phase.frontend_bytes_per_node);
+                        send_frontend(
+                            m,
+                            &mut q,
+                            &costs,
+                            node,
+                            now,
+                            phase.frontend_bytes_per_node,
+                            &mut spans,
+                            ev_span,
+                        );
                     }
                 }
             }
-            Ev::PeerArrive { src, dst, bytes } => {
+            Ev::PeerArrive {
+                src,
+                dst,
+                bytes,
+                span: ev_span,
+            } => {
                 if fr.any_dead && nodes[dst].dead {
                     // Receiver gone: the sender times out and re-sends to
                     // the next survivor (unless it has since died too).
                     if !nodes[src].dead {
                         if let Some(dst2) = next_healthy(&nodes, dst) {
                             let arrival = m.peer_transfer(now + RETRY_TIMEOUT, src, dst2, bytes);
+                            // The retry span covers the timeout plus the
+                            // re-shipment so the causal chain stays gapless.
+                            let retry_span = span(
+                                &mut spans,
+                                ev_span,
+                                Resource::Interconnect.key(),
+                                SpanKind::Transfer,
+                                dst2 as u32,
+                                now,
+                                arrival.max(now),
+                                bytes,
+                            );
                             q.push(
                                 arrival.max(now),
                                 Ev::PeerArrive {
                                     src,
                                     dst: dst2,
                                     bytes,
+                                    span: retry_span,
                                 },
                             );
                         }
@@ -1069,9 +1335,30 @@ fn run_phase(
                     &costs.recv_batch,
                     costs.perf,
                 );
-                q.push(done.max(now), Ev::RecvProcessed { node: dst, bytes });
+                let recv_span = span(
+                    &mut spans,
+                    ev_span,
+                    Resource::WorkerCpu.key(),
+                    SpanKind::Cpu,
+                    dst as u32,
+                    now,
+                    done.max(now),
+                    bytes,
+                );
+                q.push(
+                    done.max(now),
+                    Ev::RecvProcessed {
+                        node: dst,
+                        bytes,
+                        span: recv_span,
+                    },
+                );
             }
-            Ev::RecvProcessed { node, bytes } => {
+            Ev::RecvProcessed {
+                node,
+                bytes,
+                span: ev_span,
+            } => {
                 if fr.any_dead && nodes[node].dead {
                     continue;
                 }
@@ -1095,10 +1382,23 @@ fn run_phase(
                         TraceKind::WriteDone,
                         aligned,
                     );
+                    span(
+                        &mut spans,
+                        ev_span,
+                        Resource::DiskMedia.key(),
+                        SpanKind::DiskWrite,
+                        node as u32,
+                        now,
+                        done,
+                        aligned,
+                    );
                     horizon = horizon.max(done);
                 }
             }
-            Ev::FeArrive { bytes } => {
+            Ev::FeArrive {
+                bytes,
+                span: ev_span,
+            } => {
                 record(
                     &mut trace,
                     now,
@@ -1113,6 +1413,16 @@ fn run_phase(
                     cpu_cost(phase.frontend_cpu_ns_per_byte, bytes, costs.fe_perf)
                 };
                 let done = m.fe_cpu_work(now, cost, "frontend");
+                span(
+                    &mut spans,
+                    ev_span,
+                    Resource::FrontEndCpu.key(),
+                    SpanKind::FrontEnd,
+                    FRONT_END_NODE,
+                    now,
+                    done,
+                    bytes,
+                );
                 horizon = horizon.max(done);
             }
             Ev::RecoveryKick { node } => {
@@ -1130,6 +1440,7 @@ fn run_phase(
                     region,
                     phase_writes,
                     fr.policy,
+                    &mut spans,
                 );
             }
         }
@@ -1154,7 +1465,22 @@ fn run_phase(
 
     // Out-of-band disk positioning penalty (e.g. merge run switches):
     // per-node and overlapped across nodes, so it extends the phase once.
-    (horizon + phase.extra_disk_busy_per_node, q.popped(), false)
+    let end = horizon + phase.extra_disk_busy_per_node;
+    if phase.extra_disk_busy_per_node > simcore::Duration::ZERO {
+        if let Some(rt) = spans {
+            let parent = rt.last;
+            rt.record(
+                parent,
+                POSITIONING_RESOURCE,
+                SpanKind::Positioning,
+                FRONT_END_NODE,
+                horizon,
+                end,
+                0,
+            );
+        }
+    }
+    (end, q.popped(), false)
 }
 
 /// Charges one batch read against the machine and returns the completion
@@ -1170,6 +1496,8 @@ fn prepare_read(
     region: usize,
     phase_writes: bool,
     policy: RecoveryPolicy,
+    spans: &mut Option<&mut SpanRt>,
+    parent: SpanId,
 ) -> Option<(SimTime, Ev)> {
     let st = &mut nodes[node];
     if st.dead {
@@ -1186,21 +1514,49 @@ fn prepare_read(
         st.issued_bytes += bytes;
         let aligned = align_sectors(bytes);
         let ready = m.read(node, now, aligned, region, phase_writes);
-        Some((ready.max(now), Ev::BatchRead { node, bytes }))
+        let read_span = span(
+            spans,
+            parent,
+            Resource::DiskMedia.key(),
+            SpanKind::DiskRead,
+            node as u32,
+            now,
+            ready.max(now),
+            aligned,
+        );
+        Some((
+            ready.max(now),
+            Ev::BatchRead {
+                node,
+                bytes,
+                span: read_span,
+            },
+        ))
     } else if let Some(bytes) = st.recovery_pending.pop_front() {
         // A failed peer's batch: re-read it from the surviving disks
         // (mirror or parity reconstruction) and ship it here.
         st.issued += 1;
         st.issued_bytes += bytes;
-        let ready = m.recovery_read(
-            policy,
-            node,
+        let aligned = align_sectors(bytes);
+        let ready = m.recovery_read(policy, node, now, aligned, region, phase_writes);
+        let read_span = span(
+            spans,
+            parent,
+            Resource::Recovery.key(),
+            SpanKind::DiskRead,
+            node as u32,
             now,
-            align_sectors(bytes),
-            region,
-            phase_writes,
+            ready.max(now),
+            aligned,
         );
-        Some((ready.max(now), Ev::BatchRead { node, bytes }))
+        Some((
+            ready.max(now),
+            Ev::BatchRead {
+                node,
+                bytes,
+                span: read_span,
+            },
+        ))
     } else {
         None
     }
@@ -1216,8 +1572,20 @@ fn issue_read(
     region: usize,
     phase_writes: bool,
     policy: RecoveryPolicy,
+    spans: &mut Option<&mut SpanRt>,
+    parent: SpanId,
 ) {
-    if let Some((t, ev)) = prepare_read(m, nodes, node, now, region, phase_writes, policy) {
+    if let Some((t, ev)) = prepare_read(
+        m,
+        nodes,
+        node,
+        now,
+        region,
+        phase_writes,
+        policy,
+        spans,
+        parent,
+    ) {
         q.push(t, ev);
     }
 }
@@ -1236,6 +1604,8 @@ fn drain_outputs(
     region: usize,
     phase_writes: bool,
     phase_weights: Option<&[f64]>,
+    spans: &mut Option<&mut SpanRt>,
+    parent: SpanId,
 ) {
     let n = nodes.len();
     // Shuffle: emit batch-sized messages round-robin over peers. Once a
@@ -1258,7 +1628,7 @@ fn drain_outputs(
                 None => continue,
             }
         }
-        send_peer(m, q, costs, node, dst, now, emit);
+        send_peer(m, q, costs, node, dst, now, emit, spans, parent);
     }
     // Front-end stream.
     loop {
@@ -1271,7 +1641,7 @@ fn drain_outputs(
             break;
         };
         st.frontend_credit -= emit as f64;
-        send_frontend(m, q, costs, node, now, emit);
+        send_frontend(m, q, costs, node, now, emit, spans, parent);
     }
     // Local writes.
     loop {
@@ -1284,11 +1654,23 @@ fn drain_outputs(
             break;
         };
         st.write_credit -= emit as f64;
-        let done = m.write(node, now, align_sectors(emit), region, phase_writes);
+        let aligned = align_sectors(emit);
+        let done = m.write(node, now, aligned, region, phase_writes);
+        span(
+            spans,
+            parent,
+            Resource::DiskMedia.key(),
+            SpanKind::DiskWrite,
+            node as u32,
+            now,
+            done,
+            aligned,
+        );
         *horizon = (*horizon).max(done);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn send_peer(
     m: &mut Machine,
     q: &mut EventQueue<Ev>,
@@ -1297,13 +1679,44 @@ fn send_peer(
     dst: usize,
     now: SimTime,
     bytes: u64,
+    spans: &mut Option<&mut SpanRt>,
+    parent: SpanId,
 ) {
     let msg_cost = costs.msg_cost(m, bytes);
     let send_done = m.node_cpu_work(src, now, msg_cost, "net-send");
     let arrival = m.peer_transfer(send_done, src, dst, bytes);
-    q.push(arrival.max(now), Ev::PeerArrive { src, dst, bytes });
+    let send_span = span(
+        spans,
+        parent,
+        Resource::WorkerCpu.key(),
+        SpanKind::Cpu,
+        src as u32,
+        now,
+        send_done,
+        bytes,
+    );
+    let wire_span = span(
+        spans,
+        send_span,
+        Resource::Interconnect.key(),
+        SpanKind::Transfer,
+        dst as u32,
+        send_done,
+        arrival.max(now),
+        bytes,
+    );
+    q.push(
+        arrival.max(now),
+        Ev::PeerArrive {
+            src,
+            dst,
+            bytes,
+            span: wire_span,
+        },
+    );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn send_frontend(
     m: &mut Machine,
     q: &mut EventQueue<Ev>,
@@ -1311,11 +1724,39 @@ fn send_frontend(
     src: usize,
     now: SimTime,
     bytes: u64,
+    spans: &mut Option<&mut SpanRt>,
+    parent: SpanId,
 ) {
     let msg_cost = costs.msg_cost(m, bytes);
     let send_done = m.node_cpu_work(src, now, msg_cost, "net-send");
     let arrival = m.fe_transfer(send_done, src, bytes);
-    q.push(arrival.max(now), Ev::FeArrive { bytes });
+    let send_span = span(
+        spans,
+        parent,
+        Resource::WorkerCpu.key(),
+        SpanKind::Cpu,
+        src as u32,
+        now,
+        send_done,
+        bytes,
+    );
+    let wire_span = span(
+        spans,
+        send_span,
+        Resource::FrontEndLink.key(),
+        SpanKind::Transfer,
+        FRONT_END_NODE,
+        send_done,
+        arrival.max(now),
+        bytes,
+    );
+    q.push(
+        arrival.max(now),
+        Ev::FeArrive {
+            bytes,
+            span: wire_span,
+        },
+    );
 }
 
 /// Rounds a byte count up to whole sectors (disk requests must be

@@ -29,6 +29,7 @@ pub mod faults;
 pub mod machine;
 pub mod manifest;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod sweep;
 pub mod trace;
@@ -38,6 +39,7 @@ pub use exec::Simulation;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
 pub use manifest::RunManifest;
 pub use metrics::{Attribution, MetricsBuilder, Resource, ResourceUsage, RunMetrics};
+pub use profile::{CriticalPath, PathSegment, SpanTrace};
 pub use report::{PhaseReport, Report};
 pub use trace::{NodeId, Trace, TraceEvent, TraceKind, TraceSummary};
 

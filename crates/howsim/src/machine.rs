@@ -604,9 +604,19 @@ impl Machine {
         self.cpus.iter().map(FifoServer::busy_total).sum()
     }
 
+    /// Total worker-CPU queueing time since construction.
+    pub fn cpu_wait_total(&self) -> Duration {
+        self.cpus.iter().map(FifoServer::wait_total).sum()
+    }
+
     /// Total disk busy time since construction.
     pub fn disk_busy_total(&self) -> Duration {
         self.disks.iter().map(Disk::busy_total).sum()
+    }
+
+    /// Total disk queueing time since construction.
+    pub fn disk_wait_total(&self) -> Duration {
+        self.disks.iter().map(Disk::wait_total).sum()
     }
 
     /// Injects `count` grown defects into `node`'s drive, spread across
@@ -812,34 +822,41 @@ impl Machine {
         v.push(ResourceUsage {
             resource: Resource::DiskMedia,
             busy: self.disk_busy_total(),
+            wait: self.disk_wait_total(),
             lanes: self.disks.len() as u32,
         });
         v.push(ResourceUsage {
             resource: Resource::WorkerCpu,
             busy: self.cpu_busy_total(),
+            wait: self.cpu_wait_total(),
             lanes: self.nodes as u32,
         });
         v.push(ResourceUsage {
             resource: Resource::FrontEndCpu,
             busy: self.fe_cpu.busy_total(),
+            wait: self.fe_cpu.wait_total(),
             lanes: 1,
         });
         match &self.fabric {
             Fabric::Active {
                 fc, fe_port: port, ..
             } => {
-                let (busy, lanes) = match fc {
-                    ActiveWire::Loop(l) => (l.busy_total(), l.loop_count() as u32),
-                    ActiveWire::Switch(s) => (s.busy_total(), s.lane_count() as u32),
+                let (busy, wait, lanes) = match fc {
+                    ActiveWire::Loop(l) => (l.busy_total(), l.wait_total(), l.loop_count() as u32),
+                    ActiveWire::Switch(s) => {
+                        (s.busy_total(), s.wait_total(), s.lane_count() as u32)
+                    }
                 };
                 v.push(ResourceUsage {
                     resource: Resource::Interconnect,
                     busy,
+                    wait,
                     lanes,
                 });
                 v.push(ResourceUsage {
                     resource: Resource::FrontEndLink,
                     busy: port.busy_total(),
+                    wait: port.wait_total(),
                     lanes: 1,
                 });
             }
@@ -847,11 +864,13 @@ impl Machine {
                 v.push(ResourceUsage {
                     resource: Resource::Interconnect,
                     busy: net.worker_nic_busy_total(),
+                    wait: net.worker_nic_wait_total(),
                     lanes: net.worker_nic_lanes() as u32,
                 });
                 v.push(ResourceUsage {
                     resource: Resource::FrontEndLink,
                     busy: net.front_end_link_busy_total(),
+                    wait: net.front_end_link_wait_total(),
                     lanes: 2,
                 });
             }
@@ -859,11 +878,13 @@ impl Machine {
                 v.push(ResourceUsage {
                     resource: Resource::Interconnect,
                     busy: io.loop_busy_total(),
+                    wait: io.loop_wait_total(),
                     lanes: io.loop_count() as u32,
                 });
                 v.push(ResourceUsage {
                     resource: Resource::MemoryFabric,
                     busy: mem.busy_total(),
+                    wait: mem.wait_total(),
                     lanes: mem.boards() as u32,
                 });
             }
@@ -871,6 +892,8 @@ impl Machine {
         v.push(ResourceUsage {
             resource: Resource::Recovery,
             busy: self.recovery_busy,
+            // Recovery is an attribution lane, not a queueing server.
+            wait: Duration::ZERO,
             lanes: 1,
         });
         v

@@ -109,6 +109,8 @@ pub struct RunManifest {
     pub metrics: Option<RunMetrics>,
     /// Trace totals, when the run was traced.
     pub trace: Option<TraceSummary>,
+    /// Critical-path decomposition, when the run was profiled.
+    pub critical_path: Option<crate::profile::CriticalPath>,
     /// Wall-clock facts; `None` keeps the manifest fully deterministic.
     pub host: Option<HostInfo>,
 }
@@ -133,6 +135,7 @@ impl RunManifest {
             attribution: Attribution::from_report(report),
             metrics: None,
             trace: None,
+            critical_path: None,
             host: None,
         }
     }
@@ -163,6 +166,12 @@ impl RunManifest {
     /// Attaches a trace summary.
     pub fn with_trace(mut self, trace: TraceSummary) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a critical-path decomposition from a profiled run.
+    pub fn with_critical_path(mut self, cp: crate::profile::CriticalPath) -> Self {
+        self.critical_path = Some(cp);
         self
     }
 
@@ -255,12 +264,14 @@ impl RunManifest {
             let _ = writeln!(
                 out,
                 "      {{\"resource\": {}, \"label\": {}, \"lanes\": {}, \
-                 \"busy_s\": {:.9}, \"overall_utilization\": {:.6}, \
+                 \"busy_s\": {:.9}, \"wait_s\": {:.9}, \
+                 \"overall_utilization\": {:.6}, \
                  \"peak_utilization\": {:.6}, \"peak_phase\": {}}}{}",
                 json_string(r.resource.key()),
                 json_string(r.resource.label(self.architecture)),
                 r.lanes,
                 r.busy.as_secs_f64(),
+                r.wait.as_secs_f64(),
                 r.overall_utilization,
                 r.peak_utilization,
                 json_string(r.peak_phase),
@@ -268,6 +279,26 @@ impl RunManifest {
             );
         }
         out.push_str("    ]\n  },\n");
+        match &self.critical_path {
+            Some(cp) => {
+                let _ = write!(
+                    out,
+                    "  \"critical_path\": {{\"total_ns\": {}, \"resources\": [",
+                    cp.total.as_nanos()
+                );
+                for (ix, seg) in cp.segments.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "{}{{\"resource\": {}, \"ns\": {}}}",
+                        if ix > 0 { ", " } else { "" },
+                        json_string(seg.resource),
+                        seg.time.as_nanos()
+                    );
+                }
+                out.push_str("]},\n");
+            }
+            None => out.push_str("  \"critical_path\": null,\n"),
+        }
         match &self.trace {
             Some(t) => {
                 let _ = writeln!(
@@ -468,9 +499,10 @@ pub fn report_to_cache(report: &Report) -> String {
         for u in &p.resources {
             let _ = writeln!(
                 out,
-                "res {} {} {}",
+                "res {} {} {} {}",
                 u.resource.key(),
                 u.busy.as_nanos(),
+                u.wait.as_nanos(),
                 u.lanes
             );
         }
@@ -574,6 +606,13 @@ pub fn report_from_cache(text: &str) -> Result<Report, String> {
                     .parse()
                     .map_err(|_| "res: bad busy time".to_string())?,
             );
+            let wait = Duration::from_nanos(
+                parts
+                    .next()
+                    .ok_or("res: missing wait time")?
+                    .parse()
+                    .map_err(|_| "res: bad wait time".to_string())?,
+            );
             let lanes: u32 = parts
                 .next()
                 .ok_or("res: missing lanes")?
@@ -582,6 +621,7 @@ pub fn report_from_cache(text: &str) -> Result<Report, String> {
             resources.push(ResourceUsage {
                 resource,
                 busy,
+                wait,
                 lanes,
             });
         }

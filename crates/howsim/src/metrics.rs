@@ -111,6 +111,10 @@ pub struct ResourceUsage {
     pub resource: Resource,
     /// Busy time summed across the resource's lanes.
     pub busy: Duration,
+    /// Time requests spent queued at the resource before service began
+    /// (enqueue→dequeue), summed across lanes. Together with `busy` this
+    /// decomposes per-request latency: latency = wait + service.
+    pub wait: Duration,
     /// Parallel lanes (drives, CPUs, loops, NIC directions...).
     pub lanes: u32,
 }
@@ -135,6 +139,8 @@ pub struct ResourceAttribution {
     pub lanes: u32,
     /// Whole-run busy time.
     pub busy: Duration,
+    /// Whole-run queueing time (see [`ResourceUsage::wait`]).
+    pub wait: Duration,
     /// Time-weighted busy fraction over the whole run.
     pub overall_utilization: f64,
     /// Highest single-phase busy fraction.
@@ -178,12 +184,14 @@ impl Attribution {
             .enumerate()
             .map(|(ix, u0)| {
                 let mut busy = Duration::ZERO;
+                let mut wait = Duration::ZERO;
                 let mut peak = 0.0f64;
                 let mut peak_phase = first.name;
                 for phase in &report.phases {
                     let u = phase.resources[ix];
                     debug_assert_eq!(u.resource, u0.resource);
                     busy += u.busy;
+                    wait += u.wait;
                     let util = u.utilization(phase.elapsed);
                     if util > peak {
                         peak = util;
@@ -193,6 +201,7 @@ impl Attribution {
                 let overall = ResourceUsage {
                     resource: u0.resource,
                     busy,
+                    wait,
                     lanes: u0.lanes,
                 }
                 .utilization(total_elapsed);
@@ -200,6 +209,7 @@ impl Attribution {
                     resource: u0.resource,
                     lanes: u0.lanes,
                     busy,
+                    wait,
                     overall_utilization: overall,
                     peak_utilization: peak,
                     peak_phase,
@@ -351,6 +361,7 @@ mod tests {
                 .map(|&(resource, s, lanes)| ResourceUsage {
                     resource,
                     busy: Duration::from_secs(s),
+                    wait: Duration::ZERO,
                     lanes,
                 })
                 .collect(),
@@ -378,6 +389,7 @@ mod tests {
         let u = ResourceUsage {
             resource: Resource::Interconnect,
             busy: Duration::from_secs(10),
+            wait: Duration::ZERO,
             lanes: 2,
         };
         assert!((u.utilization(Duration::from_secs(10)) - 0.5).abs() < 1e-12);
@@ -426,6 +438,7 @@ mod tests {
         let usage = [ResourceUsage {
             resource: Resource::DiskMedia,
             busy: Duration::from_millis(5),
+            wait: Duration::ZERO,
             lanes: 1,
         }];
         mb.sample(t1, &usage, 7);
@@ -436,6 +449,7 @@ mod tests {
             &[ResourceUsage {
                 resource: Resource::DiskMedia,
                 busy: Duration::from_millis(15),
+                wait: Duration::ZERO,
                 lanes: 1,
             }],
             3,

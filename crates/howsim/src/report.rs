@@ -183,6 +183,7 @@ mod tests {
             resources: vec![ResourceUsage {
                 resource: Resource::DiskMedia,
                 busy: Duration::from_secs(12),
+                wait: Duration::ZERO,
                 lanes: 2,
             }],
         }

@@ -188,9 +188,22 @@ impl ClusterFabric {
         2 * self.hosts
     }
 
+    /// Cumulative queueing time across all *worker* NICs (same lane set
+    /// as [`ClusterFabric::worker_nic_busy_total`]).
+    pub fn worker_nic_wait_total(&self) -> Duration {
+        (0..self.hosts)
+            .map(|h| self.nic_tx[h].wait_total() + self.nic_rx[h].wait_total())
+            .sum()
+    }
+
     /// Cumulative serialization time on the front-end host's NIC pair.
     pub fn front_end_link_busy_total(&self) -> Duration {
         self.nic_tx[self.hosts].busy_total() + self.nic_rx[self.hosts].busy_total()
+    }
+
+    /// Cumulative queueing time on the front-end host's NIC pair.
+    pub fn front_end_link_wait_total(&self) -> Duration {
+        self.nic_tx[self.hosts].wait_total() + self.nic_rx[self.hosts].wait_total()
     }
 }
 

@@ -151,6 +151,12 @@ impl FcLoop {
         self.loops.iter().map(FifoServer::busy_total).sum()
     }
 
+    /// Cumulative queueing time summed across all loops
+    /// (request→arbitration-grant).
+    pub fn wait_total(&self) -> Duration {
+        self.loops.iter().map(FifoServer::wait_total).sum()
+    }
+
     /// Aggregate utilization over `elapsed`.
     pub fn utilization(&self, elapsed: Duration) -> f64 {
         if elapsed.is_zero() {

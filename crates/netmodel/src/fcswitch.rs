@@ -194,6 +194,17 @@ impl FcSwitchFabric {
             .sum()
     }
 
+    /// Cumulative queueing time summed across the same tx + rx lanes as
+    /// [`FcSwitchFabric::busy_total`] (switch ports likewise excluded, so
+    /// wait and busy describe the same lane set).
+    pub fn wait_total(&self) -> Duration {
+        self.tx
+            .iter()
+            .chain(self.rx.iter())
+            .map(FifoServer::wait_total)
+            .sum()
+    }
+
     /// Number of loop lanes carrying traffic (one tx + one rx per
     /// segment), for normalizing [`FcSwitchFabric::busy_total`] into a
     /// utilization.

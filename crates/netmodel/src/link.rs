@@ -104,6 +104,12 @@ impl Link {
         self.server.busy_total()
     }
 
+    /// Cumulative time transfers spent queued behind the wire before
+    /// transmission began.
+    pub fn wait_total(&self) -> Duration {
+        self.server.wait_total()
+    }
+
     /// Link rate.
     pub fn bandwidth(&self) -> Bandwidth {
         self.bandwidth

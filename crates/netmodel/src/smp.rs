@@ -99,6 +99,11 @@ impl SmpFabric {
     pub fn busy_total(&self) -> Duration {
         self.bte.iter().map(FifoServer::busy_total).sum()
     }
+
+    /// Cumulative queueing time at the block-transfer engines.
+    pub fn wait_total(&self) -> Duration {
+        self.bte.iter().map(FifoServer::wait_total).sum()
+    }
 }
 
 /// The I/O complex: a (dual) FC loop in front of an XIO-like pair of I/O
@@ -167,6 +172,12 @@ impl SmpIoSubsystem {
     /// Cumulative loop tenancy time summed across the FC loops.
     pub fn loop_busy_total(&self) -> Duration {
         self.fc.busy_total()
+    }
+
+    /// Cumulative loop queueing time (same lane set as
+    /// [`SmpIoSubsystem::loop_busy_total`]; the XIO stage is excluded).
+    pub fn loop_wait_total(&self) -> Duration {
+        self.fc.wait_total()
     }
 
     /// Number of FC loops in front of the I/O nodes.

@@ -37,6 +37,7 @@ pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod server;
+pub mod span;
 pub mod stats;
 pub mod time;
 
@@ -46,5 +47,6 @@ pub use metrics::{Counter, GaugeSeries, UtilizationSampler};
 pub use queue::{EventQueue, QueueBackend};
 pub use rng::SplitMix64;
 pub use server::{FifoServer, MultiServer};
+pub use span::{Span, SpanArena, SpanId, SpanKind};
 pub use stats::{Accumulator, BusyTracker};
 pub use time::{Bandwidth, Duration, SimTime};

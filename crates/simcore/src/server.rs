@@ -30,6 +30,10 @@ use crate::time::{Duration, SimTime};
 pub struct FifoServer {
     free_at: SimTime,
     busy_total: Duration,
+    /// Cumulative time jobs spent queued before entering service
+    /// (enqueue→dequeue). Together with `busy_total` (the service time)
+    /// this decomposes every job's latency: wait + service.
+    wait_total: Duration,
     /// Per-tag busy time, kept sorted by tag. A server sees a handful of
     /// distinct `&'static str` tags over millions of offers, so a sorted
     /// vec with a last-tag hint beats a `BTreeMap` on the event-loop hot
@@ -72,6 +76,7 @@ impl FifoServer {
         let end = start + service;
         self.free_at = end;
         self.busy_total += service;
+        self.wait_total += start.since(now);
         self.charge_tag(tag, service);
         self.jobs += 1;
         Grant { start, end }
@@ -99,6 +104,8 @@ impl FifoServer {
         }
         if any {
             self.free_at = end;
+            // Only the head of the run waits; the rest ride back-to-back.
+            self.wait_total += start.since(now);
         }
         Grant { start, end }
     }
@@ -146,6 +153,12 @@ impl FifoServer {
     /// Total time this server has been (or is scheduled to be) busy.
     pub fn busy_total(&self) -> Duration {
         self.busy_total
+    }
+
+    /// Total time jobs spent queued before their service began. Zero on a
+    /// server that never made a job wait.
+    pub fn wait_total(&self) -> Duration {
+        self.wait_total
     }
 
     /// Busy time attributed to `tag`.
@@ -228,6 +241,11 @@ impl MultiServer {
         self.lanes.iter().map(FifoServer::busy_total).sum()
     }
 
+    /// Total queueing (wait) time across all lanes.
+    pub fn wait_total(&self) -> Duration {
+        self.lanes.iter().map(FifoServer::wait_total).sum()
+    }
+
     /// Aggregate utilization across lanes over `elapsed`.
     pub fn utilization(&self, elapsed: Duration) -> f64 {
         if elapsed.is_zero() {
@@ -280,6 +298,41 @@ mod tests {
         assert_eq!(s.busy_for("absent"), Duration::ZERO);
         let tags: Vec<_> = s.busy_breakdown().map(|(t, _)| t).collect();
         assert_eq!(tags, vec!["partition", "sort"]);
+    }
+
+    #[test]
+    fn wait_accounting_decomposes_latency() {
+        let mut s = FifoServer::new();
+        // First job starts immediately: no wait.
+        s.offer(SimTime::ZERO, Duration::from_nanos(100), "a");
+        assert_eq!(s.wait_total(), Duration::ZERO);
+        // Second job offered at t=20 waits until t=100.
+        s.offer(SimTime::from_nanos(20), Duration::from_nanos(10), "a");
+        assert_eq!(s.wait_total(), Duration::from_nanos(80));
+        // A run offered at t=50 queues behind everything as one unit.
+        let g = s.offer_run(
+            SimTime::from_nanos(50),
+            [
+                (Duration::from_nanos(5), "a"),
+                (Duration::from_nanos(5), "b"),
+            ],
+        );
+        assert_eq!(g.start, SimTime::from_nanos(110));
+        assert_eq!(s.wait_total(), Duration::from_nanos(140));
+        // An empty run neither serves nor waits.
+        let before = s.wait_total();
+        s.offer_run(SimTime::ZERO, std::iter::empty());
+        assert_eq!(s.wait_total(), before);
+    }
+
+    #[test]
+    fn multiserver_wait_sums_lanes() {
+        let mut m = MultiServer::new(2);
+        for _ in 0..3 {
+            m.offer(SimTime::ZERO, Duration::from_nanos(10), "x");
+        }
+        // Two jobs ran immediately; the third waited a full service time.
+        assert_eq!(m.wait_total(), Duration::from_nanos(10));
     }
 
     #[test]

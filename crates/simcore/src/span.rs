@@ -1,0 +1,371 @@
+//! Causal simulated-time spans.
+//!
+//! A [`Span`] records one unit of attributable simulated work — a batch
+//! read, a CPU burst, a wire transfer — as a `[start, end]` interval on a
+//! named resource, linked to the span that caused it. The executor emits
+//! spans at batch granularity; because every child event in the
+//! discrete-event loop is scheduled at its parent's completion time, the
+//! parent chain of the last span to finish telescopes exactly into the
+//! run's elapsed time, which is what makes critical-path analysis exact
+//! in integer nanoseconds.
+//!
+//! Spans accumulate in a [`SpanArena`]: bounded (overflow increments a
+//! surfaced drop counter, never panics or reallocates) and zero-cost when
+//! disabled (no backing allocation, one branch per record call).
+
+use crate::time::SimTime;
+
+/// Sentinel node index identifying the front-end host (worker nodes use
+/// their ordinal).
+pub const FRONT_END_NODE: u32 = u32::MAX;
+
+/// Handle to a recorded span: its index in the arena, or a sentinel for
+/// "no span" (tracing disabled, arena full, or a root with no parent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// The "no span" sentinel: roots use it as their parent, and every
+    /// record call returns it when tracing is off or the arena is full.
+    pub const NONE: SpanId = SpanId(u32::MAX);
+
+    /// Whether this handle refers to a recorded span.
+    pub fn is_some(self) -> bool {
+        self.0 != u32::MAX
+    }
+
+    /// The id of the span at arena index `ix` (record order is id
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` does not fit the id space (arenas are capped far
+    /// below it).
+    pub fn from_index(ix: usize) -> SpanId {
+        let raw = u32::try_from(ix).expect("span index fits u32");
+        assert_ne!(raw, u32::MAX, "index collides with the NONE sentinel");
+        SpanId(raw)
+    }
+
+    /// The arena index, if this is a real span.
+    pub fn index(self) -> Option<usize> {
+        if self.is_some() {
+            Some(self.0 as usize)
+        } else {
+            None
+        }
+    }
+}
+
+/// What kind of work a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A batch read from disk media into node memory.
+    DiskRead,
+    /// A batch write from node memory onto disk media.
+    DiskWrite,
+    /// A CPU burst (scan, receive-side processing, messaging toll).
+    Cpu,
+    /// A wire transfer between peers or to the front-end.
+    Transfer,
+    /// Front-end CPU work absorbing delivered results.
+    FrontEnd,
+    /// A synthetic span covering a phase's global barrier.
+    Barrier,
+    /// A synthetic span covering out-of-band disk positioning at the end
+    /// of a phase (e.g. merge run switches).
+    Positioning,
+}
+
+impl SpanKind {
+    /// Stable lowercase name (trace-export event names).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::DiskRead => "disk-read",
+            SpanKind::DiskWrite => "disk-write",
+            SpanKind::Cpu => "cpu",
+            SpanKind::Transfer => "transfer",
+            SpanKind::FrontEnd => "front-end",
+            SpanKind::Barrier => "barrier",
+            SpanKind::Positioning => "positioning",
+        }
+    }
+}
+
+/// One recorded span. `start` is when the work was causally initiated
+/// (its parent's completion time), `end` when it finished; the interval
+/// includes any queueing at the resource, so chained spans tile time with
+/// no gaps. The wait/service split within the interval comes from the
+/// resource models' wait accounting, not from the span itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The span whose completion caused this one ([`SpanId::NONE`] for
+    /// phase roots).
+    pub parent: SpanId,
+    /// The resource the work ran on (an interned static key, e.g.
+    /// `"disk_media"`).
+    pub resource: &'static str,
+    /// The kind of work.
+    pub kind: SpanKind,
+    /// Worker node ordinal, or [`FRONT_END_NODE`].
+    pub node: u32,
+    /// When the work was initiated.
+    pub start: SimTime,
+    /// When the work completed (`>= start`; equality is a zero-duration
+    /// span, which is legal).
+    pub end: SimTime,
+    /// Payload bytes the span moved or processed (0 for synthetic spans).
+    pub bytes: u64,
+}
+
+impl Span {
+    /// The span's length (zero for instantaneous spans).
+    pub fn duration(&self) -> crate::time::Duration {
+        self.end.since(self.start)
+    }
+}
+
+/// Default arena capacity: 2 Mi spans (~96 MB when enabled), enough for
+/// the largest figure configurations in this repository with headroom.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 21;
+
+/// A bounded arena of spans.
+///
+/// Disabled (the default for plain runs), the arena owns no allocation
+/// and every record call is a single branch. Enabled, the full backing
+/// store is allocated up front, so recording never reallocates; once
+/// capacity is reached further spans are counted in [`SpanArena::dropped`]
+/// and otherwise discarded — never a panic.
+///
+/// # Example
+///
+/// ```
+/// use simcore::span::{SpanArena, SpanId, SpanKind};
+/// use simcore::SimTime;
+///
+/// let mut arena = SpanArena::enabled();
+/// let root = arena.record(
+///     SpanId::NONE, "disk_media", SpanKind::DiskRead, 0,
+///     SimTime::ZERO, SimTime::from_nanos(100), 4096,
+/// );
+/// let child = arena.record(
+///     root, "worker_cpu", SpanKind::Cpu, 0,
+///     SimTime::from_nanos(100), SimTime::from_nanos(150), 4096,
+/// );
+/// assert!(child.is_some());
+/// assert_eq!(arena.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpanArena {
+    spans: Vec<Span>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl SpanArena {
+    /// A disabled arena: no backing allocation, record calls are no-ops.
+    pub fn disabled() -> Self {
+        SpanArena::default()
+    }
+
+    /// An enabled arena with the default capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An enabled arena bounded at `capacity` spans (allocated up front).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanArena {
+            spans: Vec::with_capacity(capacity),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a complete span; returns its id, or [`SpanId::NONE`] when
+    /// disabled or full.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn record(
+        &mut self,
+        parent: SpanId,
+        resource: &'static str,
+        kind: SpanKind,
+        node: u32,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        if self.spans.len() >= self.capacity {
+            self.dropped += 1;
+            return SpanId::NONE;
+        }
+        let id = SpanId(self.spans.len() as u32);
+        self.spans.push(Span {
+            parent,
+            resource,
+            kind,
+            node,
+            start,
+            end,
+            bytes,
+        });
+        id
+    }
+
+    /// Opens a span whose end is not yet known (recorded with
+    /// `end == start` until [`SpanArena::close`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        &mut self,
+        parent: SpanId,
+        resource: &'static str,
+        kind: SpanKind,
+        node: u32,
+        start: SimTime,
+        bytes: u64,
+    ) -> SpanId {
+        self.record(parent, resource, kind, node, start, start, bytes)
+    }
+
+    /// Closes an open span at `end`. Closing [`SpanId::NONE`] (a dropped
+    /// or untraced span) is a no-op; spans may close in any order
+    /// relative to their parents.
+    pub fn close(&mut self, id: SpanId, end: SimTime) {
+        if let Some(ix) = id.index() {
+            let span = &mut self.spans[ix];
+            debug_assert!(end >= span.start, "span closes before it starts");
+            span.end = end;
+        }
+    }
+
+    /// The recorded spans, in record order ([`SpanId`] indexes into it).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Looks a span up by id.
+    pub fn get(&self, id: SpanId) -> Option<&Span> {
+        id.index().and_then(|ix| self.spans.get(ix))
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans discarded because the arena was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn disabled_arena_records_nothing() {
+        let mut a = SpanArena::disabled();
+        let id = a.record(
+            SpanId::NONE,
+            "cpu",
+            SpanKind::Cpu,
+            0,
+            SimTime::ZERO,
+            SimTime::from_nanos(5),
+            1,
+        );
+        assert!(!id.is_some());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.dropped(), 0);
+        assert!(!a.is_enabled());
+    }
+
+    #[test]
+    fn zero_duration_spans_are_legal() {
+        let mut a = SpanArena::with_capacity(4);
+        let t = SimTime::from_nanos(42);
+        let id = a.record(SpanId::NONE, "cpu", SpanKind::Cpu, 3, t, t, 0);
+        let s = a.get(id).expect("recorded");
+        assert_eq!(s.duration(), Duration::ZERO);
+        assert_eq!(s.node, 3);
+    }
+
+    #[test]
+    fn spans_close_out_of_parent_order() {
+        let mut a = SpanArena::with_capacity(4);
+        let parent = a.open(
+            SpanId::NONE,
+            "disk_media",
+            SpanKind::DiskRead,
+            0,
+            SimTime::ZERO,
+            100,
+        );
+        let child = a.open(parent, "worker_cpu", SpanKind::Cpu, 0, SimTime::ZERO, 100);
+        // Parent closes first — legal: slots are independent.
+        a.close(parent, SimTime::from_nanos(10));
+        a.close(child, SimTime::from_nanos(30));
+        assert_eq!(a.get(parent).unwrap().end, SimTime::from_nanos(10));
+        assert_eq!(a.get(child).unwrap().end, SimTime::from_nanos(30));
+        assert_eq!(a.get(child).unwrap().parent, parent);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_without_panicking() {
+        let mut a = SpanArena::with_capacity(2);
+        let t = SimTime::ZERO;
+        for i in 0..10u64 {
+            let id = a.record(SpanId::NONE, "cpu", SpanKind::Cpu, 0, t, t, i);
+            assert_eq!(id.is_some(), i < 2);
+        }
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dropped(), 8);
+        // Closing a dropped span's NONE id is harmless.
+        a.close(SpanId::NONE, SimTime::from_nanos(99));
+    }
+
+    #[test]
+    fn record_order_is_id_order() {
+        let mut a = SpanArena::with_capacity(8);
+        let ids: Vec<SpanId> = (0..5)
+            .map(|i| {
+                a.record(
+                    SpanId::NONE,
+                    "cpu",
+                    SpanKind::Cpu,
+                    i,
+                    SimTime::from_nanos(u64::from(i)),
+                    SimTime::from_nanos(u64::from(i) + 1),
+                    0,
+                )
+            })
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), Some(i));
+        }
+        assert_eq!(a.spans().len(), 5);
+    }
+}
