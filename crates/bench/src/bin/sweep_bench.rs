@@ -1,7 +1,7 @@
-//! Wall-clock benchmark of the event scheduler, the result cache, and
-//! the causal tracing subsystem.
+//! Wall-clock benchmark of the event scheduler, the result cache, the
+//! causal tracing subsystem, and the loaded multi-query executor.
 //!
-//! Four measurements, written to `BENCH_PR7.json` in the current
+//! Five measurements, written to `BENCH_PR8.json` in the current
 //! directory:
 //!
 //! 1. Event-loop throughput on the 64-disk cluster join across all
@@ -17,6 +17,10 @@
 //! 4. Tracing overhead: the same join with causal span profiling on
 //!    vs off (reports asserted identical), plus a zero-allocation
 //!    assert on the disabled span arena's record path.
+//! 5. Multi-query executor: loaded event throughput on a four-query
+//!    closed-loop join workload, and the admission-layer overhead on a
+//!    one-query workload whose simulated latency is asserted equal to
+//!    the solo run's elapsed time to the nanosecond.
 //!
 //! ```text
 //! cargo run --release -p bench --bin sweep_bench [workers]
@@ -29,13 +33,13 @@
 //! on a 1-core host is not misread as a regression.
 //!
 //! The report also carries a `trajectory` array folding the scheduler
-//! numbers of the earlier benchmark reports (`BENCH_PR1/2/4/6.json`)
+//! numbers of the earlier benchmark reports (`BENCH_PR1/2/4/6/7.json`)
 //! so the event-loop progress is readable from one file.
 
 use std::time::Instant;
 
 use arch::Architecture;
-use howsim::{cache, sweep, Simulation};
+use howsim::{cache, sweep, AdmissionPolicy, DeadlinePolicy, Simulation, WorkloadSpec};
 use simcore::span::{SpanArena, SpanId, SpanKind};
 use simcore::{QueueBackend, SimTime};
 use tasks::TaskKind;
@@ -138,6 +142,69 @@ fn tracing_overhead(rounds: usize) -> (f64, f64, u64) {
         spans = trace.arena.len() as u64;
     }
     (best_off, best_on, spans)
+}
+
+/// Loaded-executor throughput probe: a four-query closed-loop join
+/// workload on the 64-disk cluster, best of `rounds` runs. Returns the
+/// loaded event count and the best seconds.
+fn loaded_throughput(rounds: usize) -> (u64, f64) {
+    let arch = Architecture::cluster(64);
+    let sim = Simulation::new(arch);
+    let workload = WorkloadSpec::closed(2, 4)
+        .with_mix(vec![(TaskKind::Join, 1)])
+        .with_seed(0);
+    let (admission, deadline) = (AdmissionPolicy::default(), DeadlinePolicy::default());
+    let mut events = 0u64;
+    let mut best = f64::INFINITY;
+    let mut reference = None;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let report = sim.run_workload(&workload, admission, deadline);
+        best = best.min(start.elapsed().as_secs_f64());
+        events = report.events;
+        assert_eq!(report.completed(), 4, "every query completes");
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => assert_eq!(*r, report, "loaded runs must be deterministic"),
+        }
+    }
+    (events, best)
+}
+
+/// Admission-layer overhead probe: the same join run solo via
+/// `run_plan` and as a one-query closed workload. The simulated latency
+/// is asserted equal to the solo elapsed time to the nanosecond; the
+/// wall-clock ratio is the price of the control plane (admission,
+/// deadline bookkeeping, per-query attribution) on the hot path.
+fn admission_overhead(rounds: usize) -> f64 {
+    let arch = Architecture::cluster(64);
+    let plan = tasks::plan_task(TaskKind::Join, &arch);
+    let sim = Simulation::new(arch);
+    let workload = WorkloadSpec::closed(1, 1)
+        .with_mix(vec![(TaskKind::Join, 1)])
+        .with_seed(0);
+    let solo = sim.run_plan(&plan);
+    let mut best_solo = f64::INFINITY;
+    let mut best_loaded = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let plain = sim.run_plan(&plan);
+        best_solo = best_solo.min(start.elapsed().as_secs_f64());
+        assert_eq!(plain, solo);
+        let start = Instant::now();
+        let report = sim.run_workload(
+            &workload,
+            AdmissionPolicy::default(),
+            DeadlinePolicy::default(),
+        );
+        best_loaded = best_loaded.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            report.outcomes[0].latency(),
+            solo.elapsed(),
+            "one-query workload must match the solo run to the nanosecond"
+        );
+    }
+    best_loaded / best_solo - 1.0
 }
 
 /// With tracing off, the span record path must perform zero heap
@@ -249,6 +316,10 @@ fn main() {
     const PR6_SHARDED1_EPS: u64 = 9_573_055;
     const PR6_SHARDED4_EPS: u64 = 6_962_138;
     const PR6_HEAP_EPS: u64 = 7_704_511;
+    const PR7_WHEEL_EPS: u64 = 9_146_641;
+    const PR7_SHARDED1_EPS: u64 = 9_048_946;
+    const PR7_SHARDED4_EPS: u64 = 6_994_192;
+    const PR7_HEAP_EPS: u64 = 6_591_659;
     let vs_pr4 = wheel_eps / PR4_WHEEL_EPS as f64;
     let vs_pr6 = wheel_eps / PR6_WHEEL_EPS as f64;
 
@@ -268,8 +339,22 @@ fn main() {
         trace_overhead * 100.0
     );
 
+    eprintln!("loaded multi-query executor (cluster 64, 4-query closed join)...");
+    let (loaded_events, loaded_s) = loaded_throughput(10);
+    let loaded_eps = loaded_events as f64 / loaded_s;
+    eprintln!("admission-layer overhead (1-query workload vs solo run)...");
+    let adm_overhead = admission_overhead(10);
+    // The per-event cost of the control plane is a few table lookups;
+    // the 3% target holds on the reference host, but CI runners are
+    // noisy, so the enforced ceiling is looser.
+    assert!(
+        adm_overhead < 0.15,
+        "admission-layer overhead {:.1}% exceeds the 15% ceiling",
+        adm_overhead * 100.0
+    );
+
     let json = format!(
-        "{{\n  \"benchmark\": \"arena event wheel + sharded merge + result cache on the --quick figure suite\",\n  \
+        "{{\n  \"benchmark\": \"arena event wheel + result cache + loaded multi-query executor on the --quick figure suite\",\n  \
          \"simulated_runs\": {sims},\n  \
          \"available_parallelism\": {cores},\n  \
          \"workers\": {workers},\n  \
@@ -303,6 +388,16 @@ fn main() {
          \"spans_dropped\": 0,\n    \
          \"allocations_when_off\": 0,\n    \
          \"reports_identical\": true\n  }},\n  \
+         \"multi_query\": {{\n    \
+         \"config\": \"cluster 64-disk join, closed loop, 2 clients, 4 queries\",\n    \
+         \"loaded_events\": {loaded_events},\n    \
+         \"loaded_seconds\": {loaded_s:.4},\n    \
+         \"loaded_events_per_sec\": {loaded_eps:.0},\n    \
+         \"admission_overhead_fraction\": {adm_overhead:.4},\n    \
+         \"admission_overhead_target_fraction\": 0.03,\n    \
+         \"admission_overhead_ceiling_fraction\": 0.15,\n    \
+         \"one_query_latency_identical\": true,\n    \
+         \"reports_identical\": true\n  }},\n  \
          \"result_cache\": {{\n    \
          \"suite\": \"--quick figure sweeps, --jobs 1\",\n    \
          \"cold_seconds\": {cold:.3},\n    \
@@ -318,13 +413,14 @@ fn main() {
          {{\"pr\": 2, \"source\": \"BENCH_PR2.json\", \"events_per_sec\": {PR2_EPS}, \"fifo_offer_10k_5_tags_us\": 47.8}},\n    \
          {{\"pr\": 4, \"source\": \"BENCH_PR4.json\", \"wheel_events_per_sec\": {PR4_WHEEL_EPS}, \"heap_events_per_sec\": {PR4_HEAP_EPS}, \"wheel_vs_heap_speedup\": 1.361}},\n    \
          {{\"pr\": 6, \"source\": \"BENCH_PR6.json\", \"wheel_events_per_sec\": {PR6_WHEEL_EPS}, \"sharded1_events_per_sec\": {PR6_SHARDED1_EPS}, \"sharded4_events_per_sec\": {PR6_SHARDED4_EPS}, \"heap_events_per_sec\": {PR6_HEAP_EPS}, \"wheel_vs_pr4_wheel_speedup\": 1.613}},\n    \
-         {{\"pr\": 7, \"source\": \"this run\", \"wheel_events_per_sec\": {wheel_eps:.0}, \"sharded1_events_per_sec\": {sharded1_eps:.0}, \"sharded4_events_per_sec\": {sharded4_eps:.0}, \"heap_events_per_sec\": {heap_eps:.0}, \"tracing_overhead_fraction\": {trace_overhead:.4}}}\n  ],\n  \
+         {{\"pr\": 7, \"source\": \"BENCH_PR7.json\", \"wheel_events_per_sec\": {PR7_WHEEL_EPS}, \"sharded1_events_per_sec\": {PR7_SHARDED1_EPS}, \"sharded4_events_per_sec\": {PR7_SHARDED4_EPS}, \"heap_events_per_sec\": {PR7_HEAP_EPS}, \"tracing_overhead_fraction\": 0.3887}},\n    \
+         {{\"pr\": 8, \"source\": \"this run\", \"wheel_events_per_sec\": {wheel_eps:.0}, \"sharded1_events_per_sec\": {sharded1_eps:.0}, \"sharded4_events_per_sec\": {sharded4_eps:.0}, \"heap_events_per_sec\": {heap_eps:.0}, \"loaded_events_per_sec\": {loaded_eps:.0}, \"admission_overhead_fraction\": {adm_overhead:.4}}}\n  ],\n  \
          \"outputs_identical\": true\n}}\n",
         cold_hits = cold_stats.hits,
         cold_misses = cold_stats.misses,
         warm_hits = warm_stats.hits,
         warm_misses = warm_stats.misses,
     );
-    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
     print!("{json}");
 }

@@ -5,8 +5,9 @@
 //! ```text
 //! experiments [--table1] [--table2] [--fig1] [--fig2] [--fig3] [--fig4]
 //!             [--fig5] [--beyond64] [--skew] [--growth] [--sensitivity]
-//!             [--availability] [--ablations] [--quick] [--csv] [--all]
-//!             [--jobs N] [--metrics-out FILE] [--cache] [--no-cache]
+//!             [--availability] [--loadsweep] [--ablations] [--quick]
+//!             [--csv] [--all] [--jobs N] [--metrics-out FILE] [--cache]
+//!             [--no-cache]
 //! ```
 //!
 //! With no arguments, everything is regenerated (`--all`). `--quick`
@@ -160,6 +161,20 @@ fn main() {
             "availability.csv",
             &experiments::csv::availability(&rows),
         );
+    }
+    if want("--loadsweep") {
+        let (rows, summaries) = if quick {
+            experiments::loadsweep::run_configs(
+                16,
+                8,
+                &experiments::loadsweep::MIXES[..1],
+                &[0.5, 2.0],
+            )
+        } else {
+            experiments::loadsweep::run()
+        };
+        println!("{}", experiments::loadsweep::render(&rows, &summaries));
+        write_csv(csv, "loadsweep.csv", &experiments::csv::loadsweep(&rows));
     }
     if want("--sensitivity") {
         let rows = if quick {

@@ -3,7 +3,7 @@
 //! Each function mirrors a figure module's data type and produces one CSV
 //! document (header row + data rows) suitable for gnuplot/matplotlib.
 
-use crate::{availability, beyond64, fig1, fig2, fig3, fig4, fig5};
+use crate::{availability, beyond64, fig1, fig2, fig3, fig4, fig5, loadsweep};
 
 /// Figure 1 cells as CSV.
 pub fn fig1(cells: &[fig1::Cell]) -> String {
@@ -88,6 +88,36 @@ pub fn beyond64(rows: &[beyond64::Row]) -> String {
     out
 }
 
+/// Load-sweep rows as CSV.
+pub fn loadsweep(rows: &[loadsweep::Row]) -> String {
+    let mut out = String::from(
+        "arch,mix,load,offered_qps,completed,shed,timed_out,aborted,retries,p50_s,p95_s,p99_s,goodput_qps\n",
+    );
+    let sec = |v: Option<f64>| match v {
+        Some(s) => format!("{s:.3}"),
+        None => String::new(),
+    };
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{},{},{},{},{},{},{},{},{:.6}\n",
+            r.arch,
+            r.mix,
+            r.load,
+            r.offered_qps,
+            r.completed,
+            r.shed,
+            r.timed_out,
+            r.aborted,
+            r.retries,
+            sec(r.p50_s),
+            sec(r.p95_s),
+            sec(r.p99_s),
+            r.goodput_qps
+        ));
+    }
+    out
+}
+
 /// Availability rows as CSV.
 pub fn availability(rows: &[availability::Row]) -> String {
     let mut out = String::from("task,arch,scenario,seconds,slowdown,faults_injected\n");
@@ -127,5 +157,6 @@ mod tests {
         assert!(fig5(&[]).starts_with("task,disks,secs_direct"));
         assert!(beyond64(&[]).starts_with("disks,dual_loop"));
         assert!(availability(&[]).starts_with("task,arch,scenario"));
+        assert!(loadsweep(&[]).starts_with("arch,mix,load,offered_qps"));
     }
 }

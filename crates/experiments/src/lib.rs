@@ -15,6 +15,7 @@
 //! | [`growth`] | Extension — the overnight-mining window under data growth |
 //! | [`sensitivity`] | Extension — robustness to the CPU calibration |
 //! | [`availability`] | Extension — degraded-mode availability under injected faults |
+//! | [`loadsweep`] | Extension — overload robustness under multi-query load |
 //!
 //! Each module exposes `run()` returning plain data and `render()`
 //! producing the aligned text table printed by the `experiments` binary.
@@ -33,6 +34,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod growth;
+pub mod loadsweep;
 pub mod manifests;
 pub mod sensitivity;
 pub mod skew;

@@ -1,0 +1,387 @@
+//! Graceful-degradation load sweep.
+//!
+//! The paper evaluates one decision-support query at a time, but a shared
+//! machine serves a stream of them. This experiment drives each
+//! architecture with an open-loop Poisson arrival process at multiples of
+//! its estimated single-query capacity (plus one closed-loop point), under
+//! admission control and per-query deadlines with one retry, and reports
+//! how goodput and tail latency degrade as offered load passes saturation.
+//!
+//! Capacity is estimated from the healthy single-query elapsed times of
+//! the mix (weighted mean `L`): one query saturates the machine, so the
+//! sustainable rate is about `1/L` queries/s. Offered rates, deadlines,
+//! and backoffs are all derived from `L`, so the whole schedule is
+//! deterministic: same seed, same table, at any `--jobs` count and with
+//! any event-queue backend.
+
+use arch::Architecture;
+use howsim::{AdmissionPolicy, DeadlinePolicy, Simulation, WorkloadSpec};
+use simcore::Duration;
+use tasks::{plan_task, TaskKind, TaskPlan};
+
+use crate::render_table;
+
+/// The seed every loaded run uses (arrivals and backoff jitter draw on it).
+pub const SEED: u64 = 42;
+
+/// Offered-load multiples of the estimated capacity swept by default.
+pub const RATES: [f64; 4] = [0.5, 1.0, 1.5, 2.0];
+
+/// The task mixes swept by default: a scan-heavy pair and a
+/// shuffle-heavy pair.
+pub const MIXES: [(&str, &str); 2] = [
+    ("scan", "select:1,aggregate:1"),
+    ("shuffle", "sort:1,join:1"),
+];
+
+/// Clients in the closed-loop point appended to each configuration.
+const CLOSED_CLIENTS: u32 = 4;
+
+/// Admission control every loaded run uses.
+const ADMISSION: AdmissionPolicy = AdmissionPolicy {
+    max_concurrent: 2,
+    queue_limit: 8,
+};
+
+/// Fraction of arrivals that must complete (not shed, not timed out) for
+/// an offered rate to count as sustained. Goodput-vs-offered would be the
+/// steady-state criterion, but short sweeps have edge effects (the
+/// makespan extends past the last arrival by the last query's latency),
+/// so the completion fraction is the robust deterministic proxy: under
+/// admission control and deadlines, overload shows up as shed and
+/// timed-out queries.
+const SUSTAINED_FRACTION: f64 = 0.9;
+
+/// One row of the load-sweep table: one (architecture, mix, offered-load)
+/// point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Architecture label.
+    pub arch: &'static str,
+    /// Mix label.
+    pub mix: &'static str,
+    /// Load label: `0.5x`..`2.0x` for Poisson points, `closed:4` for the
+    /// closed-loop point.
+    pub load: String,
+    /// Offered arrival rate in queries/s (0 for the closed-loop point).
+    pub offered_qps: f64,
+    /// Queries that finished every phase.
+    pub completed: usize,
+    /// Queries rejected at admission (queue full).
+    pub shed: usize,
+    /// Queries that exhausted their deadline and retries.
+    pub timed_out: usize,
+    /// Queries aborted (fail-stop recovery).
+    pub aborted: usize,
+    /// Total retry attempts across all queries.
+    pub retries: u64,
+    /// Completed-query latency percentiles in seconds (None when nothing
+    /// completed).
+    pub p50_s: Option<f64>,
+    /// 95th percentile latency in seconds.
+    pub p95_s: Option<f64>,
+    /// 99th percentile latency in seconds.
+    pub p99_s: Option<f64>,
+    /// Completed queries per simulated second.
+    pub goodput_qps: f64,
+}
+
+/// Per-(architecture, mix) saturation verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Architecture label.
+    pub arch: &'static str,
+    /// Mix label.
+    pub mix: &'static str,
+    /// Highest offered rate (queries/s) at which at least
+    /// [`SUSTAINED_FRACTION`] of arrivals completed; 0 when even the
+    /// lowest rate collapsed.
+    pub max_sustainable_qps: f64,
+    /// The load multiple that rate corresponds to.
+    pub max_sustainable_x: f64,
+}
+
+/// The architectures the load sweep compares.
+fn architectures(disks: usize) -> [(&'static str, Architecture); 3] {
+    [
+        ("Active", Architecture::active_disks(disks)),
+        ("Cluster", Architecture::cluster(disks)),
+        ("SMP", Architecture::smp(disks)),
+    ]
+}
+
+/// Runs the load sweep over `mixes` and offered-load multiples `rates`
+/// for `disks`-node configurations of every architecture, `queries`
+/// arrivals per point.
+///
+/// Two batched passes through the result cache: healthy single-query
+/// baselines first (their elapsed times set each mix's capacity estimate,
+/// deadline, and backoff), then every loaded point in one deterministic
+/// parallel sweep.
+pub fn run_configs(
+    disks: usize,
+    queries: u32,
+    mixes: &[(&'static str, &'static str)],
+    rates: &[f64],
+) -> (Vec<Row>, Vec<Summary>) {
+    let archs = architectures(disks);
+    // Pass 1: healthy solo latencies for every task that appears in a mix.
+    let parsed: Vec<Vec<(TaskKind, u32)>> = mixes
+        .iter()
+        .map(|(_, spec)| WorkloadSpec::parse_mix(spec).expect("mix spec"))
+        .collect();
+    let solo_points: Vec<(&'static str, &Architecture, TaskKind)> = archs
+        .iter()
+        .flat_map(|(name, arch)| {
+            let mut tasks: Vec<TaskKind> = Vec::new();
+            for &(t, _) in parsed.iter().flatten() {
+                if !tasks.contains(&t) {
+                    tasks.push(t);
+                }
+            }
+            tasks.into_iter().map(move |t| (*name, arch, t))
+        })
+        .collect();
+    let solo_sims: Vec<(Simulation, TaskPlan)> = solo_points
+        .iter()
+        .map(|(_, arch, task)| {
+            (
+                Simulation::new((*arch).clone()).with_seed(SEED),
+                plan_task(*task, arch),
+            )
+        })
+        .collect();
+    let solo = howsim::cache::run_sims(&solo_sims);
+    let solo_secs = |arch: &str, task: TaskKind| -> f64 {
+        solo_points
+            .iter()
+            .zip(&solo)
+            .find(|((name, _, t), _)| *name == arch && *t == task)
+            .map(|(_, r)| r.elapsed().as_secs_f64())
+            .expect("solo baseline present")
+    };
+
+    // Pass 2: every loaded point, batched through the load cache.
+    struct Point {
+        arch: &'static str,
+        mix: &'static str,
+        load: String,
+        offered_qps: f64,
+    }
+    let mut meta = Vec::new();
+    let mut batch = Vec::new();
+    for (name, arch) in &archs {
+        for ((mix_name, _), mix) in mixes.iter().zip(&parsed) {
+            let weight: u32 = mix.iter().map(|&(_, w)| w).sum();
+            let mean_secs: f64 = mix
+                .iter()
+                .map(|&(t, w)| solo_secs(name, t) * f64::from(w))
+                .sum::<f64>()
+                / f64::from(weight);
+            let deadline = DeadlinePolicy {
+                deadline: Some(Duration::from_secs_f64(mean_secs * 4.0)),
+                max_retries: 1,
+                backoff: Duration::from_secs_f64(mean_secs * 0.25),
+            };
+            let capacity_qps = 1.0 / mean_secs;
+            for &x in rates {
+                let qps = capacity_qps * x;
+                let spec = WorkloadSpec::poisson(qps, queries)
+                    .with_mix(mix.clone())
+                    .with_seed(SEED);
+                meta.push(Point {
+                    arch: name,
+                    mix: mix_name,
+                    load: format!("{x:.1}x"),
+                    offered_qps: qps,
+                });
+                batch.push((
+                    Simulation::new(arch.clone()).with_seed(SEED),
+                    spec,
+                    ADMISSION,
+                    deadline,
+                ));
+            }
+            let spec = WorkloadSpec::closed(CLOSED_CLIENTS, queries)
+                .with_mix(mix.clone())
+                .with_seed(SEED);
+            meta.push(Point {
+                arch: name,
+                mix: mix_name,
+                load: format!("closed:{CLOSED_CLIENTS}"),
+                offered_qps: 0.0,
+            });
+            batch.push((
+                Simulation::new(arch.clone()).with_seed(SEED),
+                spec,
+                ADMISSION,
+                deadline,
+            ));
+        }
+    }
+    let reports = howsim::cache::run_workloads(&batch);
+
+    let rows: Vec<Row> = meta
+        .iter()
+        .zip(&reports)
+        .map(|(p, r)| {
+            let pct = |q: f64| r.latency_percentile(q).map(|d| d.as_secs_f64());
+            Row {
+                arch: p.arch,
+                mix: p.mix,
+                load: p.load.clone(),
+                offered_qps: p.offered_qps,
+                completed: r.completed(),
+                shed: r.shed(),
+                timed_out: r.timed_out(),
+                aborted: r.aborted(),
+                retries: r.retries(),
+                p50_s: pct(50.0),
+                p95_s: pct(95.0),
+                p99_s: pct(99.0),
+                goodput_qps: r.goodput_qps(),
+            }
+        })
+        .collect();
+
+    let mut summaries = Vec::new();
+    for (name, _) in &archs {
+        for (mix_name, _) in mixes {
+            let mut best = (0.0, 0.0);
+            for (p, row) in meta.iter().zip(&rows) {
+                if p.arch != *name || p.mix != *mix_name || p.offered_qps <= 0.0 {
+                    continue;
+                }
+                let x: f64 = p.load.trim_end_matches('x').parse().unwrap_or(0.0);
+                let total = row.completed + row.shed + row.timed_out + row.aborted;
+                let done = row.completed as f64 / total.max(1) as f64;
+                if done >= SUSTAINED_FRACTION && p.offered_qps > best.0 {
+                    best = (p.offered_qps, x);
+                }
+            }
+            summaries.push(Summary {
+                arch: name,
+                mix: mix_name,
+                max_sustainable_qps: best.0,
+                max_sustainable_x: best.1,
+            });
+        }
+    }
+    (rows, summaries)
+}
+
+/// Runs the default load sweep (16 disks, 12 queries per point, the
+/// standard mixes and rates).
+pub fn run() -> (Vec<Row>, Vec<Summary>) {
+    run_configs(16, 12, &MIXES, &RATES)
+}
+
+/// Renders the load-sweep table plus the per-configuration saturation
+/// verdicts.
+pub fn render(rows: &[Row], summaries: &[Summary]) -> String {
+    let header: Vec<String> = [
+        "arch", "mix", "load", "offered", "done", "shed", "t/o", "abrt", "retry", "p50", "p95",
+        "p99", "goodput",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let sec = |v: Option<f64>| match v {
+        Some(s) => format!("{s:.1}s"),
+        None => "-".to_string(),
+    };
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.arch.to_string(),
+                r.mix.to_string(),
+                r.load.clone(),
+                if r.offered_qps > 0.0 {
+                    format!("{:.4}/s", r.offered_qps)
+                } else {
+                    "-".to_string()
+                },
+                r.completed.to_string(),
+                r.shed.to_string(),
+                r.timed_out.to_string(),
+                r.aborted.to_string(),
+                r.retries.to_string(),
+                sec(r.p50_s),
+                sec(r.p95_s),
+                sec(r.p99_s),
+                format!("{:.4}/s", r.goodput_qps),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        "Extension: overload robustness (Poisson arrivals at multiples of \
+         single-query capacity; admission 2:8, deadline 4x mean, 1 retry)",
+        &header,
+        &body,
+    );
+    for s in summaries {
+        out.push_str(&format!(
+            "  max sustainable ({}, {}): {}\n",
+            s.arch,
+            s.mix,
+            if s.max_sustainable_qps > 0.0 {
+                format!(
+                    "{:.4} queries/s ({:.1}x capacity, >= {:.0}% of arrivals completed)",
+                    s.max_sustainable_qps,
+                    s.max_sustainable_x,
+                    SUSTAINED_FRACTION * 100.0
+                )
+            } else {
+                "none (every rate collapsed)".to_string()
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_emits_rows_and_saturation_verdicts() {
+        let mixes = [("scan", "select:1")];
+        let (rows, summaries) = run_configs(8, 4, &mixes, &[0.5, 2.0]);
+        // 3 architectures x (2 Poisson points + 1 closed point).
+        assert_eq!(rows.len(), 3 * 3);
+        assert_eq!(summaries.len(), 3);
+        for r in &rows {
+            assert_eq!(
+                r.completed + r.shed + r.timed_out + r.aborted,
+                4,
+                "{}/{}: every arrival is accounted for",
+                r.arch,
+                r.load
+            );
+        }
+        // The closed-loop point always completes everything: each client
+        // waits for its query, so nothing is shed or times out.
+        for r in rows.iter().filter(|r| r.load.starts_with("closed")) {
+            assert_eq!(r.completed, 4, "{}: closed loop self-paces", r.arch);
+            assert!(r.goodput_qps > 0.0);
+        }
+        // At half capacity the system keeps up.
+        for r in rows.iter().filter(|r| r.load == "0.5x") {
+            assert!(
+                r.completed >= 3,
+                "{}: 0.5x should mostly complete, got {}",
+                r.arch,
+                r.completed
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_repeats() {
+        let mixes = [("scan", "aggregate:1")];
+        let a = run_configs(4, 3, &mixes, &[1.0]);
+        let b = run_configs(4, 3, &mixes, &[1.0]);
+        assert_eq!(a, b);
+    }
+}

@@ -27,6 +27,19 @@
 //! skips even the in-process cache. Traced, instrumented, and profiled
 //! runs always simulate — only the plain report path is cached — and a
 //! cached report is byte-identical to a fresh one.
+//!
+//! `--load <spec>` switches to the loaded multi-query executor: many
+//! queries drawn from `--mix` interleave on one shared machine under
+//! admission control (`--admission <concurrent>:<queue>`) and optional
+//! per-query deadlines with retry/backoff (`--deadline <dur>[:<retries>:<backoff>]`).
+//! Prints per-query outcomes plus p50/p95/p99 latency and goodput;
+//! `--metrics-out` writes the load manifest JSON and `--trace-events`
+//! writes a Chrome trace with one pid lane per query.
+//!
+//! ```text
+//! howsim --arch active --disks 64 --load poisson:0.2:16@7 --mix select:1,sort:1 \
+//!        --admission 4:16 --deadline 120s:1:5s
+//! ```
 
 use std::process::ExitCode;
 
@@ -34,7 +47,10 @@ use arch::Architecture;
 use howsim::faults::{FaultPlan, RecoveryPolicy};
 use howsim::manifest::{HostInfo, RunManifest};
 use howsim::profile::CriticalPath;
-use howsim::{Attribution, MetricsBuilder, Simulation, SpanTrace, Trace};
+use howsim::{
+    AdmissionPolicy, Attribution, DeadlinePolicy, LoadReport, MetricsBuilder, Simulation,
+    SpanTrace, Trace, WorkloadSpec,
+};
 use simcore::span::FRONT_END_NODE;
 use simcore::QueueBackend;
 use tasks::TaskKind;
@@ -66,6 +82,10 @@ struct Options {
     faults: Vec<String>,
     recovery: RecoveryPolicy,
     queue: QueueBackend,
+    load: Option<String>,
+    mix: String,
+    admission: AdmissionPolicy,
+    deadline: DeadlinePolicy,
 }
 
 /// Parses `--queue` values: `heap`, `wheel`, or `sharded:<n>`.
@@ -96,6 +116,9 @@ fn usage() -> String {
      \x20      [--queue <heap|wheel|sharded:<n>>]\n\
      \x20      [--trace <file.csv>] [--trace-out <file.jsonl>] [--metrics-out <file.json>]\n\
      \x20      [--trace-events <file.json>]\n\
+     \x20      [--load <poisson:<qps>:<queries>[@seed] | closed:<clients>:<queries>[@seed]>]\n\
+     \x20      [--mix <all | name,... | name:weight,...>] [--admission <concurrent>:<queue>]\n\
+     \x20      [--deadline <none | dur | dur:<retries>:<backoff>>]\n\
      tasks: select aggregate groupby dcube sort join dmine mview\n\
      fault specs: disk:<node>@<time>  slow:<node>@<time>:<defects>  link:<node>@<time>:<factor>\n\
      explain: print the per-resource utilization table and name the bottleneck\n\
@@ -133,6 +156,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
         faults: Vec::new(),
         recovery: RecoveryPolicy::default(),
         queue: QueueBackend::default(),
+        load: None,
+        mix: "all".to_string(),
+        admission: AdmissionPolicy::default(),
+        deadline: DeadlinePolicy::default(),
     };
     let mut args = args;
     match args.first().map(String::as_str) {
@@ -205,6 +232,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.faults.push(spec);
             }
             "--queue" => opts.queue = parse_queue(&value("--queue")?)?,
+            "--load" => opts.load = Some(value("--load")?),
+            "--mix" => opts.mix = value("--mix")?,
+            "--admission" => opts.admission = AdmissionPolicy::parse_spec(&value("--admission")?)?,
+            "--deadline" => opts.deadline = DeadlinePolicy::parse_spec(&value("--deadline")?)?,
             "--recovery" => {
                 let name = value("--recovery")?;
                 opts.recovery = RecoveryPolicy::parse(&name).ok_or_else(|| {
@@ -217,6 +248,18 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if opts.disks == 0 {
         return Err("--disks must be positive".to_string());
+    }
+    if let Some(load) = &opts.load {
+        // Validate the workload spec eagerly so a typo fails before simulating.
+        WorkloadSpec::parse_spec(load, &opts.mix)?;
+        if opts.explain || opts.profile {
+            return Err("explain/profile apply to single-task runs, not --load".to_string());
+        }
+        if opts.trace_path.is_some() || opts.trace_out.is_some() {
+            return Err("--trace/--trace-out apply to single-task runs, not --load".to_string());
+        }
+    } else {
+        WorkloadSpec::parse_mix(&opts.mix)?;
     }
     Ok(opts)
 }
@@ -381,6 +424,121 @@ fn print_profile(report: &howsim::Report, spans: &SpanTrace) {
     );
 }
 
+/// Prints the per-query outcome table and the load summary — the
+/// `--load` output body.
+fn print_load_report(report: &LoadReport) {
+    println!(
+        "loaded run: {} x{} disks  workload {}  admission {}  deadline {}",
+        report.architecture, report.disks, report.workload, report.admission, report.deadline,
+    );
+    println!();
+    println!(
+        "  {:>5} {:<10} {:<10} {:>12} {:>12} {:>7} {:>8} {:>6}",
+        "query", "task", "status", "arrival (s)", "latency (s)", "retries", "timeouts", "phases"
+    );
+    for o in &report.outcomes {
+        println!(
+            "  {:>5} {:<10} {:<10} {:>12.3} {:>12.3} {:>7} {:>8} {:>6}",
+            o.query,
+            o.task.name(),
+            o.status.name(),
+            o.arrival.as_secs_f64(),
+            o.latency().as_secs_f64(),
+            o.retries,
+            o.timeouts,
+            o.phases.len(),
+        );
+    }
+    println!();
+    println!(
+        "  outcomes: {} queries — {} completed, {} shed, {} timed out, {} aborted ({} retries, {} timeouts)",
+        report.outcomes.len(),
+        report.completed(),
+        report.shed(),
+        report.timed_out(),
+        report.aborted(),
+        report.retries(),
+        report.timeouts(),
+    );
+    let pct = |p: f64| match report.latency_percentile(p) {
+        Some(d) => format!("{:.3} s", d.as_secs_f64()),
+        None => "-".to_string(),
+    };
+    println!(
+        "  latency: p50 {}  p95 {}  p99 {}",
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+    );
+    println!(
+        "  goodput: {:.4} queries/s over {:.3} s simulated ({} events)",
+        report.goodput_qps(),
+        report.elapsed.as_secs_f64(),
+        report.events,
+    );
+    if report.faults_injected > 0 {
+        println!(
+            "  faults: {} injected — {} MB redistributed, {:.3} s disk downtime",
+            report.faults_injected,
+            report.work_redistributed / 1_000_000,
+            report.downtime.as_secs_f64(),
+        );
+    }
+}
+
+/// Runs the `--load` multi-query path: simulate (through the load cache
+/// when uninstrumented), print the outcome table, and write the optional
+/// load manifest and per-query Chrome trace.
+fn run_loaded(opts: &Options, sim: &Simulation, fault_plan: &FaultPlan) -> ExitCode {
+    let workload = WorkloadSpec::parse_spec(opts.load.as_deref().expect("--load set"), &opts.mix)
+        .expect("spec validated during parse");
+    let want_profile = opts.trace_events.is_some();
+    let (report, span_trace) = if want_profile {
+        let (r, t) = sim.run_workload_profiled(&workload, opts.admission, opts.deadline);
+        (r, Some(t))
+    } else {
+        (
+            howsim::cache::run_workload(sim, &workload, opts.admission, opts.deadline),
+            None,
+        )
+    };
+    if opts.disk_cache && howsim::cache::stats().disk_hits > 0 {
+        eprintln!("cache: load report served from results/.simcache/");
+    }
+    print_load_report(&report);
+    if let Some(path) = &opts.trace_events {
+        let trace = span_trace.as_ref().expect("profiled run");
+        if let Err(e) = std::fs::write(path, trace.chrome_trace_json()) {
+            eprintln!("failed to write trace events {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let dropped: u64 = trace
+            .queries
+            .iter()
+            .map(|q| trace.dropped_for(q.query))
+            .sum();
+        eprintln!(
+            "wrote {} spans ({} dropped) as Chrome trace events to {path} (one pid per query)",
+            trace.arena.len(),
+            dropped,
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        let json = howsim::manifest::load_manifest_json(
+            &report,
+            opts.seed,
+            &fault_plan.summary(),
+            opts.recovery.name(),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write manifest {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote load manifest to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&args) {
@@ -420,6 +578,9 @@ fn main() -> ExitCode {
         .with_fault_plan(fault_plan.clone())
         .with_recovery(opts.recovery)
         .with_queue_backend(opts.queue);
+    if opts.load.is_some() {
+        return run_loaded(&opts, &sim, &fault_plan);
+    }
     let plan = tasks::plan_task(opts.task, &arch);
     let want_trace = opts.trace_path.is_some() || opts.trace_out.is_some();
     // `explain` needs the critical path, so it profiles too.
@@ -662,6 +823,44 @@ mod tests {
         assert!(parse(&argv("--queue sharded:x")).is_err());
         assert!(parse(&argv("--queue splay")).is_err());
         assert!(parse(&argv("--queue")).is_err());
+    }
+
+    #[test]
+    fn load_flags_parse() {
+        let o = parse(&argv(
+            "--load poisson:0.5:16@7 --mix select:2,sort:1 --admission 2:8 --deadline 30s:1:2s",
+        ))
+        .unwrap();
+        assert_eq!(o.load.as_deref(), Some("poisson:0.5:16@7"));
+        assert_eq!(o.mix, "select:2,sort:1");
+        assert_eq!(o.admission.max_concurrent, 2);
+        assert_eq!(o.admission.queue_limit, 8);
+        assert_eq!(o.deadline.max_retries, 1);
+        assert!(o.deadline.deadline.is_some());
+        // Defaults: no load, mix `all`, admission 4:16, no deadline.
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.load, None);
+        assert_eq!(d.mix, "all");
+        assert_eq!(d.admission, AdmissionPolicy::default());
+        assert_eq!(d.deadline.deadline, None);
+    }
+
+    #[test]
+    fn bad_load_flags_are_rejected() {
+        assert!(parse(&argv("--load warp:1:2")).is_err());
+        assert!(parse(&argv("--load poisson:0.5:4 --mix nonsense")).is_err());
+        assert!(parse(&argv("--mix nonsense")).is_err());
+        assert!(parse(&argv("--admission 4")).is_err());
+        assert!(parse(&argv("--deadline 5")).is_err());
+        // Single-run observers don't apply to loaded runs.
+        assert!(parse(&argv("explain --load closed:1:1")).is_err());
+        assert!(parse(&argv("profile --load closed:1:1")).is_err());
+        assert!(parse(&argv("--load closed:1:1 --trace t.csv")).is_err());
+        // But the loaded manifest and Chrome trace do.
+        assert!(parse(&argv(
+            "--load closed:1:1 --metrics-out m.json --trace-events t.json"
+        ))
+        .is_ok());
     }
 
     #[test]

@@ -38,15 +38,23 @@ use tasks::{plan_task, TaskKind, TaskPlan};
 
 use crate::exec::Simulation;
 use crate::faults::{FaultPlan, RecoveryPolicy};
-use crate::manifest::{fnv1a64, report_from_cache, report_to_cache};
+use crate::manifest::{
+    fnv1a64, load_report_from_cache, load_report_to_cache, report_from_cache, report_to_cache,
+};
+use crate::mqexec::LoadReport;
 use crate::report::Report;
 use crate::sweep;
+use crate::workload::{AdmissionPolicy, DeadlinePolicy, WorkloadSpec};
 
 /// On-disk entry schema identifier, bumped on breaking layout changes
 /// (v2 added the checksum line and the seed/fault-plan key fields; v3
 /// added per-resource wait time to the report `res` lines, so v2
 /// entries no longer parse and read as misses).
 pub const SCHEMA: &str = "howsim-simcache/v3";
+
+/// On-disk schema for loaded-run entries (`.load` files). Separate from
+/// [`SCHEMA`] because [`crate::LoadReport`] has its own layout.
+pub const LOAD_SCHEMA: &str = "howsim-loadcache/v1";
 
 /// Lifetime hit/miss counters for the process-wide cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +74,8 @@ struct CacheState {
     /// Hash → entries; a `Vec` per hash so verified key material, not
     /// the hash, decides equality.
     entries: HashMap<u64, Vec<(String, Report)>>,
+    /// Loaded-run tier, same collision discipline.
+    load_entries: HashMap<u64, Vec<(String, LoadReport)>>,
     stats: CacheStats,
 }
 
@@ -76,6 +86,7 @@ fn state() -> &'static Mutex<CacheState> {
             enabled: true,
             disk_dir: None,
             entries: HashMap::new(),
+            load_entries: HashMap::new(),
             stats: CacheStats::default(),
         })
     })
@@ -115,7 +126,9 @@ pub fn default_disk_dir() -> PathBuf {
 
 /// Drops every in-memory entry (the on-disk tier is untouched).
 pub fn clear() {
-    lock().entries.clear();
+    let mut st = lock();
+    st.entries.clear();
+    st.load_entries.clear();
 }
 
 /// Lifetime hit/miss counters.
@@ -332,6 +345,178 @@ pub fn run_sims(points: &[(Simulation, TaskPlan)]) -> Vec<Report> {
     });
     for (&ix, report) in jobs.iter().zip(&fresh) {
         insert(&keys[ix], report.clone());
+    }
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Ready(report) => *report,
+            Slot::Fresh(job) => fresh[job].clone(),
+        })
+        .collect()
+}
+
+/// The full cache key for one loaded run: the single-query key inputs
+/// minus the plan (the workload enumerates its tasks) plus the workload,
+/// admission, and deadline specs — so two load scenarios can never alias
+/// to one entry.
+pub fn load_key_material(
+    sim: &Simulation,
+    workload: &WorkloadSpec,
+    admission: AdmissionPolicy,
+    deadline: DeadlinePolicy,
+) -> String {
+    format!(
+        "arch={:?} | degraded={:?} | seed={} | faults={} | recovery={} | workload={} | admission={} | deadline={}",
+        sim.architecture(),
+        sim.degraded_disks(),
+        sim.seed(),
+        sim.fault_plan().summary(),
+        sim.recovery_policy().name(),
+        workload.summary(),
+        admission.summary(),
+        deadline.summary(),
+    )
+}
+
+fn load_entry_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("{hash:016x}.load"))
+}
+
+fn disk_load_report(dir: &Path, hash: u64, key: &str) -> Option<LoadReport> {
+    let text = fs::read_to_string(load_entry_path(dir, hash)).ok()?;
+    let mut sections = text.splitn(3, '\n');
+    if sections.next()? != LOAD_SCHEMA {
+        return None;
+    }
+    let sum = u64::from_str_radix(sections.next()?.strip_prefix("sum ")?, 16).ok()?;
+    let payload = sections.next()?;
+    if fnv1a64(payload.as_bytes()) != sum {
+        return None;
+    }
+    let (key_line, body) = payload.split_once('\n')?;
+    if key_line.strip_prefix("key ")? != key {
+        return None;
+    }
+    load_report_from_cache(body).ok()
+}
+
+fn disk_store_load(dir: &Path, hash: u64, key: &str, report: &LoadReport) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".ltmp-{:016x}-{}", hash, std::process::id()));
+    let payload = format!("key {key}\n{}", load_report_to_cache(report));
+    let sum = fnv1a64(payload.as_bytes());
+    fs::write(&tmp, format!("{LOAD_SCHEMA}\nsum {sum:016x}\n{payload}"))?;
+    fs::rename(&tmp, load_entry_path(dir, hash))
+}
+
+fn probe_load(key: &str) -> Option<LoadReport> {
+    let hash = fnv1a64(key.as_bytes());
+    let disk = {
+        let mut st = lock();
+        if let Some(found) = st
+            .load_entries
+            .get(&hash)
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, r)| r.clone())
+        {
+            st.stats.hits += 1;
+            return Some(found);
+        }
+        st.disk_dir.clone()
+    };
+    if let Some(dir) = disk {
+        if let Some(report) = disk_load_report(&dir, hash, key) {
+            let mut st = lock();
+            st.stats.hits += 1;
+            st.stats.disk_hits += 1;
+            let entries = st.load_entries.entry(hash).or_default();
+            if !entries.iter().any(|(k, _)| k == key) {
+                entries.push((key.to_string(), report.clone()));
+            }
+            return Some(report);
+        }
+    }
+    lock().stats.misses += 1;
+    None
+}
+
+fn insert_load(key: &str, report: LoadReport) {
+    let hash = fnv1a64(key.as_bytes());
+    let disk = {
+        let mut st = lock();
+        let entries = st.load_entries.entry(hash).or_default();
+        if !entries.iter().any(|(k, _)| k == key) {
+            entries.push((key.to_string(), report.clone()));
+        }
+        st.disk_dir.clone()
+    };
+    if let Some(dir) = disk {
+        let _ = disk_store_load(&dir, hash, key, &report);
+    }
+}
+
+/// Runs a multi-query workload through the cache. The key covers the
+/// workload, admission, and deadline specs on top of the simulation
+/// config, and cached reports round-trip bit-exactly (all-integer
+/// serialization), so cache-on and cache-off outputs are byte-identical.
+pub fn run_workload(
+    sim: &Simulation,
+    workload: &WorkloadSpec,
+    admission: AdmissionPolicy,
+    deadline: DeadlinePolicy,
+) -> LoadReport {
+    if !enabled() {
+        return sim.run_workload(workload, admission, deadline);
+    }
+    let key = load_key_material(sim, workload, admission, deadline);
+    if let Some(report) = probe_load(&key) {
+        return report;
+    }
+    let report = sim.run_workload(workload, admission, deadline);
+    insert_load(&key, report.clone());
+    report
+}
+
+/// Batch variant of [`run_workload`] with the same deduplication and
+/// deterministic parallel dispatch as [`run_sims`].
+pub fn run_workloads(
+    points: &[(Simulation, WorkloadSpec, AdmissionPolicy, DeadlinePolicy)],
+) -> Vec<LoadReport> {
+    if !enabled() {
+        return sweep::map(points, |(sim, w, adm, dl)| sim.run_workload(w, *adm, *dl));
+    }
+    enum Slot {
+        Ready(Box<LoadReport>),
+        Fresh(usize),
+    }
+    let keys: Vec<String> = points
+        .iter()
+        .map(|(sim, w, adm, dl)| load_key_material(sim, w, *adm, *dl))
+        .collect();
+    let mut first_job: HashMap<&str, usize> = HashMap::new();
+    let mut jobs: Vec<usize> = Vec::new();
+    let mut slots: Vec<Slot> = Vec::with_capacity(points.len());
+    for (ix, key) in keys.iter().enumerate() {
+        if let Some(report) = probe_load(key) {
+            slots.push(Slot::Ready(Box::new(report)));
+        } else if let Some(&job) = first_job.get(key.as_str()) {
+            let mut st = lock();
+            st.stats.hits += 1;
+            st.stats.misses -= 1; // probe above counted it as a miss
+            drop(st);
+            slots.push(Slot::Fresh(job));
+        } else {
+            first_job.insert(key, jobs.len());
+            slots.push(Slot::Fresh(jobs.len()));
+            jobs.push(ix);
+        }
+    }
+    let fresh: Vec<LoadReport> = sweep::map(&jobs, |&ix| {
+        let (sim, w, adm, dl) = &points[ix];
+        sim.run_workload(w, *adm, *dl)
+    });
+    for (&ix, report) in jobs.iter().zip(&fresh) {
+        insert_load(&keys[ix], report.clone());
     }
     slots
         .into_iter()
@@ -560,6 +745,115 @@ mod tests {
 
         set_disk_dir(None);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_load_specs_never_alias_one_entry() {
+        let _guard = fresh_cache();
+        let arch = Architecture::active_disks(2);
+        let sim = Simulation::new(arch);
+        let mix = vec![(TaskKind::Select, 1)];
+        let a_spec = WorkloadSpec::poisson(0.05, 3).with_mix(mix.clone());
+        let b_spec = WorkloadSpec::poisson(0.10, 3).with_mix(mix.clone());
+        let adm = AdmissionPolicy::default();
+        let dl = DeadlinePolicy::default();
+        // Every dimension of the load scenario separates keys.
+        let base = load_key_material(&sim, &a_spec, adm, dl);
+        assert_ne!(base, load_key_material(&sim, &b_spec, adm, dl));
+        assert_ne!(
+            base,
+            load_key_material(&sim, &a_spec.clone().with_seed(9), adm, dl)
+        );
+        assert_ne!(
+            base,
+            load_key_material(
+                &sim,
+                &a_spec,
+                AdmissionPolicy {
+                    max_concurrent: 1,
+                    queue_limit: 0
+                },
+                dl
+            )
+        );
+        assert_ne!(
+            base,
+            load_key_material(
+                &sim,
+                &a_spec,
+                adm,
+                DeadlinePolicy {
+                    deadline: Some(simcore::Duration::from_secs(1)),
+                    max_retries: 0,
+                    backoff: simcore::Duration::from_secs(1)
+                }
+            )
+        );
+        // Two different arrival rates must simulate separately...
+        let a = run_workload(&sim, &a_spec, adm, dl);
+        let b = run_workload(&sim, &b_spec, adm, dl);
+        assert_eq!(stats().misses, 2, "distinct load specs miss each other");
+        assert_ne!(a, b, "different arrival schedules, different reports");
+        // ...and re-running one hits its own entry bit-exactly.
+        let a2 = run_workload(&sim, &a_spec, adm, dl);
+        assert_eq!(a, a2);
+        assert_eq!(stats().hits, 1);
+    }
+
+    #[test]
+    fn load_report_round_trips_through_disk_tier() {
+        let _guard = fresh_cache();
+        let dir =
+            std::env::temp_dir().join(format!("howsim-loadcache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        set_disk_dir(Some(dir.clone()));
+        let sim = Simulation::new(Architecture::cluster(2)).with_seed(3);
+        let w = WorkloadSpec::closed(2, 4).with_mix(vec![(TaskKind::Select, 1)]);
+        let adm = AdmissionPolicy::default();
+        let dl = DeadlinePolicy {
+            deadline: Some(simcore::Duration::from_secs(600)),
+            max_retries: 1,
+            backoff: simcore::Duration::from_secs(1),
+        };
+        let cold = run_workload(&sim, &w, adm, dl);
+        assert_eq!(stats().misses, 1);
+        assert!(fs::read_dir(&dir).unwrap().any(|e| e
+            .unwrap()
+            .path()
+            .to_string_lossy()
+            .ends_with(".load")));
+
+        // Drop the memory tier: the next lookup must come from disk,
+        // bit-for-bit — per-query outcomes, phases, statuses and all.
+        clear();
+        let warm = run_workload(&sim, &w, adm, dl);
+        assert_eq!(warm, cold, "disk round trip is field-identical");
+        let s = stats();
+        assert_eq!((s.hits, s.disk_hits), (1, 1));
+
+        set_disk_dir(None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn workload_batch_dedups_before_dispatch() {
+        let _guard = fresh_cache();
+        let sim = Simulation::new(Architecture::smp(2));
+        let w = WorkloadSpec::poisson(0.02, 2).with_mix(vec![(TaskKind::Select, 1)]);
+        let adm = AdmissionPolicy::default();
+        let dl = DeadlinePolicy::default();
+        let points = vec![
+            (sim.clone(), w.clone(), adm, dl),
+            (sim.clone(), w.clone().with_seed(5), adm, dl),
+            (sim.clone(), w.clone(), adm, dl), // duplicate of point 0
+        ];
+        let reports = run_workloads(&points);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0], reports[2]);
+        let s = stats();
+        assert_eq!((s.hits, s.misses), (1, 2), "duplicate served from batch");
+        let again = run_workloads(&points);
+        assert_eq!(again, reports);
     }
 
     #[test]

@@ -50,20 +50,26 @@ pub struct Simulation {
 /// Events of the phase executor. The `span` on each work event is the
 /// span that completes when the event fires ([`SpanId::NONE`] unless the
 /// run is profiled) — the causal parent of whatever the handler does
-/// next.
+/// next. The `query` field attributes every work event to the query it
+/// belongs to: single-query runs use lane 0, the multi-query executor
+/// ([`crate::mqexec`]) interleaves many lanes on one queue. Payload
+/// fields never affect the `(time, seq)` pop order, so threading the
+/// query id leaves single-query reports byte-identical.
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// A batch finished reading from disk at a node.
     BatchRead {
         node: usize,
         bytes: u64,
         span: SpanId,
+        query: u32,
     },
     /// A node's CPU finished processing a scanned batch.
     BatchProcessed {
         node: usize,
         bytes: u64,
         span: SpanId,
+        query: u32,
     },
     /// A repartitioned batch arrived at a peer.
     PeerArrive {
@@ -71,34 +77,95 @@ enum Ev {
         dst: usize,
         bytes: u64,
         span: SpanId,
+        query: u32,
     },
     /// A peer finished its receive-side CPU work on a batch.
     RecvProcessed {
         node: usize,
         bytes: u64,
         span: SpanId,
+        query: u32,
     },
     /// Data arrived at the front-end.
-    FeArrive { bytes: u64, span: SpanId },
+    FeArrive {
+        bytes: u64,
+        span: SpanId,
+        query: u32,
+    },
     /// The failure of `node` is detected (its request timeouts expired):
-    /// recovery of its remaining partition begins.
-    RecoveryKick { node: usize },
+    /// recovery of its remaining partition begins for `query`.
+    RecoveryKick { node: usize, query: u32 },
+    /// Control events of the multi-query executor (never seen by the
+    /// single-query phase loop): a query arrives at the admission
+    /// controller.
+    Admit { query: u32 },
+    /// A query's phase barrier completed; start its next phase (or
+    /// finish). Tagged with the attempt so stale barriers of a cancelled
+    /// attempt are ignored.
+    PhaseStart { query: u32, attempt: u32 },
+    /// A query attempt's deadline expired.
+    Deadline { query: u32, attempt: u32 },
+    /// A cancelled query's backoff elapsed; restart when its in-flight
+    /// events have drained.
+    Retry { query: u32 },
+}
+
+impl Ev {
+    /// The query a *work* event belongs to (None for control events —
+    /// they carry no machine work and are not counted as outstanding).
+    #[inline]
+    pub(crate) fn work_query(&self) -> Option<u32> {
+        match *self {
+            Ev::BatchRead { query, .. }
+            | Ev::BatchProcessed { query, .. }
+            | Ev::PeerArrive { query, .. }
+            | Ev::RecvProcessed { query, .. }
+            | Ev::FeArrive { query, .. }
+            | Ev::RecoveryKick { query, .. } => Some(query),
+            Ev::Admit { .. } | Ev::PhaseStart { .. } | Ev::Deadline { .. } | Ev::Retry { .. } => {
+                None
+            }
+        }
+    }
+}
+
+/// Push sink over the event queue that optionally counts each query's
+/// outstanding work events (the multi-query executor's phase-completion
+/// signal). The single-query path passes `counts: None` — one `Option`
+/// check per push, the same off-cost pattern as tracing and metrics.
+pub(crate) struct EvQ<'a> {
+    pub(crate) q: &'a mut EventQueue<Ev>,
+    pub(crate) counts: Option<&'a mut Vec<u64>>,
+}
+
+impl EvQ<'_> {
+    #[inline]
+    pub(crate) fn push(&mut self, t: SimTime, ev: Ev) {
+        if let Some(c) = self.counts.as_deref_mut() {
+            if let Some(q) = ev.work_query() {
+                c[q as usize] += 1;
+            }
+        }
+        self.q.push(t, ev);
+    }
 }
 
 /// Span-recording runtime of one profiled run: the arena plus the
 /// last-ending span of the current phase (the critical-path anchor).
-struct SpanRt {
-    arena: SpanArena,
+/// The multi-query executor swaps `last`/`last_end` per query around
+/// each event so every query keeps its own anchor chain.
+pub(crate) struct SpanRt {
+    pub(crate) arena: SpanArena,
     /// Last-ending retained span of the current phase; later records at
     /// the same end time win, which is deterministic because record
     /// order follows the (backend-invariant) event pop order.
-    last: SpanId,
-    last_end: SimTime,
-    phases: Vec<PhaseSpans>,
+    pub(crate) last: SpanId,
+    pub(crate) last_end: SimTime,
+    pub(crate) phases: Vec<PhaseSpans>,
 }
 
 impl SpanRt {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         SpanRt {
             arena: SpanArena::enabled(),
             last: SpanId::NONE,
@@ -108,7 +175,7 @@ impl SpanRt {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn record(
+    pub(crate) fn record(
         &mut self,
         parent: SpanId,
         resource: &'static str,
@@ -133,7 +200,7 @@ impl SpanRt {
 /// when it is not.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn span(
+pub(crate) fn span(
     spans: &mut Option<&mut SpanRt>,
     parent: SpanId,
     resource: &'static str,
@@ -152,17 +219,22 @@ fn span(
 /// Shard key for the sharded scheduler backend: the node an event fires
 /// *on* (receiver side for transfers), so each shard's events are one
 /// node group's and cross-shard traffic pays interconnect latency —
-/// matching the lookahead bound. Front-end arrivals ride shard 0.
-/// Placement never affects the pop order (the cross-shard merge is an
-/// exact `(time, seq)` argmin), so reports are identical for any key.
-fn shard_of_ev(ev: &Ev) -> usize {
+/// matching the lookahead bound. Front-end arrivals and the multi-query
+/// control plane ride shard 0. Placement never affects the pop order
+/// (the cross-shard merge is an exact `(time, seq)` argmin), so reports
+/// are identical for any key.
+pub(crate) fn shard_of_ev(ev: &Ev) -> usize {
     match *ev {
         Ev::BatchRead { node, .. }
         | Ev::BatchProcessed { node, .. }
         | Ev::RecvProcessed { node, .. }
-        | Ev::RecoveryKick { node } => node,
+        | Ev::RecoveryKick { node, .. } => node,
         Ev::PeerArrive { dst, .. } => dst,
-        Ev::FeArrive { .. } => 0,
+        Ev::FeArrive { .. }
+        | Ev::Admit { .. }
+        | Ev::PhaseStart { .. }
+        | Ev::Deadline { .. }
+        | Ev::Retry { .. } => 0,
     }
 }
 
@@ -172,7 +244,7 @@ fn shard_of_ev(ev: &Ev) -> usize {
 /// these precomputed durations and only falls back to the float math for
 /// odd-sized tail batches. The cached values are produced by the *same*
 /// expressions as the fallback path, so results are bit-identical.
-struct PhaseCosts {
+pub(crate) struct PhaseCosts {
     /// OS issue+complete+dispatch per batch, already scaled by CPU perf.
     os_batch: Duration,
     /// Per-work-item CPU cost of scanning one full batch (`read_cpu`).
@@ -190,7 +262,7 @@ struct PhaseCosts {
 }
 
 impl PhaseCosts {
-    fn new(m: &Machine, phase: &PhasePlan) -> Self {
+    pub(crate) fn new(m: &Machine, phase: &PhasePlan) -> Self {
         let perf = m.node_cpu().relative_perf;
         let fe_perf = m.fe_cpu_spec().relative_perf;
         let os_per_batch = m.os().io_issue() + m.os().io_complete() + diskos::DISPATCH_OVERHEAD;
@@ -223,40 +295,40 @@ impl PhaseCosts {
 /// CPU time to process `bytes` at `ns_per_byte` on a CPU of relative
 /// performance `perf`. The single source of the executor's cost formula:
 /// cached batch costs and the odd-size fallback both call this.
-fn cpu_cost(ns_per_byte: f64, bytes: u64, perf: f64) -> Duration {
+pub(crate) fn cpu_cost(ns_per_byte: f64, bytes: u64, perf: f64) -> Duration {
     Duration::from_secs_f64(ns_per_byte * bytes as f64 / 1e9 / perf)
 }
 
 /// Per-node executor state within one phase.
 #[derive(Debug, Clone)]
-struct NodeState {
+pub(crate) struct NodeState {
     /// Bytes this node reads in the phase (the plan total split across
     /// nodes, remainder distributed so no byte is dropped).
-    bytes_total: u64,
-    batches_total: u64,
+    pub(crate) bytes_total: u64,
+    pub(crate) batches_total: u64,
     /// Batches served from this node's own disk; `batches_total` exceeds
     /// this when recovery work for a failed peer has been assigned here.
-    own_batches: u64,
-    issued: u64,
-    issued_bytes: u64,
-    processed: u64,
-    last_batch_bytes: u64,
+    pub(crate) own_batches: u64,
+    pub(crate) issued: u64,
+    pub(crate) issued_bytes: u64,
+    pub(crate) processed: u64,
+    pub(crate) last_batch_bytes: u64,
     /// Batch sizes of recovery work (a failed peer's partition) assigned
     /// to this node, read via the surviving disks.
-    recovery_pending: VecDeque<u64>,
+    pub(crate) recovery_pending: VecDeque<u64>,
     /// The node's disk has fail-stopped: it issues no reads, loses
     /// in-flight work, and drops arriving messages.
-    dead: bool,
+    pub(crate) dead: bool,
     /// The final front-end/reduction message has been sent (guards
     /// against re-sending when recovery work re-arms `finished`).
-    fe_sent: bool,
-    next_dst: usize,
+    pub(crate) fe_sent: bool,
+    pub(crate) next_dst: usize,
     /// Weighted-fair destination credits when the phase shuffles with
     /// skewed weights (None = uniform round robin).
-    dst_credits: Option<Vec<f64>>,
-    write_credit: f64,
-    shuffle_credit: f64,
-    frontend_credit: f64,
+    pub(crate) dst_credits: Option<Vec<f64>>,
+    pub(crate) write_credit: f64,
+    pub(crate) shuffle_credit: f64,
+    pub(crate) frontend_credit: f64,
 }
 
 impl NodeState {
@@ -289,30 +361,34 @@ impl NodeState {
 
 /// Fault-injection runtime: persists across phases of one run, applying
 /// scheduled faults as simulated time reaches them and steering recovery.
-struct FaultRt {
+/// The multi-query executor keeps one *global* `FaultRt` for the shared
+/// fault schedule and machine effects, plus one empty-schedule `FaultRt`
+/// per query carrying that query's recovery bookkeeping (pool, detection
+/// view, round-robin cursor).
+pub(crate) struct FaultRt {
     /// Scheduled faults in chronological order (absolute offsets).
-    events: Vec<FaultEvent>,
+    pub(crate) events: Vec<FaultEvent>,
     /// Index of the first not-yet-applied fault.
-    next: usize,
-    policy: RecoveryPolicy,
+    pub(crate) next: usize,
+    pub(crate) policy: RecoveryPolicy,
     /// Whether a node's fail-stop has been *detected* (request timeouts
     /// expired); until then peers keep sending to it and pay retries.
-    detected: Vec<bool>,
+    pub(crate) detected: Vec<bool>,
     /// Lost batches awaiting reassignment, as `(origin node, bytes)`.
     /// Entries stay pooled until the origin's failure is detected.
-    pool: Vec<(usize, u64)>,
+    pub(crate) pool: Vec<(usize, u64)>,
     /// Round-robin cursor spreading recovery batches over survivors.
-    rr: usize,
-    rng: SplitMix64,
-    injected: u64,
+    pub(crate) rr: usize,
+    pub(crate) rng: SplitMix64,
+    pub(crate) injected: u64,
     /// Fail-stop policy: the run aborts when the clock reaches this.
-    abort_at: Option<SimTime>,
+    pub(crate) abort_at: Option<SimTime>,
     /// Fast-path guard: true once any disk has fail-stopped.
-    any_dead: bool,
+    pub(crate) any_dead: bool,
 }
 
 impl FaultRt {
-    fn new(plan: &FaultPlan, policy: RecoveryPolicy, seed: u64, nodes: usize) -> Self {
+    pub(crate) fn new(plan: &FaultPlan, policy: RecoveryPolicy, seed: u64, nodes: usize) -> Self {
         FaultRt {
             events: plan.events().to_vec(),
             next: 0,
@@ -329,7 +405,7 @@ impl FaultRt {
 
     /// Whether any scheduled fault has not been applied yet.
     #[inline]
-    fn pending(&self) -> bool {
+    pub(crate) fn pending(&self) -> bool {
         self.next < self.events.len()
     }
 
@@ -337,7 +413,12 @@ impl FaultRt {
     /// Returns the failed node index for fail-stops so the caller can do
     /// the executor-side bookkeeping (which differs at phase start vs
     /// mid-phase).
-    fn apply_machine(&mut self, m: &mut Machine, ev: FaultEvent, t: SimTime) -> Option<usize> {
+    pub(crate) fn apply_machine(
+        &mut self,
+        m: &mut Machine,
+        ev: FaultEvent,
+        t: SimTime,
+    ) -> Option<usize> {
         match ev.kind {
             FaultKind::DiskFailStop { node } => {
                 if node >= m.nodes() || m.disk_failed(node) {
@@ -390,7 +471,7 @@ impl FaultRt {
     /// round-robin over survivors. Returns the indices of survivors that
     /// received work (empty when nothing was assignable). Sets the abort
     /// clock if no survivor remains.
-    fn assign_detected(&mut self, nodes: &mut [NodeState], now: SimTime) -> Vec<usize> {
+    pub(crate) fn assign_detected(&mut self, nodes: &mut [NodeState], now: SimTime) -> Vec<usize> {
         let mut touched = Vec::new();
         let healthy: Vec<usize> = (0..nodes.len()).filter(|&i| !nodes[i].dead).collect();
         let mut i = 0;
@@ -453,7 +534,10 @@ impl FaultRt {
                     self.pool.push((node, bytes));
                 }
                 if self.policy != RecoveryPolicy::FailStop {
-                    q.push((t + DETECT_TIMEOUT).max(now), Ev::RecoveryKick { node });
+                    q.push(
+                        (t + DETECT_TIMEOUT).max(now),
+                        Ev::RecoveryKick { node, query: 0 },
+                    );
                 }
             }
         }
@@ -472,7 +556,7 @@ fn next_healthy(nodes: &[NodeState], from: usize) -> Option<usize> {
 #[allow(clippy::too_many_arguments)]
 fn refill(
     m: &mut Machine,
-    q: &mut EventQueue<Ev>,
+    q: &mut EvQ,
     nodes: &mut [NodeState],
     touched: &[usize],
     now: SimTime,
@@ -481,6 +565,7 @@ fn refill(
     phase_writes: bool,
     policy: RecoveryPolicy,
     spans: &mut Option<&mut SpanRt>,
+    qid: u32,
 ) {
     for &node in touched {
         while !nodes[node].dead
@@ -501,6 +586,7 @@ fn refill(
                 policy,
                 spans,
                 SpanId::NONE,
+                qid,
             );
         }
     }
@@ -576,6 +662,11 @@ impl Simulation {
     /// The architecture being simulated.
     pub fn architecture(&self) -> &Architecture {
         &self.arch
+    }
+
+    /// The configured event-scheduler backend.
+    pub(crate) fn queue_backend(&self) -> QueueBackend {
+        self.queue_backend
     }
 
     /// The injected per-node drive degradations, as `(node, grown_defects)`
@@ -922,34 +1013,33 @@ fn charge_cpu(
     }
 }
 
-/// Runs one phase; returns its completion time, the number of discrete
-/// events processed, and whether the run aborted (fail-stop policy).
-#[allow(clippy::too_many_arguments)]
-fn run_phase(
-    m: &mut Machine,
+/// The read-allocator region of a phase: base data or the intermediate
+/// runs written by a previous phase.
+#[inline]
+pub(crate) fn phase_region(phase: &PhasePlan) -> usize {
+    usize::from(phase.reads_intermediate)
+}
+
+/// Whether the phase carries a substantial write stream — disk-group
+/// separation (SMP, NOW-sort style) only pays off when it does.
+#[inline]
+pub(crate) fn phase_writes(phase: &PhasePlan) -> bool {
+    phase.local_write_factor >= 0.25 || phase.write_received
+}
+
+/// Builds the per-node executor state for a phase starting at `start`:
+/// splits the plan's read bytes across nodes (survivors only for
+/// intermediate data), pools a dead node's fixed-placement share as
+/// recovery work, and reassigns whatever failure is already detected.
+/// Also returns the abort clock when no survivor remains to take the
+/// pooled work.
+pub(crate) fn init_phase_nodes(
+    m: &Machine,
     phase: &PhasePlan,
-    start: SimTime,
-    region: usize,
-    phase_ix: usize,
-    queue_backend: QueueBackend,
     fr: &mut FaultRt,
-    mut trace: Option<&mut Trace>,
-    mut metrics: Option<&mut MetricsBuilder>,
-    mut spans: Option<&mut SpanRt>,
-) -> (SimTime, u64, bool) {
+    start: SimTime,
+) -> (Vec<NodeState>, Option<SimTime>) {
     let n = m.nodes();
-    // Faults due at or before the barrier strike before any work starts.
-    if fr.pending() {
-        fr.apply_phase_start(m, start);
-    }
-    if let Some(abort) = fr.abort_at {
-        if abort <= start || m.failed_count() == n {
-            return (abort.max(start), 0, true);
-        }
-    }
-    if m.failed_count() == n {
-        return (start, 0, true);
-    }
     // Split the plan's read bytes across nodes without dropping the
     // division remainder: the first `remainder` nodes read one extra byte.
     // Intermediate data (runs written in a previous phase) lives on the
@@ -961,19 +1051,6 @@ fn run_phase(
     let split_n = if healthy_split { n - failed_now } else { n } as u64;
     let base_per_node = phase.read_bytes_total / split_n;
     let remainder = (phase.read_bytes_total % split_n) as usize;
-    // Disk-group separation (SMP, NOW-sort style) only pays off when the
-    // write stream is substantial.
-    let phase_writes = phase.local_write_factor >= 0.25 || phase.write_received;
-    let costs = PhaseCosts::new(m, phase);
-
-    let window = m.window() as u64;
-    // Steady state holds `window` in-flight reads per node plus the
-    // messages they fan out into; pre-size the queue to that depth.
-    let mut q: EventQueue<Ev> =
-        EventQueue::with_backend_capacity(queue_backend, n * (window as usize + 4));
-    q.set_shard_fn(shard_of_ev);
-    q.set_lookahead(m.lookahead_bound());
-    let mut horizon = start;
     let mut rank = 0usize;
     let mut nodes: Vec<NodeState> = (0..n)
         .map(|i| {
@@ -1043,8 +1120,57 @@ fn run_phase(
         }
         fr.assign_detected(&mut nodes, start);
         if let Some(abort) = fr.abort_at {
+            let abort = abort.max(start);
+            return (nodes, Some(abort));
+        }
+    }
+    (nodes, None)
+}
+
+/// Runs one phase; returns its completion time, the number of discrete
+/// events processed, and whether the run aborted (fail-stop policy).
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    m: &mut Machine,
+    phase: &PhasePlan,
+    start: SimTime,
+    region: usize,
+    phase_ix: usize,
+    queue_backend: QueueBackend,
+    fr: &mut FaultRt,
+    mut trace: Option<&mut Trace>,
+    mut metrics: Option<&mut MetricsBuilder>,
+    mut spans: Option<&mut SpanRt>,
+) -> (SimTime, u64, bool) {
+    let n = m.nodes();
+    // Faults due at or before the barrier strike before any work starts.
+    if fr.pending() {
+        fr.apply_phase_start(m, start);
+    }
+    if let Some(abort) = fr.abort_at {
+        if abort <= start || m.failed_count() == n {
             return (abort.max(start), 0, true);
         }
+    }
+    if m.failed_count() == n {
+        return (start, 0, true);
+    }
+    // Disk-group separation (SMP, NOW-sort style) only pays off when the
+    // write stream is substantial.
+    let phase_writes = phase_writes(phase);
+    let costs = PhaseCosts::new(m, phase);
+
+    let window = m.window() as u64;
+    // Steady state holds `window` in-flight reads per node plus the
+    // messages they fan out into; pre-size the queue to that depth.
+    let mut q: EventQueue<Ev> =
+        EventQueue::with_backend_capacity(queue_backend, n * (window as usize + 4));
+    q.set_shard_fn(shard_of_ev);
+    q.set_lookahead(m.lookahead_bound());
+    let mut horizon = start;
+    let (mut nodes, init_abort) = init_phase_nodes(m, phase, fr, start);
+    if let Some(abort) = init_abort {
+        return (abort, 0, true);
     }
 
     // Prime each node's pipeline: the phase fan-out schedules every
@@ -1065,6 +1191,7 @@ fn run_phase(
                 fr.policy,
                 &mut spans,
                 SpanId::NONE,
+                0,
             ) {
                 primed.push(ev);
             }
@@ -1089,361 +1216,29 @@ fn run_phase(
                 mb.sample(now, &m.resource_usage(), q.len());
             }
         }
-        match ev {
-            Ev::BatchRead {
-                node,
-                bytes,
-                span: ev_span,
-            } => {
-                if fr.any_dead && nodes[node].dead {
-                    // The batch died with its node: un-issue and pool it.
-                    nodes[node].issued_bytes -= bytes;
-                    fr.pool.push((node, bytes));
-                    if fr.detected[node] {
-                        let touched = fr.assign_detected(&mut nodes, now);
-                        refill(
-                            m,
-                            &mut q,
-                            &mut nodes,
-                            &touched,
-                            now,
-                            window,
-                            region,
-                            phase_writes,
-                            fr.policy,
-                            &mut spans,
-                        );
-                    }
-                    continue;
-                }
-                record(
-                    &mut trace,
-                    now,
-                    phase_ix,
-                    NodeId::Node(node),
-                    TraceKind::ReadDone,
-                    bytes,
-                );
-                let done = charge_cpu(
-                    m,
-                    node,
-                    now,
-                    (costs.os_batch, "os"),
-                    bytes,
-                    &phase.read_cpu,
-                    &costs.read_batch,
-                    costs.perf,
-                );
-                let cpu_span = span(
-                    &mut spans,
-                    ev_span,
-                    Resource::WorkerCpu.key(),
-                    SpanKind::Cpu,
-                    node as u32,
-                    now,
-                    done.max(now),
-                    bytes,
-                );
-                q.push(
-                    done.max(now),
-                    Ev::BatchProcessed {
-                        node,
-                        bytes,
-                        span: cpu_span,
-                    },
-                );
-            }
-            Ev::BatchProcessed {
-                node,
-                bytes,
-                span: ev_span,
-            } => {
-                if fr.any_dead && nodes[node].dead {
-                    // Processed output lost with the node: a survivor
-                    // must re-read the underlying batch.
-                    nodes[node].issued_bytes -= bytes;
-                    fr.pool.push((node, bytes));
-                    if fr.detected[node] {
-                        let touched = fr.assign_detected(&mut nodes, now);
-                        refill(
-                            m,
-                            &mut q,
-                            &mut nodes,
-                            &touched,
-                            now,
-                            window,
-                            region,
-                            phase_writes,
-                            fr.policy,
-                            &mut spans,
-                        );
-                    }
-                    continue;
-                }
-                record(
-                    &mut trace,
-                    now,
-                    phase_ix,
-                    NodeId::Node(node),
-                    TraceKind::BatchProcessed,
-                    bytes,
-                );
-                nodes[node].processed += 1;
-                horizon = horizon.max(now);
-                // Keep the pipeline full.
-                if nodes[node].issued < nodes[node].batches_total {
-                    issue_read(
-                        m,
-                        &mut q,
-                        &mut nodes,
-                        node,
-                        now,
-                        region,
-                        phase_writes,
-                        fr.policy,
-                        &mut spans,
-                        ev_span,
-                    );
-                }
-                // Route the outputs.
-                nodes[node].shuffle_credit += bytes as f64 * phase.shuffle_factor;
-                nodes[node].frontend_credit += bytes as f64 * phase.frontend_factor;
-                nodes[node].write_credit += bytes as f64 * phase.local_write_factor;
-                let finished = nodes[node].processed == nodes[node].batches_total;
-                drain_outputs(
-                    m,
-                    &mut q,
-                    &mut nodes,
-                    &costs,
-                    fr,
-                    node,
-                    now,
-                    finished,
-                    &mut horizon,
-                    region,
-                    phase_writes,
-                    phase.shuffle_weights.as_deref(),
-                    &mut spans,
-                    ev_span,
-                );
-                if finished && phase.frontend_bytes_per_node > 0 && !nodes[node].fe_sent {
-                    nodes[node].fe_sent = true;
-                    if phase.frontend_combinable && node != 0 && !m.restricted_peer_routing() {
-                        // Combinable partials flow up a reduction tree
-                        // (the messaging library's global reduce) instead
-                        // of funnelling every node's copy into the
-                        // front-end link.
-                        let mut parent = (node - 1) / 2;
-                        if fr.any_dead {
-                            // Route around dead ancestors; if the root is
-                            // gone, go straight to the front-end.
-                            while parent != 0 && nodes[parent].dead {
-                                parent = (parent - 1) / 2;
-                            }
-                        }
-                        if fr.any_dead && nodes[parent].dead {
-                            send_frontend(
-                                m,
-                                &mut q,
-                                &costs,
-                                node,
-                                now,
-                                phase.frontend_bytes_per_node,
-                                &mut spans,
-                                ev_span,
-                            );
-                        } else {
-                            send_peer(
-                                m,
-                                &mut q,
-                                &costs,
-                                node,
-                                parent,
-                                now,
-                                phase.frontend_bytes_per_node,
-                                &mut spans,
-                                ev_span,
-                            );
-                        }
-                    } else {
-                        send_frontend(
-                            m,
-                            &mut q,
-                            &costs,
-                            node,
-                            now,
-                            phase.frontend_bytes_per_node,
-                            &mut spans,
-                            ev_span,
-                        );
-                    }
-                }
-            }
-            Ev::PeerArrive {
-                src,
-                dst,
-                bytes,
-                span: ev_span,
-            } => {
-                if fr.any_dead && nodes[dst].dead {
-                    // Receiver gone: the sender times out and re-sends to
-                    // the next survivor (unless it has since died too).
-                    if !nodes[src].dead {
-                        if let Some(dst2) = next_healthy(&nodes, dst) {
-                            let arrival = m.peer_transfer(now + RETRY_TIMEOUT, src, dst2, bytes);
-                            // The retry span covers the timeout plus the
-                            // re-shipment so the causal chain stays gapless.
-                            let retry_span = span(
-                                &mut spans,
-                                ev_span,
-                                Resource::Interconnect.key(),
-                                SpanKind::Transfer,
-                                dst2 as u32,
-                                now,
-                                arrival.max(now),
-                                bytes,
-                            );
-                            q.push(
-                                arrival.max(now),
-                                Ev::PeerArrive {
-                                    src,
-                                    dst: dst2,
-                                    bytes,
-                                    span: retry_span,
-                                },
-                            );
-                        }
-                    }
-                    continue;
-                }
-                record(
-                    &mut trace,
-                    now,
-                    phase_ix,
-                    NodeId::Node(dst),
-                    TraceKind::PeerArrive,
-                    bytes,
-                );
-                let msg_cost = costs.msg_cost(m, bytes);
-                let done = charge_cpu(
-                    m,
-                    dst,
-                    now,
-                    (msg_cost, "net-recv"),
-                    bytes,
-                    &phase.recv_cpu,
-                    &costs.recv_batch,
-                    costs.perf,
-                );
-                let recv_span = span(
-                    &mut spans,
-                    ev_span,
-                    Resource::WorkerCpu.key(),
-                    SpanKind::Cpu,
-                    dst as u32,
-                    now,
-                    done.max(now),
-                    bytes,
-                );
-                q.push(
-                    done.max(now),
-                    Ev::RecvProcessed {
-                        node: dst,
-                        bytes,
-                        span: recv_span,
-                    },
-                );
-            }
-            Ev::RecvProcessed {
-                node,
-                bytes,
-                span: ev_span,
-            } => {
-                if fr.any_dead && nodes[node].dead {
-                    continue;
-                }
-                record(
-                    &mut trace,
-                    now,
-                    phase_ix,
-                    NodeId::Node(node),
-                    TraceKind::RecvProcessed,
-                    bytes,
-                );
-                horizon = horizon.max(now);
-                if phase.write_received {
-                    let aligned = align_sectors(bytes);
-                    let done = m.write(node, now, aligned, region, phase_writes);
-                    record(
-                        &mut trace,
-                        done,
-                        phase_ix,
-                        NodeId::Node(node),
-                        TraceKind::WriteDone,
-                        aligned,
-                    );
-                    span(
-                        &mut spans,
-                        ev_span,
-                        Resource::DiskMedia.key(),
-                        SpanKind::DiskWrite,
-                        node as u32,
-                        now,
-                        done,
-                        aligned,
-                    );
-                    horizon = horizon.max(done);
-                }
-            }
-            Ev::FeArrive {
-                bytes,
-                span: ev_span,
-            } => {
-                record(
-                    &mut trace,
-                    now,
-                    phase_ix,
-                    NodeId::FrontEnd,
-                    TraceKind::FeArrive,
-                    bytes,
-                );
-                let cost = if bytes == BATCH_BYTES {
-                    costs.fe_batch
-                } else {
-                    cpu_cost(phase.frontend_cpu_ns_per_byte, bytes, costs.fe_perf)
-                };
-                let done = m.fe_cpu_work(now, cost, "frontend");
-                span(
-                    &mut spans,
-                    ev_span,
-                    Resource::FrontEndCpu.key(),
-                    SpanKind::FrontEnd,
-                    FRONT_END_NODE,
-                    now,
-                    done,
-                    bytes,
-                );
-                horizon = horizon.max(done);
-            }
-            Ev::RecoveryKick { node } => {
-                // Request timeouts on the failed node expired: its loss
-                // is now globally known and its partition is reassigned.
-                fr.detected[node] = true;
-                let touched = fr.assign_detected(&mut nodes, now);
-                refill(
-                    m,
-                    &mut q,
-                    &mut nodes,
-                    &touched,
-                    now,
-                    window,
-                    region,
-                    phase_writes,
-                    fr.policy,
-                    &mut spans,
-                );
-            }
-        }
+        handle_ev(
+            m,
+            &mut EvQ {
+                q: &mut q,
+                counts: None,
+            },
+            &mut PhaseCtx {
+                phase,
+                costs: &costs,
+                nodes: &mut nodes,
+                horizon: &mut horizon,
+                region,
+                phase_writes,
+                phase_ix,
+                window,
+                qid: 0,
+            },
+            fr,
+            &mut trace,
+            &mut spans,
+            now,
+            ev,
+        );
     }
 
     // Fail-stop policy with the abort clock beyond the last event: the
@@ -1483,12 +1278,437 @@ fn run_phase(
     (end, q.popped(), false)
 }
 
+/// Per-phase execution context threaded into [`handle_ev`]: the plan,
+/// its precomputed costs, per-node progress, and the phase cursors. The
+/// single-query loop materializes one per pop over its locals; the
+/// multi-query executor materializes one per event from the owning
+/// query's state.
+pub(crate) struct PhaseCtx<'a> {
+    pub(crate) phase: &'a PhasePlan,
+    pub(crate) costs: &'a PhaseCosts,
+    pub(crate) nodes: &'a mut Vec<NodeState>,
+    pub(crate) horizon: &'a mut SimTime,
+    pub(crate) region: usize,
+    pub(crate) phase_writes: bool,
+    pub(crate) phase_ix: usize,
+    pub(crate) window: u64,
+    pub(crate) qid: u32,
+}
+
+/// Dispatches one popped *work* event against the machine: the phase
+/// executor's single state machine, shared verbatim by [`run_phase`]
+/// and the multi-query executor so one query's machine effects are
+/// identical in both. Control events are dispatched before this point
+/// and never reach here.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_ev(
+    m: &mut Machine,
+    q: &mut EvQ,
+    ctx: &mut PhaseCtx,
+    fr: &mut FaultRt,
+    trace: &mut Option<&mut Trace>,
+    spans: &mut Option<&mut SpanRt>,
+    now: SimTime,
+    ev: Ev,
+) {
+    let PhaseCtx {
+        phase,
+        costs,
+        nodes,
+        horizon,
+        region,
+        phase_writes,
+        phase_ix,
+        window,
+        qid,
+    } = ctx;
+    let (phase, costs) = (*phase, *costs);
+    let nodes = &mut **nodes;
+    let horizon = &mut **horizon;
+    let (region, phase_writes, phase_ix, window, qid) =
+        (*region, *phase_writes, *phase_ix, *window, *qid);
+    match ev {
+        Ev::BatchRead {
+            node,
+            bytes,
+            span: ev_span,
+            ..
+        } => {
+            if fr.any_dead && nodes[node].dead {
+                // The batch died with its node: un-issue and pool it.
+                nodes[node].issued_bytes -= bytes;
+                fr.pool.push((node, bytes));
+                if fr.detected[node] {
+                    let touched = fr.assign_detected(nodes, now);
+                    refill(
+                        m,
+                        q,
+                        nodes,
+                        &touched,
+                        now,
+                        window,
+                        region,
+                        phase_writes,
+                        fr.policy,
+                        spans,
+                        qid,
+                    );
+                }
+                return;
+            }
+            record(
+                trace,
+                now,
+                phase_ix,
+                NodeId::Node(node),
+                TraceKind::ReadDone,
+                bytes,
+            );
+            let done = charge_cpu(
+                m,
+                node,
+                now,
+                (costs.os_batch, "os"),
+                bytes,
+                &phase.read_cpu,
+                &costs.read_batch,
+                costs.perf,
+            );
+            let cpu_span = span(
+                spans,
+                ev_span,
+                Resource::WorkerCpu.key(),
+                SpanKind::Cpu,
+                node as u32,
+                now,
+                done.max(now),
+                bytes,
+            );
+            q.push(
+                done.max(now),
+                Ev::BatchProcessed {
+                    node,
+                    bytes,
+                    span: cpu_span,
+                    query: qid,
+                },
+            );
+        }
+        Ev::BatchProcessed {
+            node,
+            bytes,
+            span: ev_span,
+            ..
+        } => {
+            if fr.any_dead && nodes[node].dead {
+                // Processed output lost with the node: a survivor
+                // must re-read the underlying batch.
+                nodes[node].issued_bytes -= bytes;
+                fr.pool.push((node, bytes));
+                if fr.detected[node] {
+                    let touched = fr.assign_detected(nodes, now);
+                    refill(
+                        m,
+                        q,
+                        nodes,
+                        &touched,
+                        now,
+                        window,
+                        region,
+                        phase_writes,
+                        fr.policy,
+                        spans,
+                        qid,
+                    );
+                }
+                return;
+            }
+            record(
+                trace,
+                now,
+                phase_ix,
+                NodeId::Node(node),
+                TraceKind::BatchProcessed,
+                bytes,
+            );
+            nodes[node].processed += 1;
+            *horizon = (*horizon).max(now);
+            // Keep the pipeline full.
+            if nodes[node].issued < nodes[node].batches_total {
+                issue_read(
+                    m,
+                    q,
+                    nodes,
+                    node,
+                    now,
+                    region,
+                    phase_writes,
+                    fr.policy,
+                    spans,
+                    ev_span,
+                    qid,
+                );
+            }
+            // Route the outputs.
+            nodes[node].shuffle_credit += bytes as f64 * phase.shuffle_factor;
+            nodes[node].frontend_credit += bytes as f64 * phase.frontend_factor;
+            nodes[node].write_credit += bytes as f64 * phase.local_write_factor;
+            let finished = nodes[node].processed == nodes[node].batches_total;
+            drain_outputs(
+                m,
+                q,
+                nodes,
+                costs,
+                fr,
+                node,
+                now,
+                finished,
+                horizon,
+                region,
+                phase_writes,
+                phase.shuffle_weights.as_deref(),
+                spans,
+                ev_span,
+                qid,
+            );
+            if finished && phase.frontend_bytes_per_node > 0 && !nodes[node].fe_sent {
+                nodes[node].fe_sent = true;
+                if phase.frontend_combinable && node != 0 && !m.restricted_peer_routing() {
+                    // Combinable partials flow up a reduction tree
+                    // (the messaging library's global reduce) instead
+                    // of funnelling every node's copy into the
+                    // front-end link.
+                    let mut parent = (node - 1) / 2;
+                    if fr.any_dead {
+                        // Route around dead ancestors; if the root is
+                        // gone, go straight to the front-end.
+                        while parent != 0 && nodes[parent].dead {
+                            parent = (parent - 1) / 2;
+                        }
+                    }
+                    if fr.any_dead && nodes[parent].dead {
+                        send_frontend(
+                            m,
+                            q,
+                            costs,
+                            node,
+                            now,
+                            phase.frontend_bytes_per_node,
+                            spans,
+                            ev_span,
+                            qid,
+                        );
+                    } else {
+                        send_peer(
+                            m,
+                            q,
+                            costs,
+                            node,
+                            parent,
+                            now,
+                            phase.frontend_bytes_per_node,
+                            spans,
+                            ev_span,
+                            qid,
+                        );
+                    }
+                } else {
+                    send_frontend(
+                        m,
+                        q,
+                        costs,
+                        node,
+                        now,
+                        phase.frontend_bytes_per_node,
+                        spans,
+                        ev_span,
+                        qid,
+                    );
+                }
+            }
+        }
+        Ev::PeerArrive {
+            src,
+            dst,
+            bytes,
+            span: ev_span,
+            ..
+        } => {
+            if fr.any_dead && nodes[dst].dead {
+                // Receiver gone: the sender times out and re-sends to
+                // the next survivor (unless it has since died too).
+                if !nodes[src].dead {
+                    if let Some(dst2) = next_healthy(nodes, dst) {
+                        let arrival = m.peer_transfer(now + RETRY_TIMEOUT, src, dst2, bytes);
+                        // The retry span covers the timeout plus the
+                        // re-shipment so the causal chain stays gapless.
+                        let retry_span = span(
+                            spans,
+                            ev_span,
+                            Resource::Interconnect.key(),
+                            SpanKind::Transfer,
+                            dst2 as u32,
+                            now,
+                            arrival.max(now),
+                            bytes,
+                        );
+                        q.push(
+                            arrival.max(now),
+                            Ev::PeerArrive {
+                                src,
+                                dst: dst2,
+                                bytes,
+                                span: retry_span,
+                                query: qid,
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+            record(
+                trace,
+                now,
+                phase_ix,
+                NodeId::Node(dst),
+                TraceKind::PeerArrive,
+                bytes,
+            );
+            let msg_cost = costs.msg_cost(m, bytes);
+            let done = charge_cpu(
+                m,
+                dst,
+                now,
+                (msg_cost, "net-recv"),
+                bytes,
+                &phase.recv_cpu,
+                &costs.recv_batch,
+                costs.perf,
+            );
+            let recv_span = span(
+                spans,
+                ev_span,
+                Resource::WorkerCpu.key(),
+                SpanKind::Cpu,
+                dst as u32,
+                now,
+                done.max(now),
+                bytes,
+            );
+            q.push(
+                done.max(now),
+                Ev::RecvProcessed {
+                    node: dst,
+                    bytes,
+                    span: recv_span,
+                    query: qid,
+                },
+            );
+        }
+        Ev::RecvProcessed {
+            node,
+            bytes,
+            span: ev_span,
+            ..
+        } => {
+            if fr.any_dead && nodes[node].dead {
+                return;
+            }
+            record(
+                trace,
+                now,
+                phase_ix,
+                NodeId::Node(node),
+                TraceKind::RecvProcessed,
+                bytes,
+            );
+            *horizon = (*horizon).max(now);
+            if phase.write_received {
+                let aligned = align_sectors(bytes);
+                let done = m.write(node, now, aligned, region, phase_writes);
+                record(
+                    trace,
+                    done,
+                    phase_ix,
+                    NodeId::Node(node),
+                    TraceKind::WriteDone,
+                    aligned,
+                );
+                span(
+                    spans,
+                    ev_span,
+                    Resource::DiskMedia.key(),
+                    SpanKind::DiskWrite,
+                    node as u32,
+                    now,
+                    done,
+                    aligned,
+                );
+                *horizon = (*horizon).max(done);
+            }
+        }
+        Ev::FeArrive {
+            bytes,
+            span: ev_span,
+            ..
+        } => {
+            record(
+                trace,
+                now,
+                phase_ix,
+                NodeId::FrontEnd,
+                TraceKind::FeArrive,
+                bytes,
+            );
+            let cost = if bytes == BATCH_BYTES {
+                costs.fe_batch
+            } else {
+                cpu_cost(phase.frontend_cpu_ns_per_byte, bytes, costs.fe_perf)
+            };
+            let done = m.fe_cpu_work(now, cost, "frontend");
+            span(
+                spans,
+                ev_span,
+                Resource::FrontEndCpu.key(),
+                SpanKind::FrontEnd,
+                FRONT_END_NODE,
+                now,
+                done,
+                bytes,
+            );
+            *horizon = (*horizon).max(done);
+        }
+        Ev::RecoveryKick { node, .. } => {
+            // Request timeouts on the failed node expired: its loss
+            // is now globally known and its partition is reassigned.
+            fr.detected[node] = true;
+            let touched = fr.assign_detected(nodes, now);
+            refill(
+                m,
+                q,
+                nodes,
+                &touched,
+                now,
+                window,
+                region,
+                phase_writes,
+                fr.policy,
+                spans,
+                qid,
+            );
+        }
+        Ev::Admit { .. } | Ev::PhaseStart { .. } | Ev::Deadline { .. } | Ev::Retry { .. } => {
+            unreachable!("control events never reach the phase executor")
+        }
+    }
+}
+
 /// Charges one batch read against the machine and returns the completion
 /// event to schedule, or `None` if the node has nothing left to read.
 /// Callers either push immediately ([`issue_read`]) or collect a batch
 /// for [`EventQueue::push_many`] (phase priming).
 #[allow(clippy::too_many_arguments)]
-fn prepare_read(
+pub(crate) fn prepare_read(
     m: &mut Machine,
     nodes: &mut [NodeState],
     node: usize,
@@ -1498,6 +1718,7 @@ fn prepare_read(
     policy: RecoveryPolicy,
     spans: &mut Option<&mut SpanRt>,
     parent: SpanId,
+    qid: u32,
 ) -> Option<(SimTime, Ev)> {
     let st = &mut nodes[node];
     if st.dead {
@@ -1530,6 +1751,7 @@ fn prepare_read(
                 node,
                 bytes,
                 span: read_span,
+                query: qid,
             },
         ))
     } else if let Some(bytes) = st.recovery_pending.pop_front() {
@@ -1555,6 +1777,7 @@ fn prepare_read(
                 node,
                 bytes,
                 span: read_span,
+                query: qid,
             },
         ))
     } else {
@@ -1565,7 +1788,7 @@ fn prepare_read(
 #[allow(clippy::too_many_arguments)]
 fn issue_read(
     m: &mut Machine,
-    q: &mut EventQueue<Ev>,
+    q: &mut EvQ,
     nodes: &mut [NodeState],
     node: usize,
     now: SimTime,
@@ -1574,6 +1797,7 @@ fn issue_read(
     policy: RecoveryPolicy,
     spans: &mut Option<&mut SpanRt>,
     parent: SpanId,
+    qid: u32,
 ) {
     if let Some((t, ev)) = prepare_read(
         m,
@@ -1585,6 +1809,7 @@ fn issue_read(
         policy,
         spans,
         parent,
+        qid,
     ) {
         q.push(t, ev);
     }
@@ -1593,7 +1818,7 @@ fn issue_read(
 #[allow(clippy::too_many_arguments)]
 fn drain_outputs(
     m: &mut Machine,
-    q: &mut EventQueue<Ev>,
+    q: &mut EvQ,
     nodes: &mut [NodeState],
     costs: &PhaseCosts,
     fr: &FaultRt,
@@ -1606,6 +1831,7 @@ fn drain_outputs(
     phase_weights: Option<&[f64]>,
     spans: &mut Option<&mut SpanRt>,
     parent: SpanId,
+    qid: u32,
 ) {
     let n = nodes.len();
     // Shuffle: emit batch-sized messages round-robin over peers. Once a
@@ -1628,7 +1854,7 @@ fn drain_outputs(
                 None => continue,
             }
         }
-        send_peer(m, q, costs, node, dst, now, emit, spans, parent);
+        send_peer(m, q, costs, node, dst, now, emit, spans, parent, qid);
     }
     // Front-end stream.
     loop {
@@ -1641,7 +1867,7 @@ fn drain_outputs(
             break;
         };
         st.frontend_credit -= emit as f64;
-        send_frontend(m, q, costs, node, now, emit, spans, parent);
+        send_frontend(m, q, costs, node, now, emit, spans, parent, qid);
     }
     // Local writes.
     loop {
@@ -1673,7 +1899,7 @@ fn drain_outputs(
 #[allow(clippy::too_many_arguments)]
 fn send_peer(
     m: &mut Machine,
-    q: &mut EventQueue<Ev>,
+    q: &mut EvQ,
     costs: &PhaseCosts,
     src: usize,
     dst: usize,
@@ -1681,6 +1907,7 @@ fn send_peer(
     bytes: u64,
     spans: &mut Option<&mut SpanRt>,
     parent: SpanId,
+    qid: u32,
 ) {
     let msg_cost = costs.msg_cost(m, bytes);
     let send_done = m.node_cpu_work(src, now, msg_cost, "net-send");
@@ -1712,6 +1939,7 @@ fn send_peer(
             dst,
             bytes,
             span: wire_span,
+            query: qid,
         },
     );
 }
@@ -1719,13 +1947,14 @@ fn send_peer(
 #[allow(clippy::too_many_arguments)]
 fn send_frontend(
     m: &mut Machine,
-    q: &mut EventQueue<Ev>,
+    q: &mut EvQ,
     costs: &PhaseCosts,
     src: usize,
     now: SimTime,
     bytes: u64,
     spans: &mut Option<&mut SpanRt>,
     parent: SpanId,
+    qid: u32,
 ) {
     let msg_cost = costs.msg_cost(m, bytes);
     let send_done = m.node_cpu_work(src, now, msg_cost, "net-send");
@@ -1755,6 +1984,7 @@ fn send_frontend(
         Ev::FeArrive {
             bytes,
             span: wire_span,
+            query: qid,
         },
     );
 }

@@ -29,19 +29,23 @@ pub mod faults;
 pub mod machine;
 pub mod manifest;
 pub mod metrics;
+pub mod mqexec;
 pub mod profile;
 pub mod report;
 pub mod sweep;
 pub mod trace;
+pub mod workload;
 
 pub use cache::CacheStats;
 pub use exec::Simulation;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
 pub use manifest::RunManifest;
 pub use metrics::{Attribution, MetricsBuilder, Resource, ResourceUsage, RunMetrics};
-pub use profile::{CriticalPath, PathSegment, SpanTrace};
+pub use mqexec::{LoadReport, QueryOutcome, QueryPhase, QueryStatus};
+pub use profile::{CriticalPath, LoadSpanTrace, PathSegment, QuerySpans, SpanTrace};
 pub use report::{PhaseReport, Report};
 pub use trace::{NodeId, Trace, TraceEvent, TraceKind, TraceSummary};
+pub use workload::{AdmissionPolicy, ArrivalProcess, DeadlinePolicy, WorkloadSpec};
 
 /// The stream batch size every architecture uses for bulk I/O and
 /// communication (the paper's 256 KB large-request discipline).

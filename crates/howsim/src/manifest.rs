@@ -24,6 +24,7 @@ use arch::Architecture;
 use simcore::{Duration, Histogram};
 
 use crate::metrics::{Attribution, Resource, ResourceUsage, RunMetrics};
+use crate::mqexec::{LoadReport, QueryOutcome, QueryPhase, QueryStatus};
 use crate::report::{PhaseReport, Report};
 use crate::trace::TraceSummary;
 
@@ -653,6 +654,269 @@ pub fn report_from_cache(text: &str) -> Result<Report, String> {
         aborted,
         downtime,
     })
+}
+
+/// Load-manifest schema identifier (the loaded-run counterpart of
+/// [`SCHEMA`]), bumped on breaking layout changes.
+pub const LOAD_SCHEMA: &str = "howsim-load-manifest/v1";
+
+/// Serializes a [`LoadReport`] to the compact line-based format used by
+/// the result cache. Every field is an exact integer or a verbatim
+/// string — no floats — so the round trip through
+/// [`load_report_from_cache`] is field-identical.
+pub fn load_report_to_cache(report: &LoadReport) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(out, "arch {}", report.architecture);
+    let _ = writeln!(out, "disks {}", report.disks);
+    let _ = writeln!(out, "workload {}", report.workload);
+    let _ = writeln!(out, "admission {}", report.admission);
+    let _ = writeln!(out, "deadline {}", report.deadline);
+    let _ = writeln!(out, "elapsed_ns {}", report.elapsed.as_nanos());
+    let _ = writeln!(out, "events {}", report.events);
+    let _ = writeln!(out, "faults_injected {}", report.faults_injected);
+    let _ = writeln!(out, "work_redistributed {}", report.work_redistributed);
+    let _ = writeln!(out, "downtime_ns {}", report.downtime.as_nanos());
+    let _ = writeln!(out, "queries {}", report.outcomes.len());
+    for o in &report.outcomes {
+        let _ = writeln!(out, "query {}", o.query);
+        let _ = writeln!(out, "qtask {}", o.task.name());
+        let _ = writeln!(out, "status {}", o.status.name());
+        let _ = writeln!(out, "arrival_ns {}", o.arrival.as_nanos());
+        match o.started {
+            Some(t) => {
+                let _ = writeln!(out, "started_ns {}", t.as_nanos());
+            }
+            None => out.push_str("started_ns none\n"),
+        }
+        let _ = writeln!(out, "finished_ns {}", o.finished.as_nanos());
+        let _ = writeln!(out, "retries {}", o.retries);
+        let _ = writeln!(out, "timeouts {}", o.timeouts);
+        let _ = writeln!(out, "qevents {}", o.events);
+        let _ = writeln!(out, "qphases {}", o.phases.len());
+        for p in &o.phases {
+            // Nanoseconds first: the name is the rest of the line.
+            let _ = writeln!(out, "qphase {} {}", p.elapsed.as_nanos(), p.name);
+        }
+    }
+    out
+}
+
+/// Parses the output of [`load_report_to_cache`] back into a
+/// [`LoadReport`]. Strict, like [`report_from_cache`]: any malformed or
+/// trailing line rejects the entry.
+pub fn load_report_from_cache(text: &str) -> Result<LoadReport, String> {
+    let mut p = CacheLines {
+        lines: text.lines(),
+    };
+    let architecture = intern(p.field("arch")?);
+    let disks: usize = p.num("disks")?;
+    let workload = p.field("workload")?.to_string();
+    let admission = p.field("admission")?.to_string();
+    let deadline = p.field("deadline")?.to_string();
+    let elapsed = Duration::from_nanos(p.num("elapsed_ns")?);
+    let events: u64 = p.num("events")?;
+    let faults_injected: u64 = p.num("faults_injected")?;
+    let work_redistributed: u64 = p.num("work_redistributed")?;
+    let downtime = Duration::from_nanos(p.num("downtime_ns")?);
+    let nqueries: usize = p.num("queries")?;
+    let mut outcomes = Vec::with_capacity(nqueries);
+    for _ in 0..nqueries {
+        let query: u32 = p.num("query")?;
+        let task_name = p.field("qtask")?;
+        let task = *tasks::TaskKind::ALL
+            .iter()
+            .find(|k| k.name() == task_name)
+            .ok_or_else(|| format!("qtask: unknown task `{task_name}`"))?;
+        let status_name = p.field("status")?;
+        let status = QueryStatus::parse(status_name)
+            .ok_or_else(|| format!("status: unknown status `{status_name}`"))?;
+        let arrival = simcore::SimTime::from_nanos(p.num("arrival_ns")?);
+        let started = match p.field("started_ns")? {
+            "none" => None,
+            ns => Some(simcore::SimTime::from_nanos(
+                ns.parse()
+                    .map_err(|_| "started_ns: bad value".to_string())?,
+            )),
+        };
+        let finished = simcore::SimTime::from_nanos(p.num("finished_ns")?);
+        let retries: u32 = p.num("retries")?;
+        let timeouts: u32 = p.num("timeouts")?;
+        let qevents: u64 = p.num("qevents")?;
+        let nphases: usize = p.num("qphases")?;
+        let mut phases = Vec::with_capacity(nphases);
+        for _ in 0..nphases {
+            let rest = p.field("qphase")?;
+            let (ns, name) = rest
+                .split_once(' ')
+                .ok_or("qphase: expected `<ns> <name>`")?;
+            let ns: u64 = ns
+                .parse()
+                .map_err(|_| "qphase: bad nanoseconds".to_string())?;
+            phases.push(QueryPhase {
+                name: intern(name),
+                elapsed: Duration::from_nanos(ns),
+            });
+        }
+        outcomes.push(QueryOutcome {
+            query,
+            task,
+            arrival,
+            started,
+            finished,
+            status,
+            retries,
+            timeouts,
+            phases,
+            events: qevents,
+        });
+    }
+    if let Some(extra) = p.lines.next() {
+        return Err(format!("trailing data after last query: `{extra}`"));
+    }
+    Ok(LoadReport {
+        architecture,
+        disks,
+        workload,
+        admission,
+        deadline,
+        outcomes,
+        elapsed,
+        events,
+        faults_injected,
+        work_redistributed,
+        downtime,
+    })
+}
+
+/// Serializes a loaded run as deterministic JSON: config, aggregate load
+/// statistics (percentiles, goodput, shed/timeout/retry counts), and the
+/// per-query outcome table. No host section — the bytes are a pure
+/// function of the report, so CI can diff them across worker counts and
+/// queue backends.
+pub fn load_manifest_json(report: &LoadReport, seed: u64, faults: &str, recovery: &str) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    kv_str(&mut out, 1, "schema", LOAD_SCHEMA, true);
+    out.push_str("  \"config\": {\n");
+    kv_str(&mut out, 2, "architecture", report.architecture, true);
+    kv_raw(&mut out, 2, "disks", &report.disks.to_string(), true);
+    kv_str(&mut out, 2, "workload", &report.workload, true);
+    kv_str(&mut out, 2, "admission", &report.admission, true);
+    kv_str(&mut out, 2, "deadline", &report.deadline, true);
+    kv_raw(&mut out, 2, "seed", &seed.to_string(), true);
+    kv_str(&mut out, 2, "faults", faults, true);
+    kv_str(&mut out, 2, "recovery", recovery, false);
+    out.push_str("  },\n");
+    out.push_str("  \"load\": {\n");
+    kv_raw(
+        &mut out,
+        2,
+        "queries",
+        &report.outcomes.len().to_string(),
+        true,
+    );
+    kv_raw(
+        &mut out,
+        2,
+        "completed",
+        &report.completed().to_string(),
+        true,
+    );
+    kv_raw(&mut out, 2, "shed", &report.shed().to_string(), true);
+    kv_raw(
+        &mut out,
+        2,
+        "timed_out",
+        &report.timed_out().to_string(),
+        true,
+    );
+    kv_raw(&mut out, 2, "aborted", &report.aborted().to_string(), true);
+    kv_raw(&mut out, 2, "retries", &report.retries().to_string(), true);
+    kv_raw(
+        &mut out,
+        2,
+        "timeouts",
+        &report.timeouts().to_string(),
+        true,
+    );
+    for (key, p) in [("p50_ns", 50.0), ("p95_ns", 95.0), ("p99_ns", 99.0)] {
+        let v = report
+            .latency_percentile(p)
+            .map_or("null".to_string(), |d| d.as_nanos().to_string());
+        kv_raw(&mut out, 2, key, &v, true);
+    }
+    kv_raw(
+        &mut out,
+        2,
+        "goodput_qps",
+        &format!("{:.6}", report.goodput_qps()),
+        true,
+    );
+    kv_raw(
+        &mut out,
+        2,
+        "elapsed_ns",
+        &report.elapsed.as_nanos().to_string(),
+        true,
+    );
+    kv_raw(&mut out, 2, "events", &report.events.to_string(), true);
+    kv_raw(
+        &mut out,
+        2,
+        "faults_injected",
+        &report.faults_injected.to_string(),
+        true,
+    );
+    kv_raw(
+        &mut out,
+        2,
+        "work_redistributed",
+        &report.work_redistributed.to_string(),
+        true,
+    );
+    kv_raw(
+        &mut out,
+        2,
+        "downtime_ns",
+        &report.downtime.as_nanos().to_string(),
+        false,
+    );
+    out.push_str("  },\n");
+    out.push_str("  \"queries\": [\n");
+    let n = report.outcomes.len();
+    for (ix, o) in report.outcomes.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"query\": {}, \"task\": {}, \"status\": {}, \
+             \"arrival_ns\": {}, \"started_ns\": {}, \"finished_ns\": {}, \
+             \"latency_ns\": {}, \"retries\": {}, \"timeouts\": {}, \
+             \"events\": {}, \"phases\": [",
+            o.query,
+            json_string(o.task.name()),
+            json_string(o.status.name()),
+            o.arrival.as_nanos(),
+            o.started
+                .map_or("null".to_string(), |t| t.as_nanos().to_string()),
+            o.finished.as_nanos(),
+            o.latency().as_nanos(),
+            o.retries,
+            o.timeouts,
+            o.events,
+        );
+        for (jx, ph) in o.phases.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"name\": {}, \"elapsed_ns\": {}}}",
+                if jx > 0 { ", " } else { "" },
+                json_string(ph.name),
+                ph.elapsed.as_nanos()
+            );
+        }
+        out.push_str("]}");
+        out.push_str(if ix + 1 < n { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// The repository's short git revision, or `"unknown"` outside a

@@ -16,6 +16,7 @@ use std::fmt::Write as _;
 
 use simcore::span::{Span, SpanArena, SpanId, FRONT_END_NODE};
 use simcore::{Duration, SimTime};
+use tasks::TaskKind;
 
 /// Synthetic critical-path resource for intervals no span covers (e.g. a
 /// node idling for a straggler inside a phase when spans were dropped).
@@ -77,35 +78,7 @@ impl SpanTrace {
     /// [`UNATTRIBUTED`]. The invariant that makes the total exact: every
     /// nanosecond of `[phase.start, phase.end]` is claimed exactly once.
     pub fn critical_path(&self) -> CriticalPath {
-        let mut by_resource: BTreeMap<&'static str, Duration> = BTreeMap::new();
-        let mut total = Duration::ZERO;
-        for phase in &self.phases {
-            total += phase.end.since(phase.start);
-            let mut cursor = phase.end;
-            let mut id = phase.anchor;
-            while let Some(span) = self.arena.get(id) {
-                if span.end < cursor {
-                    *by_resource.entry(UNATTRIBUTED).or_default() += cursor.since(span.end);
-                    cursor = span.end;
-                }
-                let claim_from = span.start.min(cursor);
-                *by_resource.entry(span.resource).or_default() += cursor.since(claim_from);
-                cursor = claim_from;
-                id = span.parent;
-            }
-            if cursor > phase.start {
-                *by_resource.entry(UNATTRIBUTED).or_default() += cursor.since(phase.start);
-            }
-        }
-        let mut segments: Vec<PathSegment> = by_resource
-            .into_iter()
-            .map(|(resource, time)| PathSegment { resource, time })
-            .collect();
-        // BTreeMap iteration is already name-sorted; a stable sort by
-        // descending time keeps the name order as the tie-break.
-        segments.sort_by_key(|s| std::cmp::Reverse(s.time));
-        segments.retain(|s| !s.time.is_zero());
-        CriticalPath { total, segments }
+        critical_path_over(&self.arena, &self.phases)
     }
 
     /// The `k` longest spans, by duration descending (ties broken by
@@ -128,66 +101,156 @@ impl SpanTrace {
     /// Serializes the arena as Chrome trace-event JSON (the format
     /// `chrome://tracing` and Perfetto load).
     ///
-    /// Every span becomes a matched `B`/`E` pair on `pid` 0; `tid` 0 is
-    /// the front-end, worker node `n` is `tid` `n + 1`. Timestamps are
-    /// microseconds with nanosecond precision (three decimals), emitted
-    /// in nondecreasing order with `E` events sorted before `B` events at
+    /// Every span becomes a matched `B`/`E` pair; a span's `pid` is its
+    /// query lane (0 for single-query runs), `tid` 0 is the front-end,
+    /// worker node `n` is `tid` `n + 1`. Timestamps are microseconds
+    /// with nanosecond precision (three decimals), emitted in
+    /// nondecreasing order with `E` events sorted before `B` events at
     /// the same instant so stacks nest correctly. The bytes are a pure
     /// function of the arena, hence identical across queue backends,
     /// worker counts, and cache states.
     pub fn chrome_trace_json(&self) -> String {
-        let spans = self.arena.spans();
-        // (ts_ns, is_begin, span index): E sorts before B at equal ts;
-        // among Es later spans close first (LIFO nesting), among Bs
-        // earlier spans open first.
-        let mut events: Vec<(u64, bool, usize)> = Vec::with_capacity(spans.len() * 2);
-        for (ix, s) in spans.iter().enumerate() {
-            events.push((s.start.as_nanos(), true, ix));
-            events.push((s.end.as_nanos(), false, ix));
-        }
-        events.sort_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then(a.1.cmp(&b.1)) // false (E) < true (B)
-                .then_with(|| if a.1 { a.2.cmp(&b.2) } else { b.2.cmp(&a.2) })
-        });
-        let mut out = String::with_capacity(events.len() * 96 + 64);
-        out.push_str("{\"traceEvents\": [\n");
-        for (ix, &(ts, is_begin, span_ix)) in events.iter().enumerate() {
-            let s = &spans[span_ix];
-            let tid = trace_tid(s.node);
-            if is_begin {
-                let _ = write!(
-                    out,
-                    "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"B\", \
-                     \"ts\": {}.{:03}, \"pid\": 0, \"tid\": {}, \
-                     \"args\": {{\"span\": {}, \"parent\": {}, \"bytes\": {}}}}}",
-                    s.kind.name(),
-                    s.resource,
-                    ts / 1_000,
-                    ts % 1_000,
-                    tid,
-                    span_ix,
-                    s.parent
-                        .index()
-                        .map_or(-1i64, |p| i64::try_from(p).expect("span index fits i64")),
-                    s.bytes,
-                );
-            } else {
-                let _ = write!(
-                    out,
-                    "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"E\", \
-                     \"ts\": {}.{:03}, \"pid\": 0, \"tid\": {}}}",
-                    s.kind.name(),
-                    s.resource,
-                    ts / 1_000,
-                    ts % 1_000,
-                    tid,
-                );
+        chrome_trace_of(&self.arena)
+    }
+}
+
+/// Walks each phase's longest dependency chain — the shared body of
+/// [`SpanTrace::critical_path`] and [`LoadSpanTrace::critical_path`].
+fn critical_path_over(arena: &SpanArena, phases: &[PhaseSpans]) -> CriticalPath {
+    let mut by_resource: BTreeMap<&'static str, Duration> = BTreeMap::new();
+    let mut total = Duration::ZERO;
+    for phase in phases {
+        total += phase.end.since(phase.start);
+        let mut cursor = phase.end;
+        let mut id = phase.anchor;
+        while let Some(span) = arena.get(id) {
+            if span.end < cursor {
+                *by_resource.entry(UNATTRIBUTED).or_default() += cursor.since(span.end);
+                cursor = span.end;
             }
-            out.push_str(if ix + 1 < events.len() { ",\n" } else { "\n" });
+            let claim_from = span.start.min(cursor);
+            *by_resource.entry(span.resource).or_default() += cursor.since(claim_from);
+            cursor = claim_from;
+            id = span.parent;
         }
-        out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
-        out
+        if cursor > phase.start {
+            *by_resource.entry(UNATTRIBUTED).or_default() += cursor.since(phase.start);
+        }
+    }
+    let mut segments: Vec<PathSegment> = by_resource
+        .into_iter()
+        .map(|(resource, time)| PathSegment { resource, time })
+        .collect();
+    // BTreeMap iteration is already name-sorted; a stable sort by
+    // descending time keeps the name order as the tie-break.
+    segments.sort_by_key(|s| std::cmp::Reverse(s.time));
+    segments.retain(|s| !s.time.is_zero());
+    CriticalPath { total, segments }
+}
+
+/// Chrome trace-event serialization shared by [`SpanTrace`] and
+/// [`LoadSpanTrace`]: each span's `pid` is its query lane, so Perfetto
+/// renders concurrent queries as separate processes.
+fn chrome_trace_of(arena: &SpanArena) -> String {
+    let spans = arena.spans();
+    // (ts_ns, is_begin, span index): E sorts before B at equal ts;
+    // among Es later spans close first (LIFO nesting), among Bs
+    // earlier spans open first.
+    let mut events: Vec<(u64, bool, usize)> = Vec::with_capacity(spans.len() * 2);
+    for (ix, s) in spans.iter().enumerate() {
+        events.push((s.start.as_nanos(), true, ix));
+        events.push((s.end.as_nanos(), false, ix));
+    }
+    events.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.cmp(&b.1)) // false (E) < true (B)
+            .then_with(|| if a.1 { a.2.cmp(&b.2) } else { b.2.cmp(&a.2) })
+    });
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\": [\n");
+    for (ix, &(ts, is_begin, span_ix)) in events.iter().enumerate() {
+        let s = &spans[span_ix];
+        let tid = trace_tid(s.node);
+        if is_begin {
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"B\", \
+                 \"ts\": {}.{:03}, \"pid\": {}, \"tid\": {}, \
+                 \"args\": {{\"span\": {}, \"parent\": {}, \"bytes\": {}}}}}",
+                s.kind.name(),
+                s.resource,
+                ts / 1_000,
+                ts % 1_000,
+                s.query,
+                tid,
+                span_ix,
+                s.parent
+                    .index()
+                    .map_or(-1i64, |p| i64::try_from(p).expect("span index fits i64")),
+                s.bytes,
+            );
+        } else {
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"E\", \
+                 \"ts\": {}.{:03}, \"pid\": {}, \"tid\": {}}}",
+                s.kind.name(),
+                s.resource,
+                ts / 1_000,
+                ts % 1_000,
+                s.query,
+                tid,
+            );
+        }
+        out.push_str(if ix + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+/// One query's phase windows within a loaded run's shared span arena.
+#[derive(Debug, Clone)]
+pub struct QuerySpans {
+    /// The query lane (index in arrival order).
+    pub query: u32,
+    /// The DSS task the query ran.
+    pub task: TaskKind,
+    /// Phase windows of the query's final attempt, in execution order.
+    pub phases: Vec<PhaseSpans>,
+}
+
+/// The spans of one profiled multi-query run: a single shared arena
+/// (every span stamped with its query lane) plus each query's phase
+/// windows, so the critical path of any individual query can be walked
+/// even though the queries interleaved on one machine.
+#[derive(Debug, Clone, Default)]
+pub struct LoadSpanTrace {
+    /// All recorded spans across every query, in record order.
+    pub arena: SpanArena,
+    /// Per-query phase windows, indexed by query id.
+    pub queries: Vec<QuerySpans>,
+}
+
+impl LoadSpanTrace {
+    /// The critical-path decomposition of one query's final attempt.
+    /// Sums exactly to the attempt's elapsed time — the same invariant
+    /// as the single-query walker, per lane.
+    pub fn critical_path(&self, query: u32) -> Option<CriticalPath> {
+        self.queries
+            .iter()
+            .find(|q| q.query == query)
+            .map(|q| critical_path_over(&self.arena, &q.phases))
+    }
+
+    /// Spans dropped from this query's lane by arena overflow.
+    pub fn dropped_for(&self, query: u32) -> u64 {
+        self.arena.dropped_for(query)
+    }
+
+    /// Chrome trace-event JSON with one `pid` per query, so Perfetto
+    /// shows each concurrent query as its own process track.
+    pub fn chrome_trace_json(&self) -> String {
+        chrome_trace_of(&self.arena)
     }
 }
 

@@ -116,6 +116,10 @@ pub struct Span {
     pub end: SimTime,
     /// Payload bytes the span moved or processed (0 for synthetic spans).
     pub bytes: u64,
+    /// Query lane the span belongs to (0 for single-query runs; the
+    /// multi-query executor stamps each span with its query's id so
+    /// concurrent queries stay distinguishable in trace exports).
+    pub query: u32,
 }
 
 impl Span {
@@ -161,6 +165,11 @@ pub struct SpanArena {
     capacity: usize,
     enabled: bool,
     dropped: u64,
+    /// Current query lane, stamped on every recorded span.
+    query: u32,
+    /// Overflow drops per query lane, sorted by lane (touched only on the
+    /// cold drop path, so the hot record path stays allocation-free).
+    dropped_by_query: Vec<(u32, u64)>,
 }
 
 impl SpanArena {
@@ -181,12 +190,26 @@ impl SpanArena {
             capacity,
             enabled: true,
             dropped: 0,
+            query: 0,
+            dropped_by_query: Vec::new(),
         }
     }
 
     /// Whether spans are being recorded.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Selects the query lane stamped on subsequently recorded spans
+    /// (lane 0 is the default and what single-query runs use).
+    #[inline]
+    pub fn set_query(&mut self, query: u32) {
+        self.query = query;
+    }
+
+    /// The current query lane.
+    pub fn query(&self) -> u32 {
+        self.query
     }
 
     /// Records a complete span; returns its id, or [`SpanId::NONE`] when
@@ -208,6 +231,13 @@ impl SpanArena {
         }
         if self.spans.len() >= self.capacity {
             self.dropped += 1;
+            match self
+                .dropped_by_query
+                .binary_search_by_key(&self.query, |&(q, _)| q)
+            {
+                Ok(i) => self.dropped_by_query[i].1 += 1,
+                Err(i) => self.dropped_by_query.insert(i, (self.query, 1)),
+            }
             return SpanId::NONE;
         }
         let id = SpanId(self.spans.len() as u32);
@@ -219,6 +249,7 @@ impl SpanArena {
             start,
             end,
             bytes,
+            query: self.query,
         });
         id
     }
@@ -277,6 +308,20 @@ impl SpanArena {
     /// Spans discarded because the arena was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Spans discarded while `query` was the current lane.
+    pub fn dropped_for(&self, query: u32) -> u64 {
+        self.dropped_by_query
+            .binary_search_by_key(&query, |&(q, _)| q)
+            .map(|i| self.dropped_by_query[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Overflow drops per query lane, sorted by lane (empty when nothing
+    /// was dropped).
+    pub fn dropped_by_query(&self) -> &[(u32, u64)] {
+        &self.dropped_by_query
     }
 }
 
@@ -345,6 +390,25 @@ mod tests {
         assert_eq!(a.dropped(), 8);
         // Closing a dropped span's NONE id is harmless.
         a.close(SpanId::NONE, SimTime::from_nanos(99));
+    }
+
+    #[test]
+    fn drops_are_accounted_per_query_lane() {
+        let mut a = SpanArena::with_capacity(1);
+        let t = SimTime::ZERO;
+        a.set_query(7);
+        let kept = a.record(SpanId::NONE, "cpu", SpanKind::Cpu, 0, t, t, 0);
+        assert_eq!(a.get(kept).unwrap().query, 7);
+        // Lane 7 then lane 2 overflow; lane 0 never drops.
+        a.record(SpanId::NONE, "cpu", SpanKind::Cpu, 0, t, t, 0);
+        a.set_query(2);
+        a.record(SpanId::NONE, "cpu", SpanKind::Cpu, 0, t, t, 0);
+        a.record(SpanId::NONE, "cpu", SpanKind::Cpu, 0, t, t, 0);
+        assert_eq!(a.dropped(), 3);
+        assert_eq!(a.dropped_for(7), 1);
+        assert_eq!(a.dropped_for(2), 2);
+        assert_eq!(a.dropped_for(0), 0);
+        assert_eq!(a.dropped_by_query(), &[(2, 2), (7, 1)]);
     }
 
     #[test]
