@@ -1,7 +1,8 @@
 //! Wall-clock benchmark of the event scheduler, the result cache, the
-//! causal tracing subsystem, and the loaded multi-query executor.
+//! causal tracing subsystem, the loaded multi-query executor, and the
+//! copy-on-fork checkpointing paths.
 //!
-//! Five measurements, written to `BENCH_PR8.json` in the current
+//! Six measurements, written to `BENCH_PR9.json` in the current
 //! directory:
 //!
 //! 1. Event-loop throughput on the 64-disk cluster join across all
@@ -21,6 +22,13 @@
 //!    closed-loop join workload, and the admission-layer overhead on a
 //!    one-query workload whose simulated latency is asserted equal to
 //!    the solo run's elapsed time to the nanosecond.
+//! 6. Copy-on-fork checkpointing: the availability fault suite and the
+//!    load-sweep rate ladder run twice with the result cache disabled —
+//!    once through the fork API (shared prefix, one continuation per
+//!    scenario/point) and once from scratch — with the rows asserted
+//!    field-identical and the fork speedups held to floors; plus the
+//!    snapshot/restore cost of a mid-flight 64-disk cluster join
+//!    checkpoint in MB/s.
 //!
 //! ```text
 //! cargo run --release -p bench --bin sweep_bench [workers]
@@ -39,9 +47,9 @@
 use std::time::Instant;
 
 use arch::Architecture;
-use howsim::{cache, sweep, AdmissionPolicy, DeadlinePolicy, Simulation, WorkloadSpec};
+use howsim::{cache, checkpoint, sweep, AdmissionPolicy, DeadlinePolicy, Simulation, WorkloadSpec};
 use simcore::span::{SpanArena, SpanId, SpanKind};
-use simcore::{QueueBackend, SimTime};
+use simcore::{Duration, QueueBackend, SimTime};
 use tasks::TaskKind;
 
 #[global_allocator]
@@ -207,6 +215,92 @@ fn admission_overhead(rounds: usize) -> f64 {
     best_loaded / best_solo - 1.0
 }
 
+/// Availability fork-vs-scratch probe on the `--quick` suite (16 disks,
+/// select + sort): the fork path simulates one healthy prefix per
+/// (architecture, task) point and forks it at each fault time; the
+/// scratch path simulates every scenario from t=0. Run with the result
+/// cache disabled so both actually simulate. Returns
+/// (scratch_s, fork_s, prefix_runs, forked_runs).
+fn availability_fork_probe(rounds: usize) -> (f64, f64, u64, u64) {
+    let tasks = [TaskKind::Select, TaskKind::Sort];
+    let mut best_scratch = f64::INFINITY;
+    let mut best_fork = f64::INFINITY;
+    let mut counts = experiments::availability::RunCounts::default();
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let (rows, c) = experiments::availability::run_configs_counting(16, &tasks);
+        best_fork = best_fork.min(start.elapsed().as_secs_f64());
+        counts = c;
+        let start = Instant::now();
+        let scratch = experiments::availability::run_configs_scratch(16, &tasks);
+        best_scratch = best_scratch.min(start.elapsed().as_secs_f64());
+        assert_eq!(rows, scratch, "forked availability rows must match scratch");
+    }
+    (
+        best_scratch,
+        best_fork,
+        counts.prefix_runs,
+        counts.forked_runs,
+    )
+}
+
+/// Load-sweep fork-vs-scratch probe on the `--quick` ladder (16 disks,
+/// scan mix, the full rate ladder plus the closed point): the fork path
+/// simulates the warmup ramp once per (architecture, mix) and extends a
+/// fork per offered-load point. Cache disabled by the caller. Returns
+/// (scratch_s, fork_s).
+fn loadsweep_fork_probe(rounds: usize) -> (f64, f64) {
+    let mixes = &experiments::loadsweep::MIXES[..1];
+    let rates = &experiments::loadsweep::RATES;
+    let mut best_scratch = f64::INFINITY;
+    let mut best_fork = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let forked = experiments::loadsweep::run_configs(16, 8, mixes, rates);
+        best_fork = best_fork.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let scratch = experiments::loadsweep::run_configs_scratch(16, 8, mixes, rates);
+        best_scratch = best_scratch.min(start.elapsed().as_secs_f64());
+        assert_eq!(forked, scratch, "forked load-sweep rows must match scratch");
+    }
+    (best_scratch, best_fork)
+}
+
+/// Checkpoint snapshot/restore cost: the 64-disk cluster join paused at
+/// half its elapsed time, serialized to disk and read back. The restored
+/// continuation's report is asserted identical to the from-scratch run.
+/// Returns (bytes, snapshot_s, restore_s).
+fn checkpoint_probe(rounds: usize) -> (u64, f64, f64) {
+    let arch = Architecture::cluster(64);
+    let plan = tasks::plan_task(TaskKind::Join, &arch);
+    let sim = Simulation::new(arch);
+    let scratch = sim.run_plan(&plan);
+    let at = SimTime::ZERO + Duration::from_secs_f64(scratch.elapsed().as_secs_f64() * 0.5);
+    let mut run = sim.start(&plan);
+    run.run_until(at);
+    let path = std::env::temp_dir().join(format!("sweep-bench-{}.ckpt", std::process::id()));
+    let mut best_snap = f64::INFINITY;
+    let mut best_restore = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        checkpoint::write_file(&path, &sim, &plan, at, &run).expect("write checkpoint");
+        best_snap = best_snap.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let restored = checkpoint::read_file(&path, &sim, &plan).expect("read checkpoint");
+        best_restore = best_restore.min(start.elapsed().as_secs_f64());
+        drop(restored);
+    }
+    let bytes = std::fs::metadata(&path).expect("checkpoint written").len();
+    let restored = checkpoint::read_file(&path, &sim, &plan).expect("read checkpoint");
+    assert_eq!(
+        restored.finish(),
+        scratch,
+        "restored continuation must reproduce the from-scratch report"
+    );
+    let _ = std::fs::remove_file(&path);
+    (bytes, best_snap, best_restore)
+}
+
 /// With tracing off, the span record path must perform zero heap
 /// allocations — the whole subsystem costs one branch per site.
 fn assert_tracing_off_allocates_nothing() {
@@ -320,6 +414,11 @@ fn main() {
     const PR7_SHARDED1_EPS: u64 = 9_048_946;
     const PR7_SHARDED4_EPS: u64 = 6_994_192;
     const PR7_HEAP_EPS: u64 = 6_591_659;
+    const PR8_WHEEL_EPS: u64 = 8_475_204;
+    const PR8_SHARDED1_EPS: u64 = 8_699_324;
+    const PR8_SHARDED4_EPS: u64 = 6_440_886;
+    const PR8_HEAP_EPS: u64 = 6_218_254;
+    const PR8_LOADED_EPS: u64 = 8_036_574;
     let vs_pr4 = wheel_eps / PR4_WHEEL_EPS as f64;
     let vs_pr6 = wheel_eps / PR6_WHEEL_EPS as f64;
 
@@ -353,8 +452,33 @@ fn main() {
         adm_overhead * 100.0
     );
 
+    eprintln!("copy-on-fork checkpointing: availability suite, fork vs scratch (cache off)...");
+    cache::set_enabled(false);
+    sweep::set_default_jobs(1);
+    let (avail_scratch_s, avail_fork_s, prefix_runs, forked_runs) = availability_fork_probe(2);
+    let avail_speedup = avail_scratch_s / avail_fork_s;
+    assert!(
+        avail_speedup >= 1.8,
+        "availability fork speedup {avail_speedup:.2}x below the 1.8x floor \
+         (scratch {avail_scratch_s:.3}s, fork {avail_fork_s:.3}s)"
+    );
+    eprintln!("copy-on-fork checkpointing: load-sweep ladder, fork vs scratch (cache off)...");
+    let (ls_scratch_s, ls_fork_s) = loadsweep_fork_probe(2);
+    let ls_speedup = ls_scratch_s / ls_fork_s;
+    assert!(
+        ls_speedup >= 1.1,
+        "load-sweep fork speedup {ls_speedup:.2}x below the 1.1x floor \
+         (scratch {ls_scratch_s:.3}s, fork {ls_fork_s:.3}s)"
+    );
+    cache::set_enabled(true);
+    eprintln!("checkpoint snapshot/restore cost (cluster 64 join at 50%)...");
+    let (ckpt_bytes, snap_s, restore_s) = checkpoint_probe(10);
+    let ckpt_mb = ckpt_bytes as f64 / 1e6;
+    let snap_mb_per_s = ckpt_mb / snap_s;
+    let restore_mb_per_s = ckpt_mb / restore_s;
+
     let json = format!(
-        "{{\n  \"benchmark\": \"arena event wheel + result cache + loaded multi-query executor on the --quick figure suite\",\n  \
+        "{{\n  \"benchmark\": \"arena event wheel + result cache + loaded multi-query executor + copy-on-fork checkpointing on the --quick figure suite\",\n  \
          \"simulated_runs\": {sims},\n  \
          \"available_parallelism\": {cores},\n  \
          \"workers\": {workers},\n  \
@@ -408,19 +532,40 @@ fn main() {
          \"warm_misses\": {warm_misses},\n    \
          \"warm_speedup\": {cache_speedup:.1},\n    \
          \"outputs_identical\": true\n  }},\n  \
+         \"checkpoint_fork\": {{\n    \
+         \"availability_suite\": \"16 disks, select+sort, 3 architectures, 12 fault scenarios each, cache off\",\n    \
+         \"availability_scratch_seconds\": {avail_scratch_s:.3},\n    \
+         \"availability_fork_seconds\": {avail_fork_s:.3},\n    \
+         \"availability_fork_speedup\": {avail_speedup:.3},\n    \
+         \"availability_fork_speedup_floor\": 1.8,\n    \
+         \"availability_prefix_runs\": {prefix_runs},\n    \
+         \"availability_forked_runs\": {forked_runs},\n    \
+         \"loadsweep_suite\": \"16 disks, scan mix, 4 offered rates + closed point, cache off\",\n    \
+         \"loadsweep_scratch_seconds\": {ls_scratch_s:.3},\n    \
+         \"loadsweep_fork_seconds\": {ls_fork_s:.3},\n    \
+         \"loadsweep_fork_speedup\": {ls_speedup:.3},\n    \
+         \"loadsweep_fork_speedup_floor\": 1.1,\n    \
+         \"snapshot_config\": \"cluster 64-disk join paused at 50% of elapsed\",\n    \
+         \"snapshot_bytes\": {ckpt_bytes},\n    \
+         \"snapshot_seconds\": {snap_s:.4},\n    \
+         \"restore_seconds\": {restore_s:.4},\n    \
+         \"snapshot_mb_per_sec\": {snap_mb_per_s:.1},\n    \
+         \"restore_mb_per_sec\": {restore_mb_per_s:.1},\n    \
+         \"rows_identical\": true\n  }},\n  \
          \"trajectory\": [\n    \
          {{\"pr\": 1, \"source\": \"BENCH_PR1.json\", \"fifo_offer_10k_5_tags_us\": 61.3}},\n    \
          {{\"pr\": 2, \"source\": \"BENCH_PR2.json\", \"events_per_sec\": {PR2_EPS}, \"fifo_offer_10k_5_tags_us\": 47.8}},\n    \
          {{\"pr\": 4, \"source\": \"BENCH_PR4.json\", \"wheel_events_per_sec\": {PR4_WHEEL_EPS}, \"heap_events_per_sec\": {PR4_HEAP_EPS}, \"wheel_vs_heap_speedup\": 1.361}},\n    \
          {{\"pr\": 6, \"source\": \"BENCH_PR6.json\", \"wheel_events_per_sec\": {PR6_WHEEL_EPS}, \"sharded1_events_per_sec\": {PR6_SHARDED1_EPS}, \"sharded4_events_per_sec\": {PR6_SHARDED4_EPS}, \"heap_events_per_sec\": {PR6_HEAP_EPS}, \"wheel_vs_pr4_wheel_speedup\": 1.613}},\n    \
          {{\"pr\": 7, \"source\": \"BENCH_PR7.json\", \"wheel_events_per_sec\": {PR7_WHEEL_EPS}, \"sharded1_events_per_sec\": {PR7_SHARDED1_EPS}, \"sharded4_events_per_sec\": {PR7_SHARDED4_EPS}, \"heap_events_per_sec\": {PR7_HEAP_EPS}, \"tracing_overhead_fraction\": 0.3887}},\n    \
-         {{\"pr\": 8, \"source\": \"this run\", \"wheel_events_per_sec\": {wheel_eps:.0}, \"sharded1_events_per_sec\": {sharded1_eps:.0}, \"sharded4_events_per_sec\": {sharded4_eps:.0}, \"heap_events_per_sec\": {heap_eps:.0}, \"loaded_events_per_sec\": {loaded_eps:.0}, \"admission_overhead_fraction\": {adm_overhead:.4}}}\n  ],\n  \
+         {{\"pr\": 8, \"source\": \"BENCH_PR8.json\", \"wheel_events_per_sec\": {PR8_WHEEL_EPS}, \"sharded1_events_per_sec\": {PR8_SHARDED1_EPS}, \"sharded4_events_per_sec\": {PR8_SHARDED4_EPS}, \"heap_events_per_sec\": {PR8_HEAP_EPS}, \"loaded_events_per_sec\": {PR8_LOADED_EPS}, \"admission_overhead_fraction\": 0.0176}},\n    \
+         {{\"pr\": 9, \"source\": \"this run\", \"wheel_events_per_sec\": {wheel_eps:.0}, \"sharded1_events_per_sec\": {sharded1_eps:.0}, \"sharded4_events_per_sec\": {sharded4_eps:.0}, \"heap_events_per_sec\": {heap_eps:.0}, \"loaded_events_per_sec\": {loaded_eps:.0}, \"availability_fork_speedup\": {avail_speedup:.3}, \"loadsweep_fork_speedup\": {ls_speedup:.3}}}\n  ],\n  \
          \"outputs_identical\": true\n}}\n",
         cold_hits = cold_stats.hits,
         cold_misses = cold_stats.misses,
         warm_hits = warm_stats.hits,
         warm_misses = warm_stats.misses,
     );
-    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
+    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
     print!("{json}");
 }

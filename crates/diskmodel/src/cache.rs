@@ -12,6 +12,7 @@
 //! `p0` has prefetched up to `p0 + rate·(t − t0)` by time `t`, capped by the
 //! segment capacity ahead of the last consumed LBA.
 
+use simcore::state::{StateError, StateReader, StateWriter};
 use simcore::{Duration, SimTime};
 
 use crate::geometry::{Geometry, SECTOR_BYTES};
@@ -256,6 +257,54 @@ impl SegmentedCache {
             seg.media_pos = pos;
             seg.as_of = seg.as_of.max(until);
         }
+    }
+
+    /// Serializes the cache's mutable state for checkpointing. The zone
+    /// memo (floating-point rate constants) is deliberately excluded: it
+    /// is a pure function of geometry and position and is refetched on
+    /// first use after restore, reproducing the same values bit-exactly.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.field("cache_clock", self.clock);
+        w.field("segments", self.segments.len());
+        for s in &self.segments {
+            w.list(
+                "seg",
+                [s.next_lba, s.media_pos, s.as_of.as_nanos(), s.last_use],
+            );
+        }
+    }
+
+    /// Restores mutable state into a cache freshly built from the same
+    /// spec ([`SegmentedCache::new`] supplies the configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.clock = r.num("cache_clock")?;
+        let n: usize = r.num("segments")?;
+        if n > self.max_segments {
+            return Err(StateError::new("more segments than the spec allows"));
+        }
+        self.segments.clear();
+        for _ in 0..n {
+            let vals: Vec<u64> = r.nums("seg")?;
+            let [next_lba, media_pos, as_of, last_use] = vals[..] else {
+                return Err(StateError::new("segment line needs 4 values"));
+            };
+            self.segments.push(Segment {
+                next_lba,
+                media_pos,
+                as_of: SimTime::from_nanos(as_of),
+                last_use,
+                // Empty memo window forces a refetch on first use.
+                zone_lo: 1,
+                zone_hi: 0,
+                bps: 0.0,
+                sector_secs: 0.0,
+            });
+        }
+        Ok(())
     }
 }
 

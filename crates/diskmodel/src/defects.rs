@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 
+use simcore::state::{StateError, StateReader, StateWriter};
+
 /// A drive's grown-defect table and spare-region allocator.
 ///
 /// # Example
@@ -120,6 +122,40 @@ impl DefectMap {
             }
         }
         merged
+    }
+
+    /// Serializes the grown-defect table for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.field("spare_used", self.spare_used);
+        w.field("defects", self.remapped.len());
+        for (&bad, &spare) in &self.remapped {
+            w.list("remap", [bad, spare]);
+        }
+    }
+
+    /// Restores the grown-defect table into a map freshly built with the
+    /// same spare-region configuration ([`DefectMap::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input or an out-of-range
+    /// spare count.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let spare_used: u64 = r.num("spare_used")?;
+        if spare_used > self.spare_len {
+            return Err(StateError::new("spare_used exceeds spare region"));
+        }
+        let n: usize = r.num("defects")?;
+        self.remapped.clear();
+        for _ in 0..n {
+            let vals: Vec<u64> = r.nums("remap")?;
+            let [bad, spare] = vals[..] else {
+                return Err(StateError::new("remap line needs 2 values"));
+            };
+            self.remapped.insert(bad, spare);
+        }
+        self.spare_used = spare_used;
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 //! position, cache, and controller/bus overheads into per-request service
 //! times.
 
+use simcore::state::{StateError, StateReader, StateWriter};
 use simcore::{Duration, Histogram, SimTime};
 
 use crate::cache::{Lookup, SegmentedCache};
@@ -425,6 +426,74 @@ impl Disk {
     pub fn service_histogram(&self) -> &Histogram {
         &self.service_hist
     }
+
+    /// Serializes the drive's mutable state (arm position, cache streams,
+    /// defect table, accounting) for checkpointing. Configuration —
+    /// spec, geometry, seek curves — is not captured: restores apply to
+    /// a drive freshly built from the same spec.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.cache.save_state(w);
+        w.field("cylinder", self.cylinder);
+        w.field("free_at", self.free_at.as_nanos());
+        w.field("busy", self.busy.as_nanos());
+        w.field("wait", self.wait.as_nanos());
+        match self.write_stream_end {
+            Some((lba, cyl)) => w.list("write_stream", [lba, u64::from(cyl)]),
+            None => w.list("write_stream", std::iter::empty::<u64>()),
+        }
+        self.defects.save_state(w);
+        w.list("hist_buckets", self.service_hist.bucket_counts().iter());
+        w.field("hist_total", self.service_hist.total().as_nanos());
+        w.field("hist_max", self.service_hist.max().as_nanos());
+        w.field("reads", self.reads);
+        w.field("writes", self.writes);
+        w.field("bytes_read", self.bytes_read);
+        w.field("bytes_written", self.bytes_written);
+        w.field("cache_hits", self.cache_hits);
+    }
+
+    /// Restores mutable state into a drive freshly built from the same
+    /// spec ([`Disk::new`]). The bus-transfer memo is reset — it is a
+    /// pure cache over a deterministic expression, so the first hit after
+    /// restore recomputes the identical value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.cache.load_state(r)?;
+        self.cylinder = r.num("cylinder")?;
+        if u64::from(self.cylinder) >= u64::from(self.geometry.cylinders()) {
+            return Err(StateError::new("cylinder out of range for geometry"));
+        }
+        self.free_at = SimTime::from_nanos(r.num("free_at")?);
+        self.busy = Duration::from_nanos(r.num("busy")?);
+        self.wait = Duration::from_nanos(r.num("wait")?);
+        let ws: Vec<u64> = r.nums("write_stream")?;
+        self.write_stream_end = match ws[..] {
+            [] => None,
+            [lba, cyl] => Some((
+                lba,
+                u32::try_from(cyl).map_err(|_| StateError::new("write-stream cylinder"))?,
+            )),
+            _ => return Err(StateError::new("write_stream needs 0 or 2 values")),
+        };
+        self.defects.load_state(r)?;
+        let raw: Vec<u64> = r.nums("hist_buckets")?;
+        let buckets: [u64; 64] = raw
+            .try_into()
+            .map_err(|_| StateError::new("histogram needs 64 buckets"))?;
+        let total = Duration::from_nanos(r.num("hist_total")?);
+        let max = Duration::from_nanos(r.num("hist_max")?);
+        self.service_hist = Histogram::from_raw(buckets, total, max);
+        self.reads = r.num("reads")?;
+        self.writes = r.num("writes")?;
+        self.bytes_read = r.num("bytes_read")?;
+        self.bytes_written = r.num("bytes_written")?;
+        self.cache_hits = r.num("cache_hits")?;
+        self.bus_memo = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -612,6 +681,67 @@ mod tests {
         };
         assert_eq!(grown, 1_024, "spare region holds 1,024 sectors");
         assert!(!result.to_string().is_empty());
+    }
+
+    #[test]
+    fn state_round_trip_continues_bit_identically() {
+        // Build interesting state: a read stream, a write stream, grown
+        // defects, and accumulated accounting.
+        let mut d = disk();
+        let mut t = SimTime::ZERO;
+        for i in 0..8u64 {
+            t = d.submit(t, Request::read(i * 256 * KB, 256 * KB)).end;
+        }
+        t = d.submit(t, Request::write(40 * 256 * KB, 256 * KB)).end;
+        d.grow_defect(30_000).unwrap();
+        d.grow_defect(30_001).unwrap();
+
+        let mut w = simcore::StateWriter::new();
+        d.save_state(&mut w);
+        let text = w.finish();
+        let mut restored = disk();
+        let mut r = simcore::StateReader::new(&text);
+        restored.load_state(&mut r).unwrap();
+        assert!(r.done());
+
+        assert_eq!(restored.free_at(), d.free_at());
+        assert_eq!(restored.busy_total(), d.busy_total());
+        assert_eq!(restored.cache_hits(), d.cache_hits());
+        assert_eq!(restored.grown_defects(), d.grown_defects());
+        assert_eq!(restored.service_histogram(), d.service_histogram());
+
+        // Continuation: cache-hit read, stream-continuing write, and a
+        // read over the defects must schedule identically.
+        for req in [
+            Request::read(8 * 256 * KB, 256 * KB),
+            Request::write(41 * 256 * KB, 256 * KB),
+            Request::read(30_000 * SECTOR_BYTES - 64 * KB, 256 * KB),
+        ] {
+            let a = d.submit(t, req);
+            let b = restored.submit(t, req);
+            assert_eq!(a, b, "{req:?}");
+            t = a.end;
+        }
+        assert_eq!(restored.busy_total(), d.busy_total());
+        assert_eq!(restored.cache_hits(), d.cache_hits());
+    }
+
+    #[test]
+    fn corrupt_state_is_an_error_not_a_panic() {
+        let mut d = disk();
+        d.submit(SimTime::ZERO, Request::read(0, 256 * KB));
+        let mut w = simcore::StateWriter::new();
+        d.save_state(&mut w);
+        let text = w.finish();
+        // Truncation and token corruption both surface as errors.
+        let truncated = &text[..text.len() / 2];
+        assert!(disk()
+            .load_state(&mut simcore::StateReader::new(truncated))
+            .is_err());
+        let flipped = text.replace("cylinder", "cylindex");
+        assert!(disk()
+            .load_state(&mut simcore::StateReader::new(&flipped))
+            .is_err());
     }
 
     #[test]

@@ -3,21 +3,30 @@
 //! The paper evaluates healthy hardware only, but a 64-disk decision
 //! support machine spends a meaningful fraction of its life with
 //! something broken. This experiment measures how each architecture
-//! degrades when faults strike mid-query: disk fail-stops at 25% and 50%
+//! degrades when faults strike mid-query: disk fail-stops at 25–90%
 //! of the healthy run (under the redistribute and reconstruct-read
-//! recovery policies, plus the abort-and-rerun baseline), a grown-defect
-//! media burst, and an interconnect fault. Every scenario reports the
+//! recovery policies, plus the abort-and-rerun baseline), grown-defect
+//! media bursts, and interconnect faults. Every scenario reports the
 //! slowdown relative to the healthy run of the same (task, architecture)
 //! point.
 //!
 //! Fault times are derived from the *healthy simulated elapsed time* of
 //! the same point, so the schedule is fully deterministic: same seed,
 //! same table, at any `--jobs` count.
+//!
+//! Every fault scenario at one point shares the identical healthy prefix
+//! up to its fault time, so the sweep runs through the checkpoint fork
+//! API: one shared prefix run pauses at each fault fraction in turn and
+//! [`howsim::ExecRun::fork_with_faults`] branches a continuation per
+//! scenario. Forked reports are field-identical to from-scratch runs
+//! (enforced by test against [`run_configs_scratch`]); the healthy
+//! prefix is simulated exactly once per (arch, task) point instead of
+//! once per scenario.
 
 use arch::Architecture;
 use howsim::faults::{FaultPlan, RecoveryPolicy};
-use howsim::Simulation;
-use simcore::Duration;
+use howsim::{Report, Simulation};
+use simcore::{Duration, SimTime};
 use tasks::{plan_task, TaskKind, TaskPlan};
 
 use crate::render_table;
@@ -60,61 +69,244 @@ struct Scenario {
     /// the aborted run (the query restarts from scratch on the survivors'
     /// next maintenance window).
     rerun: bool,
+    /// Fraction of the healthy elapsed time at which the fault strikes —
+    /// the fork boundary of the shared prefix run.
+    frac: f64,
     plan: fn(f64) -> FaultPlan,
 }
 
 /// The fault scenarios, each a function of the healthy elapsed seconds.
+/// Ordered by fault fraction so the shared prefix run pauses at each
+/// boundary exactly once on its way forward.
 fn scenarios() -> Vec<Scenario> {
     fn at(frac: f64, healthy: f64) -> Duration {
         Duration::from_secs_f64(healthy * frac)
     }
     vec![
         Scenario {
-            label: "disk-fail@25%",
+            label: "media-burst@25%",
             policy: RecoveryPolicy::Redistribute,
             rerun: false,
-            plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.25, h)),
+            frac: 0.25,
+            plan: |h| FaultPlan::new().media_burst(1, at(0.25, h), 2_000),
         },
         Scenario {
             label: "disk-fail@50%",
             policy: RecoveryPolicy::Redistribute,
             rerun: false,
+            frac: 0.50,
             plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.50, h)),
         },
         Scenario {
             label: "disk-fail@50%/reconstruct",
             policy: RecoveryPolicy::ReconstructRead,
             rerun: false,
+            frac: 0.50,
             plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.50, h)),
         },
         Scenario {
             label: "disk-fail@50%/abort+rerun",
             policy: RecoveryPolicy::FailStop,
             rerun: true,
+            frac: 0.50,
             plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.50, h)),
         },
         Scenario {
-            label: "media-burst@25%",
+            label: "media-burst@50%",
             policy: RecoveryPolicy::Redistribute,
             rerun: false,
-            plan: |h| FaultPlan::new().media_burst(1, at(0.25, h), 2_000),
+            frac: 0.50,
+            plan: |h| FaultPlan::new().media_burst(1, at(0.50, h), 2_000),
         },
         Scenario {
-            label: "link-fault@25%",
+            label: "link-fault@50%",
             policy: RecoveryPolicy::Redistribute,
             rerun: false,
-            plan: |h| FaultPlan::new().link_fault(1, at(0.25, h), 0.5),
+            frac: 0.50,
+            plan: |h| FaultPlan::new().link_fault(1, at(0.50, h), 0.5),
+        },
+        Scenario {
+            label: "disk-fail@75%",
+            policy: RecoveryPolicy::Redistribute,
+            rerun: false,
+            frac: 0.75,
+            plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.75, h)),
+        },
+        Scenario {
+            label: "disk-fail@75%/reconstruct",
+            policy: RecoveryPolicy::ReconstructRead,
+            rerun: false,
+            frac: 0.75,
+            plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.75, h)),
+        },
+        Scenario {
+            label: "disk-fail@75%/abort+rerun",
+            policy: RecoveryPolicy::FailStop,
+            rerun: true,
+            frac: 0.75,
+            plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.75, h)),
+        },
+        Scenario {
+            label: "media-burst@75%",
+            policy: RecoveryPolicy::Redistribute,
+            rerun: false,
+            frac: 0.75,
+            plan: |h| FaultPlan::new().media_burst(1, at(0.75, h), 2_000),
+        },
+        Scenario {
+            label: "link-fault@75%",
+            policy: RecoveryPolicy::Redistribute,
+            rerun: false,
+            frac: 0.75,
+            plan: |h| FaultPlan::new().link_fault(1, at(0.75, h), 0.5),
+        },
+        Scenario {
+            label: "disk-fail@90%",
+            policy: RecoveryPolicy::Redistribute,
+            rerun: false,
+            frac: 0.90,
+            plan: |h| FaultPlan::new().disk_fail_stop(1, at(0.90, h)),
         },
     ]
 }
 
+/// How much simulation the sweep actually performed (fork-path
+/// accounting, asserted by test: the healthy prefix re-runs once per
+/// point, never once per scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunCounts {
+    /// Shared healthy-prefix runs (at most one per (arch, task) point;
+    /// zero when every scenario of the point was cached).
+    pub prefix_runs: u64,
+    /// Forked fault-scenario continuations simulated (cache misses).
+    pub forked_runs: u64,
+}
+
 /// Runs the availability sweep for `disks`-node configurations of every
-/// architecture over `tasks`.
-///
-/// Two batched passes through the result cache: the healthy baselines
-/// first (their elapsed times parameterize the fault schedules), then
-/// every fault scenario in one deterministic parallel sweep.
+/// architecture over `tasks` via fork-at-fault-time.
 pub fn run_configs(disks: usize, tasks: &[TaskKind]) -> Vec<Row> {
+    run_configs_counting(disks, tasks).0
+}
+
+/// [`run_configs`] plus the simulated-run accounting.
+///
+/// One batched cache pass computes the healthy baselines (their elapsed
+/// times parameterize the fault schedules and are the `healthy` rows).
+/// Then, per point, one shared prefix run pauses at each fault fraction
+/// and forks a continuation per uncached scenario — the continuations
+/// are field-identical to from-scratch faulted runs and are inserted
+/// into the cache under the same keys [`run_configs_scratch`] would use.
+pub fn run_configs_counting(disks: usize, tasks: &[TaskKind]) -> (Vec<Row>, RunCounts) {
+    let archs = architectures(disks);
+    let points: Vec<(&'static str, &Architecture, TaskKind)> = tasks
+        .iter()
+        .flat_map(|&task| archs.iter().map(move |(name, arch)| (*name, arch, task)))
+        .collect();
+    let base: Vec<(Simulation, TaskPlan)> = points
+        .iter()
+        .map(|(_, arch, task)| {
+            let plan = plan_task(*task, arch);
+            (Simulation::new((*arch).clone()).with_seed(SEED), plan)
+        })
+        .collect();
+    let healthy = howsim::cache::run_sims(&base);
+
+    let scens = scenarios();
+    let indices: Vec<usize> = (0..points.len()).collect();
+    let per_point: Vec<(Vec<Row>, RunCounts)> = howsim::sweep::map(&indices, |&ix| {
+        let (name, arch, task) = points[ix];
+        run_point(name, arch, task, &healthy[ix], &scens)
+    });
+
+    let mut rows = Vec::with_capacity(points.len() * (1 + scens.len()));
+    let mut counts = RunCounts::default();
+    for (point_rows, c) in per_point {
+        rows.extend(point_rows);
+        counts.prefix_runs += c.prefix_runs;
+        counts.forked_runs += c.forked_runs;
+    }
+    (rows, counts)
+}
+
+/// One (arch, task) point of the fork-path sweep: the healthy row plus
+/// every fault scenario, sharing a single healthy prefix run.
+fn run_point(
+    name: &'static str,
+    arch: &Architecture,
+    task: TaskKind,
+    healthy: &Report,
+    scens: &[Scenario],
+) -> (Vec<Row>, RunCounts) {
+    let plan = plan_task(task, arch);
+    let h_secs = healthy.elapsed().as_secs_f64();
+    let sims: Vec<Simulation> = scens
+        .iter()
+        .map(|s| {
+            Simulation::new(arch.clone())
+                .with_seed(SEED)
+                .with_fault_plan((s.plan)(h_secs))
+                .with_recovery(s.policy)
+        })
+        .collect();
+    let mut reports: Vec<Option<Report>> = sims
+        .iter()
+        .map(|sim| howsim::cache::probe_sim(sim, &plan))
+        .collect();
+
+    let mut counts = RunCounts::default();
+    if reports.iter().any(Option::is_none) {
+        // One shared prefix run, paused at each fault fraction in turn
+        // (scenarios are sorted by fraction). Each fork swaps in its
+        // scenario's fault plan and recovery policy; the prefix itself
+        // never consumes fault state, so the swap is exact.
+        let healthy_sim = Simulation::new(arch.clone()).with_seed(SEED);
+        let mut prefix = healthy_sim.start(&plan);
+        counts.prefix_runs = 1;
+        for (six, s) in scens.iter().enumerate() {
+            if reports[six].is_some() {
+                continue;
+            }
+            debug_assert!(six == 0 || scens[six - 1].frac <= s.frac, "sorted by frac");
+            let at = SimTime::ZERO + Duration::from_secs_f64(h_secs * s.frac);
+            prefix.run_until(at);
+            let fork = prefix.fork_with_faults((s.plan)(h_secs), s.policy);
+            let report = fork.finish();
+            howsim::cache::insert_sim(&sims[six], &plan, &report);
+            reports[six] = Some(report);
+            counts.forked_runs += 1;
+        }
+    }
+
+    let mut rows = Vec::with_capacity(1 + scens.len());
+    rows.push(Row {
+        task: task.name(),
+        arch: name,
+        scenario: "healthy",
+        seconds: h_secs,
+        slowdown: 1.0,
+        faults: 0,
+    });
+    for (s, r) in scens.iter().zip(&reports) {
+        let r = r.as_ref().expect("every scenario resolved");
+        debug_assert_eq!(r.aborted, s.rerun, "{name}/{}/{}", task.name(), s.label);
+        let secs = r.elapsed().as_secs_f64() + if s.rerun { h_secs } else { 0.0 };
+        rows.push(Row {
+            task: task.name(),
+            arch: name,
+            scenario: s.label,
+            seconds: secs,
+            slowdown: secs / h_secs,
+            faults: r.faults_injected,
+        });
+    }
+    (rows, counts)
+}
+
+/// The pre-fork reference implementation: every fault scenario simulated
+/// from t=0 through the batched result cache. Kept as the differential
+/// baseline (fork-path rows must be field-identical) and as the
+/// benchmark's scratch side.
+pub fn run_configs_scratch(disks: usize, tasks: &[TaskKind]) -> Vec<Row> {
     let archs = architectures(disks);
     let points: Vec<(&'static str, &Architecture, TaskKind)> = tasks
         .iter()
@@ -256,12 +448,35 @@ mod tests {
     #[test]
     fn every_scenario_emits_one_row_per_point() {
         let rows = run_configs(4, &[TaskKind::Select]);
-        // 3 architectures × (1 healthy + 6 fault scenarios).
-        assert_eq!(rows.len(), 3 * 7);
+        // 3 architectures × (1 healthy + 12 fault scenarios).
+        assert_eq!(rows.len(), 3 * 13);
         assert!(rows.iter().all(|r| r.seconds > 0.0 && r.slowdown > 0.0));
         // Media bursts and link faults degrade without killing anything.
         for r in rows.iter().filter(|r| r.scenario == "media-burst@25%") {
             assert!(r.slowdown >= 1.0, "{}: {}", r.arch, r.slowdown);
         }
+    }
+
+    #[test]
+    fn fork_path_matches_scratch_and_shares_the_prefix() {
+        let _guard = crate::CACHE_TOGGLE_LOCK.lock().unwrap();
+        // Unique config (2 disks, Aggregate) so this test's cache keys are
+        // cold regardless of what the other tests have populated.
+        let (rows, counts) = run_configs_counting(2, &[TaskKind::Aggregate]);
+        // The healthy prefix simulated exactly once per (arch, task)
+        // point — not once per scenario.
+        assert_eq!(counts.prefix_runs, 3, "one shared prefix per point");
+        assert_eq!(counts.forked_runs, 3 * 12, "one fork per scenario");
+        // Field-identical to actually simulating every scenario from
+        // t=0: the cache is disabled for the scratch pass so nothing is
+        // served from the entries the fork path inserted.
+        howsim::cache::set_enabled(false);
+        let scratch = run_configs_scratch(2, &[TaskKind::Aggregate]);
+        howsim::cache::set_enabled(true);
+        assert_eq!(rows, scratch);
+        // Re-running the fork path is all cache hits: no prefix re-run.
+        let (again, recounts) = run_configs_counting(2, &[TaskKind::Aggregate]);
+        assert_eq!(again, rows);
+        assert_eq!(recounts, RunCounts::default());
     }
 }

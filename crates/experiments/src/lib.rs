@@ -81,6 +81,12 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
     out
 }
 
+/// Serializes tests that toggle the global result cache (disabling it for
+/// a from-scratch differential pass) so they cannot race each other's
+/// cache-hit assertions.
+#[cfg(test)]
+pub(crate) static CACHE_TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;

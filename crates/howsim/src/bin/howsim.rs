@@ -7,6 +7,8 @@
 //! howsim --arch active --disks 256 --task sort --fibre-switch --trace trace.csv
 //! howsim explain --arch cluster --disks 64 --task join
 //! howsim profile --arch cluster --disks 64 --task join
+//! howsim checkpoint --arch cluster --disks 64 --task join --at 10s --out join.ckpt
+//! howsim --arch cluster --disks 64 --task join --resume-from join.ckpt
 //! howsim --arch cluster --disks 64 --task join --metrics-out run.json
 //! howsim --arch cluster --disks 64 --task join --trace-events trace.json
 //! ```
@@ -27,6 +29,13 @@
 //! skips even the in-process cache. Traced, instrumented, and profiled
 //! runs always simulate — only the plain report path is cached — and a
 //! cached report is byte-identical to a fresh one.
+//!
+//! The `checkpoint` subcommand pauses a single-task run at an event
+//! boundary (`--at <dur>`) and writes the full simulation state to
+//! `--out <file>`; `--resume-from <file>` finishes such a run from the
+//! saved boundary — under any `--queue` backend — producing a report
+//! field-identical to simulating from scratch. A corrupt, truncated, or
+//! mismatched checkpoint is a warning plus a scratch run, never a panic.
 //!
 //! `--load <spec>` switches to the loaded multi-query executor: many
 //! queries drawn from `--mix` interleave on one shared machine under
@@ -63,6 +72,10 @@ const PROFILE_TOP_K: usize = 10;
 struct Options {
     explain: bool,
     profile: bool,
+    checkpoint: bool,
+    at: Option<simcore::Duration>,
+    out: Option<String>,
+    resume_from: Option<String>,
     arch: String,
     disks: usize,
     task: TaskKind,
@@ -109,7 +122,7 @@ fn parse_queue(name: &str) -> Result<QueueBackend, String> {
 }
 
 fn usage() -> String {
-    "usage: howsim [explain|profile] --arch <active|cluster|smp> --disks <n> --task <name>\n\
+    "usage: howsim [explain|profile|checkpoint] --arch <active|cluster|smp> --disks <n> --task <name>\n\
      \x20      [--memory <MB>] [--interconnect <MB/s>] [--no-direct]\n\
      \x20      [--fibre-switch] [--fast-disk] [--jobs <n>] [--cache] [--no-cache]\n\
      \x20      [--seed <n>] [--fault <spec>]... [--recovery <failstop|redistribute|reconstruct>]\n\
@@ -119,10 +132,12 @@ fn usage() -> String {
      \x20      [--load <poisson:<qps>:<queries>[@seed] | closed:<clients>:<queries>[@seed]>]\n\
      \x20      [--mix <all | name,... | name:weight,...>] [--admission <concurrent>:<queue>]\n\
      \x20      [--deadline <none | dur | dur:<retries>:<backoff>>]\n\
+     \x20      [--resume-from <file.ckpt>]\n\
      tasks: select aggregate groupby dcube sort join dmine mview\n\
      fault specs: disk:<node>@<time>  slow:<node>@<time>:<defects>  link:<node>@<time>:<factor>\n\
      explain: print the per-resource utilization table and name the bottleneck\n\
-     profile: print the critical path, wait/service table, and longest spans"
+     profile: print the critical path, wait/service table, and longest spans\n\
+     checkpoint: pause at --at <dur> and write the state to --out <file.ckpt>"
         .to_string()
 }
 
@@ -137,6 +152,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         explain: false,
         profile: false,
+        checkpoint: false,
+        at: None,
+        out: None,
+        resume_from: None,
         arch: "active".to_string(),
         disks: 64,
         task: TaskKind::Select,
@@ -169,6 +188,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
         }
         Some("profile") => {
             opts.profile = true;
+            args = &args[1..];
+        }
+        Some("checkpoint") => {
+            opts.checkpoint = true;
             args = &args[1..];
         }
         _ => {}
@@ -232,6 +255,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.faults.push(spec);
             }
             "--queue" => opts.queue = parse_queue(&value("--queue")?)?,
+            "--at" => opts.at = Some(howsim::parse_duration(&value("--at")?)?),
+            "--out" => opts.out = Some(value("--out")?),
+            "--resume-from" => opts.resume_from = Some(value("--resume-from")?),
             "--load" => opts.load = Some(value("--load")?),
             "--mix" => opts.mix = value("--mix")?,
             "--admission" => opts.admission = AdmissionPolicy::parse_spec(&value("--admission")?)?,
@@ -248,6 +274,36 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if opts.disks == 0 {
         return Err("--disks must be positive".to_string());
+    }
+    let observed = opts.explain
+        || opts.profile
+        || opts.trace_path.is_some()
+        || opts.trace_out.is_some()
+        || opts.trace_events.is_some();
+    if opts.checkpoint {
+        if opts.at.is_none() || opts.out.is_none() {
+            return Err("checkpoint needs --at <dur> and --out <file>".to_string());
+        }
+        if observed
+            || opts.metrics_out.is_some()
+            || opts.load.is_some()
+            || opts.resume_from.is_some()
+        {
+            return Err(
+                "checkpoint applies to plain single-task runs (no observers, --load, or --resume-from)"
+                    .to_string(),
+            );
+        }
+    } else if opts.at.is_some() || opts.out.is_some() {
+        return Err("--at/--out apply to the checkpoint subcommand only".to_string());
+    }
+    if opts.resume_from.is_some() && (observed || opts.load.is_some()) {
+        return Err(
+            "--resume-from applies to plain single-task runs: checkpoints carry no span \
+             or trace state, so explain/profile/--trace*/--load cannot resume \
+             (--metrics-out works, minus the sampled time-series)"
+                .to_string(),
+        );
     }
     if let Some(load) = &opts.load {
         // Validate the workload spec eagerly so a typo fails before simulating.
@@ -582,16 +638,66 @@ fn main() -> ExitCode {
         return run_loaded(&opts, &sim, &fault_plan);
     }
     let plan = tasks::plan_task(opts.task, &arch);
+    if opts.checkpoint {
+        let at = simcore::SimTime::ZERO + opts.at.expect("validated during parse");
+        let mut run = sim.start(&plan);
+        run.run_until(at);
+        let path = opts.out.as_deref().expect("validated during parse");
+        return match howsim::checkpoint::write_file(
+            std::path::Path::new(path),
+            &sim,
+            &plan,
+            at,
+            &run,
+        ) {
+            Ok(()) => {
+                eprintln!(
+                    "checkpointed {} on {} x{} at {:.3} s ({} events) to {path}",
+                    opts.task.name(),
+                    opts.arch,
+                    opts.disks,
+                    at.as_secs_f64(),
+                    run.events_so_far(),
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to write checkpoint {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let want_trace = opts.trace_path.is_some() || opts.trace_out.is_some();
     // `explain` needs the critical path, so it profiles too.
     let want_profile = opts.profile || opts.explain || opts.trace_events.is_some();
     let mut trace = want_trace.then(Trace::new);
-    let mut metrics = opts.metrics_out.is_some().then(MetricsBuilder::new);
+    // A resumed run cannot re-sample the utilization series it skipped,
+    // so its manifest carries everything but the metrics section.
+    let mut metrics =
+        (opts.metrics_out.is_some() && opts.resume_from.is_none()).then(MetricsBuilder::new);
     let started = std::time::Instant::now();
     // Traced/instrumented/profiled runs must actually execute to produce
     // their event streams; only the plain report path is cacheable.
     let (report, span_trace) = if want_trace || metrics.is_some() || want_profile {
         sim.run_plan_observed(&plan, trace.as_mut(), metrics.as_mut(), want_profile)
+    } else if let Some(path) = &opts.resume_from {
+        match howsim::checkpoint::read_file(std::path::Path::new(path), &sim, &plan) {
+            Some(run) => {
+                eprintln!(
+                    "resumed from checkpoint {path} at {:.3} s ({} events already simulated)",
+                    run.paused_at().as_secs_f64(),
+                    run.events_so_far(),
+                );
+                (run.finish(), None)
+            }
+            None => {
+                eprintln!(
+                    "checkpoint {path} is unusable (missing, corrupt, or a different \
+                     configuration); simulating from scratch"
+                );
+                (howsim::cache::run_sim(&sim, &plan), None)
+            }
+        }
     } else {
         (howsim::cache::run_sim(&sim, &plan), None)
     };
@@ -861,6 +967,42 @@ mod tests {
             "--load closed:1:1 --metrics-out m.json --trace-events t.json"
         ))
         .is_ok());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags_parse() {
+        let o = parse(&argv(
+            "checkpoint --arch cluster --disks 8 --task join --at 2.5s --out j.ckpt",
+        ))
+        .unwrap();
+        assert!(o.checkpoint);
+        assert_eq!(o.at, Some(simcore::Duration::from_secs_f64(2.5)));
+        assert_eq!(o.out.as_deref(), Some("j.ckpt"));
+
+        let o = parse(&argv("--task join --resume-from j.ckpt")).unwrap();
+        assert_eq!(o.resume_from.as_deref(), Some("j.ckpt"));
+        assert!(!o.checkpoint);
+
+        // checkpoint needs both --at and --out, and a plain run.
+        assert!(parse(&argv("checkpoint --task join --out j.ckpt")).is_err());
+        assert!(parse(&argv("checkpoint --task join --at 1s")).is_err());
+        assert!(parse(&argv("checkpoint --at 1s --out j.ckpt --load closed:1:1")).is_err());
+        assert!(parse(&argv(
+            "checkpoint --at 1s --out j.ckpt --metrics-out m.json"
+        ))
+        .is_err());
+        // --at/--out are checkpoint-only; resume rejects observers.
+        assert!(parse(&argv("--at 1s")).is_err());
+        assert!(parse(&argv("--out j.ckpt")).is_err());
+        assert!(parse(&argv("profile --resume-from j.ckpt")).is_err());
+        assert!(parse(&argv("explain --resume-from j.ckpt")).is_err());
+        assert!(parse(&argv("--resume-from j.ckpt --trace t.csv")).is_err());
+        assert!(parse(&argv("--resume-from j.ckpt --load closed:1:1")).is_err());
+        // The manifest (minus the sampled series) still works on resume.
+        assert!(parse(&argv("--resume-from j.ckpt --metrics-out m.json")).is_ok());
+        assert!(parse(&argv("--at nonsense --out j.ckpt")).is_err());
+        // Resuming under a different queue backend is allowed.
+        assert!(parse(&argv("--resume-from j.ckpt --queue heap")).is_ok());
     }
 
     #[test]

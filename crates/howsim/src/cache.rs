@@ -34,9 +34,11 @@ use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
 use arch::Architecture;
+use simcore::SimTime;
 use tasks::{plan_task, TaskKind, TaskPlan};
 
-use crate::exec::Simulation;
+use crate::checkpoint;
+use crate::exec::{ExecRun, Simulation};
 use crate::faults::{FaultPlan, RecoveryPolicy};
 use crate::manifest::{
     fnv1a64, load_report_from_cache, load_report_to_cache, report_from_cache, report_to_cache,
@@ -265,6 +267,26 @@ fn sim_key(sim: &Simulation, plan: &TaskPlan) -> String {
     )
 }
 
+/// Looks up one configured simulation's report without simulating on a
+/// miss. The availability fork path uses this to serve cached fault
+/// scenarios before paying for a shared prefix re-run; pairing it with
+/// [`insert_sim`] keeps cache-on and cache-off outputs byte-identical.
+pub fn probe_sim(sim: &Simulation, plan: &TaskPlan) -> Option<Report> {
+    if !enabled() {
+        return None;
+    }
+    probe(&sim_key(sim, plan))
+}
+
+/// Records an externally computed report (e.g. a forked continuation's)
+/// under the same key [`run_sim`] would use.
+pub fn insert_sim(sim: &Simulation, plan: &TaskPlan, report: &Report) {
+    if !enabled() {
+        return;
+    }
+    insert(&sim_key(sim, plan), report.clone());
+}
+
 /// Runs `plan` on a configured [`Simulation`] through the cache (the
 /// degraded-disk set, seed, fault plan, and recovery policy all
 /// participate in the key).
@@ -452,6 +474,136 @@ fn insert_load(key: &str, report: LoadReport) {
     };
     if let Some(dir) = disk {
         let _ = disk_store_load(&dir, hash, key, &report);
+    }
+}
+
+/// Looks up a cached [`LoadReport`] for one load scenario without
+/// simulating on a miss. The warm-start load sweep uses this to serve
+/// hits before forking misses off a shared warm prefix; pairing it with
+/// [`insert_workload`] keeps cache-on and cache-off outputs
+/// byte-identical.
+pub fn probe_workload(
+    sim: &Simulation,
+    workload: &WorkloadSpec,
+    admission: AdmissionPolicy,
+    deadline: DeadlinePolicy,
+) -> Option<LoadReport> {
+    if !enabled() {
+        return None;
+    }
+    probe_load(&load_key_material(sim, workload, admission, deadline))
+}
+
+/// Records an externally computed [`LoadReport`] (e.g. a warm-start
+/// continuation's) under the same key [`run_workload`] would use.
+pub fn insert_workload(
+    sim: &Simulation,
+    workload: &WorkloadSpec,
+    admission: AdmissionPolicy,
+    deadline: DeadlinePolicy,
+    report: &LoadReport,
+) {
+    if !enabled() {
+        return;
+    }
+    let key = load_key_material(sim, workload, admission, deadline);
+    insert_load(&key, report.clone());
+}
+
+/// The cache key for a warm-start composite run (a warmup segment run
+/// to idle, then `measured` grafted on via [`crate::WarmStart::extend`]):
+/// the measured-load key plus the warmup spec, so a composite run can
+/// never alias a plain [`run_workload`] entry or a composite with a
+/// different ramp-up.
+pub fn warm_key_material(
+    sim: &Simulation,
+    warmup: &WorkloadSpec,
+    measured: &WorkloadSpec,
+    admission: AdmissionPolicy,
+    deadline: DeadlinePolicy,
+) -> String {
+    format!(
+        "{} | warmup={}",
+        load_key_material(sim, measured, admission, deadline),
+        warmup.summary(),
+    )
+}
+
+/// Looks up a cached warm-start composite report (see
+/// [`warm_key_material`]) without simulating on a miss.
+pub fn probe_warm_workload(
+    sim: &Simulation,
+    warmup: &WorkloadSpec,
+    measured: &WorkloadSpec,
+    admission: AdmissionPolicy,
+    deadline: DeadlinePolicy,
+) -> Option<LoadReport> {
+    if !enabled() {
+        return None;
+    }
+    probe_load(&warm_key_material(
+        sim, warmup, measured, admission, deadline,
+    ))
+}
+
+/// Records a warm-start composite report under its composite key.
+pub fn insert_warm_workload(
+    sim: &Simulation,
+    warmup: &WorkloadSpec,
+    measured: &WorkloadSpec,
+    admission: AdmissionPolicy,
+    deadline: DeadlinePolicy,
+    report: &LoadReport,
+) {
+    if !enabled() {
+        return;
+    }
+    let key = warm_key_material(sim, warmup, measured, admission, deadline);
+    insert_load(&key, report.clone());
+}
+
+/// Stores a paused run in the `.ckpt` tier of the configured on-disk
+/// cache directory (a no-op returning `None` when the cache is off or
+/// memory-only — checkpoints have no in-memory tier because they borrow
+/// their plan). Returns the entry path on success.
+pub fn store_checkpoint(
+    sim: &Simulation,
+    plan: &TaskPlan,
+    at: SimTime,
+    run: &ExecRun<'_>,
+) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let dir = disk_dir()?;
+    // Best effort, like `disk_store`: an unwritable directory degrades
+    // to re-simulating the prefix rather than failing the run.
+    checkpoint::store(&dir, sim, plan, at, run).ok()
+}
+
+/// Looks up the `.ckpt` tier for a run paused at `at` and rebuilds it
+/// under `sim`'s queue backend. Counts a disk hit or a miss; corrupt or
+/// mismatched entries are clean misses.
+pub fn probe_checkpoint<'p>(
+    sim: &Simulation,
+    plan: &'p TaskPlan,
+    at: SimTime,
+) -> Option<ExecRun<'p>> {
+    if !enabled() {
+        return None;
+    }
+    let dir = disk_dir()?;
+    match checkpoint::probe(&dir, sim, plan, at) {
+        Some(run) => {
+            let mut st = lock();
+            st.stats.hits += 1;
+            st.stats.disk_hits += 1;
+            Some(run)
+        }
+        None => {
+            lock().stats.misses += 1;
+            None
+        }
     }
 }
 
@@ -854,6 +1006,59 @@ mod tests {
         assert_eq!((s.hits, s.misses), (1, 2), "duplicate served from batch");
         let again = run_workloads(&points);
         assert_eq!(again, reports);
+    }
+
+    #[test]
+    fn checkpoint_tier_stores_and_resumes_paused_runs() {
+        let _guard = fresh_cache();
+        let dir = std::env::temp_dir().join(format!("howsim-ckpt-tier-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let arch = Architecture::active_disks(4);
+        let plan = plan_task(TaskKind::Select, &arch);
+        let sim = Simulation::new(arch).with_seed(5);
+        let scratch = sim.run_plan(&plan);
+        let at = simcore::SimTime::ZERO
+            + simcore::Duration::from_nanos(scratch.elapsed().as_nanos() / 2);
+        let mut run = sim.start(&plan);
+        run.run_until(at);
+
+        // Memory-only cache has no checkpoint tier: store is a no-op.
+        assert!(store_checkpoint(&sim, &plan, at, &run).is_none());
+        assert!(probe_checkpoint(&sim, &plan, at).is_none());
+        assert_eq!(stats(), CacheStats::default());
+
+        set_disk_dir(Some(dir.clone()));
+        let path = store_checkpoint(&sim, &plan, at, &run).expect("ckpt stored");
+        assert!(path.to_string_lossy().ends_with(".ckpt"));
+        // A different backend resumes the entry to the scratch report.
+        let resumer = sim
+            .clone()
+            .with_queue_backend(simcore::QueueBackend::BinaryHeap);
+        let restored = probe_checkpoint(&resumer, &plan, at).expect("ckpt hit");
+        assert_eq!(restored.finish(), scratch);
+        let s = stats();
+        assert_eq!((s.hits, s.disk_hits, s.misses), (1, 1, 0));
+        // A different pause boundary is a miss.
+        assert!(probe_checkpoint(&sim, &plan, at + simcore::Duration::from_nanos(1)).is_none());
+        assert_eq!(stats().misses, 1);
+
+        set_disk_dir(None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn workload_probe_and_insert_pair_with_run_workload() {
+        let _guard = fresh_cache();
+        let sim = Simulation::new(Architecture::active_disks(2));
+        let w = WorkloadSpec::closed(1, 2).with_mix(vec![(TaskKind::Select, 1)]);
+        let adm = AdmissionPolicy::default();
+        let dl = DeadlinePolicy::default();
+        assert!(probe_workload(&sim, &w, adm, dl).is_none());
+        let fresh = sim.run_workload(&w, adm, dl);
+        insert_workload(&sim, &w, adm, dl, &fresh);
+        // run_workload now serves the externally inserted report.
+        assert_eq!(run_workload(&sim, &w, adm, dl), fresh);
+        assert_eq!(stats().hits, 1);
     }
 
     #[test]

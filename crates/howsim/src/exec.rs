@@ -4,7 +4,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use arch::Architecture;
 use simcore::span::{SpanArena, SpanId, SpanKind, FRONT_END_NODE};
-use simcore::{Duration, EventQueue, QueueBackend, SimTime, SplitMix64};
+use simcore::state::{StateError, StateReader, StateWriter};
+use simcore::{Duration, EventQueue, QueueBackend, QueueSnapshot, SimTime, SplitMix64};
 use tasks::plan::{CpuWork, PhasePlan, TaskPlan};
 use tasks::{plan_task, TaskKind};
 
@@ -55,7 +56,7 @@ pub struct Simulation {
 /// ([`crate::mqexec`]) interleaves many lanes on one queue. Payload
 /// fields never affect the `(time, seq)` pop order, so threading the
 /// query id leaves single-query reports byte-identical.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum Ev {
     /// A batch finished reading from disk at a node.
     BatchRead {
@@ -154,6 +155,7 @@ impl EvQ<'_> {
 /// last-ending span of the current phase (the critical-path anchor).
 /// The multi-query executor swaps `last`/`last_end` per query around
 /// each event so every query keeps its own anchor chain.
+#[derive(Clone)]
 pub(crate) struct SpanRt {
     pub(crate) arena: SpanArena,
     /// Last-ending retained span of the current phase; later records at
@@ -244,6 +246,7 @@ pub(crate) fn shard_of_ev(ev: &Ev) -> usize {
 /// these precomputed durations and only falls back to the float math for
 /// odd-sized tail batches. The cached values are produced by the *same*
 /// expressions as the fallback path, so results are bit-identical.
+#[derive(Clone)]
 pub(crate) struct PhaseCosts {
     /// OS issue+complete+dispatch per batch, already scaled by CPU perf.
     os_batch: Duration,
@@ -365,6 +368,7 @@ impl NodeState {
 /// fault schedule and machine effects, plus one empty-schedule `FaultRt`
 /// per query carrying that query's recovery bookkeeping (pool, detection
 /// view, round-robin cursor).
+#[derive(Clone)]
 pub(crate) struct FaultRt {
     /// Scheduled faults in chronological order (absolute offsets).
     pub(crate) events: Vec<FaultEvent>,
@@ -687,7 +691,32 @@ impl Simulation {
     ///
     /// Panics if the plan fails validation.
     pub fn run_plan(&self, plan: &TaskPlan) -> Report {
-        self.run_plan_inner(plan, None, None, None)
+        self.run_plan_core(plan, None, None, false).0
+    }
+
+    /// Starts a pausable, forkable run of `plan` (see [`ExecRun`]): the
+    /// copy-on-fork entry point. The run advances only when driven via
+    /// [`ExecRun::run_until`] / [`ExecRun::finish`]; a run driven
+    /// straight to completion produces a report bit-identical to
+    /// [`Simulation::run_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails validation.
+    pub fn start<'p>(&self, plan: &'p TaskPlan) -> ExecRun<'p> {
+        ExecRun::start_inner(self, plan, false)
+    }
+
+    /// Starts a pausable run with causal span profiling enabled; finish
+    /// it with [`ExecRun::finish_profiled`]. Forks carry the prefix's
+    /// span arena, so a forked continuation's critical path is identical
+    /// to a from-scratch profiled run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails validation.
+    pub fn start_profiled<'p>(&self, plan: &'p TaskPlan) -> ExecRun<'p> {
+        ExecRun::start_inner(self, plan, true)
     }
 
     /// Plans and runs a task with causal span profiling enabled.
@@ -706,15 +735,8 @@ impl Simulation {
     ///
     /// Panics if the plan fails validation.
     pub fn run_plan_profiled(&self, plan: &TaskPlan) -> (Report, SpanTrace) {
-        let mut rt = SpanRt::new();
-        let report = self.run_plan_inner(plan, None, None, Some(&mut rt));
-        (
-            report,
-            SpanTrace {
-                arena: rt.arena,
-                phases: rt.phases,
-            },
-        )
+        let (report, spans) = self.run_plan_core(plan, None, None, true);
+        (report, spans.expect("profiled run returns a span trace"))
     }
 
     /// Plans and runs a task with event tracing enabled.
@@ -730,7 +752,7 @@ impl Simulation {
     /// Panics if the plan fails validation.
     pub fn run_plan_traced(&self, plan: &TaskPlan) -> (Report, Trace) {
         let mut trace = Trace::new();
-        let report = self.run_plan_inner(plan, Some(&mut trace), None, None);
+        let report = self.run_plan_core(plan, Some(&mut trace), None, false).0;
         (report, trace)
     }
 
@@ -749,7 +771,7 @@ impl Simulation {
     /// Panics if the plan fails validation.
     pub fn run_plan_with_metrics(&self, plan: &TaskPlan) -> (Report, RunMetrics) {
         let mut metrics = MetricsBuilder::new();
-        let report = self.run_plan_inner(plan, None, Some(&mut metrics), None);
+        let report = self.run_plan_core(plan, None, Some(&mut metrics), false).0;
         let events = report.events;
         (report, metrics.finish(events))
     }
@@ -766,7 +788,7 @@ impl Simulation {
         trace: Option<&mut Trace>,
         metrics: Option<&mut MetricsBuilder>,
     ) -> Report {
-        self.run_plan_inner(plan, trace, metrics, None)
+        self.run_plan_core(plan, trace, metrics, false).0
     }
 
     /// Runs a plan with any combination of event tracing, metrics
@@ -784,113 +806,22 @@ impl Simulation {
         metrics: Option<&mut MetricsBuilder>,
         profiled: bool,
     ) -> (Report, Option<SpanTrace>) {
-        if profiled {
-            let mut rt = SpanRt::new();
-            let report = self.run_plan_inner(plan, trace, metrics, Some(&mut rt));
-            (
-                report,
-                Some(SpanTrace {
-                    arena: rt.arena,
-                    phases: rt.phases,
-                }),
-            )
-        } else {
-            (self.run_plan_inner(plan, trace, metrics, None), None)
-        }
+        self.run_plan_core(plan, trace, metrics, profiled)
     }
 
-    fn run_plan_inner(
+    /// All non-pausable run entry points funnel here: drive an
+    /// [`ExecRun`] straight to completion. From-scratch runs and forked
+    /// continuations therefore share one event loop by construction.
+    fn run_plan_core(
         &self,
         plan: &TaskPlan,
         mut trace: Option<&mut Trace>,
         mut metrics: Option<&mut MetricsBuilder>,
-        mut spans: Option<&mut SpanRt>,
-    ) -> Report {
-        plan.validate().expect("invalid task plan");
-        let mut machine = Machine::new(&self.arch);
-        for &(node, count) in &self.degraded {
-            machine.degrade_disk(node, count);
-        }
-        let mut fr = FaultRt::new(&self.faults, self.recovery, self.seed, machine.nodes());
-        let mut phases = Vec::with_capacity(plan.phases.len());
-        let mut clock = SimTime::ZERO;
-        let mut events = 0u64;
-        let mut aborted = false;
-        for (phase_ix, phase) in plan.phases.iter().enumerate() {
-            let region = usize::from(phase.reads_intermediate);
-            machine.begin_phase(region);
-            if let Some(rt) = spans.as_deref_mut() {
-                rt.last = SpanId::NONE;
-                rt.last_end = clock;
-            }
-            let before = PhaseSnapshot::take(&machine);
-            let (end, phase_events, phase_aborted) = run_phase(
-                &mut machine,
-                phase,
-                clock,
-                region,
-                phase_ix,
-                self.queue_backend,
-                &mut fr,
-                trace.as_deref_mut(),
-                metrics.as_deref_mut(),
-                spans.as_deref_mut(),
-            );
-            events += phase_events;
-            let after = PhaseSnapshot::take(&machine);
-            // Every phase boundary is a global barrier (no node starts
-            // the next phase before all have finished this one). An
-            // aborted phase ends at the abort clock: there is no barrier
-            // because there is no next phase.
-            let pre_barrier = end;
-            let end = if phase_aborted {
-                end
-            } else {
-                end + machine.barrier_costs().barrier(machine.nodes())
-            };
-            if let Some(rt) = spans.as_deref_mut() {
-                if !phase_aborted {
-                    // The barrier span chains onto the phase's last span
-                    // (which ends exactly at `pre_barrier` on healthy
-                    // runs), making it the critical-path anchor.
-                    let parent = rt.last;
-                    rt.record(
-                        parent,
-                        BARRIER_RESOURCE,
-                        SpanKind::Barrier,
-                        FRONT_END_NODE,
-                        pre_barrier,
-                        end,
-                        0,
-                    );
-                }
-                rt.phases.push(PhaseSpans {
-                    name: phase.name,
-                    start: clock,
-                    end,
-                    anchor: rt.last,
-                });
-            }
-            phases.push(before.delta(&after, phase.name, end.since(clock), machine.nodes()));
-            clock = end;
-            if phase_aborted {
-                aborted = true;
-                break;
-            }
-        }
-        Report {
-            task: plan.task,
-            architecture: self.arch.short_name(),
-            disks: machine.nodes(),
-            phases,
-            disk_service: machine.disk_service_histogram(),
-            events,
-            faults_injected: fr.injected,
-            recovery_time: machine.recovery_busy(),
-            work_redistributed: machine.work_redistributed(),
-            aborted,
-            downtime: machine.disk_downtime(clock),
-        }
+        profiled: bool,
+    ) -> (Report, Option<SpanTrace>) {
+        let mut run = ExecRun::start_inner(self, plan, profiled);
+        run.step(None, &mut trace, &mut metrics);
+        run.into_parts()
     }
 }
 
@@ -915,6 +846,7 @@ fn record(
 }
 
 /// Snapshot of cumulative machine counters, for per-phase deltas.
+#[derive(Clone)]
 struct PhaseSnapshot {
     cpu_by_tag: BTreeMap<&'static str, Duration>,
     cpu_total: Duration,
@@ -1127,155 +1059,1030 @@ pub(crate) fn init_phase_nodes(
     (nodes, None)
 }
 
-/// Runs one phase; returns its completion time, the number of discrete
-/// events processed, and whether the run aborted (fail-stop policy).
-#[allow(clippy::too_many_arguments)]
-fn run_phase(
-    m: &mut Machine,
-    phase: &PhasePlan,
-    start: SimTime,
-    region: usize,
+/// Mid-phase executor state of a paused [`ExecRun`]: the live event
+/// queue, per-node progress, and the phase-start counter snapshot.
+#[derive(Clone)]
+struct PhaseRun {
+    /// Precomputed per-batch costs — a pure function of the machine
+    /// configuration and the phase plan, recomputed (never serialized)
+    /// on checkpoint restore.
+    costs: PhaseCosts,
+    q: EventQueue<Ev>,
+    /// An event popped but not yet processed: `run_until` pauses
+    /// *before* processing the first event at or past the limit, and
+    /// the event (already sequenced by its pop) waits here so every
+    /// continuation replays the exact pop order.
+    pending: Option<(SimTime, Ev)>,
+    nodes: Vec<NodeState>,
+    horizon: SimTime,
+    before: PhaseSnapshot,
+}
+
+/// How one phase's event loop ended.
+enum EventsOutcome {
+    /// The time limit struck; the run is paused at an event boundary.
+    Paused,
+    /// The phase completed (queue drained, or the run aborted) at `end`.
+    PhaseDone { end: SimTime, aborted: bool },
+}
+
+/// How starting a phase went.
+enum PhaseStart {
+    /// The phase is live; the mid-phase state is installed.
+    Running,
+    /// The phase ended before its first event (fault abort at or before
+    /// the phase barrier).
+    Aborted { before: PhaseSnapshot, end: SimTime },
+}
+
+/// A pausable, forkable, serializable execution of one plan on one
+/// [`Simulation`]: the copy-on-fork checkpointing engine. Create one
+/// with [`Simulation::start`], advance it with [`run_until`]
+/// (processing every event strictly before the limit), branch what-if
+/// continuations with [`fork`] / [`fork_with_faults`] — each fork
+/// shares the simulated prefix instead of re-running it — and complete
+/// any branch with [`finish`]. Reports from forked continuations are
+/// field-identical to from-scratch runs: both paths drive this same
+/// stepper.
+///
+/// [`run_until`]: ExecRun::run_until
+/// [`fork`]: ExecRun::fork
+/// [`fork_with_faults`]: ExecRun::fork_with_faults
+/// [`finish`]: ExecRun::finish
+///
+/// # Example
+///
+/// ```
+/// use arch::Architecture;
+/// use howsim::Simulation;
+/// use simcore::SimTime;
+/// use tasks::{plan_task, TaskKind};
+///
+/// let sim = Simulation::new(Architecture::active_disks(4));
+/// let plan = plan_task(TaskKind::Select, sim.architecture());
+/// let scratch = sim.run_plan(&plan);
+///
+/// // Pause after the first simulated millisecond, fork, finish both.
+/// let mut prefix = sim.start(&plan);
+/// prefix.run_until(SimTime::from_nanos(1_000_000));
+/// let forked = prefix.fork().finish();
+/// assert_eq!(forked, scratch);
+/// assert_eq!(prefix.finish(), scratch);
+/// ```
+#[derive(Clone)]
+pub struct ExecRun<'p> {
+    sim: Simulation,
+    plan: &'p TaskPlan,
+    machine: Machine,
+    fr: FaultRt,
+    phases: Vec<PhaseReport>,
+    clock: SimTime,
+    events: u64,
+    aborted: bool,
     phase_ix: usize,
-    queue_backend: QueueBackend,
-    fr: &mut FaultRt,
-    mut trace: Option<&mut Trace>,
-    mut metrics: Option<&mut MetricsBuilder>,
-    mut spans: Option<&mut SpanRt>,
-) -> (SimTime, u64, bool) {
-    let n = m.nodes();
-    // Faults due at or before the barrier strike before any work starts.
-    if fr.pending() {
-        fr.apply_phase_start(m, start);
-    }
-    if let Some(abort) = fr.abort_at {
-        if abort <= start || m.failed_count() == n {
-            return (abort.max(start), 0, true);
+    cur: Option<PhaseRun>,
+    done: bool,
+    spans: Option<SpanRt>,
+}
+
+impl<'p> ExecRun<'p> {
+    fn start_inner(sim: &Simulation, plan: &'p TaskPlan, profiled: bool) -> Self {
+        plan.validate().expect("invalid task plan");
+        let mut machine = Machine::new(&sim.arch);
+        for &(node, count) in &sim.degraded {
+            machine.degrade_disk(node, count);
+        }
+        let fr = FaultRt::new(&sim.faults, sim.recovery, sim.seed, machine.nodes());
+        ExecRun {
+            sim: sim.clone(),
+            plan,
+            machine,
+            fr,
+            phases: Vec::with_capacity(plan.phases.len()),
+            clock: SimTime::ZERO,
+            events: 0,
+            aborted: false,
+            phase_ix: 0,
+            cur: None,
+            done: false,
+            spans: if profiled { Some(SpanRt::new()) } else { None },
         }
     }
-    if m.failed_count() == n {
-        return (start, 0, true);
-    }
-    // Disk-group separation (SMP, NOW-sort style) only pays off when the
-    // write stream is substantial.
-    let phase_writes = phase_writes(phase);
-    let costs = PhaseCosts::new(m, phase);
 
-    let window = m.window() as u64;
-    // Steady state holds `window` in-flight reads per node plus the
-    // messages they fan out into; pre-size the queue to that depth.
-    let mut q: EventQueue<Ev> =
-        EventQueue::with_backend_capacity(queue_backend, n * (window as usize + 4));
-    q.set_shard_fn(shard_of_ev);
-    q.set_lookahead(m.lookahead_bound());
-    let mut horizon = start;
-    let (mut nodes, init_abort) = init_phase_nodes(m, phase, fr, start);
-    if let Some(abort) = init_abort {
-        return (abort, 0, true);
+    /// Advances the run until the simulation clock reaches `t`:
+    /// processes every event firing strictly before `t` and every phase
+    /// boundary falling before `t`, then pauses at an exact event
+    /// boundary. Pausing and resuming never changes the final report.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.step(Some(t), &mut None, &mut None);
     }
 
-    // Prime each node's pipeline: the phase fan-out schedules every
-    // node's full read window in one batched push (same event order as
-    // pushing one by one, so sequence numbers — and reports — are
-    // unchanged).
-    let mut primed: Vec<(SimTime, Ev)> = Vec::with_capacity(n * window as usize);
-    for node in 0..n {
-        let to_issue = window.min(nodes[node].batches_total);
-        for _ in 0..to_issue {
-            if let Some(ev) = prepare_read(
-                m,
-                &mut nodes,
-                node,
-                start,
-                region,
-                phase_writes,
-                fr.policy,
-                &mut spans,
-                SpanId::NONE,
-                0,
-            ) {
-                primed.push(ev);
+    /// Whether the run has completed (its report is final).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The simulation clock at the current pause point: the stashed
+    /// event's pop time when paused mid-phase (everything strictly
+    /// before it is simulated), else the last phase boundary.
+    pub fn paused_at(&self) -> SimTime {
+        match &self.cur {
+            Some(cur) => match &cur.pending {
+                Some((t, _)) => *t,
+                None => cur.horizon.max(self.clock),
+            },
+            None => self.clock,
+        }
+    }
+
+    /// Events processed so far (the report's `events` once done),
+    /// including the in-flight phase.
+    pub fn events_so_far(&self) -> u64 {
+        self.events + self.cur.as_ref().map_or(0, |c| c.q.popped())
+    }
+
+    /// Forks the run at the current pause point: an independent
+    /// continuation sharing the already-simulated prefix.
+    #[must_use]
+    pub fn fork(&self) -> ExecRun<'p> {
+        self.clone()
+    }
+
+    /// Forks the run and swaps in a fresh fault schedule and recovery
+    /// policy for the continuation: the fork-at-fault-time primitive.
+    /// The healthy prefix is simulated once; each fault scenario replays
+    /// only its suffix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix already consumed fault state (a fault was
+    /// applied or the schedule cursor moved) — a continuation under a
+    /// different schedule would then diverge from a from-scratch run.
+    #[must_use]
+    pub fn fork_with_faults(&self, faults: FaultPlan, recovery: RecoveryPolicy) -> ExecRun<'p> {
+        assert!(
+            self.fr.injected == 0 && self.fr.next == 0,
+            "cannot swap fault plans: the prefix already consumed fault state"
+        );
+        debug_assert!(self.fr.pool.is_empty() && self.fr.abort_at.is_none());
+        let mut run = self.clone();
+        run.fr = FaultRt::new(&faults, recovery, run.sim.seed, run.machine.nodes());
+        run.sim.faults = faults;
+        run.sim.recovery = recovery;
+        run
+    }
+
+    /// Runs to completion and returns the report — field-identical to
+    /// [`Simulation::run_plan`] on the same configuration.
+    pub fn finish(mut self) -> Report {
+        self.step(None, &mut None, &mut None);
+        self.into_parts().0
+    }
+
+    /// Runs to completion and returns the report plus the span trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not started with profiling
+    /// ([`Simulation::start_profiled`]).
+    pub fn finish_profiled(mut self) -> (Report, SpanTrace) {
+        self.step(None, &mut None, &mut None);
+        let (report, spans) = self.into_parts();
+        (report, spans.expect("run was started without profiling"))
+    }
+
+    /// The single event loop shared by from-scratch runs, paused runs,
+    /// and forked continuations. `limit = None` runs to completion.
+    fn step(
+        &mut self,
+        limit: Option<SimTime>,
+        trace: &mut Option<&mut Trace>,
+        metrics: &mut Option<&mut MetricsBuilder>,
+    ) {
+        while !self.done {
+            if self.cur.is_none() {
+                if self.phase_ix >= self.plan.phases.len() {
+                    self.done = true;
+                    break;
+                }
+                // Pause before starting a phase whose barrier-start
+                // clock has reached the limit.
+                if limit.is_some_and(|l| self.clock >= l) {
+                    return;
+                }
+                if let PhaseStart::Aborted { before, end } = self.start_phase() {
+                    self.finish_phase(before, end, 0, true);
+                    continue;
+                }
+            }
+            match self.run_events(limit, trace, metrics) {
+                EventsOutcome::Paused => return,
+                EventsOutcome::PhaseDone { end, aborted } => {
+                    let cur = self.cur.take().expect("phase state present");
+                    self.finish_phase(cur.before, end, cur.q.popped(), aborted);
+                }
             }
         }
     }
-    q.push_many(primed);
 
-    while let Some((now, ev)) = q.pop() {
-        horizon = horizon.max(now);
-        // Faults-off cost: one bounds check per event.
+    /// Opens the phase at `phase_ix`: applies barrier-due faults, builds
+    /// the queue and per-node state, and primes every read pipeline.
+    fn start_phase(&mut self) -> PhaseStart {
+        let plan = self.plan;
+        let phase = &plan.phases[self.phase_ix];
+        let start = self.clock;
+        let region = phase_region(phase);
+        self.machine.begin_phase(region);
+        if let Some(rt) = self.spans.as_mut() {
+            rt.last = SpanId::NONE;
+            rt.last_end = start;
+        }
+        let before = PhaseSnapshot::take(&self.machine);
+        let m = &mut self.machine;
+        let fr = &mut self.fr;
+        let n = m.nodes();
+        // Faults due at or before the barrier strike before any work starts.
         if fr.pending() {
-            fr.apply_due(m, &mut q, &mut nodes, now);
+            fr.apply_phase_start(m, start);
         }
         if let Some(abort) = fr.abort_at {
-            if now >= abort {
-                return (abort, q.popped(), true);
+            if abort <= start || m.failed_count() == n {
+                return PhaseStart::Aborted {
+                    before,
+                    end: abort.max(start),
+                };
             }
         }
-        // Metrics-off cost: one `Option` discriminant check per event.
-        if let Some(mb) = metrics.as_deref_mut() {
-            if mb.due(now) {
-                mb.sample(now, &m.resource_usage(), q.len());
+        if m.failed_count() == n {
+            return PhaseStart::Aborted { before, end: start };
+        }
+        // Disk-group separation (SMP, NOW-sort style) only pays off when
+        // the write stream is substantial.
+        let phase_writes = phase_writes(phase);
+        let costs = PhaseCosts::new(m, phase);
+
+        let window = m.window() as u64;
+        // Steady state holds `window` in-flight reads per node plus the
+        // messages they fan out into; pre-size the queue to that depth.
+        let mut q: EventQueue<Ev> =
+            EventQueue::with_backend_capacity(self.sim.queue_backend, n * (window as usize + 4));
+        q.set_shard_fn(shard_of_ev);
+        q.set_lookahead(m.lookahead_bound());
+        let (mut nodes, init_abort) = init_phase_nodes(m, phase, fr, start);
+        if let Some(abort) = init_abort {
+            return PhaseStart::Aborted { before, end: abort };
+        }
+
+        // Prime each node's pipeline: the phase fan-out schedules every
+        // node's full read window in one batched push (same event order
+        // as pushing one by one, so sequence numbers — and reports — are
+        // unchanged).
+        let mut spans = self.spans.as_mut();
+        let mut primed: Vec<(SimTime, Ev)> = Vec::with_capacity(n * window as usize);
+        for node in 0..n {
+            let to_issue = window.min(nodes[node].batches_total);
+            for _ in 0..to_issue {
+                if let Some(ev) = prepare_read(
+                    m,
+                    &mut nodes,
+                    node,
+                    start,
+                    region,
+                    phase_writes,
+                    fr.policy,
+                    &mut spans,
+                    SpanId::NONE,
+                    0,
+                ) {
+                    primed.push(ev);
+                }
             }
         }
-        handle_ev(
-            m,
-            &mut EvQ {
-                q: &mut q,
-                counts: None,
-            },
-            &mut PhaseCtx {
-                phase,
-                costs: &costs,
-                nodes: &mut nodes,
-                horizon: &mut horizon,
-                region,
-                phase_writes,
-                phase_ix,
-                window,
-                qid: 0,
-            },
-            fr,
-            &mut trace,
-            &mut spans,
-            now,
-            ev,
-        );
+        q.push_many(primed);
+        self.cur = Some(PhaseRun {
+            costs,
+            q,
+            pending: None,
+            nodes,
+            horizon: start,
+            before,
+        });
+        PhaseStart::Running
     }
 
-    // Fail-stop policy with the abort clock beyond the last event: the
-    // survivors drained their queues, but the failed partition was never
-    // re-read — the run still aborts at the detection time.
-    if let Some(abort) = fr.abort_at {
-        return (abort, q.popped(), true);
-    }
-
-    // Byte conservation: the nodes together must have issued exactly the
-    // plan's read bytes — the per-node split drops nothing, and recovery
-    // re-issues every batch a failed node left behind.
-    let issued: u64 = nodes.iter().map(|s| s.issued_bytes).sum();
-    assert_eq!(
-        issued, phase.read_bytes_total,
-        "phase '{}' issued {issued} B of {} B planned",
-        phase.name, phase.read_bytes_total
-    );
-
-    // Out-of-band disk positioning penalty (e.g. merge run switches):
-    // per-node and overlapped across nodes, so it extends the phase once.
-    let end = horizon + phase.extra_disk_busy_per_node;
-    if phase.extra_disk_busy_per_node > simcore::Duration::ZERO {
-        if let Some(rt) = spans {
-            let parent = rt.last;
-            rt.record(
-                parent,
-                POSITIONING_RESOURCE,
-                SpanKind::Positioning,
-                FRONT_END_NODE,
-                horizon,
-                end,
-                0,
+    /// Pops and dispatches events of the current phase until the queue
+    /// drains, the run aborts, or the limit strikes.
+    fn run_events(
+        &mut self,
+        limit: Option<SimTime>,
+        trace: &mut Option<&mut Trace>,
+        metrics: &mut Option<&mut MetricsBuilder>,
+    ) -> EventsOutcome {
+        let plan = self.plan;
+        let phase = &plan.phases[self.phase_ix];
+        let phase_ix = self.phase_ix;
+        let region = phase_region(phase);
+        let phase_writes = phase_writes(phase);
+        let cur = self.cur.as_mut().expect("phase state present");
+        let m = &mut self.machine;
+        let fr = &mut self.fr;
+        let mut spans = self.spans.as_mut();
+        let window = m.window() as u64;
+        loop {
+            let (now, ev) = match cur.pending.take() {
+                Some(next) => next,
+                None => match cur.q.pop() {
+                    Some(next) => next,
+                    None => break,
+                },
+            };
+            if limit.is_some_and(|l| now >= l) {
+                // Pause *before* processing: the event keeps its pop
+                // sequencing and waits in the pending slot.
+                cur.pending = Some((now, ev));
+                return EventsOutcome::Paused;
+            }
+            cur.horizon = cur.horizon.max(now);
+            // Faults-off cost: one bounds check per event.
+            if fr.pending() {
+                fr.apply_due(m, &mut cur.q, &mut cur.nodes, now);
+            }
+            if let Some(abort) = fr.abort_at {
+                if now >= abort {
+                    return EventsOutcome::PhaseDone {
+                        end: abort,
+                        aborted: true,
+                    };
+                }
+            }
+            // Metrics-off cost: one `Option` discriminant check per event.
+            if let Some(mb) = metrics.as_deref_mut() {
+                if mb.due(now) {
+                    mb.sample(now, &m.resource_usage(), cur.q.len());
+                }
+            }
+            handle_ev(
+                m,
+                &mut EvQ {
+                    q: &mut cur.q,
+                    counts: None,
+                },
+                &mut PhaseCtx {
+                    phase,
+                    costs: &cur.costs,
+                    nodes: &mut cur.nodes,
+                    horizon: &mut cur.horizon,
+                    region,
+                    phase_writes,
+                    phase_ix,
+                    window,
+                    qid: 0,
+                },
+                fr,
+                trace,
+                &mut spans,
+                now,
+                ev,
             );
         }
+
+        // Fail-stop policy with the abort clock beyond the last event:
+        // the survivors drained their queues, but the failed partition
+        // was never re-read — the run still aborts at the detection time.
+        if let Some(abort) = fr.abort_at {
+            return EventsOutcome::PhaseDone {
+                end: abort,
+                aborted: true,
+            };
+        }
+
+        // Byte conservation: the nodes together must have issued exactly
+        // the plan's read bytes — the per-node split drops nothing, and
+        // recovery re-issues every batch a failed node left behind.
+        let issued: u64 = cur.nodes.iter().map(|s| s.issued_bytes).sum();
+        assert_eq!(
+            issued, phase.read_bytes_total,
+            "phase '{}' issued {issued} B of {} B planned",
+            phase.name, phase.read_bytes_total
+        );
+
+        // Out-of-band disk positioning penalty (e.g. merge run switches):
+        // per-node and overlapped across nodes, so it extends the phase once.
+        let end = cur.horizon + phase.extra_disk_busy_per_node;
+        if phase.extra_disk_busy_per_node > simcore::Duration::ZERO {
+            if let Some(rt) = spans {
+                let parent = rt.last;
+                rt.record(
+                    parent,
+                    POSITIONING_RESOURCE,
+                    SpanKind::Positioning,
+                    FRONT_END_NODE,
+                    cur.horizon,
+                    end,
+                    0,
+                );
+            }
+        }
+        EventsOutcome::PhaseDone {
+            end,
+            aborted: false,
+        }
     }
-    (end, q.popped(), false)
+
+    /// Closes the phase at `phase_ix`: the barrier, the phase report,
+    /// and the clock advance.
+    fn finish_phase(
+        &mut self,
+        before: PhaseSnapshot,
+        end: SimTime,
+        phase_events: u64,
+        phase_aborted: bool,
+    ) {
+        let plan = self.plan;
+        let phase = &plan.phases[self.phase_ix];
+        self.events += phase_events;
+        let after = PhaseSnapshot::take(&self.machine);
+        // Every phase boundary is a global barrier (no node starts the
+        // next phase before all have finished this one). An aborted
+        // phase ends at the abort clock: there is no barrier because
+        // there is no next phase.
+        let pre_barrier = end;
+        let end = if phase_aborted {
+            end
+        } else {
+            end + self.machine.barrier_costs().barrier(self.machine.nodes())
+        };
+        if let Some(rt) = self.spans.as_mut() {
+            if !phase_aborted {
+                // The barrier span chains onto the phase's last span
+                // (which ends exactly at `pre_barrier` on healthy runs),
+                // making it the critical-path anchor.
+                let parent = rt.last;
+                rt.record(
+                    parent,
+                    BARRIER_RESOURCE,
+                    SpanKind::Barrier,
+                    FRONT_END_NODE,
+                    pre_barrier,
+                    end,
+                    0,
+                );
+            }
+            rt.phases.push(PhaseSpans {
+                name: phase.name,
+                start: self.clock,
+                end,
+                anchor: rt.last,
+            });
+        }
+        self.phases.push(before.delta(
+            &after,
+            phase.name,
+            end.since(self.clock),
+            self.machine.nodes(),
+        ));
+        self.clock = end;
+        self.phase_ix += 1;
+        if phase_aborted {
+            self.aborted = true;
+            self.done = true;
+        }
+    }
+
+    /// Builds the final report (and span trace, when profiled) from a
+    /// completed run.
+    fn into_parts(self) -> (Report, Option<SpanTrace>) {
+        debug_assert!(self.done, "into_parts on an unfinished run");
+        let report = Report {
+            task: self.plan.task,
+            architecture: self.sim.arch.short_name(),
+            disks: self.machine.nodes(),
+            phases: self.phases,
+            disk_service: self.machine.disk_service_histogram(),
+            events: self.events,
+            faults_injected: self.fr.injected,
+            recovery_time: self.machine.recovery_busy(),
+            work_redistributed: self.machine.work_redistributed(),
+            aborted: self.aborted,
+            downtime: self.machine.disk_downtime(self.clock),
+        };
+        let spans = self.spans.map(|rt| SpanTrace {
+            arena: rt.arena,
+            phases: rt.phases,
+        });
+        (report, spans)
+    }
+}
+
+impl ExecRun<'_> {
+    /// Serializes the paused run — clock, machine, fault runtime,
+    /// finished-phase reports, and (mid-phase) the live event queue,
+    /// pending event, per-node progress, and phase-start counter
+    /// snapshot — in the exact-integer state codec. Per-batch costs and
+    /// queue configuration are recomputed on load, never stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is profiled: the span arena is not captured on
+    /// disk (fork in memory to keep profiling across a branch point).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        assert!(
+            self.spans.is_none(),
+            "profiled runs cannot be checkpointed to disk"
+        );
+        w.field("clock_ns", self.clock.as_nanos());
+        w.field("events", self.events);
+        w.field("aborted", u8::from(self.aborted));
+        w.field("phase_ix", self.phase_ix);
+        w.field("done", u8::from(self.done));
+        self.machine.save_state(w);
+        self.fr.save_state(w);
+        w.field("phases_done", self.phases.len());
+        for p in &self.phases {
+            save_phase_report(p, w);
+        }
+        w.field("midphase", u8::from(self.cur.is_some()));
+        if let Some(cur) = &self.cur {
+            match &cur.pending {
+                Some((t, ev)) => {
+                    w.field("pending", 1u8);
+                    w.str_field("pending_ev", &format!("{} {}", t.as_nanos(), encode_ev(ev)));
+                }
+                None => w.field("pending", 0u8),
+            }
+            let snap = cur.q.snapshot();
+            w.field("q_popped", snap.popped);
+            w.field("q_last_ns", snap.last_popped.as_nanos());
+            w.field("q_len", snap.events.len());
+            for (t, ev) in &snap.events {
+                w.str_field("qe", &format!("{} {}", t.as_nanos(), encode_ev(ev)));
+            }
+            w.field("horizon_ns", cur.horizon.as_nanos());
+            w.field("nodes_n", cur.nodes.len());
+            for st in &cur.nodes {
+                save_node_state(st, w);
+            }
+            cur.before.save_state(w);
+        }
+    }
+}
+
+impl<'p> ExecRun<'p> {
+    /// Rebuilds a paused run from [`ExecRun::save_state`] output. `sim`
+    /// and `plan` must be the configuration the state was saved under
+    /// (the checkpoint cache key guarantees this; a mismatched machine
+    /// shape is also caught here as an error). The restored queue is
+    /// freshly built for `sim`'s backend and replays the saved pop
+    /// order exactly, so a checkpoint taken under one backend resumes
+    /// bit-identically under any other.
+    pub fn load_state(
+        sim: &Simulation,
+        plan: &'p TaskPlan,
+        r: &mut StateReader<'_>,
+    ) -> Result<Self, StateError> {
+        if plan.validate().is_err() {
+            return Err(StateError::new("invalid task plan"));
+        }
+        let mut run = ExecRun::start_inner(sim, plan, false);
+        run.clock = SimTime::from_nanos(r.num("clock_ns")?);
+        run.events = r.num("events")?;
+        run.aborted = r.num::<u8>("aborted")? != 0;
+        run.phase_ix = r.num("phase_ix")?;
+        run.done = r.num::<u8>("done")? != 0;
+        if run.phase_ix > plan.phases.len() {
+            return Err(StateError::new("phase cursor out of range"));
+        }
+        run.machine.load_state(r)?;
+        run.fr.load_state(r)?;
+        let nphases: usize = r.num("phases_done")?;
+        if nphases > plan.phases.len() {
+            return Err(StateError::new("finished-phase count out of range"));
+        }
+        run.phases.clear();
+        for _ in 0..nphases {
+            run.phases.push(load_phase_report(r)?);
+        }
+        let midphase = r.num::<u8>("midphase")? != 0;
+        if midphase {
+            if run.phase_ix >= plan.phases.len() {
+                return Err(StateError::new("mid-phase state past the last phase"));
+            }
+            let phase = &plan.phases[run.phase_ix];
+            let pending = match r.num::<u8>("pending")? {
+                0 => None,
+                1 => Some(parse_timed_ev(r.field("pending_ev")?)?),
+                _ => return Err(StateError::new("pending: expected 0 or 1")),
+            };
+            let popped: u64 = r.num("q_popped")?;
+            let last_popped = SimTime::from_nanos(r.num("q_last_ns")?);
+            let qlen: usize = r.num("q_len")?;
+            let mut events = Vec::with_capacity(qlen);
+            for _ in 0..qlen {
+                events.push(parse_timed_ev(r.field("qe")?)?);
+            }
+            let n = run.machine.nodes();
+            let window = run.machine.window() as u64;
+            let mut q: EventQueue<Ev> =
+                EventQueue::with_backend_capacity(sim.queue_backend, n * (window as usize + 4));
+            q.set_shard_fn(shard_of_ev);
+            q.set_lookahead(run.machine.lookahead_bound());
+            q.load_snapshot(QueueSnapshot {
+                events,
+                popped,
+                last_popped,
+            });
+            let horizon = SimTime::from_nanos(r.num("horizon_ns")?);
+            let nodes_n: usize = r.num("nodes_n")?;
+            if nodes_n != n {
+                return Err(StateError::new("node-state count mismatch"));
+            }
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                nodes.push(load_node_state(r)?);
+            }
+            let before = PhaseSnapshot::load_state(r)?;
+            let costs = PhaseCosts::new(&run.machine, phase);
+            run.cur = Some(PhaseRun {
+                costs,
+                q,
+                pending,
+                nodes,
+                horizon,
+                before,
+            });
+        }
+        Ok(run)
+    }
+}
+
+impl FaultRt {
+    /// Serializes the runtime state (not the schedule, which is rebuilt
+    /// from the fault plan on load).
+    fn save_state(&self, w: &mut StateWriter) {
+        w.field("fr_next", self.next);
+        w.list("fr_detected", self.detected.iter().map(|&b| u8::from(b)));
+        w.field("fr_pool", self.pool.len());
+        for &(origin, bytes) in &self.pool {
+            w.list("fr_poolent", [origin as u64, bytes]);
+        }
+        w.field("fr_rr", self.rr);
+        w.field("fr_rng", self.rng.state());
+        w.field("fr_injected", self.injected);
+        w.field("fr_abort_set", u8::from(self.abort_at.is_some()));
+        w.field(
+            "fr_abort_ns",
+            self.abort_at.unwrap_or(SimTime::ZERO).as_nanos(),
+        );
+        w.field("fr_any_dead", u8::from(self.any_dead));
+    }
+
+    /// Restores runtime state into a `FaultRt` freshly built from the
+    /// same plan, policy, seed, and node count.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let next: usize = r.num("fr_next")?;
+        if next > self.events.len() {
+            return Err(StateError::new("fault cursor out of range"));
+        }
+        self.next = next;
+        let det: Vec<u8> = r.nums("fr_detected")?;
+        if det.len() != self.detected.len() {
+            return Err(StateError::new("detected-flag count mismatch"));
+        }
+        self.detected = det.iter().map(|&b| b != 0).collect();
+        let npool: usize = r.num("fr_pool")?;
+        self.pool.clear();
+        for _ in 0..npool {
+            let ent: Vec<u64> = r.nums("fr_poolent")?;
+            if ent.len() != 2 {
+                return Err(StateError::new("fr_poolent: expected `<origin> <bytes>`"));
+            }
+            self.pool.push((ent[0] as usize, ent[1]));
+        }
+        self.rr = r.num("fr_rr")?;
+        self.rng = SplitMix64::new(r.num("fr_rng")?);
+        self.injected = r.num("fr_injected")?;
+        let abort_set = r.num::<u8>("fr_abort_set")? != 0;
+        let abort_ns: u64 = r.num("fr_abort_ns")?;
+        self.abort_at = abort_set.then(|| SimTime::from_nanos(abort_ns));
+        self.any_dead = r.num::<u8>("fr_any_dead")? != 0;
+        Ok(())
+    }
+}
+
+impl PhaseSnapshot {
+    fn save_state(&self, w: &mut StateWriter) {
+        save_tag_map(&self.cpu_by_tag, w);
+        w.field("cpu_total_ns", self.cpu_total.as_nanos());
+        w.field("disk_total_ns", self.disk_total.as_nanos());
+        w.field("interconnect", self.interconnect);
+        w.field("frontend", self.frontend);
+        save_resources(&self.resources, w);
+    }
+
+    fn load_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let cpu_by_tag = load_tag_map(r)?;
+        let cpu_total = Duration::from_nanos(r.num("cpu_total_ns")?);
+        let disk_total = Duration::from_nanos(r.num("disk_total_ns")?);
+        let interconnect: u64 = r.num("interconnect")?;
+        let frontend: u64 = r.num("frontend")?;
+        let resources = load_resources(r)?;
+        Ok(PhaseSnapshot {
+            cpu_by_tag,
+            cpu_total,
+            disk_total,
+            interconnect,
+            frontend,
+            resources,
+        })
+    }
+}
+
+/// Encodes one executor event (without its span — checkpoints capture
+/// unprofiled runs, where every span is [`SpanId::NONE`]).
+fn encode_ev(ev: &Ev) -> String {
+    match *ev {
+        Ev::BatchRead {
+            node, bytes, query, ..
+        } => format!("br {node} {bytes} {query}"),
+        Ev::BatchProcessed {
+            node, bytes, query, ..
+        } => format!("bp {node} {bytes} {query}"),
+        Ev::PeerArrive {
+            src,
+            dst,
+            bytes,
+            query,
+            ..
+        } => format!("pa {src} {dst} {bytes} {query}"),
+        Ev::RecvProcessed {
+            node, bytes, query, ..
+        } => format!("rp {node} {bytes} {query}"),
+        Ev::FeArrive { bytes, query, .. } => format!("fe {bytes} {query}"),
+        Ev::RecoveryKick { node, query } => format!("rk {node} {query}"),
+        Ev::Admit { query } => format!("ad {query}"),
+        Ev::PhaseStart { query, attempt } => format!("ps {query} {attempt}"),
+        Ev::Deadline { query, attempt } => format!("dl {query} {attempt}"),
+        Ev::Retry { query } => format!("rt {query}"),
+    }
+}
+
+/// Parses [`encode_ev`] output.
+fn decode_ev(s: &str) -> Result<Ev, StateError> {
+    fn num(
+        it: &mut std::str::SplitWhitespace<'_>,
+        tag: &str,
+        what: &str,
+    ) -> Result<u64, StateError> {
+        it.next()
+            .ok_or_else(|| StateError::new(format!("event `{tag}`: missing {what}")))?
+            .parse()
+            .map_err(|_| StateError::new(format!("event `{tag}`: bad {what}")))
+    }
+    let mut it = s.split_whitespace();
+    let tag = it.next().ok_or_else(|| StateError::new("empty event"))?;
+    let ev = match tag {
+        "br" => Ev::BatchRead {
+            node: num(&mut it, tag, "node")? as usize,
+            bytes: num(&mut it, tag, "bytes")?,
+            span: SpanId::NONE,
+            query: num(&mut it, tag, "query")? as u32,
+        },
+        "bp" => Ev::BatchProcessed {
+            node: num(&mut it, tag, "node")? as usize,
+            bytes: num(&mut it, tag, "bytes")?,
+            span: SpanId::NONE,
+            query: num(&mut it, tag, "query")? as u32,
+        },
+        "pa" => Ev::PeerArrive {
+            src: num(&mut it, tag, "src")? as usize,
+            dst: num(&mut it, tag, "dst")? as usize,
+            bytes: num(&mut it, tag, "bytes")?,
+            span: SpanId::NONE,
+            query: num(&mut it, tag, "query")? as u32,
+        },
+        "rp" => Ev::RecvProcessed {
+            node: num(&mut it, tag, "node")? as usize,
+            bytes: num(&mut it, tag, "bytes")?,
+            span: SpanId::NONE,
+            query: num(&mut it, tag, "query")? as u32,
+        },
+        "fe" => Ev::FeArrive {
+            bytes: num(&mut it, tag, "bytes")?,
+            span: SpanId::NONE,
+            query: num(&mut it, tag, "query")? as u32,
+        },
+        "rk" => Ev::RecoveryKick {
+            node: num(&mut it, tag, "node")? as usize,
+            query: num(&mut it, tag, "query")? as u32,
+        },
+        "ad" => Ev::Admit {
+            query: num(&mut it, tag, "query")? as u32,
+        },
+        "ps" => Ev::PhaseStart {
+            query: num(&mut it, tag, "query")? as u32,
+            attempt: num(&mut it, tag, "attempt")? as u32,
+        },
+        "dl" => Ev::Deadline {
+            query: num(&mut it, tag, "query")? as u32,
+            attempt: num(&mut it, tag, "attempt")? as u32,
+        },
+        "rt" => Ev::Retry {
+            query: num(&mut it, tag, "query")? as u32,
+        },
+        other => return Err(StateError::new(format!("unknown event tag `{other}`"))),
+    };
+    if it.next().is_some() {
+        return Err(StateError::new(format!("event `{tag}`: trailing fields")));
+    }
+    Ok(ev)
+}
+
+/// Parses a `<nanos> <event>` line.
+fn parse_timed_ev(s: &str) -> Result<(SimTime, Ev), StateError> {
+    let (t, rest) = s
+        .split_once(' ')
+        .ok_or_else(|| StateError::new("event: expected `<ns> <event>`"))?;
+    let ns: u64 = t
+        .parse()
+        .map_err(|_| StateError::new("event: bad timestamp"))?;
+    Ok((SimTime::from_nanos(ns), decode_ev(rest)?))
+}
+
+fn save_node_state(st: &NodeState, w: &mut StateWriter) {
+    w.list(
+        "nstate",
+        [
+            st.bytes_total,
+            st.batches_total,
+            st.own_batches,
+            st.issued,
+            st.issued_bytes,
+            st.processed,
+            st.last_batch_bytes,
+            u64::from(st.dead),
+            u64::from(st.fe_sent),
+            st.next_dst as u64,
+        ],
+    );
+    w.list("recovery_pending", st.recovery_pending.iter().copied());
+    w.list(
+        "credits",
+        [
+            st.write_credit.to_bits(),
+            st.shuffle_credit.to_bits(),
+            st.frontend_credit.to_bits(),
+        ],
+    );
+    w.field("has_dst_credits", u8::from(st.dst_credits.is_some()));
+    if let Some(c) = &st.dst_credits {
+        w.list("dst_credits", c.iter().map(|f| f.to_bits()));
+    }
+}
+
+fn load_node_state(r: &mut StateReader<'_>) -> Result<NodeState, StateError> {
+    let v: Vec<u64> = r.nums("nstate")?;
+    if v.len() != 10 {
+        return Err(StateError::new("nstate: expected 10 fields"));
+    }
+    let recovery_pending: Vec<u64> = r.nums("recovery_pending")?;
+    let credits: Vec<u64> = r.nums("credits")?;
+    if credits.len() != 3 {
+        return Err(StateError::new("credits: expected 3 fields"));
+    }
+    let dst_credits = match r.num::<u8>("has_dst_credits")? {
+        0 => None,
+        1 => Some(
+            r.nums::<u64>("dst_credits")?
+                .into_iter()
+                .map(f64::from_bits)
+                .collect(),
+        ),
+        _ => return Err(StateError::new("has_dst_credits: expected 0 or 1")),
+    };
+    Ok(NodeState {
+        bytes_total: v[0],
+        batches_total: v[1],
+        own_batches: v[2],
+        issued: v[3],
+        issued_bytes: v[4],
+        processed: v[5],
+        last_batch_bytes: v[6],
+        recovery_pending: recovery_pending.into(),
+        dead: v[7] != 0,
+        fe_sent: v[8] != 0,
+        next_dst: v[9] as usize,
+        dst_credits,
+        write_credit: f64::from_bits(credits[0]),
+        shuffle_credit: f64::from_bits(credits[1]),
+        frontend_credit: f64::from_bits(credits[2]),
+    })
+}
+
+fn save_tag_map(map: &BTreeMap<&'static str, Duration>, w: &mut StateWriter) {
+    w.field("tags", map.len());
+    for (tag, d) in map {
+        // Nanoseconds first: the tag is the rest of the line, so names
+        // with spaces survive the round trip.
+        w.str_field("tag", &format!("{} {}", d.as_nanos(), tag));
+    }
+}
+
+fn load_tag_map(r: &mut StateReader<'_>) -> Result<BTreeMap<&'static str, Duration>, StateError> {
+    let ntags: usize = r.num("tags")?;
+    let mut map = BTreeMap::new();
+    for _ in 0..ntags {
+        let rest = r.field("tag")?;
+        let (ns, tag) = rest
+            .split_once(' ')
+            .ok_or_else(|| StateError::new("tag: expected `<ns> <name>`"))?;
+        let ns: u64 = ns
+            .parse()
+            .map_err(|_| StateError::new("tag: bad nanoseconds"))?;
+        map.insert(crate::manifest::intern(tag), Duration::from_nanos(ns));
+    }
+    Ok(map)
+}
+
+fn save_resources(resources: &[ResourceUsage], w: &mut StateWriter) {
+    w.field("resources", resources.len());
+    for u in resources {
+        w.str_field(
+            "res",
+            &format!(
+                "{} {} {} {}",
+                u.resource.key(),
+                u.busy.as_nanos(),
+                u.wait.as_nanos(),
+                u.lanes
+            ),
+        );
+    }
+}
+
+fn load_resources(r: &mut StateReader<'_>) -> Result<Vec<ResourceUsage>, StateError> {
+    let nres: usize = r.num("resources")?;
+    let mut resources = Vec::with_capacity(nres);
+    for _ in 0..nres {
+        let rest = r.field("res")?;
+        let mut parts = rest.split_whitespace();
+        let key = parts
+            .next()
+            .ok_or_else(|| StateError::new("res: missing resource key"))?;
+        let resource = Resource::from_key(key)
+            .ok_or_else(|| StateError::new(format!("res: unknown resource `{key}`")))?;
+        let mut num = |what: &str| -> Result<u64, StateError> {
+            parts
+                .next()
+                .ok_or_else(|| StateError::new(format!("res: missing {what}")))?
+                .parse()
+                .map_err(|_| StateError::new(format!("res: bad {what}")))
+        };
+        let busy = Duration::from_nanos(num("busy time")?);
+        let wait = Duration::from_nanos(num("wait time")?);
+        let lanes = num("lanes")? as u32;
+        resources.push(ResourceUsage {
+            resource,
+            busy,
+            wait,
+            lanes,
+        });
+    }
+    Ok(resources)
+}
+
+fn save_phase_report(p: &PhaseReport, w: &mut StateWriter) {
+    w.str_field("phase", p.name);
+    w.field("elapsed_ns", p.elapsed.as_nanos());
+    w.field("cpu_busy_ns", p.cpu_busy_total.as_nanos());
+    w.field("disk_busy_ns", p.disk_busy_total.as_nanos());
+    w.field("interconnect_bytes", p.interconnect_bytes);
+    w.field("frontend_bytes", p.frontend_bytes);
+    w.field("nodes", p.nodes);
+    save_tag_map(&p.cpu_busy_by_tag, w);
+    save_resources(&p.resources, w);
+}
+
+fn load_phase_report(r: &mut StateReader<'_>) -> Result<PhaseReport, StateError> {
+    let name = crate::manifest::intern(r.field("phase")?);
+    let elapsed = Duration::from_nanos(r.num("elapsed_ns")?);
+    let cpu_busy_total = Duration::from_nanos(r.num("cpu_busy_ns")?);
+    let disk_busy_total = Duration::from_nanos(r.num("disk_busy_ns")?);
+    let interconnect_bytes: u64 = r.num("interconnect_bytes")?;
+    let frontend_bytes: u64 = r.num("frontend_bytes")?;
+    let nodes: usize = r.num("nodes")?;
+    let cpu_busy_by_tag = load_tag_map(r)?;
+    let resources = load_resources(r)?;
+    Ok(PhaseReport {
+        name,
+        elapsed,
+        cpu_busy_by_tag,
+        cpu_busy_total,
+        disk_busy_total,
+        interconnect_bytes,
+        frontend_bytes,
+        nodes,
+        resources,
+    })
 }
 
 /// Per-phase execution context threaded into [`handle_ev`]: the plan,

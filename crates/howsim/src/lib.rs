@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod exec;
 pub mod faults;
 pub mod machine;
@@ -37,15 +38,15 @@ pub mod trace;
 pub mod workload;
 
 pub use cache::CacheStats;
-pub use exec::Simulation;
+pub use exec::{ExecRun, Simulation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
 pub use manifest::RunManifest;
 pub use metrics::{Attribution, MetricsBuilder, Resource, ResourceUsage, RunMetrics};
-pub use mqexec::{LoadReport, QueryOutcome, QueryPhase, QueryStatus};
+pub use mqexec::{LoadReport, QueryOutcome, QueryPhase, QueryStatus, WarmStart};
 pub use profile::{CriticalPath, LoadSpanTrace, PathSegment, QuerySpans, SpanTrace};
 pub use report::{PhaseReport, Report};
 pub use trace::{NodeId, Trace, TraceEvent, TraceKind, TraceSummary};
-pub use workload::{AdmissionPolicy, ArrivalProcess, DeadlinePolicy, WorkloadSpec};
+pub use workload::{parse_duration, AdmissionPolicy, ArrivalProcess, DeadlinePolicy, WorkloadSpec};
 
 /// The stream batch size every architecture uses for bulk I/O and
 /// communication (the paper's 256 KB large-request discipline).

@@ -16,6 +16,7 @@ use hostos::OsCosts;
 use netmodel::{
     BarrierCosts, ClusterFabric, FcLoop, FcSwitchFabric, MsgCosts, SmpFabric, SmpIoSubsystem,
 };
+use simcore::state::{StateError, StateReader, StateWriter};
 use simcore::{Bandwidth, DowntimeTracker, Duration, FifoServer, SimTime, SplitMix64};
 
 use crate::faults::RecoveryPolicy;
@@ -23,6 +24,7 @@ use crate::metrics::{Resource, ResourceUsage};
 
 /// The Active Disk serial fabric: the baseline shared dual loop, or the
 /// switched multi-loop extension the paper recommends beyond 64 disks.
+#[derive(Clone)]
 enum ActiveWire {
     Loop(FcLoop),
     Switch(FcSwitchFabric),
@@ -69,6 +71,7 @@ const REGIONS: u64 = 2;
 const SMP_CHUNK: u64 = 64 * 1024;
 
 /// Architecture-specific state behind the common machine interface.
+#[derive(Clone)]
 enum Fabric {
     Active {
         fc: ActiveWire,
@@ -91,6 +94,7 @@ enum Fabric {
 }
 
 /// One configured machine, ready to execute phases.
+#[derive(Clone)]
 pub struct Machine {
     nodes: usize,
     disks: Vec<Disk>,
@@ -920,6 +924,117 @@ impl Machine {
         let (_, len, _) = self.smp_groups(phase_writes);
         len != self.nodes
     }
+
+    /// Serializes all mutable machine state for checkpointing: every
+    /// drive, CPU server, the fabric's queueing servers, extent cursors,
+    /// fault flags, downtime trackers, and recovery accounting.
+    /// Configuration (node count, processor specs, OS and message costs,
+    /// rates) is not written; restore targets a machine freshly built
+    /// from the same [`Architecture`].
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.field("nodes", self.nodes);
+        for d in &self.disks {
+            d.save_state(w);
+        }
+        for c in &self.cpus {
+            c.save_state(w);
+        }
+        self.fe_cpu.save_state(w);
+        match &self.fabric {
+            Fabric::Active { fc, fe_port, .. } => {
+                match fc {
+                    ActiveWire::Loop(l) => l.save_state(w),
+                    ActiveWire::Switch(s) => s.save_state(w),
+                }
+                fe_port.save_state(w);
+            }
+            Fabric::Cluster { net, .. } => net.save_state(w),
+            Fabric::Smp { mem, io, .. } => {
+                mem.save_state(w);
+                io.save_state(w);
+            }
+        }
+        for c in &self.cursors {
+            w.list("cursor", c.iter().copied());
+        }
+        w.list("stripe_cursor", self.stripe_cursor.iter().copied());
+        w.field("interconnect_bytes", self.interconnect_bytes);
+        w.field("frontend_bytes", self.frontend_bytes);
+        w.list("failed", self.failed.iter().map(|&f| u8::from(f)));
+        for d in &self.downtime {
+            d.save_state(w);
+        }
+        w.field("recovery_busy", self.recovery_busy.as_nanos());
+        w.field("work_redistributed", self.work_redistributed);
+        w.field("recovery_rr", self.recovery_rr);
+    }
+
+    /// Restores state saved by [`Machine::save_state`] into a machine
+    /// built from the same [`Architecture`]. The failed-node count is
+    /// recomputed from the restored flags rather than trusted from the
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input or a node-count
+    /// mismatch (a checkpoint from a differently-sized machine).
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let nodes: usize = r.num("nodes")?;
+        if nodes != self.nodes {
+            return Err(StateError::new(format!(
+                "checkpoint has {nodes} nodes, machine has {}",
+                self.nodes
+            )));
+        }
+        for d in &mut self.disks {
+            d.load_state(r)?;
+        }
+        for c in &mut self.cpus {
+            *c = FifoServer::load_state(r)?;
+        }
+        self.fe_cpu = FifoServer::load_state(r)?;
+        match &mut self.fabric {
+            Fabric::Active { fc, fe_port, .. } => {
+                match fc {
+                    ActiveWire::Loop(l) => l.load_state(r)?,
+                    ActiveWire::Switch(s) => s.load_state(r)?,
+                }
+                *fe_port = FifoServer::load_state(r)?;
+            }
+            Fabric::Cluster { net, .. } => net.load_state(r)?,
+            Fabric::Smp { mem, io, .. } => {
+                mem.load_state(r)?;
+                io.load_state(r)?;
+            }
+        }
+        for c in &mut self.cursors {
+            let vals: Vec<u64> = r.nums("cursor")?;
+            let [a, b] = vals[..] else {
+                return Err(StateError::new("cursor line needs 2 values"));
+            };
+            *c = [a, b];
+        }
+        let sc: Vec<usize> = r.nums("stripe_cursor")?;
+        let [sr, sw] = sc[..] else {
+            return Err(StateError::new("stripe_cursor line needs 2 values"));
+        };
+        self.stripe_cursor = [sr, sw];
+        self.interconnect_bytes = r.num("interconnect_bytes")?;
+        self.frontend_bytes = r.num("frontend_bytes")?;
+        let flags: Vec<u8> = r.nums("failed")?;
+        if flags.len() != self.nodes {
+            return Err(StateError::new("failed-flag count mismatch"));
+        }
+        self.failed = flags.iter().map(|&f| f != 0).collect();
+        self.failed_count = self.failed.iter().filter(|&&f| f).count();
+        for d in &mut self.downtime {
+            *d = DowntimeTracker::load_state(r)?;
+        }
+        self.recovery_busy = Duration::from_nanos(r.num("recovery_busy")?);
+        self.work_redistributed = r.num("work_redistributed")?;
+        self.recovery_rr = r.num("recovery_rr")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1192,5 +1307,71 @@ mod tests {
         let a = active(4).msg_cost(1 << 20);
         let c = Machine::new(&Architecture::cluster(4)).msg_cost(1 << 20);
         assert!(c > a, "ethernet staging copies cost more than disk streams");
+    }
+
+    #[test]
+    fn state_round_trips_and_continues_identically_on_every_fabric() {
+        for arch in [
+            Architecture::active_disks(4),
+            Architecture::active_disks(16).with_fibre_switch(),
+            Architecture::active_disks(4).with_direct_disk_to_disk(false),
+            Architecture::cluster(4),
+            Architecture::smp(4),
+        ] {
+            let mut live = Machine::new(&arch);
+            live.begin_phase(0);
+            let t1 = live.read(0, SimTime::ZERO, 256 * 1024, 0, false);
+            let t2 = live.write(1, t1, 128 * 1024, 0, true);
+            live.node_cpu_work(0, t2, Duration::from_micros(30), "scan");
+            live.fe_cpu_work(t2, Duration::from_micros(12), "collect");
+            live.fail_disk(2, t2);
+            let t3 = live.recovery_read(RecoveryPolicy::Redistribute, 2, t2, 64 * 1024, 0, false);
+            live.interconnect_fault(1, 0.5);
+
+            let mut w = simcore::StateWriter::new();
+            live.save_state(&mut w);
+            let text = w.finish();
+
+            let mut restored = Machine::new(&arch);
+            restored
+                .load_state(&mut simcore::StateReader::new(&text))
+                .expect("restore");
+            assert_eq!(restored.failed_count(), 1, "failed flags restored");
+
+            // Identical continuations in both worlds.
+            let ops = |m: &mut Machine| {
+                let a = m.read(0, t3, 256 * 1024, 0, false);
+                let b = m.write(3, a, 64 * 1024, 0, true);
+                let c = m.peer_transfer(b, 0, 3, 512 * 1024);
+                let d = m.fe_transfer(c, 3, 4_096);
+                let e = m.recovery_read(RecoveryPolicy::ReconstructRead, 2, d, 32 * 1024, 0, false);
+                (a, b, c, d, e)
+            };
+            assert_eq!(ops(&mut live), ops(&mut restored), "diverged on {arch:?}");
+            assert_eq!(live.resource_usage(), restored.resource_usage());
+            assert_eq!(
+                live.disk_downtime(t3 + Duration::from_secs(1)),
+                restored.disk_downtime(t3 + Duration::from_secs(1))
+            );
+            assert_eq!(live.interconnect_bytes(), restored.interconnect_bytes());
+            assert_eq!(live.frontend_bytes(), restored.frontend_bytes());
+            assert_eq!(live.work_redistributed(), restored.work_redistributed());
+            assert_eq!(
+                live.disk_service_histogram(),
+                restored.disk_service_histogram()
+            );
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_node_count() {
+        let live = active(4);
+        let mut w = simcore::StateWriter::new();
+        live.save_state(&mut w);
+        let text = w.finish();
+        let mut other = active(8);
+        assert!(other
+            .load_state(&mut simcore::StateReader::new(&text))
+            .is_err());
     }
 }

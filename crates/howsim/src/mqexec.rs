@@ -260,6 +260,7 @@ enum QState {
 
 /// Per-query executor state: the single-query locals of `run_phase`,
 /// lifted into a struct so many queries can hold a phase open at once.
+#[derive(Clone)]
 struct QueryRun {
     task: TaskKind,
     plan_ix: usize,
@@ -290,12 +291,17 @@ struct QueryRun {
 }
 
 /// The multi-query driver: one shared machine, one event queue, N query
-/// state machines.
-struct Mq<'a> {
+/// state machines. `Clone` is the fork primitive: a warm prefix is
+/// cloned once per what-if continuation (see [`WarmStart`]).
+#[derive(Clone)]
+struct Mq {
     machine: Machine,
     q: EventQueue<Ev>,
     runs: Vec<QueryRun>,
     plans: Vec<TaskPlan>,
+    /// Task kind of each entry in `plans`, so [`WarmStart::extend`] can
+    /// reuse plans for kinds the warmup already planned.
+    kinds: Vec<TaskKind>,
     /// In-flight work events per query — the phase-completion gate.
     outstanding: Vec<u64>,
     /// Global fault schedule driving the shared machine.
@@ -311,22 +317,48 @@ struct Mq<'a> {
     closed: bool,
     backoff_rng: SplitMix64,
     spans: Option<SpanRt>,
-    metrics: Option<&'a mut MetricsBuilder>,
+    /// Popped-but-unprocessed event stashed by a paused [`Mq::step`]
+    /// (already counted by `q.popped()`, so resumed event totals match
+    /// an uninterrupted run).
+    pending: Option<(SimTime, Ev)>,
+    /// Time of the last processed event — the fork origin.
+    clock: SimTime,
+    /// Set by a global fail-stop abort: every query is terminal and the
+    /// remaining queue contents are stale, so `step` must not resume.
+    halted: bool,
 }
 
-impl Mq<'_> {
-    fn run_loop(&mut self) {
-        while let Some((now, ev)) = self.q.pop() {
+impl Mq {
+    fn run_loop(&mut self, metrics: &mut Option<&mut MetricsBuilder>) {
+        self.step(None, metrics);
+    }
+
+    /// Processes events strictly before `limit` (all of them when
+    /// `limit` is `None`). Returns `false` when paused at the limit with
+    /// the boundary event stashed in `self.pending`, `true` when the
+    /// queue drained.
+    fn step(&mut self, limit: Option<SimTime>, metrics: &mut Option<&mut MetricsBuilder>) -> bool {
+        if self.halted {
+            return true;
+        }
+        while let Some((now, ev)) = self.pending.take().or_else(|| self.q.pop()) {
+            if let Some(l) = limit {
+                if now >= l {
+                    self.pending = Some((now, ev));
+                    return false;
+                }
+            }
+            self.clock = now;
             if self.fs.pending() {
                 self.apply_global_faults(now);
             }
             if let Some(abort) = self.fs.abort_at {
                 if now >= abort {
                     self.abort_all(abort);
-                    return;
+                    return true;
                 }
             }
-            if let Some(mb) = self.metrics.as_deref_mut() {
+            if let Some(mb) = metrics.as_deref_mut() {
                 if mb.due(now) {
                     mb.sample(now, &self.machine.resource_usage(), self.q.len());
                 }
@@ -350,6 +382,7 @@ impl Mq<'_> {
             self.runs.iter().all(|r| r.state == QState::Done),
             "event queue drained with live queries"
         );
+        true
     }
 
     /// Applies globally-scheduled faults due at or before `now` to the
@@ -413,6 +446,7 @@ impl Mq<'_> {
 
     /// Terminates every live query at the global fail-stop abort clock.
     fn abort_all(&mut self, abort: SimTime) {
+        self.halted = true;
         for run in &mut self.runs {
             if run.state != QState::Done {
                 run.state = QState::Done;
@@ -820,9 +854,23 @@ impl Simulation {
         workload: &WorkloadSpec,
         admission: AdmissionPolicy,
         deadline: DeadlinePolicy,
-        metrics: Option<&mut MetricsBuilder>,
+        mut metrics: Option<&mut MetricsBuilder>,
         profiled: bool,
     ) -> (LoadReport, Option<LoadSpanTrace>) {
+        let mut mq = self.mq_setup(workload, admission, deadline, profiled);
+        mq.run_loop(&mut metrics);
+        self.collect_load(mq, workload.summary(), admission, deadline)
+    }
+
+    /// Builds the multi-query driver with `workload`'s arrivals queued
+    /// but nothing processed.
+    fn mq_setup(
+        &self,
+        workload: &WorkloadSpec,
+        admission: AdmissionPolicy,
+        deadline: DeadlinePolicy,
+        profiled: bool,
+    ) -> Mq {
         assert!(workload.queries > 0, "workload needs at least one query");
         let tasks = workload.tasks();
         let arrivals = workload.arrival_times();
@@ -895,6 +943,7 @@ impl Simulation {
             q,
             runs,
             plans,
+            kinds,
             outstanding: vec![0; queries],
             fs,
             detect_at: vec![None; n],
@@ -908,7 +957,9 @@ impl Simulation {
             // seeded models without a second seed knob.
             backoff_rng: SplitMix64::new(self.seed() ^ 0x9E37_79B9_7F4A_7C15),
             spans: profiled.then(SpanRt::new),
-            metrics,
+            pending: None,
+            clock: SimTime::ZERO,
+            halted: false,
         };
         match workload.arrival {
             ArrivalProcess::Poisson { .. } => {
@@ -924,8 +975,19 @@ impl Simulation {
                 mq.next_closed = first;
             }
         }
-        mq.run_loop();
+        mq
+    }
 
+    /// Turns a drained driver into its report (and span trace, when
+    /// profiled).
+    fn collect_load(
+        &self,
+        mq: Mq,
+        workload_summary: String,
+        admission: AdmissionPolicy,
+        deadline: DeadlinePolicy,
+    ) -> (LoadReport, Option<LoadSpanTrace>) {
+        let n = mq.machine.nodes();
         let end = mq
             .runs
             .iter()
@@ -952,7 +1014,7 @@ impl Simulation {
         let report = LoadReport {
             architecture: self.architecture().short_name(),
             disks: n,
-            workload: workload.summary(),
+            workload: workload_summary,
             admission: admission.summary(),
             deadline: deadline.summary(),
             outcomes,
@@ -976,6 +1038,177 @@ impl Simulation {
                 .collect(),
         });
         (report, trace)
+    }
+}
+
+impl Simulation {
+    /// Starts a loaded run with `warmup`'s arrivals queued but nothing
+    /// simulated, returning a forkable [`WarmStart`]. Drive the warmup
+    /// with [`WarmStart::run_to_idle`], then [`WarmStart::fork`] once
+    /// per what-if continuation and [`WarmStart::extend`] each fork with
+    /// its measured workload — the warm prefix is simulated exactly
+    /// once, and every continuation's report is field-identical to a
+    /// from-scratch run of the same warmup + extension.
+    pub fn start_workload(
+        &self,
+        warmup: &WorkloadSpec,
+        admission: AdmissionPolicy,
+        deadline: DeadlinePolicy,
+    ) -> WarmStart {
+        WarmStart {
+            mq: self.mq_setup(warmup, admission, deadline, false),
+            sim: self.clone(),
+            workload: warmup.summary(),
+            admission,
+            deadline,
+            measured_from: warmup.queries as usize,
+        }
+    }
+}
+
+/// A loaded run paused after its warmup segment, cheap to fork.
+///
+/// The warmup's machine state, event history, and admission bookkeeping
+/// are shared by every fork (a fork is one `Clone`), so a rate ladder
+/// pays for its common ramp-up once instead of once per point.
+#[derive(Clone)]
+pub struct WarmStart {
+    sim: Simulation,
+    mq: Mq,
+    workload: String,
+    admission: AdmissionPolicy,
+    deadline: DeadlinePolicy,
+    measured_from: usize,
+}
+
+impl WarmStart {
+    /// Drains every queued arrival and its consequences — the warmup
+    /// segment runs to completion and the clock parks at its last event.
+    pub fn run_to_idle(&mut self) {
+        self.mq.step(None, &mut None);
+    }
+
+    /// The fork origin: the time of the last processed event. Extended
+    /// arrivals land strictly after it.
+    pub fn origin(&self) -> SimTime {
+        self.mq.clock
+    }
+
+    /// Forks the paused run: an independent continuation sharing this
+    /// prefix's full state.
+    pub fn fork(&self) -> WarmStart {
+        self.clone()
+    }
+
+    /// Queries in the warmup segment (the measured slice of the final
+    /// report's outcomes starts here).
+    pub fn measured_from(&self) -> usize {
+        self.measured_from
+    }
+
+    /// Appends `spec`'s queries to the run, their arrival clocks shifted
+    /// to land strictly after [`WarmStart::origin`] (each arrival moves
+    /// by `origin + 1ns`). Because the warmup queue is idle at the
+    /// origin, the continuation's event interleaving is identical
+    /// whether the prefix was simulated in this process or forked.
+    pub fn extend(&mut self, spec: &WorkloadSpec) {
+        assert!(spec.queries > 0, "extension needs at least one query");
+        let origin = self.mq.clock;
+        let shift = origin.since(SimTime::ZERO) + Duration::from_nanos(1);
+        let tasks = spec.tasks();
+        let arrivals: Vec<SimTime> = spec
+            .arrival_times()
+            .into_iter()
+            .map(|at| at + shift)
+            .collect();
+        let base = self.mq.runs.len();
+        let n = self.mq.machine.nodes();
+        for (&task, &arrival) in tasks.iter().zip(&arrivals) {
+            let plan_ix = self
+                .mq
+                .kinds
+                .iter()
+                .position(|&k| k == task)
+                .unwrap_or_else(|| {
+                    let plan = plan_task(task, self.sim.architecture());
+                    plan.validate().expect("invalid task plan");
+                    self.mq.plans.push(plan);
+                    self.mq.kinds.push(task);
+                    self.mq.kinds.len() - 1
+                });
+            self.mq.runs.push(QueryRun {
+                task,
+                plan_ix,
+                arrival,
+                started: None,
+                attempt: 0,
+                phase_ix: 0,
+                nodes: Vec::new(),
+                costs: None,
+                fr: FaultRt::new(
+                    &FaultPlan::new(),
+                    self.sim.recovery_policy(),
+                    self.sim.seed(),
+                    n,
+                ),
+                horizon: SimTime::ZERO,
+                phase_start: SimTime::ZERO,
+                state: QState::Pending,
+                status: QueryStatus::Completed,
+                retry_armed: false,
+                retries: 0,
+                timeouts: 0,
+                finished: SimTime::ZERO,
+                events: 0,
+                phases_done: Vec::new(),
+                span_last: SpanId::NONE,
+                span_last_end: SimTime::ZERO,
+                phase_spans: Vec::new(),
+            });
+            self.mq.outstanding.push(0);
+        }
+        match spec.arrival {
+            ArrivalProcess::Poisson { .. } => {
+                for (i, &at) in arrivals.iter().enumerate() {
+                    self.mq.q.push(
+                        at,
+                        Ev::Admit {
+                            query: (base + i) as u32,
+                        },
+                    );
+                }
+                // Closed-loop issuance (if the warmup was closed) must
+                // not re-admit the Poisson extension.
+                self.mq.next_closed = self.mq.runs.len();
+                self.mq.closed = false;
+            }
+            ArrivalProcess::Closed { clients } => {
+                let first = (clients as usize).min(tasks.len());
+                for (i, &at) in arrivals.iter().take(first).enumerate() {
+                    self.mq.q.push(
+                        at,
+                        Ev::Admit {
+                            query: (base + i) as u32,
+                        },
+                    );
+                }
+                self.mq.next_closed = base + first;
+                self.mq.closed = true;
+            }
+        }
+        self.workload = format!("{} + {}", self.workload, spec.summary());
+    }
+
+    /// Runs the continuation to completion and returns its report
+    /// (warmup and extended queries both included, in arrival order —
+    /// slice `outcomes` at [`WarmStart::measured_from`] for the measured
+    /// segment).
+    pub fn finish(mut self) -> LoadReport {
+        self.mq.step(None, &mut None);
+        let (report, _) =
+            self.sim
+                .collect_load(self.mq, self.workload, self.admission, self.deadline);
+        report
     }
 }
 
@@ -1106,6 +1339,64 @@ mod tests {
         let a = sim.run_workload(&w, AdmissionPolicy::default(), dl);
         let b = sim.run_workload(&w, AdmissionPolicy::default(), dl);
         assert_eq!(a, b, "same seed must reproduce the identical report");
+    }
+
+    #[test]
+    fn forked_continuations_match_from_scratch_runs() {
+        // One warm prefix, three what-if continuations (a rate ladder
+        // plus a closed point): each fork's report must be
+        // field-identical to re-simulating warmup + extension from
+        // scratch, including under a different queue backend.
+        let sim = Simulation::new(Architecture::active_disks(4)).with_seed(3);
+        let adm = AdmissionPolicy {
+            max_concurrent: 2,
+            queue_limit: 8,
+        };
+        let dl = DeadlinePolicy::default();
+        let mix = vec![(TaskKind::Select, 1), (TaskKind::Aggregate, 1)];
+        let warmup = WorkloadSpec::closed(2, 3)
+            .with_mix(mix.clone())
+            .with_seed(7);
+        let mut prefix = sim.start_workload(&warmup, adm, dl);
+        prefix.run_to_idle();
+        let origin = prefix.origin();
+        assert!(origin > SimTime::ZERO);
+
+        let extensions = [
+            WorkloadSpec::poisson(0.05, 4)
+                .with_mix(mix.clone())
+                .with_seed(11),
+            WorkloadSpec::poisson(0.2, 4)
+                .with_mix(mix.clone())
+                .with_seed(11),
+            WorkloadSpec::closed(2, 4)
+                .with_mix(mix.clone())
+                .with_seed(11),
+        ];
+        for spec in &extensions {
+            let mut fork = prefix.fork();
+            fork.extend(spec);
+            assert_eq!(fork.measured_from(), 3);
+            let warm = fork.finish();
+
+            let scratch_sim = sim
+                .clone()
+                .with_queue_backend(simcore::QueueBackend::BinaryHeap);
+            let mut scratch = scratch_sim.start_workload(&warmup, adm, dl);
+            scratch.run_to_idle();
+            assert_eq!(scratch.origin(), origin, "shared prefix drifts");
+            scratch.extend(spec);
+            assert_eq!(
+                warm,
+                scratch.finish(),
+                "fork vs scratch: {}",
+                spec.summary()
+            );
+        }
+        // The un-extended prefix itself still finishes to the plain
+        // warmup report.
+        let solo = sim.run_workload(&warmup, adm, dl);
+        assert_eq!(prefix.finish(), solo);
     }
 
     #[test]

@@ -71,7 +71,7 @@ fn parse_task(name: &str) -> Result<TaskKind, String> {
 }
 
 /// Parses a duration literal: `<n>ns`, `<n>us`, `<n>ms`, or `<x>s`.
-pub(crate) fn parse_duration(s: &str) -> Result<Duration, String> {
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
     let err = || format!("bad duration '{s}' (expected e.g. 120s, 250ms, 10us, 500ns)");
     if let Some(v) = s.strip_suffix("ns") {
         return v

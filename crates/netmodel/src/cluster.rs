@@ -14,6 +14,7 @@
 //! The front-end host occupies the last index (`hosts()`), attached to the
 //! first edge switch like any other host.
 
+use simcore::state::{StateError, StateReader, StateWriter};
 use simcore::{Bandwidth, Duration, SimTime};
 
 use crate::link::Link;
@@ -205,6 +206,39 @@ impl ClusterFabric {
     pub fn front_end_link_wait_total(&self) -> Duration {
         self.nic_tx[self.hosts].wait_total() + self.nic_rx[self.hosts].wait_total()
     }
+
+    /// Serializes every link's mutable state for checkpointing (NIC
+    /// pairs then uplink pairs; counts are fixed by the host count).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for l in self
+            .nic_tx
+            .iter()
+            .chain(&self.nic_rx)
+            .chain(&self.uplink_tx)
+            .chain(&self.uplink_rx)
+        {
+            l.save_state(w);
+        }
+    }
+
+    /// Restores state saved by [`ClusterFabric::save_state`] into a
+    /// fabric built for the same host count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        for l in self
+            .nic_tx
+            .iter_mut()
+            .chain(&mut self.nic_rx)
+            .chain(&mut self.uplink_tx)
+            .chain(&mut self.uplink_rx)
+        {
+            l.load_state(r)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +332,47 @@ mod tests {
         let unaffected = net2.send(SimTime::ZERO, 0, 1, 1_000_000, "x");
         assert!(slowed > healthy, "degraded sender pays the slower NIC");
         assert_eq!(unaffected, healthy, "other hosts keep full rate");
+    }
+
+    #[test]
+    fn state_round_trips_and_continues_identically() {
+        // 24 hosts + front-end span two edge switches, so the uplink
+        // pairs carry state too.
+        let mut live = ClusterFabric::new(24);
+        live.send(SimTime::ZERO, 0, 21, 1_000_000, "x");
+        live.send(SimTime::ZERO, 5, 0, 250_000, "y");
+        live.degrade_host_link(3, 0.5);
+
+        let mut w = StateWriter::new();
+        live.save_state(&mut w);
+        let text = w.finish();
+
+        let mut restored = ClusterFabric::new(24);
+        restored
+            .load_state(&mut StateReader::new(&text))
+            .expect("restore");
+
+        let now = SimTime::ZERO + Duration::from_millis(500);
+        for (s, d) in [(3usize, 7usize), (0, 23), (22, 1)] {
+            assert_eq!(
+                live.send(now, s, d, 321_000, "z"),
+                restored.send(now, s, d, 321_000, "z"),
+                "continuation diverged for {s}->{d}"
+            );
+        }
+        assert_eq!(
+            live.worker_nic_busy_total(),
+            restored.worker_nic_busy_total()
+        );
+        assert_eq!(
+            live.worker_nic_wait_total(),
+            restored.worker_nic_wait_total()
+        );
+        assert_eq!(
+            live.front_end_link_busy_total(),
+            restored.front_end_link_busy_total()
+        );
+        assert_eq!(live.bytes_delivered_to(21), restored.bytes_delivered_to(21));
     }
 
     #[test]

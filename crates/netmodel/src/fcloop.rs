@@ -12,6 +12,7 @@
 //! Each tenancy pays an arbitration overhead before transferring; frames
 //! carry protocol overhead captured by an efficiency factor.
 
+use simcore::state::{StateError, StateReader, StateWriter};
 use simcore::{Bandwidth, Duration, FifoServer, SimTime};
 
 /// Default arbitration time to win a loop tenancy.
@@ -157,6 +158,47 @@ impl FcLoop {
         self.loops.iter().map(FifoServer::wait_total).sum()
     }
 
+    /// Serializes the loop set's mutable state for checkpointing: the
+    /// active-loop set (mutated by [`FcLoop::fail_loop`]), byte counter,
+    /// and every loop's server. Rates and arbitration are configuration.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.field("bytes", self.bytes);
+        w.list("active", self.active.iter().copied());
+        w.field("loops", self.loops.len());
+        for l in &self.loops {
+            l.save_state(w);
+        }
+    }
+
+    /// Restores state saved by [`FcLoop::save_state`] into a loop set
+    /// built with the same configuration. The wire-time memo is dropped;
+    /// it repopulates with identical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input, a loop-count mismatch,
+    /// or an invalid active set.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let bytes = r.num("bytes")?;
+        let active: Vec<usize> = r.nums("active")?;
+        let n: usize = r.num("loops")?;
+        if n != self.loops.len() {
+            return Err(StateError::new("loop count mismatch"));
+        }
+        if active.is_empty() || active.iter().any(|&a| a >= n) {
+            return Err(StateError::new("invalid active loop set"));
+        }
+        let mut loops = Vec::with_capacity(n);
+        for _ in 0..n {
+            loops.push(FifoServer::load_state(r)?);
+        }
+        self.loops = loops;
+        self.active = active;
+        self.bytes = bytes;
+        self.cached = None;
+        Ok(())
+    }
+
     /// Aggregate utilization over `elapsed`.
     pub fn utilization(&self, elapsed: Duration) -> f64 {
         if elapsed.is_zero() {
@@ -253,6 +295,51 @@ mod tests {
         // Still functional: one loop survives.
         let t = fc.transfer(SimTime::ZERO, 3, 1_000, "x");
         assert!(t > SimTime::ZERO);
+    }
+
+    #[test]
+    fn state_round_trips_after_loop_failure() {
+        let mut live = dual200();
+        live.transfer(SimTime::ZERO, 0, 1_000_000, "x");
+        live.transfer(SimTime::ZERO, 1, 500_000, "y");
+        live.fail_loop(1);
+
+        let mut w = StateWriter::new();
+        live.save_state(&mut w);
+        let text = w.finish();
+
+        let mut restored = dual200();
+        restored
+            .load_state(&mut StateReader::new(&text))
+            .expect("restore");
+
+        // Post-failure routing (all parities on loop 0) must carry over.
+        let now = SimTime::ZERO + Duration::from_millis(50);
+        for src in [0usize, 1, 2, 3] {
+            assert_eq!(
+                live.transfer(now, src, 123_456, "z"),
+                restored.transfer(now, src, 123_456, "z"),
+                "continuation diverged for src {src}"
+            );
+        }
+        assert_eq!(live.bytes_carried(), restored.bytes_carried());
+        assert_eq!(live.busy_total(), restored.busy_total());
+        assert_eq!(live.wait_total(), restored.wait_total());
+    }
+
+    #[test]
+    fn load_state_rejects_mismatched_loop_count() {
+        let live = dual200();
+        let mut w = StateWriter::new();
+        live.save_state(&mut w);
+        let text = w.finish();
+        let mut four = FcLoop::with_loops(
+            4,
+            Bandwidth::from_mb_per_sec(200.0),
+            DEFAULT_ARBITRATION,
+            DEFAULT_EFFICIENCY,
+        );
+        assert!(four.load_state(&mut StateReader::new(&text)).is_err());
     }
 
     #[test]

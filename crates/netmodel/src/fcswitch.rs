@@ -14,6 +14,7 @@
 //! fabric's bisection bandwidth grows with the number of segments, unlike
 //! the baseline shared dual loop.
 
+use simcore::state::{StateError, StateReader, StateWriter};
 use simcore::{Bandwidth, Duration, FifoServer, SimTime};
 
 use crate::fcloop::{DEFAULT_ARBITRATION, DEFAULT_EFFICIENCY};
@@ -211,6 +212,42 @@ impl FcSwitchFabric {
     pub fn lane_count(&self) -> usize {
         self.tx.len() + self.rx.len()
     }
+
+    /// Serializes the fabric's mutable state for checkpointing (byte
+    /// counter, then every loop lane and switch port; counts are fixed
+    /// by the segment count).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.field("bytes", self.bytes);
+        for s in self
+            .tx
+            .iter()
+            .chain(&self.rx)
+            .chain(&self.ports_in)
+            .chain(&self.ports_out)
+        {
+            s.save_state(w);
+        }
+    }
+
+    /// Restores state saved by [`FcSwitchFabric::save_state`] into a
+    /// fabric built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.bytes = r.num("bytes")?;
+        for s in self
+            .tx
+            .iter_mut()
+            .chain(&mut self.rx)
+            .chain(&mut self.ports_in)
+            .chain(&mut self.ports_out)
+        {
+            *s = FifoServer::load_state(r)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +302,37 @@ mod tests {
             assert!(t > SimTime::ZERO);
         }
         assert_eq!(f.bytes_carried(), 4 * 4_096);
+    }
+
+    #[test]
+    fn state_round_trips_and_continues_identically() {
+        let mut live = FcSwitchFabric::for_devices(32);
+        live.transfer(SimTime::ZERO, 0, 9, 1_000_000, "x");
+        live.transfer_to_front_end(SimTime::ZERO, 17, 250_000, "y");
+
+        let mut w = StateWriter::new();
+        live.save_state(&mut w);
+        let text = w.finish();
+
+        let mut restored = FcSwitchFabric::for_devices(32);
+        restored
+            .load_state(&mut StateReader::new(&text))
+            .expect("restore");
+
+        let now = SimTime::ZERO + Duration::from_millis(3);
+        assert_eq!(
+            live.transfer(now, 1, 25, 77_000, "z"),
+            restored.transfer(now, 1, 25, 77_000, "z"),
+            "cross-segment continuation diverged"
+        );
+        assert_eq!(
+            live.transfer_to_front_end(now, 9, 8_192, "r"),
+            restored.transfer_to_front_end(now, 9, 8_192, "r"),
+            "front-end continuation diverged"
+        );
+        assert_eq!(live.bytes_carried(), restored.bytes_carried());
+        assert_eq!(live.busy_total(), restored.busy_total());
+        assert_eq!(live.wait_total(), restored.wait_total());
     }
 
     #[test]

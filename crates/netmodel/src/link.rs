@@ -4,6 +4,7 @@
 //! queue-based model that has parameters for startup latency, transfer
 //! speed and the capacity of the interconnect".
 
+use simcore::state::{StateError, StateReader, StateWriter};
 use simcore::{Bandwidth, Duration, FifoServer, SimTime};
 
 /// A unidirectional link. A full-duplex channel is a pair of `Link`s.
@@ -124,6 +125,30 @@ impl Link {
     pub fn utilization(&self, elapsed: Duration) -> f64 {
         self.server.utilization(elapsed)
     }
+
+    /// Serializes the link's mutable state for checkpointing. Bandwidth
+    /// is captured bit-exactly because [`Link::degrade`] mutates it;
+    /// startup latency is pure configuration and is not written.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.f64_field("bandwidth", self.bandwidth.bytes_per_sec());
+        w.field("bytes", self.bytes);
+        self.server.save_state(w);
+    }
+
+    /// Restores state saved by [`Link::save_state`] into a link built
+    /// with the same configuration ([`Link::new`]). The transfer-time
+    /// memo is dropped; it repopulates with identical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.bandwidth = Bandwidth::from_bytes_per_sec(r.f64_field("bandwidth")?);
+        self.bytes = r.num("bytes")?;
+        self.server = FifoServer::load_state(r)?;
+        self.cached = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +211,38 @@ mod tests {
     #[should_panic(expected = "degrade factor")]
     fn degrade_rejects_out_of_range() {
         fast_ethernet().degrade(0.0);
+    }
+
+    #[test]
+    fn state_round_trips_and_continues_identically() {
+        let mut live = fast_ethernet();
+        live.send(SimTime::ZERO, 1_250_000, "x");
+        live.degrade(0.5);
+        live.send(SimTime::ZERO, 1_250_000, "y");
+
+        let mut w = StateWriter::new();
+        live.save_state(&mut w);
+        let text = w.finish();
+
+        let mut restored = fast_ethernet();
+        restored
+            .load_state(&mut StateReader::new(&text))
+            .expect("restore");
+
+        let now = live.free_at();
+        assert_eq!(
+            live.send(now, 777_777, "x"),
+            restored.send(now, 777_777, "x"),
+            "continuation diverged"
+        );
+        assert_eq!(live.bytes_carried(), restored.bytes_carried());
+        assert_eq!(live.busy_total(), restored.busy_total());
+        assert_eq!(live.wait_total(), restored.wait_total());
+        assert_eq!(
+            live.bandwidth().bytes_per_sec().to_bits(),
+            restored.bandwidth().bytes_per_sec().to_bits(),
+            "degraded bandwidth must restore bit-exactly"
+        );
     }
 
     proptest! {

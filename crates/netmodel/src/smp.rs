@@ -8,6 +8,7 @@
 //! disk and memory crosses the FC loop — this is the structural bottleneck
 //! the paper identifies for SMP decision support at scale.
 
+use simcore::state::{StateError, StateReader, StateWriter};
 use simcore::{Bandwidth, Duration, FifoServer, MultiServer, SimTime};
 
 use crate::fcloop::FcLoop;
@@ -104,6 +105,29 @@ impl SmpFabric {
     pub fn wait_total(&self) -> Duration {
         self.bte.iter().map(FifoServer::wait_total).sum()
     }
+
+    /// Serializes the fabric's mutable state for checkpointing (byte
+    /// counter, then every board's block-transfer engine).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.field("bytes", self.bytes);
+        for s in &self.bte {
+            s.save_state(w);
+        }
+    }
+
+    /// Restores state saved by [`SmpFabric::save_state`] into a fabric
+    /// built for the same board count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.bytes = r.num("bytes")?;
+        for s in &mut self.bte {
+            *s = FifoServer::load_state(r)?;
+        }
+        Ok(())
+    }
 }
 
 /// The I/O complex: a (dual) FC loop in front of an XIO-like pair of I/O
@@ -184,6 +208,25 @@ impl SmpIoSubsystem {
     pub fn loop_count(&self) -> usize {
         self.fc.loop_count()
     }
+
+    /// Serializes the I/O complex's mutable state for checkpointing
+    /// (the FC loop set, then the XIO bank).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.fc.save_state(w);
+        self.xio.save_state(w);
+    }
+
+    /// Restores state saved by [`SmpIoSubsystem::save_state`] into an
+    /// I/O complex built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.fc.load_state(r)?;
+        self.xio = MultiServer::load_state(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +265,62 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bad_board() {
         SmpFabric::new(2).block_transfer(SimTime::ZERO, 0, 5, 1, "x");
+    }
+
+    #[test]
+    fn fabric_state_round_trips_and_continues_identically() {
+        let mut live = SmpFabric::new(8);
+        live.block_transfer(SimTime::ZERO, 0, 1, 1_000_000, "x");
+        live.block_transfer(SimTime::ZERO, 0, 0, 500_000, "y");
+
+        let mut w = StateWriter::new();
+        live.save_state(&mut w);
+        let text = w.finish();
+
+        let mut restored = SmpFabric::new(8);
+        restored
+            .load_state(&mut StateReader::new(&text))
+            .expect("restore");
+
+        let now = SimTime::ZERO + Duration::from_millis(10);
+        assert_eq!(
+            live.block_transfer(now, 0, 3, 42_000, "z"),
+            restored.block_transfer(now, 0, 3, 42_000, "z"),
+            "continuation diverged"
+        );
+        assert_eq!(live.bytes_moved(), restored.bytes_moved());
+        assert_eq!(live.busy_total(), restored.busy_total());
+        assert_eq!(live.wait_total(), restored.wait_total());
+    }
+
+    #[test]
+    fn io_state_round_trips_after_loop_failure() {
+        let mut live = SmpIoSubsystem::new(Bandwidth::from_mb_per_sec(200.0));
+        for d in 0..4 {
+            live.disk_transfer(SimTime::ZERO, d, 1_000_000, "x");
+        }
+        live.fail_loop(0);
+
+        let mut w = StateWriter::new();
+        live.save_state(&mut w);
+        let text = w.finish();
+
+        let mut restored = SmpIoSubsystem::new(Bandwidth::from_mb_per_sec(200.0));
+        restored
+            .load_state(&mut StateReader::new(&text))
+            .expect("restore");
+
+        let now = SimTime::ZERO + Duration::from_millis(50);
+        for d in [0usize, 1, 5] {
+            assert_eq!(
+                live.disk_transfer(now, d, 64_000, "z"),
+                restored.disk_transfer(now, d, 64_000, "z"),
+                "continuation diverged for disk {d}"
+            );
+        }
+        assert_eq!(live.bytes_carried(), restored.bytes_carried());
+        assert_eq!(live.loop_busy_total(), restored.loop_busy_total());
+        assert_eq!(live.loop_wait_total(), restored.loop_wait_total());
     }
 
     #[test]

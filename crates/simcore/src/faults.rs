@@ -7,6 +7,7 @@
 //! and lives in `simcore` so every model crate can account downtime with
 //! the same arithmetic.
 
+use crate::state::{StateError, StateReader, StateWriter};
 use crate::time::{Duration, SimTime};
 
 /// Accumulates the total time a simulated resource spends failed.
@@ -62,6 +63,36 @@ impl DowntimeTracker {
             None => self.completed,
         }
     }
+
+    /// Serializes the tracker for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        match self.down_since {
+            Some(t) => w.field("down_since", t.as_nanos()),
+            None => w.str_field("down_since", "-"),
+        }
+        w.field("downtime_completed", self.completed.as_nanos());
+    }
+
+    /// Reconstructs a tracker from checkpoint text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let raw = r.field("down_since")?;
+        let down_since = if raw == "-" {
+            None
+        } else {
+            Some(SimTime::from_nanos(raw.parse().map_err(|_| {
+                StateError::new(format!("bad down_since {raw:?}"))
+            })?))
+        };
+        let completed = Duration::from_nanos(r.num("downtime_completed")?);
+        Ok(DowntimeTracker {
+            down_since,
+            completed,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +141,26 @@ mod tests {
         let mut dt = DowntimeTracker::new();
         dt.restore(at(3));
         assert_eq!(dt.total(at(10)), Duration::ZERO);
+    }
+
+    #[test]
+    fn state_round_trips_open_and_closed_intervals() {
+        let mut open = DowntimeTracker::new();
+        open.fail(at(1));
+        open.restore(at(2));
+        open.fail(at(4));
+        let mut closed = DowntimeTracker::new();
+        closed.fail(at(3));
+        closed.restore(at(9));
+        for dt in [DowntimeTracker::new(), open, closed] {
+            let mut w = crate::state::StateWriter::new();
+            dt.save_state(&mut w);
+            let text = w.finish();
+            let mut r = crate::state::StateReader::new(&text);
+            let back = DowntimeTracker::load_state(&mut r).unwrap();
+            assert!(r.done());
+            assert_eq!(back, dt);
+        }
     }
 
     #[test]

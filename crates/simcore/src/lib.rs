@@ -38,15 +38,17 @@ pub mod queue;
 pub mod rng;
 pub mod server;
 pub mod span;
+pub mod state;
 pub mod stats;
 pub mod time;
 
 pub use faults::DowntimeTracker;
 pub use histogram::Histogram;
 pub use metrics::{Counter, GaugeSeries, UtilizationSampler};
-pub use queue::{EventQueue, QueueBackend};
+pub use queue::{EventQueue, QueueBackend, QueueSnapshot};
 pub use rng::SplitMix64;
 pub use server::{FifoServer, MultiServer};
 pub use span::{Span, SpanArena, SpanId, SpanKind};
+pub use state::{StateError, StateReader, StateWriter};
 pub use stats::{Accumulator, BusyTracker};
 pub use time::{Bandwidth, Duration, SimTime};

@@ -122,7 +122,7 @@ fn nbuckets_for(capacity: usize) -> usize {
 /// Events scheduled for the same instant fire in the order they were pushed
 /// (FIFO), which makes simulations deterministic regardless of scheduler
 /// internals.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Scheduled<E> {
     time: SimTime,
     seq: u64,
@@ -174,7 +174,7 @@ pub enum QueueBackend {
 
 /// One slot of the arena slab: an event's key and payload plus the
 /// intrusive `next` link (bucket chain, pending run, or freelist).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slot<E> {
     time: SimTime,
     seq: u64,
@@ -184,7 +184,7 @@ struct Slot<E> {
 
 /// A fused run of same-instant pushes into the bucket being drained:
 /// a chain of slots all scheduled for `time`, in push (= seq) order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Run {
     time: SimTime,
     head: u32,
@@ -192,7 +192,7 @@ struct Run {
 }
 
 /// The arena-backed calendar-wheel scheduler level structure.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Wheel<E> {
     /// The arena slab holding every in-horizon event.
     slots: Vec<Slot<E>>,
@@ -537,7 +537,7 @@ impl<E> Wheel<E> {
 
 /// The sharded-wheel backend: independent wheels merged at pop by exact
 /// `(time, seq)` argmin over cached per-shard heads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Sharded<E> {
     wheels: Vec<Wheel<E>>,
     /// `heads[i]` is exactly `wheels[i].peek_key()` at all times: pushes
@@ -624,7 +624,7 @@ impl<E> Sharded<E> {
 }
 
 /// The scheduler backing an [`EventQueue`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Backend<E> {
     Wheel(Wheel<E>),
     Heap(BinaryHeap<Scheduled<E>>),
@@ -645,12 +645,33 @@ enum Backend<E> {
 /// let order: Vec<char> = q.drain().map(|(_, e)| e).collect();
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     backend: Backend<E>,
     next_seq: u64,
     popped: u64,
     last_popped: SimTime,
+}
+
+/// A backend-independent snapshot of an [`EventQueue`]'s logical state:
+/// the pending events in exact pop order plus the pop-side counters.
+///
+/// Sequence numbers are deliberately *not* captured. Restoring assigns
+/// fresh seqs `0..n` in pop order, which preserves every observable
+/// property: relative order among the pending events is unchanged, and
+/// events pushed after the restore receive larger seqs than all pending
+/// ones — exactly as they would have in the uninterrupted run. Dropping
+/// the seqs is what makes the snapshot byte-identical across backends
+/// (a wheel's freelist layout, pending runs, and overflow split are all
+/// re-normalized away).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSnapshot<E> {
+    /// Pending events in exact pop order.
+    pub events: Vec<(SimTime, E)>,
+    /// Lifetime pop count at the snapshot point.
+    pub popped: u64,
+    /// Time of the most recently popped event (the simulation clock).
+    pub last_popped: SimTime,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -879,6 +900,47 @@ impl<E> EventQueue<E> {
     /// The time of the most recently popped event (the simulation clock).
     pub fn now(&self) -> SimTime {
         self.last_popped
+    }
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// Captures the queue's logical state without disturbing it.
+    ///
+    /// The snapshot lists pending events in exact pop order (obtained by
+    /// draining a clone), so it is identical whatever backend the queue
+    /// runs on. Restore it with [`EventQueue::load_snapshot`] — into the
+    /// same backend or a different one.
+    pub fn snapshot(&self) -> QueueSnapshot<E> {
+        let mut copy = self.clone();
+        QueueSnapshot {
+            events: copy.drain().collect(),
+            popped: self.popped,
+            last_popped: self.last_popped,
+        }
+    }
+
+    /// Restores a snapshot into this (empty, freshly configured) queue.
+    ///
+    /// Call after `with_backend_capacity`/`set_shard_fn`/`set_lookahead`:
+    /// the wheel, freelist, and pending-run structures are rebuilt from
+    /// scratch by ordinary pushes, so a restored wheel is bit-equivalent
+    /// to one that reached this state live. Pending events are assigned
+    /// fresh sequence numbers `0..n` in pop order (see [`QueueSnapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue already holds events or has popped any.
+    pub fn load_snapshot(&mut self, snap: QueueSnapshot<E>) {
+        assert!(
+            self.is_empty() && self.popped == 0,
+            "snapshot must load into a fresh queue"
+        );
+        for (time, payload) in snap.events {
+            debug_assert!(time >= snap.last_popped, "pending event behind the clock");
+            self.push(time, payload);
+        }
+        self.popped = snap.popped;
+        self.last_popped = snap.last_popped;
     }
 }
 
@@ -1261,6 +1323,110 @@ mod tests {
         }
     }
 
+    /// Applies `ops` to `q`, recording pops into `pops`. Pushes draw
+    /// payloads from `payload` (shared so interrupted and uninterrupted
+    /// runs see the same values).
+    fn apply_ops(
+        q: &mut EventQueue<u64>,
+        ops: &[(u8, u64)],
+        payload: &mut u64,
+        pops: &mut Vec<(SimTime, u64)>,
+    ) {
+        for &(op, t) in ops {
+            if op % 3 != 0 {
+                let time = q.now() + crate::time::Duration::from_nanos(t);
+                q.push(time, *payload);
+                *payload += 1;
+            } else if let Some(p) = q.pop() {
+                pops.push(p);
+            }
+        }
+    }
+
+    /// Snapshot/restore differential harness: run `ops[..cut]`, snapshot,
+    /// restore into every backend, finish `ops[cut..]` on each — the full
+    /// pop sequence must be identical to the uninterrupted run's.
+    fn snapshot_differential(ops: &[(u8, u64)], cut: usize) {
+        for src in BACKENDS {
+            // Uninterrupted reference on the source backend.
+            let mut reference = queue_u64(src);
+            let mut ref_payload = 0u64;
+            let mut ref_pops = Vec::new();
+            apply_ops(&mut reference, ops, &mut ref_payload, &mut ref_pops);
+            let ref_rest: Vec<(SimTime, u64)> = reference.drain().collect();
+
+            // Interrupted run: pause at `cut`, snapshot, restore into
+            // each destination backend (including cross-backend moves).
+            let mut base = queue_u64(src);
+            let mut base_payload = 0u64;
+            let mut base_pops = Vec::new();
+            apply_ops(&mut base, &ops[..cut], &mut base_payload, &mut base_pops);
+            let snap = base.snapshot();
+            assert_eq!(snap.events.len(), base.len(), "snapshot is non-destructive");
+
+            for dst in BACKENDS {
+                let mut restored = queue_u64(dst);
+                restored.load_snapshot(snap.clone());
+                assert_eq!(restored.len(), base.len());
+                assert_eq!(restored.popped(), base.popped());
+                assert_eq!(restored.now(), base.now());
+
+                let mut payload = base_payload;
+                let mut pops = base_pops.clone();
+                apply_ops(&mut restored, &ops[cut..], &mut payload, &mut pops);
+                pops.extend(restored.drain());
+                let mut expected = ref_pops.clone();
+                expected.extend(ref_rest.iter().copied());
+                assert_eq!(pops, expected, "src {src:?} -> dst {dst:?} cut {cut}");
+                assert_eq!(restored.popped(), reference.popped(), "{src:?}->{dst:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_empty_queue_round_trips() {
+        let q: EventQueue<u64> = EventQueue::new();
+        let snap = q.snapshot();
+        assert!(snap.events.is_empty());
+        let mut restored: EventQueue<u64> = EventQueue::new();
+        restored.load_snapshot(snap);
+        assert!(restored.is_empty());
+        assert_eq!(restored.popped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh queue")]
+    fn load_snapshot_rejects_used_queue() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        q.push(SimTime::from_nanos(1), 1);
+        let snap = q.snapshot();
+        q.load_snapshot(snap);
+    }
+
+    #[test]
+    fn snapshot_mid_tie_burst_preserves_fifo() {
+        // The hardest internal state: a wheel mid-drain with fused
+        // pending runs. Snapshot must linearize it exactly.
+        let mut q: EventQueue<u32> = EventQueue::with_backend(QueueBackend::CalendarWheel);
+        let t = SimTime::from_nanos(1_000);
+        for i in 0..40 {
+            q.push(t, i);
+        }
+        for _ in 0..20 {
+            q.pop();
+        }
+        for i in 40..50 {
+            q.push(t, i); // fused same-instant pushes mid-drain
+        }
+        let snap = q.snapshot();
+        let mut restored: EventQueue<u32> = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        restored.load_snapshot(snap);
+        let a: Vec<u32> = q.drain().map(|(_, e)| e).collect();
+        let b: Vec<u32> = restored.drain().map(|(_, e)| e).collect();
+        assert_eq!(a, b);
+        assert_eq!(a, (20..50).collect::<Vec<u32>>());
+    }
+
     #[test]
     fn differential_same_time_bursts() {
         // Lockstep bursts (64 nodes completing simultaneously) with
@@ -1316,6 +1482,28 @@ mod tests {
         /// identical pop sequences (order, FIFO ties, and conservation)
         /// on every backend — the arena wheel and both shard counts
         /// against the reference heap.
+        /// Snapshot differential: a random workload paused at a random
+        /// boundary, snapshotted, and restored into every backend (all
+        /// source × destination pairs) finishes byte-identical to the
+        /// uninterrupted run.
+        #[test]
+        fn prop_snapshot_restore_is_transparent(seed in 0u64..120, cut_frac in 0u64..100) {
+            let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00);
+            let mut ops: Vec<(u8, u64)> = Vec::with_capacity(200);
+            for _ in 0..200 {
+                let op = rng.next_below(3) as u8;
+                let dt = match rng.next_below(4) {
+                    0 => 0,
+                    1 => rng.next_below(1 << BUCKET_SHIFT),
+                    2 => rng.next_below((DEFAULT_BUCKETS as u64) << BUCKET_SHIFT),
+                    _ => rng.next_below((4 * DEFAULT_BUCKETS as u64) << BUCKET_SHIFT),
+                };
+                ops.push((op, dt));
+            }
+            let cut = (ops.len() as u64 * cut_frac / 100) as usize;
+            snapshot_differential(&ops, cut);
+        }
+
         #[test]
         fn prop_wheel_matches_heap(seed in 0u64..400) {
             let mut rng = SplitMix64::new(seed);

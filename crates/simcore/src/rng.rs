@@ -62,6 +62,15 @@ impl SplitMix64 {
     pub fn split(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
     }
+
+    /// The generator's internal state word, for checkpointing.
+    ///
+    /// `SplitMix64::new(rng.state())` reconstructs a generator that
+    /// continues the stream exactly (the constructor stores the seed as
+    /// the state verbatim).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 #[cfg(test)]

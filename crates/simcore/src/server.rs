@@ -8,6 +8,7 @@
 //! service time; the server records busy time per job *tag* so execution-time
 //! breakdowns (paper Figure 3) fall out of the accounting.
 
+use crate::state::{intern, StateError, StateReader, StateWriter};
 use crate::time::{Duration, SimTime};
 
 /// A single-capacity FIFO queueing server (one CPU, one disk arm, one link).
@@ -186,6 +187,59 @@ impl FifoServer {
         }
         (self.busy_total.as_secs_f64() / elapsed.as_secs_f64()).min(1.0)
     }
+
+    /// Serializes the server for checkpointing (all times in exact
+    /// nanoseconds; per-tag breakdown in tag order).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.field("free_at", self.free_at.as_nanos());
+        w.field("busy", self.busy_total.as_nanos());
+        w.field("wait", self.wait_total.as_nanos());
+        w.field("jobs", self.jobs);
+        w.field("tags", self.busy_by_tag.len());
+        for &(tag, d) in &self.busy_by_tag {
+            // Nanoseconds first so the tag (an identifier, but defensively
+            // parsed with split_once) can be recovered unambiguously.
+            w.str_field("tag", &format!("{} {tag}", d.as_nanos()));
+        }
+    }
+
+    /// Reconstructs a server from checkpoint text.
+    ///
+    /// Tag names are re-interned: content equality is preserved and the
+    /// accounting path falls back from pointer identity to content
+    /// comparison, so restored servers charge tags identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let free_at = SimTime::from_nanos(r.num("free_at")?);
+        let busy_total = Duration::from_nanos(r.num("busy")?);
+        let wait_total = Duration::from_nanos(r.num("wait")?);
+        let jobs = r.num("jobs")?;
+        let n: usize = r.num("tags")?;
+        let mut busy_by_tag = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = r.field("tag")?;
+            let (ns, name) = line
+                .split_once(' ')
+                .ok_or_else(|| StateError::new(format!("bad tag line {line:?}")))?;
+            let d = Duration::from_nanos(
+                ns.parse()
+                    .map_err(|_| StateError::new(format!("bad tag nanos {ns:?}")))?,
+            );
+            busy_by_tag.push((intern(name), d));
+        }
+        Ok(FifoServer {
+            free_at,
+            busy_total,
+            wait_total,
+            busy_by_tag,
+            // The hint is a pure perf cache; 0 is always a valid value.
+            last_tag: 0,
+            jobs,
+        })
+    }
 }
 
 /// A bank of `k` identical FIFO servers with join-shortest-completion
@@ -253,6 +307,31 @@ impl MultiServer {
         }
         let cap = elapsed.as_secs_f64() * self.lanes.len() as f64;
         (self.busy_total().as_secs_f64() / cap).min(1.0)
+    }
+
+    /// Serializes the bank for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.field("lanes", self.lanes.len());
+        for lane in &self.lanes {
+            lane.save_state(w);
+        }
+    }
+
+    /// Reconstructs a bank from checkpoint text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError`] on malformed input or a zero lane count.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let k: usize = r.num("lanes")?;
+        if k == 0 {
+            return Err(StateError::new("MultiServer with zero lanes"));
+        }
+        let mut lanes = Vec::with_capacity(k);
+        for _ in 0..k {
+            lanes.push(FifoServer::load_state(r)?);
+        }
+        Ok(MultiServer { lanes })
     }
 }
 
@@ -369,6 +448,52 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn multiserver_rejects_zero_lanes() {
         let _ = MultiServer::new(0);
+    }
+
+    #[test]
+    fn fifo_state_round_trips_and_continues_identically() {
+        let mut s = FifoServer::new();
+        s.offer(SimTime::ZERO, Duration::from_nanos(7), "partition");
+        s.offer(SimTime::ZERO, Duration::from_nanos(3), "sort");
+        s.offer(SimTime::from_nanos(2), Duration::from_nanos(5), "partition");
+
+        let mut w = crate::state::StateWriter::new();
+        s.save_state(&mut w);
+        let text = w.finish();
+        let mut r = crate::state::StateReader::new(&text);
+        let mut restored = FifoServer::load_state(&mut r).unwrap();
+        assert!(r.done());
+
+        assert_eq!(restored.free_at(), s.free_at());
+        assert_eq!(restored.busy_total(), s.busy_total());
+        assert_eq!(restored.wait_total(), s.wait_total());
+        assert_eq!(restored.jobs(), s.jobs());
+        assert_eq!(restored.busy_for("partition"), s.busy_for("partition"));
+
+        // Continuation is bit-identical: the next offer schedules the same.
+        let a = s.offer(SimTime::from_nanos(9), Duration::from_nanos(4), "sort");
+        let b = restored.offer(SimTime::from_nanos(9), Duration::from_nanos(4), "sort");
+        assert_eq!(a, b);
+        assert_eq!(restored.busy_for("sort"), s.busy_for("sort"));
+    }
+
+    #[test]
+    fn multiserver_state_round_trips() {
+        let mut m = MultiServer::new(3);
+        for i in 0..5u64 {
+            m.offer(SimTime::from_nanos(i), Duration::from_nanos(10 + i), "x");
+        }
+        let mut w = crate::state::StateWriter::new();
+        m.save_state(&mut w);
+        let text = w.finish();
+        let mut r = crate::state::StateReader::new(&text);
+        let mut restored = MultiServer::load_state(&mut r).unwrap();
+        assert!(r.done());
+        assert_eq!(restored.lanes(), 3);
+        assert_eq!(restored.busy_total(), m.busy_total());
+        let a = m.offer(SimTime::from_nanos(20), Duration::from_nanos(6), "x");
+        let b = restored.offer(SimTime::from_nanos(20), Duration::from_nanos(6), "x");
+        assert_eq!(a, b);
     }
 
     proptest! {
